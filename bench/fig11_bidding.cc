@@ -1,0 +1,70 @@
+// Reproduces Fig. 11: mean response time per RUBiS bidding-workload
+// transaction type, executed against three schemas — the NoSE-recommended
+// schema, the normalized baseline, and the hand-designed expert schema.
+//
+// Latencies are simulated milliseconds from the record-store latency model
+// (see DESIGN.md): absolute values differ from the paper's Cassandra
+// testbed, the *shape* (NoSE <= Expert << Normalized on reads; NoSE pays a
+// bit more on rare writes) is the reproduced result.
+//
+// Environment: NOSE_RUBIS_SCALE (default 0.25) scales entity counts;
+// NOSE_FIG11_EXECUTIONS (default 200) sets executions per transaction.
+
+#include <cstdio>
+
+#include "bench/rubis_driver.h"
+
+namespace nose::bench {
+namespace {
+
+int Main() {
+  const char* env = std::getenv("NOSE_FIG11_EXECUTIONS");
+  const int executions = env != nullptr ? std::atoi(env) : 200;
+
+  RubisBench bench;
+  std::printf("Fig. 11 — RUBiS bidding workload, %d executions/transaction\n",
+              executions);
+  std::printf("store: %zu users, %zu items, %zu bids\n",
+              bench.data().RowCount("User"), bench.data().RowCount("Item"),
+              bench.data().RowCount("Bid"));
+
+  auto nose = bench.MakeNose(rubis::kBiddingMix);
+  auto normalized = bench.MakeNormalized(rubis::kBiddingMix);
+  auto expert = bench.MakeExpert(rubis::kBiddingMix);
+  std::printf("schemas: NoSE=%zu CFs, Normalized=%zu CFs, Expert=%zu CFs\n\n",
+              nose->schema.size(), normalized->schema.size(),
+              expert->schema.size());
+
+  std::printf("%-22s %12s %12s %12s   (avg simulated ms)\n", "Transaction",
+              "NoSE", "Normalized", "Expert");
+  double wsum[3] = {0, 0, 0};
+  double wtotal = 0;
+  for (const rubis::Transaction& tx : rubis::Transactions()) {
+    double totals[3] = {0, 0, 0};
+    SchemaUnderTest* suts[3] = {nose.get(), normalized.get(), expert.get()};
+    for (int s = 0; s < 3; ++s) {
+      // Identical parameter streams per schema for a fair comparison.
+      rubis::ParamGenerator gen(&bench.data(), 0xF16'11 + 97 * s);
+      for (int i = 0; i < executions; ++i) {
+        totals[s] += bench.RunTransaction(suts[s], tx, &gen);
+      }
+    }
+    std::printf("%-22s %12.3f %12.3f %12.3f\n", tx.name.c_str(),
+                totals[0] / executions, totals[1] / executions,
+                totals[2] / executions);
+    for (int s = 0; s < 3; ++s) wsum[s] += tx.bidding_weight * totals[s] / executions;
+    wtotal += tx.bidding_weight;
+  }
+  std::printf("%-22s %12.3f %12.3f %12.3f\n", "WEIGHTED-AVG",
+              wsum[0] / wtotal, wsum[1] / wtotal, wsum[2] / wtotal);
+  std::printf(
+      "\npaper shape check: NoSE weighted-avg beats Expert by ~%.2fx "
+      "(paper: 1.8x) and Normalized by ~%.2fx\n",
+      wsum[2] / wsum[0], wsum[1] / wsum[0]);
+  return 0;
+}
+
+}  // namespace
+}  // namespace nose::bench
+
+int main() { return nose::bench::Main(); }

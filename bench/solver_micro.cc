@@ -1,0 +1,80 @@
+// Microbenchmarks of the LP/BIP solver substrate (google-benchmark):
+// simplex solve time vs problem size, and branch-and-bound on knapsack-like
+// binary programs. These bound the optimizer's per-node cost.
+
+#include <benchmark/benchmark.h>
+
+#include "solver/bip.h"
+#include "solver/lp.h"
+#include "util/rng.h"
+
+namespace nose {
+namespace {
+
+/// Random feasible covering-style LP: minimize positive costs subject to
+/// >= rows, which is always feasible (upper bounds at 1, rhs <= row size).
+LpProblem MakeCoverLp(int vars, int rows, uint64_t seed) {
+  Rng rng(seed);
+  LpProblem lp;
+  for (int v = 0; v < vars; ++v) {
+    lp.AddVariable(0.0, 1.0, 1.0 + static_cast<double>(rng.Uniform(100)));
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> coeffs;
+    const int nnz = 3 + static_cast<int>(rng.Uniform(8));
+    for (int k = 0; k < nnz; ++k) {
+      coeffs.emplace_back(static_cast<int>(rng.Uniform(vars)), 1.0);
+    }
+    lp.AddRow(RowType::kGe, 1.0 + static_cast<double>(rng.Uniform(2)),
+              std::move(coeffs));
+  }
+  return lp;
+}
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LpProblem lp = MakeCoverLp(n, n / 2, 42);
+  for (auto _ : state) {
+    LpResult r = lp.Solve();
+    benchmark::DoNotOptimize(r.objective);
+  }
+  state.SetLabel("vars=" + std::to_string(n) +
+                 " rows=" + std::to_string(n / 2));
+}
+BENCHMARK(BM_SimplexSolve)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
+
+void BM_BipSolveCover(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LpProblem lp = MakeCoverLp(n, n / 2, 7);
+  std::vector<int> binaries(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) binaries[static_cast<size_t>(v)] = v;
+  for (auto _ : state) {
+    BipResult r = SolveBip(lp, binaries);
+    benchmark::DoNotOptimize(r.objective);
+  }
+}
+BENCHMARK(BM_BipSolveCover)->Arg(20)->Arg(40)->Arg(80)->Arg(160);
+
+void BM_BipKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  LpProblem lp;
+  std::vector<std::pair<int, double>> weights;
+  for (int v = 0; v < n; ++v) {
+    lp.AddVariable(0.0, 1.0, -(1.0 + static_cast<double>(rng.Uniform(50))));
+    weights.emplace_back(v, 1.0 + static_cast<double>(rng.Uniform(20)));
+  }
+  lp.AddRow(RowType::kLe, 5.0 * n, std::move(weights));
+  std::vector<int> binaries(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) binaries[static_cast<size_t>(v)] = v;
+  for (auto _ : state) {
+    BipResult r = SolveBip(lp, binaries);
+    benchmark::DoNotOptimize(r.objective);
+  }
+}
+BENCHMARK(BM_BipKnapsack)->Arg(20)->Arg(40)->Arg(80);
+
+}  // namespace
+}  // namespace nose
+
+BENCHMARK_MAIN();

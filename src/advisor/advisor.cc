@@ -1,0 +1,64 @@
+#include "advisor/advisor.h"
+
+#include "util/stopwatch.h"
+
+namespace nose {
+
+Advisor::Advisor(AdvisorOptions options)
+    : options_(options), cost_model_(options.cost_params) {}
+
+StatusOr<Recommendation> Advisor::Recommend(const Workload& workload,
+                                            const std::string& mix) const {
+  Stopwatch total;
+  Recommendation rec;
+
+  // 1. Candidate enumeration (paper §IV-A, Algorithm 1).
+  Stopwatch phase;
+  Enumerator enumerator(options_.enumerator);
+  rec.pool = enumerator.EnumerateWorkload(workload, mix);
+  rec.num_candidates = rec.pool.size();
+  rec.timing.enumeration_seconds = phase.ElapsedSeconds();
+
+  // 2-4. Query planning, schema optimization, plan recommendation.
+  CardinalityEstimator estimator(workload.graph(), &cost_model_.params());
+  SchemaOptimizer optimizer(&cost_model_, &estimator, options_.optimizer);
+  NOSE_ASSIGN_OR_RETURN(OptimizationResult opt,
+                        optimizer.Optimize(workload, mix, rec.pool));
+
+  rec.schema = std::move(opt.schema);
+  rec.query_plans = std::move(opt.query_plans);
+  rec.update_plans = std::move(opt.update_plans);
+  rec.objective = opt.objective;
+  rec.solve_proven = opt.solve_proven;
+  rec.bip_variables = opt.bip_variables;
+  rec.bip_constraints = opt.bip_constraints;
+  rec.bb_nodes = opt.bb_nodes;
+  rec.timing.cost_calculation_seconds = opt.timing.cost_calculation_seconds;
+  rec.timing.bip_construction_seconds = opt.timing.bip_construction_seconds;
+  rec.timing.bip_solve_seconds = opt.timing.bip_solve_seconds;
+  rec.timing.total_seconds = total.ElapsedSeconds();
+  rec.timing.other_seconds =
+      rec.timing.total_seconds - rec.timing.cost_calculation_seconds -
+      rec.timing.bip_construction_seconds - rec.timing.bip_solve_seconds;
+  return rec;
+}
+
+std::string Recommendation::ToString() const {
+  std::string out = "=== Recommended schema (" +
+                    std::to_string(schema.size()) + " column families) ===\n";
+  out += schema.ToString();
+  out += "\n=== Query plans ===\n";
+  for (const auto& [name, plan] : query_plans) {
+    out += "-- " + name + "\n" + plan.ToString();
+  }
+  if (!update_plans.empty()) {
+    out += "\n=== Update plans ===\n";
+    for (const auto& [name, plan] : update_plans) {
+      out += "-- " + name + "\n" + plan.ToString();
+    }
+  }
+  out += "\nweighted workload cost: " + std::to_string(objective) + "\n";
+  return out;
+}
+
+}  // namespace nose

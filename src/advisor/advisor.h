@@ -1,0 +1,75 @@
+#ifndef NOSE_ADVISOR_ADVISOR_H_
+#define NOSE_ADVISOR_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "enumerator/enumerator.h"
+#include "optimizer/schema_optimizer.h"
+#include "util/statusor.h"
+#include "workload/workload.h"
+
+namespace nose {
+
+struct AdvisorOptions {
+  CostParams cost_params;
+  EnumeratorOptions enumerator;
+  OptimizerOptions optimizer;
+};
+
+/// Full advisor timing breakdown (Fig. 13's categories).
+struct AdvisorTiming {
+  double enumeration_seconds = 0.0;  ///< counted under "other" in Fig. 13
+  double cost_calculation_seconds = 0.0;
+  double bip_construction_seconds = 0.0;
+  double bip_solve_seconds = 0.0;
+  double other_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// The advisor's output: a schema, one implementation plan per statement,
+/// and diagnostics. Recommended plans point into `pool`, which this struct
+/// owns — keep the Recommendation alive while using them.
+struct Recommendation {
+  Schema schema;
+  std::vector<std::pair<std::string, QueryPlan>> query_plans;
+  std::vector<std::pair<std::string, UpdatePlan>> update_plans;
+  double objective = 0.0;
+  /// False when the solver returned a budget-bound incumbent rather than a
+  /// proven (within-gap) optimum.
+  bool solve_proven = false;
+
+  CandidatePool pool;
+  size_t num_candidates = 0;
+  int bip_variables = 0;
+  int bip_constraints = 0;
+  int bb_nodes = 0;
+  AdvisorTiming timing;
+
+  /// Human-readable report: schema + plans.
+  std::string ToString() const;
+};
+
+/// NoSE end-to-end (paper Fig. 4): candidate enumeration → query planning →
+/// schema optimization → plan recommendation.
+class Advisor {
+ public:
+  explicit Advisor(AdvisorOptions options = AdvisorOptions());
+
+  /// Recommends a schema and plans for `workload` under `mix`.
+  StatusOr<Recommendation> Recommend(
+      const Workload& workload,
+      const std::string& mix = Workload::kDefaultMix) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  AdvisorOptions options_;
+  CostModel cost_model_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_ADVISOR_ADVISOR_H_

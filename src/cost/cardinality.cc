@@ -1,0 +1,58 @@
+#include "cost/cardinality.h"
+
+#include <algorithm>
+
+namespace nose {
+
+double CardinalityEstimator::Selectivity(const Predicate& pred) const {
+  if (pred.IsRange()) return params_->range_selectivity;
+  if (pred.op == PredicateOp::kNe) return params_->ne_selectivity;
+  const Entity& entity = graph_->GetEntity(pred.field.entity);
+  const Field* field = entity.FindField(pred.field.field);
+  const double card = static_cast<double>(entity.FieldCardinality(*field));
+  return 1.0 / std::max(1.0, card);
+}
+
+double CardinalityEstimator::Selectivity(
+    const std::vector<Predicate>& preds) const {
+  double sel = 1.0;
+  for (const Predicate& p : preds) sel *= Selectivity(p);
+  return sel;
+}
+
+double CardinalityEstimator::MatchingEntities(const Query& query,
+                                              size_t index) const {
+  const Entity& entity = graph_->GetEntity(query.path().EntityAt(index));
+  // Deepest path entity the query references: the ID set at `index` arises
+  // from traversing the segment [index, anchor].
+  size_t anchor = index;
+  auto track = [&](const std::string& name) {
+    const int pos = query.path().IndexOfEntity(name);
+    if (pos > static_cast<int>(anchor)) anchor = static_cast<size_t>(pos);
+  };
+  for (const Predicate& p : query.predicates()) track(p.field.entity);
+  for (const FieldRef& s : query.select()) track(s.entity);
+  for (const OrderField& o : query.order_by()) track(o.field.entity);
+
+  // Instances of the suffix chain, thinned by every predicate on it; the
+  // number of distinct entities at `index` can exceed neither that nor the
+  // entity count.
+  const double suffix_instances =
+      graph_->PathInstanceCount(query.path().SubPath(index, anchor));
+  double matching =
+      suffix_instances * Selectivity(query.PredicatesFrom(index));
+  return std::min(matching,
+                  static_cast<double>(std::max<uint64_t>(1, entity.count())));
+}
+
+double CardinalityEstimator::RowsPerBinding(
+    const KeyPath& segment, size_t key_index,
+    const std::vector<Predicate>& preds) const {
+  const double instances = graph_->PathInstanceCount(segment);
+  const Entity& key_entity = graph_->GetEntity(segment.EntityAt(key_index));
+  const double per_key =
+      instances / static_cast<double>(std::max<uint64_t>(1, key_entity.count()));
+  return std::max(0.0, per_key * Selectivity(preds));
+}
+
+}  // namespace nose

@@ -1,0 +1,50 @@
+#ifndef NOSE_COST_CARDINALITY_H_
+#define NOSE_COST_CARDINALITY_H_
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "model/entity_graph.h"
+#include "workload/query.h"
+
+namespace nose {
+
+/// Cardinality estimation over the conceptual model: the standard
+/// independence assumptions (predicate selectivities multiply) applied to
+/// entity counts and relationship fan-outs. The planner uses these figures
+/// to size every plan step, and they are deterministic per split index —
+/// whatever column families a plan uses, the set of matching entity IDs at
+/// each path position is the same.
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const EntityGraph* graph, const CostParams* params)
+      : graph_(graph), params_(params) {}
+
+  /// Fraction of rows satisfying `pred` (1/card for equality, configured
+  /// constants for ranges and !=).
+  double Selectivity(const Predicate& pred) const;
+
+  /// Combined selectivity of `preds` under independence.
+  double Selectivity(const std::vector<Predicate>& preds) const;
+
+  /// Expected number of distinct `path[index]` instances that satisfy all
+  /// of the query's predicates on entities at positions >= `index`
+  /// (the size of the intermediate ID set when a plan has resolved the
+  /// path suffix down to `index`).
+  double MatchingEntities(const Query& query, size_t index) const;
+
+  /// Expected number of records in one partition of a column family over
+  /// `segment`, keyed (partitioned) by the entity at segment position
+  /// `key_index`, after applying `preds` (which must be on segment
+  /// entities). This is the per-request row count of a get.
+  double RowsPerBinding(const KeyPath& segment, size_t key_index,
+                        const std::vector<Predicate>& preds) const;
+
+ private:
+  const EntityGraph* graph_;
+  const CostParams* params_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_COST_CARDINALITY_H_

@@ -1,0 +1,33 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nose {
+
+double CostModel::GetCost(double requests, double rows_per_request,
+                          double bytes_per_row) const {
+  requests = std::max(0.0, requests);
+  const double rows = requests * std::max(0.0, rows_per_request);
+  return requests * params_.read_request + rows * params_.read_row +
+         rows * bytes_per_row * params_.read_byte;
+}
+
+double CostModel::PutCost(double requests, double rows,
+                          double bytes_per_row) const {
+  requests = std::max(0.0, requests);
+  rows = std::max(0.0, rows);
+  return requests * params_.write_request + rows * params_.write_row +
+         rows * bytes_per_row * params_.read_byte;
+}
+
+double CostModel::FilterCost(double rows) const {
+  return std::max(0.0, rows) * params_.filter_row;
+}
+
+double CostModel::SortCost(double rows) const {
+  rows = std::max(0.0, rows);
+  return params_.sort_row * rows * std::log2(rows + 1.0);
+}
+
+}  // namespace nose

@@ -1,0 +1,66 @@
+#ifndef NOSE_COST_COST_MODEL_H_
+#define NOSE_COST_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace nose {
+
+/// Tunable constants of the cost model. Units are "simulated milliseconds";
+/// only relative magnitudes matter for schema choice (paper §IV-B: "the
+/// exact cost model used to estimate the cost of each query implementation
+/// plan is not important to our approach"). The same parameters drive the
+/// record-store latency simulation so that estimated and executed costs are
+/// directly comparable.
+struct CostParams {
+  /// Fixed cost of a get request (round trip + partition seek).
+  double read_request = 0.30;
+  /// Per record scanned within a partition during a get.
+  double read_row = 0.002;
+  /// Per byte of data returned by a get.
+  double read_byte = 2e-6;
+  /// Fixed cost of a put (insert or delete of records for one partition).
+  double write_request = 0.35;
+  /// Per record written or deleted by a put.
+  double write_row = 0.004;
+  /// Client-side per-row filtering cost.
+  double filter_row = 0.0002;
+  /// Client-side sort coefficient (multiplied by n·log2(n+1)).
+  double sort_row = 0.0004;
+  /// Selectivity assumed for range predicates (<, <=, >, >=).
+  double range_selectivity = 0.1;
+  /// Selectivity assumed for != predicates.
+  double ne_selectivity = 0.9;
+};
+
+/// Stateless cost primitives shared by the query planner (estimation) and
+/// the benchmarks (reporting). All row/request counts are expectations and
+/// may be fractional.
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(CostParams params) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  /// Cost of issuing `requests` get operations, each scanning
+  /// `rows_per_request` records of `bytes_per_row` bytes.
+  double GetCost(double requests, double rows_per_request,
+                 double bytes_per_row) const;
+
+  /// Cost of writing (or deleting) `rows` records of `bytes_per_row` bytes
+  /// spread over `requests` put operations.
+  double PutCost(double requests, double rows, double bytes_per_row) const;
+
+  /// Client-side filtering of `rows` rows.
+  double FilterCost(double rows) const;
+
+  /// Client-side sort of `rows` rows.
+  double SortCost(double rows) const;
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_COST_COST_MODEL_H_

@@ -1,0 +1,332 @@
+#include "enumerator/enumerator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "planner/update_planner.h"
+
+namespace nose {
+
+size_t CandidatePool::Add(ColumnFamily cf) {
+  auto it = by_key_.find(cf.key());
+  if (it != by_key_.end()) return it->second;
+  const size_t index = cfs_.size();
+  by_key_.emplace(cf.key(), index);
+  cfs_.push_back(std::move(cf));
+  return index;
+}
+
+namespace {
+
+FieldRef IdRefOf(const EntityGraph& graph, const std::string& entity) {
+  return FieldRef{entity, graph.GetEntity(entity).id_field().name};
+}
+
+void AddUnique(std::vector<FieldRef>* list, const FieldRef& ref) {
+  if (std::find(list->begin(), list->end(), ref) == list->end()) {
+    list->push_back(ref);
+  }
+}
+
+/// Removes from `values` anything already present in `partition`/`clustering`.
+std::vector<FieldRef> PruneValues(const std::vector<FieldRef>& values,
+                                  const std::vector<FieldRef>& partition,
+                                  const std::vector<FieldRef>& clustering) {
+  std::vector<FieldRef> out;
+  for (const FieldRef& v : values) {
+    if (std::find(partition.begin(), partition.end(), v) != partition.end())
+      continue;
+    if (std::find(clustering.begin(), clustering.end(), v) != clustering.end())
+      continue;
+    AddUnique(&out, v);
+  }
+  return out;
+}
+
+/// Attempts to register a candidate; silently drops invalid combinations
+/// (e.g. empty partition key after relaxation).
+void TryAdd(CandidatePool* pool, const KeyPath& path,
+            std::vector<FieldRef> partition, std::vector<FieldRef> clustering,
+            std::vector<FieldRef> values) {
+  if (partition.empty()) return;
+  // Drop clustering fields duplicated in the partition key.
+  std::vector<FieldRef> ck;
+  for (const FieldRef& f : clustering) {
+    if (std::find(partition.begin(), partition.end(), f) != partition.end())
+      continue;
+    AddUnique(&ck, f);
+  }
+  std::vector<FieldRef> vals = PruneValues(values, partition, ck);
+  // A single-entity family with nothing beyond its partition key carries no
+  // information worth a get.
+  if (ck.empty() && vals.empty() && path.NumEntities() == 1) return;
+  auto cf = ColumnFamily::Create(path, std::move(partition), std::move(ck),
+                                 std::move(vals));
+  if (cf.ok()) pool->Add(std::move(cf).value());
+}
+
+/// Everything the enumerator needs to know about one query, pre-indexed by
+/// path position.
+struct QueryInfo {
+  const Query* query;
+  size_t lo;  ///< shallowest referenced path index
+  size_t hi;  ///< deepest referenced path index (the plan anchor)
+
+  std::vector<Predicate> PredsIn(size_t a, size_t b) const {  // [a, b]
+    std::vector<Predicate> out;
+    for (const Predicate& p : query->predicates()) {
+      const int pos = query->path().IndexOfEntity(p.field.entity);
+      if (pos >= static_cast<int>(a) && pos <= static_cast<int>(b)) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  std::vector<FieldRef> SelectIn(size_t a, size_t b) const {
+    std::vector<FieldRef> out;
+    for (const FieldRef& s : query->select()) {
+      const int pos = query->path().IndexOfEntity(s.entity);
+      if (pos >= static_cast<int>(a) && pos <= static_cast<int>(b)) {
+        AddUnique(&out, s);
+      }
+    }
+    return out;
+  }
+
+  std::vector<FieldRef> OrdersIn(size_t a, size_t b) const {
+    std::vector<FieldRef> out;
+    for (const OrderField& o : query->order_by()) {
+      const int pos = query->path().IndexOfEntity(o.field.entity);
+      if (pos >= static_cast<int>(a) && pos <= static_cast<int>(b)) {
+        AddUnique(&out, o.field);
+      }
+    }
+    return out;
+  }
+};
+
+QueryInfo AnalyzeQuery(const Query& q) {
+  QueryInfo info;
+  info.query = &q;
+  size_t lo = q.path().NumEntities() - 1;
+  size_t hi = 0;
+  auto track = [&](const std::string& entity) {
+    const int pos = q.path().IndexOfEntity(entity);
+    if (pos < 0) return;
+    lo = std::min(lo, static_cast<size_t>(pos));
+    hi = std::max(hi, static_cast<size_t>(pos));
+  };
+  for (const Predicate& p : q.predicates()) track(p.field.entity);
+  for (const FieldRef& s : q.select()) track(s.entity);
+  for (const OrderField& o : q.order_by()) track(o.field.entity);
+  if (lo > hi) {  // degenerate; anchor at path start
+    lo = hi = 0;
+  }
+  info.lo = lo;
+  info.hi = hi;
+  return info;
+}
+
+/// IDs of path entities [a, b], target-first (e_a, e_a+1, ..., e_b).
+std::vector<FieldRef> SegmentIds(const Query& q, size_t a, size_t b) {
+  std::vector<FieldRef> out;
+  for (size_t m = a; m <= b; ++m) {
+    out.push_back(IdRefOf(*q.graph(), q.path().EntityAt(m)));
+  }
+  return out;
+}
+
+std::vector<FieldRef> FieldsOf(const std::vector<Predicate>& preds) {
+  std::vector<FieldRef> out;
+  for (const Predicate& p : preds) AddUnique(&out, p.field);
+  return out;
+}
+
+}  // namespace
+
+void Enumerator::EnumerateQuery(const Query& q, CandidatePool* pool) const {
+  const QueryInfo info = AnalyzeQuery(q);
+  const KeyPath& path = q.path();
+
+  // --- Prefix-query candidates: segments [i, hi] anchored at the deepest
+  //     referenced entity (paper Fig. 5). ---
+  for (size_t i = info.lo; i <= info.hi; ++i) {
+    const KeyPath segment = path.SubPath(i, info.hi);
+    std::vector<Predicate> seg_preds = info.PredsIn(i, info.hi);
+    std::vector<Predicate> eq_preds, range_preds;
+    for (const Predicate& p : seg_preds) {
+      (p.IsEquality() ? eq_preds : range_preds).push_back(p);
+    }
+    if (eq_preds.empty()) continue;  // cannot anchor the first get
+
+    const std::vector<FieldRef> ids = SegmentIds(q, i, info.hi);
+    const std::vector<FieldRef> orders = info.OrdersIn(i, info.hi);
+    // Select attributes carried by a prefix covering [i, hi]: those of the
+    // segment entities (the remainder below i fetches the rest).
+    const std::vector<FieldRef> select_attrs = info.SelectIn(i, info.hi);
+
+    // Relaxation subsets: predicates on the prefix query's target entity
+    // e_i may be moved out of the key into values (paper §IV-A2). Subset 0
+    // is the unrelaxed variant.
+    std::vector<Predicate> removable;
+    if (options_.enable_relaxation) {
+      for (const Predicate& p : seg_preds) {
+        if (p.field.entity == path.EntityAt(i)) removable.push_back(p);
+      }
+    }
+    const size_t subsets = static_cast<size_t>(1) << removable.size();
+    for (size_t mask = 0; mask < subsets; ++mask) {
+      std::set<std::string> removed;
+      for (size_t r = 0; r < removable.size(); ++r) {
+        if (mask & (static_cast<size_t>(1) << r)) {
+          removed.insert(removable[r].ToString());
+        }
+      }
+      std::vector<Predicate> eq_kept, range_kept, dropped;
+      for (const Predicate& p : eq_preds) {
+        (removed.count(p.ToString()) ? dropped : eq_kept).push_back(p);
+      }
+      for (const Predicate& p : range_preds) {
+        (removed.count(p.ToString()) ? dropped : range_kept).push_back(p);
+      }
+      if (eq_kept.empty()) continue;  // at least one equality must remain
+
+      const std::vector<FieldRef> partition = FieldsOf(eq_kept);
+      // Clustering variants: with ORDER BY fields leading (pre-sorted
+      // results) and without (client-side sort, ranges pushable).
+      for (int with_orders = orders.empty() ? 0 : 1; with_orders >= 0;
+           --with_orders) {
+        std::vector<FieldRef> clustering;
+        if (with_orders == 1) {
+          for (const FieldRef& o : orders) AddUnique(&clustering, o);
+        }
+        for (const FieldRef& r : FieldsOf(range_kept)) {
+          AddUnique(&clustering, r);
+        }
+        for (const FieldRef& id : ids) AddUnique(&clustering, id);
+
+        // Full materialized view: carries select attributes and dropped
+        // predicate fields (for client-side filtering). When ORDER BY
+        // fields are left out of the clustering key, they ride along as
+        // values so the client-side sort has them in hand.
+        std::vector<FieldRef> mv_values = select_attrs;
+        for (const FieldRef& f : FieldsOf(dropped)) AddUnique(&mv_values, f);
+        if (with_orders == 0) {
+          for (const FieldRef& o : orders) AddUnique(&mv_values, o);
+        }
+        TryAdd(pool, segment, partition, clustering, mv_values);
+
+        if (options_.enable_splits) {
+          // Key-only variant (paper: "one that returns only the key
+          // attributes"); dropped-predicate fields may still ride along so
+          // filtering stays possible without a second lookup.
+          TryAdd(pool, segment, partition, clustering, {});
+          if (!dropped.empty()) {
+            TryAdd(pool, segment, partition, clustering, FieldsOf(dropped));
+          }
+        }
+      }
+    }
+  }
+
+  // --- Remainder-segment candidates: [a, b] link families keyed by the
+  //     upper entity's ID (paper Fig. 6: CF4-style). ---
+  for (size_t b = info.lo + 1; b <= info.hi; ++b) {
+    for (size_t a = info.lo; a < b; ++a) {
+      const KeyPath segment = path.SubPath(a, b);
+      const std::vector<FieldRef> partition = {
+          IdRefOf(*q.graph(), path.EntityAt(b))};
+      std::vector<FieldRef> ids = SegmentIds(q, a, b - 1);
+
+      const std::vector<Predicate> seg_preds = info.PredsIn(a, b);
+      std::vector<FieldRef> range_fields;
+      for (const Predicate& p : seg_preds) {
+        if (p.IsRange()) AddUnique(&range_fields, p.field);
+      }
+
+      // Plain link family.
+      TryAdd(pool, segment, partition, ids, {});
+      // Predicate/select-carrying variants.
+      std::vector<FieldRef> carry = FieldsOf(seg_preds);
+      for (const FieldRef& s : info.SelectIn(a, b)) AddUnique(&carry, s);
+      for (const FieldRef& o : info.OrdersIn(a, b)) AddUnique(&carry, o);
+      if (!carry.empty()) {
+        std::vector<FieldRef> clustering;
+        for (const FieldRef& r : range_fields) AddUnique(&clustering, r);
+        for (const FieldRef& id : ids) AddUnique(&clustering, id);
+        TryAdd(pool, segment, partition, clustering, carry);
+      }
+    }
+  }
+
+  // --- Materialization candidates: [id(e)][][attrs] per referenced entity
+  //     (paper: "[GuestID][][GuestName, GuestEmail]"). ---
+  if (options_.enable_splits || true) {
+    for (size_t m = info.lo; m <= info.hi; ++m) {
+      const std::string& entity = path.EntityAt(m);
+      StatusOr<KeyPath> single = q.graph()->SingleEntityPath(entity);
+      if (!single.ok()) continue;
+      const FieldRef id = IdRefOf(*q.graph(), entity);
+      std::vector<FieldRef> attrs = info.SelectIn(m, m);
+      for (const FieldRef& o : info.OrdersIn(m, m)) AddUnique(&attrs, o);
+      std::vector<FieldRef> with_preds = attrs;
+      for (const Predicate& p : q.PredicatesOn(m)) {
+        AddUnique(&with_preds, p.field);
+      }
+      if (!attrs.empty()) TryAdd(pool, *single, {id}, {}, attrs);
+      if (!with_preds.empty() && with_preds != attrs) {
+        TryAdd(pool, *single, {id}, {}, with_preds);
+      }
+    }
+  }
+}
+
+void Enumerator::Combine(CandidatePool* pool) const {
+  if (!options_.enable_combination) return;
+  const std::vector<ColumnFamily> snapshot = pool->candidates();
+  for (size_t x = 0; x < snapshot.size(); ++x) {
+    const ColumnFamily& a = snapshot[x];
+    if (!a.clustering_key().empty()) continue;
+    for (size_t y = x + 1; y < snapshot.size(); ++y) {
+      const ColumnFamily& b = snapshot[y];
+      if (!b.clustering_key().empty()) continue;
+      if (a.partition_key() != b.partition_key()) continue;
+      if (!(a.path() == b.path())) continue;
+      if (a.values() == b.values()) continue;
+      std::vector<FieldRef> merged = a.values();
+      for (const FieldRef& v : b.values()) AddUnique(&merged, v);
+      auto cf = ColumnFamily::Create(a.path(), a.partition_key(), {},
+                                     std::move(merged));
+      if (cf.ok()) pool->Add(std::move(cf).value());
+    }
+  }
+}
+
+CandidatePool Enumerator::EnumerateWorkload(const Workload& workload,
+                                            const std::string& mix) const {
+  CandidatePool pool;
+  const auto entries = workload.EntriesIn(mix);
+  for (const auto& [entry, weight] : entries) {
+    if (entry->IsQuery()) EnumerateQuery(entry->query(), &pool);
+  }
+  // Support-query enumeration runs twice: the first round may introduce
+  // families over new paths whose own support queries need candidates too
+  // (paper Algorithm 1, "do twice").
+  for (int round = 0; round < 2; ++round) {
+    const std::vector<ColumnFamily> snapshot = pool.candidates();
+    for (const auto& [entry, weight] : entries) {
+      if (entry->IsQuery()) continue;
+      for (const ColumnFamily& cf : snapshot) {
+        if (!Modifies(entry->update(), cf)) continue;
+        for (const Query& sq : SupportQueries(entry->update(), cf)) {
+          EnumerateQuery(sq, &pool);
+        }
+      }
+    }
+  }
+  Combine(&pool);
+  return pool;
+}
+
+}  // namespace nose

@@ -1,0 +1,70 @@
+#ifndef NOSE_ENUMERATOR_ENUMERATOR_H_
+#define NOSE_ENUMERATOR_ENUMERATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/column_family.h"
+#include "util/statusor.h"
+#include "workload/workload.h"
+
+namespace nose {
+
+/// Deduplicated pool of candidate column families, indexed stably so the
+/// planner and optimizer can reference candidates by position.
+class CandidatePool {
+ public:
+  /// Adds `cf` (no-op if an identical definition exists); returns its index.
+  size_t Add(ColumnFamily cf);
+
+  const std::vector<ColumnFamily>& candidates() const { return cfs_; }
+  size_t size() const { return cfs_.size(); }
+  bool Contains(const ColumnFamily& cf) const {
+    return by_key_.count(cf.key()) > 0;
+  }
+
+ private:
+  std::vector<ColumnFamily> cfs_;
+  std::unordered_map<std::string, size_t> by_key_;
+};
+
+/// Feature toggles for ablation studies.
+struct EnumeratorOptions {
+  /// Generate predicate-relaxed variants (paper §IV-A2 "relaxed queries").
+  bool enable_relaxation = true;
+  /// Generate key-only + materialization splits (paper §IV-A2).
+  bool enable_splits = true;
+  /// Run the Combine step (paper §IV-A3).
+  bool enable_combination = true;
+};
+
+/// Workload-driven candidate enumeration (paper §IV-A and Algorithm 1):
+/// for each query, recursive decomposition yields materialized views,
+/// split key/value families and relaxed variants for every path segment;
+/// update support queries are enumerated in two extra rounds; finally
+/// Combine merges compatible families.
+class Enumerator {
+ public:
+  explicit Enumerator(EnumeratorOptions options = EnumeratorOptions())
+      : options_(options) {}
+
+  /// Candidates useful for one query (Enumerate(q) in the paper).
+  void EnumerateQuery(const Query& query, CandidatePool* pool) const;
+
+  /// Candidates for the whole workload under `mix`, including support-query
+  /// enumeration for updates (Algorithm 1) and the Combine step.
+  CandidatePool EnumerateWorkload(const Workload& workload,
+                                  const std::string& mix) const;
+
+  /// Adds combinations of compatible candidates (same partition key, no
+  /// clustering key, same path, different values).
+  void Combine(CandidatePool* pool) const;
+
+ private:
+  EnumeratorOptions options_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_ENUMERATOR_ENUMERATOR_H_

@@ -1,0 +1,20 @@
+#ifndef NOSE_EXECUTOR_LOADER_H_
+#define NOSE_EXECUTOR_LOADER_H_
+
+#include "executor/dataset.h"
+#include "schema/schema.h"
+#include "store/record_store.h"
+#include "util/status.h"
+
+namespace nose {
+
+/// Materializes every column family of `schema` in `store` from `data`:
+/// registers the column family, enumerates all instances of its path
+/// (joining along the dataset's relationship edges) and writes one record
+/// per instance. Loading is not charged to the store's latency simulation.
+Status LoadSchema(const Dataset& data, const Schema& schema,
+                  RecordStore* store);
+
+}  // namespace nose
+
+#endif  // NOSE_EXECUTOR_LOADER_H_

@@ -1,0 +1,408 @@
+#include "executor/plan_executor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace nose {
+
+namespace {
+
+FieldRef IdRefOf(const EntityGraph& graph, const std::string& entity) {
+  return FieldRef{entity, graph.GetEntity(entity).id_field().name};
+}
+
+bool CompareValues(PredicateOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case PredicateOp::kEq:
+      return lhs == rhs;
+    case PredicateOp::kNe:
+      return !(lhs == rhs);
+    case PredicateOp::kLt:
+      return lhs < rhs;
+    case PredicateOp::kLe:
+      return !(rhs < lhs);
+    case PredicateOp::kGt:
+      return rhs < lhs;
+    case PredicateOp::kGe:
+      return !(lhs < rhs);
+  }
+  return false;
+}
+
+std::string ContextKey(const PlanExecutor::Context& ctx,
+                       const std::vector<FieldRef>& fields) {
+  std::string key;
+  for (const FieldRef& f : fields) {
+    auto it = ctx.find(f);
+    key += it == ctx.end() ? std::string("~") : ValueToString(it->second);
+    key += "|";
+  }
+  return key;
+}
+
+}  // namespace
+
+StatusOr<Value> PlanExecutor::BindPredicateValue(const Predicate& pred,
+                                                 const Params& params,
+                                                 const Context& ctx) const {
+  if (pred.literal.has_value()) return *pred.literal;
+  auto pit = params.find(pred.param);
+  if (pit != params.end()) return pit->second;
+  // Support-query parameters resolve through the accumulated context (the
+  // predicate field is an entity ID the update statement already knows).
+  auto cit = ctx.find(pred.field);
+  if (cit != ctx.end()) return cit->second;
+  return Status::InvalidArgument("unbound parameter ?" + pred.param + " for " +
+                                 pred.field.QualifiedName());
+}
+
+StatusOr<std::vector<PlanExecutor::Context>> PlanExecutor::ExecuteContexts(
+    const QueryPlan& plan, const Params& params, const Context& base) {
+  const Query& query = *plan.query;
+  const EntityGraph& graph = *query.graph();
+
+  // Fields whose values distinguish contexts downstream: select and order
+  // fields (already-fetched ones) plus the current landing entity's ID.
+  std::vector<FieldRef> needed = query.select();
+  for (const OrderField& o : query.order_by()) {
+    if (std::find(needed.begin(), needed.end(), o.field) == needed.end()) {
+      needed.push_back(o.field);
+    }
+  }
+
+  std::vector<Context> contexts = {base};
+  for (const PlanStep& step : plan.steps) {
+    const std::string* cf_name = schema_->NameOf(*step.cf);
+    if (cf_name == nullptr) {
+      return Status::FailedPrecondition(
+          "plan references a column family missing from the schema: " +
+          step.cf->ToString());
+    }
+    const FieldRef id_j =
+        IdRefOf(graph, query.path().EntityAt(step.from_index));
+
+    std::vector<Context> next;
+    for (const Context& ctx : contexts) {
+      // --- Build the partition key. ---
+      ValueTuple partition;
+      bool skip_context = false;
+      Context bound = ctx;
+      for (const FieldRef& f : step.cf->partition_key()) {
+        if (step.access.partition_uses_id && f == id_j) {
+          auto it = ctx.find(f);
+          if (it == ctx.end()) {
+            return Status::Internal("missing bound ID " + f.QualifiedName());
+          }
+          partition.push_back(it->second);
+          continue;
+        }
+        const Predicate* pred = nullptr;
+        for (const Predicate& p : step.access.partition_preds) {
+          if (p.field == f) pred = &p;
+        }
+        if (pred == nullptr) {
+          return Status::Internal("partition field " + f.QualifiedName() +
+                                  " has no binding in plan step");
+        }
+        NOSE_ASSIGN_OR_RETURN(Value v, BindPredicateValue(*pred, params, ctx));
+        bound[f] = v;
+        partition.push_back(std::move(v));
+      }
+      if (skip_context) continue;
+
+      // --- Build the clustering prefix (mirrors the planner's greedy
+      //     consumption order). ---
+      ValueTuple prefix;
+      bool id_used = step.access.partition_uses_id;
+      for (const FieldRef& f : step.cf->clustering_key()) {
+        if (step.access.clustering_uses_id && !id_used && f == id_j) {
+          auto it = ctx.find(f);
+          if (it == ctx.end()) {
+            return Status::Internal("missing bound ID " + f.QualifiedName());
+          }
+          prefix.push_back(it->second);
+          id_used = true;
+          continue;
+        }
+        const Predicate* pred = nullptr;
+        for (const Predicate& p : step.access.clustering_eq) {
+          if (p.field == f) pred = &p;
+        }
+        if (pred == nullptr) break;
+        NOSE_ASSIGN_OR_RETURN(Value v, BindPredicateValue(*pred, params, ctx));
+        bound[f] = v;
+        prefix.push_back(std::move(v));
+      }
+
+      std::optional<RangeBound> range;
+      if (step.access.pushed_range.has_value()) {
+        NOSE_ASSIGN_OR_RETURN(
+            Value v, BindPredicateValue(*step.access.pushed_range, params, ctx));
+        range = RangeBound{step.access.pushed_range->op, std::move(v)};
+      }
+
+      NOSE_ASSIGN_OR_RETURN(std::vector<RecordStore::Row> rows,
+                            store_->Get(*cf_name, partition, prefix, range));
+
+      // --- Bind fetched fields, filter, emit. ---
+      for (const RecordStore::Row& row : rows) {
+        Context out = bound;
+        for (size_t i = 0; i < step.cf->clustering_key().size(); ++i) {
+          if (i < row.clustering.size()) {
+            out[step.cf->clustering_key()[i]] = row.clustering[i];
+          }
+        }
+        for (size_t i = 0; i < step.cf->values().size(); ++i) {
+          if (i < row.values.size()) {
+            out[step.cf->values()[i]] = row.values[i];
+          }
+        }
+        bool keep = true;
+        for (const Predicate& p : step.access.filters) {
+          NOSE_ASSIGN_OR_RETURN(Value v, BindPredicateValue(p, params, ctx));
+          auto it = out.find(p.field);
+          if (it == out.end() || !CompareValues(p.op, it->second, v)) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) next.push_back(std::move(out));
+      }
+    }
+
+    // --- Join merge: discard duplicate contexts (paper §IV-B step 3). ---
+    std::vector<FieldRef> dedupe_fields = needed;
+    const FieldRef id_to = IdRefOf(graph, query.path().EntityAt(step.to_index));
+    if (std::find(dedupe_fields.begin(), dedupe_fields.end(), id_to) ==
+        dedupe_fields.end()) {
+      dedupe_fields.push_back(id_to);
+    }
+    std::set<std::string> seen;
+    std::vector<Context> deduped;
+    for (Context& ctx : next) {
+      const std::string key = ContextKey(ctx, dedupe_fields);
+      if (seen.insert(key).second) deduped.push_back(std::move(ctx));
+    }
+    contexts = std::move(deduped);
+  }
+  return contexts;
+}
+
+StatusOr<std::vector<ValueTuple>> PlanExecutor::ExecuteQuery(
+    const QueryPlan& plan, const Params& params) {
+  NOSE_ASSIGN_OR_RETURN(std::vector<Context> contexts,
+                        ExecuteContexts(plan, params, Context{}));
+  const Query& query = *plan.query;
+
+  if (plan.needs_sort || !query.order_by().empty()) {
+    // A stable client-side sort by the ORDER BY fields; when the plan
+    // already delivers clustered order this is a cheap no-op pass kept for
+    // simplicity of the executor (the *simulated* cost only charges the
+    // sort when plan.needs_sort).
+    std::stable_sort(contexts.begin(), contexts.end(),
+                     [&](const Context& a, const Context& b) {
+                       for (const OrderField& o : query.order_by()) {
+                         auto ita = a.find(o.field);
+                         auto itb = b.find(o.field);
+                         if (ita == a.end() || itb == b.end()) continue;
+                         if (ita->second < itb->second) return true;
+                         if (itb->second < ita->second) return false;
+                       }
+                       return false;
+                     });
+  }
+
+  std::vector<ValueTuple> result;
+  std::set<std::string> seen;
+  for (const Context& ctx : contexts) {
+    ValueTuple row;
+    std::string key;
+    bool complete = true;
+    for (const FieldRef& f : query.select()) {
+      auto it = ctx.find(f);
+      if (it == ctx.end()) {
+        complete = false;
+        break;
+      }
+      row.push_back(it->second);
+      key += ValueToString(it->second) + "|";
+    }
+    if (!complete) {
+      return Status::Internal("executed plan did not produce select field");
+    }
+    if (seen.insert(key).second) result.push_back(std::move(row));
+  }
+  return result;
+}
+
+Status PlanExecutor::ExecuteUpdate(const UpdatePlan& plan,
+                                   const Params& params) {
+  const Update& update = *plan.update;
+  const EntityGraph& graph = *update.graph();
+  const std::string& target = update.entity();
+
+  // Seed context from the statement's own bindings.
+  Context base;
+  auto bind = [&](const FieldRef& field, const std::optional<Value>& literal,
+                  const std::string& param) -> Status {
+    if (literal.has_value()) {
+      base[field] = *literal;
+      return Status::Ok();
+    }
+    auto it = params.find(param);
+    if (it == params.end()) {
+      return Status::InvalidArgument("unbound parameter ?" + param);
+    }
+    base[field] = it->second;
+    return Status::Ok();
+  };
+  std::map<FieldRef, Value> set_values;
+  switch (update.kind()) {
+    case UpdateKind::kUpdate:
+    case UpdateKind::kDelete:
+      for (const Predicate& p : update.predicates()) {
+        if (p.IsEquality()) {
+          NOSE_RETURN_IF_ERROR(bind(p.field, p.literal, p.param));
+        }
+      }
+      break;
+    case UpdateKind::kInsert:
+      for (const ConnectClause& c : update.connects()) {
+        std::optional<PathStep> step = graph.FindStep(target, c.step_name);
+        if (!step.has_value()) {
+          return Status::Internal("bad connect step " + c.step_name);
+        }
+        const std::string& neighbor = graph.StepTarget(target, *step);
+        NOSE_RETURN_IF_ERROR(
+            bind(IdRefOf(graph, neighbor), std::nullopt, c.param));
+      }
+      break;
+    case UpdateKind::kConnect:
+    case UpdateKind::kDisconnect: {
+      const std::string& other =
+          update.path().EntityAt(1);
+      NOSE_RETURN_IF_ERROR(
+          bind(IdRefOf(graph, target), std::nullopt, update.from_param()));
+      NOSE_RETURN_IF_ERROR(
+          bind(IdRefOf(graph, other), std::nullopt, update.to_param()));
+      break;
+    }
+  }
+  // SET clauses: new values; for INSERT they also identify the new record.
+  for (const SetClause& s : update.sets()) {
+    const FieldRef field{target, s.field};
+    if (s.literal.has_value()) {
+      set_values[field] = *s.literal;
+    } else {
+      auto it = params.find(s.param);
+      if (it == params.end()) {
+        return Status::InvalidArgument("unbound parameter ?" + s.param);
+      }
+      set_values[field] = it->second;
+    }
+    if (update.kind() == UpdateKind::kInsert) {
+      base[field] = set_values[field];
+    }
+  }
+
+  for (const UpdatePlanPart& part : plan.parts) {
+    const std::string* cf_name = schema_->NameOf(*part.cf);
+    if (cf_name == nullptr) {
+      return Status::FailedPrecondition(
+          "update plan references a column family missing from the schema");
+    }
+    // Gather key attributes through the support plans.
+    std::vector<Context> contexts = {base};
+    for (const QueryPlan& sp : part.support_plans) {
+      std::vector<Context> merged;
+      for (const Context& ctx : contexts) {
+        NOSE_ASSIGN_OR_RETURN(std::vector<Context> got,
+                              ExecuteContexts(sp, params, ctx));
+        for (Context& g : got) merged.push_back(std::move(g));
+      }
+      contexts = std::move(merged);
+    }
+
+    for (const Context& ctx : contexts) {
+      // Old key (pre-statement values).
+      ValueTuple old_partition, old_clustering;
+      bool have_key = true;
+      auto collect = [&](const std::vector<FieldRef>& fields, ValueTuple* out) {
+        for (const FieldRef& f : fields) {
+          auto it = ctx.find(f);
+          if (it == ctx.end()) {
+            have_key = false;
+            return;
+          }
+          out->push_back(it->second);
+        }
+      };
+      collect(part.cf->partition_key(), &old_partition);
+      if (have_key) collect(part.cf->clustering_key(), &old_clustering);
+      if (!have_key) continue;  // no concrete record to touch
+
+      switch (update.kind()) {
+        case UpdateKind::kDelete:
+        case UpdateKind::kDisconnect:
+          NOSE_RETURN_IF_ERROR(
+              store_->Delete(*cf_name, old_partition, old_clustering));
+          break;
+        case UpdateKind::kInsert:
+        case UpdateKind::kConnect: {
+          std::vector<std::optional<Value>> values;
+          for (const FieldRef& f : part.cf->values()) {
+            auto sit = set_values.find(f);
+            if (sit != set_values.end()) {
+              values.emplace_back(sit->second);
+              continue;
+            }
+            auto cit = ctx.find(f);
+            values.emplace_back(cit == ctx.end()
+                                    ? std::optional<Value>()
+                                    : std::optional<Value>(cit->second));
+          }
+          NOSE_RETURN_IF_ERROR(
+              store_->Put(*cf_name, old_partition, old_clustering, values));
+          break;
+        }
+        case UpdateKind::kUpdate: {
+          ValueTuple new_partition = old_partition;
+          ValueTuple new_clustering = old_clustering;
+          if (part.delete_then_insert) {
+            NOSE_RETURN_IF_ERROR(
+                store_->Delete(*cf_name, old_partition, old_clustering));
+            for (size_t i = 0; i < part.cf->partition_key().size(); ++i) {
+              auto sit = set_values.find(part.cf->partition_key()[i]);
+              if (sit != set_values.end()) new_partition[i] = sit->second;
+            }
+            for (size_t i = 0; i < part.cf->clustering_key().size(); ++i) {
+              auto sit = set_values.find(part.cf->clustering_key()[i]);
+              if (sit != set_values.end()) new_clustering[i] = sit->second;
+            }
+          }
+          std::vector<std::optional<Value>> values;
+          for (const FieldRef& f : part.cf->values()) {
+            auto sit = set_values.find(f);
+            if (sit != set_values.end()) {
+              values.emplace_back(sit->second);
+            } else if (part.delete_then_insert) {
+              // Rewriting the whole record: preserve known old values.
+              auto cit = ctx.find(f);
+              values.emplace_back(cit == ctx.end()
+                                      ? std::optional<Value>()
+                                      : std::optional<Value>(cit->second));
+            } else {
+              values.emplace_back(std::nullopt);  // in-place partial write
+            }
+          }
+          NOSE_RETURN_IF_ERROR(
+              store_->Put(*cf_name, new_partition, new_clustering, values));
+          break;
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace nose

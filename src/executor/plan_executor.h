@@ -1,0 +1,56 @@
+#ifndef NOSE_EXECUTOR_PLAN_EXECUTOR_H_
+#define NOSE_EXECUTOR_PLAN_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "planner/plan.h"
+#include "planner/update_planner.h"
+#include "schema/schema.h"
+#include "store/record_store.h"
+#include "util/statusor.h"
+
+namespace nose {
+
+/// Executes recommended plans against a record store, implementing the
+/// application model's client side (paper §IV-B): get requests, client
+/// filtering, client sorting and id-joins between successive lookups.
+///
+/// The schema maps plan column families to store names; every column
+/// family used by an executed plan must be present in both.
+class PlanExecutor {
+ public:
+  using Params = std::map<std::string, Value>;
+  /// Partial row binding accumulated while walking a plan.
+  using Context = std::map<FieldRef, Value>;
+
+  PlanExecutor(RecordStore* store, const Schema* schema)
+      : store_(store), schema_(schema) {}
+
+  /// Runs a query plan; returns result rows aligned with the query's
+  /// select list, duplicates discarded, ordered per ORDER BY when present.
+  StatusOr<std::vector<ValueTuple>> ExecuteQuery(const QueryPlan& plan,
+                                                 const Params& params);
+
+  /// Runs an update plan: support queries, then deletes/inserts on every
+  /// affected column family.
+  Status ExecuteUpdate(const UpdatePlan& plan, const Params& params);
+
+ private:
+  /// Core of query execution: walks the plan steps, threading contexts.
+  StatusOr<std::vector<Context>> ExecuteContexts(const QueryPlan& plan,
+                                                 const Params& params,
+                                                 const Context& base);
+
+  StatusOr<Value> BindPredicateValue(const Predicate& pred,
+                                     const Params& params,
+                                     const Context& ctx) const;
+
+  RecordStore* store_;
+  const Schema* schema_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_EXECUTOR_PLAN_EXECUTOR_H_

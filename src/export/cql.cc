@@ -1,0 +1,108 @@
+#include "export/cql.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace nose {
+
+const char* CqlTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kId:
+      return "bigint";
+    case FieldType::kInteger:
+      return "bigint";
+    case FieldType::kFloat:
+      return "double";
+    case FieldType::kString:
+      return "text";
+    case FieldType::kDate:
+      return "timestamp";
+    case FieldType::kBoolean:
+      return "boolean";
+  }
+  return "text";
+}
+
+std::string CqlColumnName(const FieldRef& ref) {
+  std::string out = ref.entity + "_" + ref.field;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+namespace {
+
+std::string ColumnDef(const EntityGraph& graph, const FieldRef& ref) {
+  const Field* field = graph.GetEntity(ref.entity).FindField(ref.field);
+  return "  " + CqlColumnName(ref) + " " + CqlTypeName(field->type);
+}
+
+std::string TableDdl(const std::string& keyspace, const std::string& name,
+                     const ColumnFamily& cf) {
+  const EntityGraph& graph = *cf.graph();
+  std::string out;
+  out += "-- materializes " + cf.path().ToString() + "\n";
+  out += "-- " + cf.ToString() + "\n";
+  out += "CREATE TABLE " + keyspace + "." + name + " (\n";
+  std::vector<std::string> defs;
+  for (const FieldRef& f : cf.partition_key()) defs.push_back(ColumnDef(graph, f));
+  for (const FieldRef& f : cf.clustering_key()) defs.push_back(ColumnDef(graph, f));
+  for (const FieldRef& f : cf.values()) defs.push_back(ColumnDef(graph, f));
+
+  std::vector<std::string> pk;
+  for (const FieldRef& f : cf.partition_key()) pk.push_back(CqlColumnName(f));
+  std::vector<std::string> ck;
+  for (const FieldRef& f : cf.clustering_key()) ck.push_back(CqlColumnName(f));
+  std::string key = "  PRIMARY KEY ((" + StrJoin(pk, ", ") + ")";
+  if (!ck.empty()) key += ", " + StrJoin(ck, ", ");
+  key += ")";
+  defs.push_back(std::move(key));
+  out += StrJoin(defs, ",\n");
+  out += "\n)";
+  if (!ck.empty()) {
+    std::vector<std::string> order;
+    for (const std::string& c : ck) order.push_back(c + " ASC");
+    out += " WITH CLUSTERING ORDER BY (" + StrJoin(order, ", ") + ")";
+  }
+  out += ";\n";
+  return out;
+}
+
+}  // namespace
+
+std::string SchemaToCql(const Schema& schema, const std::string& keyspace) {
+  std::string out;
+  out += "CREATE KEYSPACE IF NOT EXISTS " + keyspace +
+         " WITH replication = {'class': 'SimpleStrategy', "
+         "'replication_factor': 1};\n\n";
+  for (size_t i = 0; i < schema.column_families().size(); ++i) {
+    out += TableDdl(keyspace, schema.names()[i], schema.column_families()[i]);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RecommendationToCql(const Recommendation& rec,
+                                const std::string& keyspace) {
+  std::string out = SchemaToCql(rec.schema, keyspace);
+  out += "-- ======================================================\n";
+  out += "-- Implementation plans (execute client-side, in order)\n";
+  out += "-- ======================================================\n";
+  for (const auto& [name, plan] : rec.query_plans) {
+    out += "-- query " + name + ":\n";
+    for (const std::string& line : StrSplit(plan.ToString(), '\n')) {
+      if (!line.empty()) out += "--   " + line + "\n";
+    }
+  }
+  for (const auto& [name, plan] : rec.update_plans) {
+    out += "-- update " + name + ":\n";
+    for (const std::string& line : StrSplit(plan.ToString(), '\n')) {
+      if (!line.empty()) out += "--   " + line + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace nose

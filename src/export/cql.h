@@ -1,0 +1,33 @@
+#ifndef NOSE_EXPORT_CQL_H_
+#define NOSE_EXPORT_CQL_H_
+
+#include <string>
+
+#include "advisor/advisor.h"
+#include "schema/schema.h"
+
+namespace nose {
+
+/// Renders a recommended schema as Cassandra CQL DDL: one CREATE TABLE per
+/// column family, with the partition key, clustering columns and value
+/// columns mapped to CQL types, plus a comment documenting the relationship
+/// path the family materializes. Column names are qualified as
+/// `entity_field` (lower-cased) to avoid collisions between entities.
+std::string SchemaToCql(const Schema& schema,
+                        const std::string& keyspace = "nose");
+
+/// Full developer handout: the keyspace DDL plus every recommended
+/// implementation plan rendered as comments — what the paper's advisor
+/// gives the application developer (§III).
+std::string RecommendationToCql(const Recommendation& rec,
+                                const std::string& keyspace = "nose");
+
+/// CQL type name for a conceptual field type.
+const char* CqlTypeName(FieldType type);
+
+/// `Entity.Field` -> `entity_field` CQL identifier.
+std::string CqlColumnName(const FieldRef& ref);
+
+}  // namespace nose
+
+#endif  // NOSE_EXPORT_CQL_H_

@@ -1,0 +1,42 @@
+#include "model/entity.h"
+
+#include <algorithm>
+
+namespace nose {
+
+Entity::Entity(std::string name, uint64_t count, std::string id_name)
+    : name_(std::move(name)), count_(count) {
+  Field id;
+  id.name = id_name.empty() ? name_ + "ID" : std::move(id_name);
+  id.type = FieldType::kId;
+  fields_.push_back(std::move(id));
+}
+
+Status Entity::AddField(Field field) {
+  if (field.type == FieldType::kId) {
+    return Status::InvalidArgument("entity " + name_ +
+                                   " already has an ID field; cannot add " +
+                                   field.name);
+  }
+  if (FindField(field.name) != nullptr) {
+    return Status::AlreadyExists("duplicate field " + name_ + "." +
+                                 field.name);
+  }
+  fields_.push_back(std::move(field));
+  return Status::Ok();
+}
+
+const Field* Entity::FindField(const std::string& name) const {
+  auto it = std::find_if(fields_.begin(), fields_.end(),
+                         [&](const Field& f) { return f.name == name; });
+  return it == fields_.end() ? nullptr : &*it;
+}
+
+uint64_t Entity::FieldCardinality(const Field& field) const {
+  uint64_t card = field.cardinality;
+  if (field.type == FieldType::kId || card == 0) card = count_;
+  if (field.type == FieldType::kBoolean) card = std::min<uint64_t>(card, 2);
+  return std::max<uint64_t>(1, std::min(card, std::max<uint64_t>(1, count_)));
+}
+
+}  // namespace nose

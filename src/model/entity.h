@@ -1,0 +1,50 @@
+#ifndef NOSE_MODEL_ENTITY_H_
+#define NOSE_MODEL_ENTITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/field.h"
+#include "util/status.h"
+
+namespace nose {
+
+/// An entity set in the conceptual model (a box in the entity graph).
+/// Every entity has exactly one kId field, its surrogate primary key.
+class Entity {
+ public:
+  Entity() = default;
+  /// Creates an entity with `count` expected instances and an ID field added
+  /// automatically — named `id_name`, or `<name>ID` when omitted.
+  Entity(std::string name, uint64_t count, std::string id_name = "");
+
+  const std::string& name() const { return name_; }
+  uint64_t count() const { return count_; }
+  void set_count(uint64_t count) { count_ = count; }
+
+  /// Adds an attribute; fails on duplicate names or a second kId field.
+  Status AddField(Field field);
+
+  /// Returns nullptr if the entity has no field called `name`.
+  const Field* FindField(const std::string& name) const;
+
+  /// The surrogate primary key field.
+  const Field& id_field() const { return fields_[0]; }
+
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Effective distinct-value count for `field` (resolves cardinality 0 to
+  /// the entity count and clamps to the entity count: an attribute cannot
+  /// have more distinct values than there are instances).
+  uint64_t FieldCardinality(const Field& field) const;
+
+ private:
+  std::string name_;
+  uint64_t count_ = 0;
+  std::vector<Field> fields_;  // fields_[0] is always the ID field
+};
+
+}  // namespace nose
+
+#endif  // NOSE_MODEL_ENTITY_H_

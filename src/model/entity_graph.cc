@@ -1,0 +1,166 @@
+#include "model/entity_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nose {
+
+Status EntityGraph::AddEntity(Entity entity) {
+  const std::string name = entity.name();
+  if (name.empty()) {
+    return Status::InvalidArgument("entity name must be non-empty");
+  }
+  if (entities_.count(name) > 0) {
+    return Status::AlreadyExists("duplicate entity " + name);
+  }
+  entities_.emplace(name, std::move(entity));
+  order_.push_back(name);
+  return Status::Ok();
+}
+
+Status EntityGraph::AddRelationship(Relationship rel) {
+  if (FindEntity(rel.from_entity) == nullptr) {
+    return Status::NotFound("relationship references unknown entity " +
+                            rel.from_entity);
+  }
+  if (FindEntity(rel.to_entity) == nullptr) {
+    return Status::NotFound("relationship references unknown entity " +
+                            rel.to_entity);
+  }
+  if (rel.forward_name.empty()) rel.forward_name = rel.to_entity;
+  if (rel.reverse_name.empty()) rel.reverse_name = rel.from_entity;
+  if (rel.from_entity == rel.to_entity) {
+    return Status::InvalidArgument(
+        "self-relationships are not supported (paper §VIII: \"we disallow "
+        "self references\"): " +
+        rel.from_entity);
+  }
+  // Step names must be unambiguous per source entity.
+  if (FindStep(rel.from_entity, rel.forward_name).has_value()) {
+    return Status::AlreadyExists("step " + rel.from_entity + " -> " +
+                                 rel.forward_name + " already defined");
+  }
+  if (FindStep(rel.to_entity, rel.reverse_name).has_value()) {
+    return Status::AlreadyExists("step " + rel.to_entity + " -> " +
+                                 rel.reverse_name + " already defined");
+  }
+  relationships_.push_back(std::move(rel));
+  return Status::Ok();
+}
+
+const Entity* EntityGraph::FindEntity(const std::string& name) const {
+  auto it = entities_.find(name);
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+Entity* EntityGraph::MutableEntity(const std::string& name) {
+  auto it = entities_.find(name);
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+const Entity& EntityGraph::GetEntity(const std::string& name) const {
+  const Entity* e = FindEntity(name);
+  assert(e != nullptr && "unknown entity");
+  return *e;
+}
+
+std::optional<PathStep> EntityGraph::FindStep(
+    const std::string& entity, const std::string& step_name) const {
+  for (size_t i = 0; i < relationships_.size(); ++i) {
+    const Relationship& rel = relationships_[i];
+    if (rel.from_entity == entity && rel.forward_name == step_name) {
+      return PathStep{static_cast<int>(i), /*forward=*/true};
+    }
+    if (rel.to_entity == entity && rel.reverse_name == step_name) {
+      return PathStep{static_cast<int>(i), /*forward=*/false};
+    }
+  }
+  return std::nullopt;
+}
+
+const std::string& EntityGraph::StepTarget(const std::string& entity,
+                                           const PathStep& step) const {
+  const Relationship& rel = relationship(step.relationship);
+  (void)entity;
+  assert((step.forward ? rel.from_entity : rel.to_entity) == entity);
+  return step.forward ? rel.to_entity : rel.from_entity;
+}
+
+const std::string& EntityGraph::StepName(const PathStep& step) const {
+  const Relationship& rel = relationship(step.relationship);
+  return step.forward ? rel.forward_name : rel.reverse_name;
+}
+
+StatusOr<KeyPath> EntityGraph::ResolvePath(
+    const std::string& start, const std::vector<std::string>& step_names) const {
+  if (FindEntity(start) == nullptr) {
+    return Status::NotFound("unknown entity " + start);
+  }
+  std::vector<PathStep> steps;
+  std::vector<std::string> seen = {start};
+  std::string current = start;
+  for (const std::string& step_name : step_names) {
+    std::optional<PathStep> step = FindStep(current, step_name);
+    if (!step.has_value()) {
+      return Status::NotFound("no step named " + step_name +
+                              " leaving entity " + current);
+    }
+    current = StepTarget(current, *step);
+    if (std::find(seen.begin(), seen.end(), current) != seen.end()) {
+      return Status::InvalidArgument("path revisits entity " + current);
+    }
+    seen.push_back(current);
+    steps.push_back(*step);
+  }
+  return KeyPath(this, start, std::move(steps));
+}
+
+StatusOr<KeyPath> EntityGraph::SingleEntityPath(const std::string& start) const {
+  return ResolvePath(start, {});
+}
+
+StatusOr<const Field*> EntityGraph::ResolveField(const FieldRef& ref) const {
+  const Entity* entity = FindEntity(ref.entity);
+  if (entity == nullptr) {
+    return Status::NotFound("unknown entity " + ref.entity);
+  }
+  const Field* field = entity->FindField(ref.field);
+  if (field == nullptr) {
+    return Status::NotFound("unknown field " + ref.QualifiedName());
+  }
+  return field;
+}
+
+double EntityGraph::StepFanout(const PathStep& step) const {
+  const Relationship& rel = relationship(step.relationship);
+  const double from_count =
+      static_cast<double>(std::max<uint64_t>(1, GetEntity(rel.from_entity).count()));
+  const double to_count =
+      static_cast<double>(std::max<uint64_t>(1, GetEntity(rel.to_entity).count()));
+  switch (rel.cardinality) {
+    case Cardinality::kOneToOne:
+      return 1.0;
+    case Cardinality::kOneToMany:
+      // One `from` has count(to)/count(from) `to`s on average; each `to`
+      // has exactly one `from`.
+      return step.forward ? std::max(1.0, to_count / from_count) : 1.0;
+    case Cardinality::kManyToMany: {
+      double links = static_cast<double>(rel.link_count);
+      if (links <= 0) links = std::max(from_count, to_count);
+      return step.forward ? std::max(1.0, links / from_count)
+                          : std::max(1.0, links / to_count);
+    }
+  }
+  return 1.0;
+}
+
+double EntityGraph::PathInstanceCount(const KeyPath& path) const {
+  double count =
+      static_cast<double>(std::max<uint64_t>(1, GetEntity(path.start_entity()).count()));
+  for (const PathStep& step : path.steps()) {
+    count *= StepFanout(step);
+  }
+  return count;
+}
+
+}  // namespace nose

@@ -1,0 +1,92 @@
+#ifndef NOSE_MODEL_ENTITY_GRAPH_H_
+#define NOSE_MODEL_ENTITY_GRAPH_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/entity.h"
+#include "model/key_path.h"
+#include "model/relationship.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace nose {
+
+/// The application's conceptual model: a set of entity sets connected by
+/// named, bidirectional relationships (paper Fig. 1). The graph owns
+/// entities and relationships; queries, column families and plans refer
+/// into it by name / index.
+class EntityGraph {
+ public:
+  EntityGraph() = default;
+
+  // The graph is referenced by pointer from KeyPath and downstream
+  // structures; moving it would invalidate them.
+  EntityGraph(const EntityGraph&) = delete;
+  EntityGraph& operator=(const EntityGraph&) = delete;
+
+  Status AddEntity(Entity entity);
+  Status AddRelationship(Relationship rel);
+
+  /// Returns nullptr if no entity named `name` exists.
+  const Entity* FindEntity(const std::string& name) const;
+  /// Mutable access for tooling that refreshes statistics (e.g. a Dataset
+  /// syncing generated instance counts into the cost model).
+  Entity* MutableEntity(const std::string& name);
+  Relationship* MutableRelationship(int index) {
+    return &relationships_[static_cast<size_t>(index)];
+  }
+  /// As FindEntity but the entity must exist (asserts).
+  const Entity& GetEntity(const std::string& name) const;
+
+  const std::vector<Relationship>& relationships() const {
+    return relationships_;
+  }
+  const Relationship& relationship(int index) const {
+    return relationships_[static_cast<size_t>(index)];
+  }
+  /// Entity names in insertion order.
+  const std::vector<std::string>& entity_order() const { return order_; }
+
+  /// Looks up the path step named `step_name` leaving `entity`; returns the
+  /// relationship index and direction, or nullopt.
+  std::optional<PathStep> FindStep(const std::string& entity,
+                                   const std::string& step_name) const;
+
+  /// The entity reached by taking `step` from `entity`.
+  const std::string& StepTarget(const std::string& entity,
+                                const PathStep& step) const;
+
+  /// Name of `step` as seen when leaving its source entity.
+  const std::string& StepName(const PathStep& step) const;
+
+  /// Builds a path starting at `start` and following `step_names`.
+  /// Fails if a step is unknown or the path revisits an entity.
+  StatusOr<KeyPath> ResolvePath(const std::string& start,
+                                const std::vector<std::string>& step_names) const;
+
+  /// A zero-step path anchored at `start`.
+  StatusOr<KeyPath> SingleEntityPath(const std::string& start) const;
+
+  /// Validates `ref` and returns its Field definition.
+  StatusOr<const Field*> ResolveField(const FieldRef& ref) const;
+
+  /// Expected number of target-entity instances reached per source instance
+  /// when traversing `step` (cost-model fan-out).
+  double StepFanout(const PathStep& step) const;
+
+  /// Expected number of distinct instantiations of `path` (the number of
+  /// records a materialized view over the whole path would hold).
+  double PathInstanceCount(const KeyPath& path) const;
+
+ private:
+  std::map<std::string, Entity> entities_;
+  std::vector<std::string> order_;
+  std::vector<Relationship> relationships_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_MODEL_ENTITY_GRAPH_H_

@@ -1,0 +1,41 @@
+#include "model/field.h"
+
+namespace nose {
+
+const char* FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kId:
+      return "ID";
+    case FieldType::kInteger:
+      return "integer";
+    case FieldType::kFloat:
+      return "float";
+    case FieldType::kString:
+      return "string";
+    case FieldType::kDate:
+      return "date";
+    case FieldType::kBoolean:
+      return "boolean";
+  }
+  return "unknown";
+}
+
+uint32_t DefaultFieldSize(FieldType type) {
+  switch (type) {
+    case FieldType::kId:
+      return 8;
+    case FieldType::kInteger:
+      return 8;
+    case FieldType::kFloat:
+      return 8;
+    case FieldType::kString:
+      return 32;  // average short string
+    case FieldType::kDate:
+      return 8;
+    case FieldType::kBoolean:
+      return 1;
+  }
+  return 8;
+}
+
+}  // namespace nose

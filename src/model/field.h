@@ -1,0 +1,70 @@
+#ifndef NOSE_MODEL_FIELD_H_
+#define NOSE_MODEL_FIELD_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace nose {
+
+/// Data type of an attribute in the conceptual model. Types drive default
+/// storage-size estimates and parameter generation in workload tooling.
+enum class FieldType {
+  kId,       ///< Surrogate primary key of an entity set.
+  kInteger,
+  kFloat,
+  kString,
+  kDate,
+  kBoolean,
+};
+
+const char* FieldTypeName(FieldType type);
+
+/// Default on-disk size estimate in bytes for a field of `type` (strings use
+/// an average length; overridable per field).
+uint32_t DefaultFieldSize(FieldType type);
+
+/// An attribute of an entity set in the conceptual model.
+struct Field {
+  std::string name;
+  FieldType type = FieldType::kString;
+  /// Estimated stored size in bytes; 0 means "use DefaultFieldSize(type)".
+  uint32_t size = 0;
+  /// Number of distinct values; 0 means "derive" (entity count for kId and
+  /// as a fallback for other types, i.e. assume unique values).
+  uint64_t cardinality = 0;
+
+  uint32_t SizeBytes() const { return size != 0 ? size : DefaultFieldSize(type); }
+};
+
+/// Reference to a field of a named entity set ("Entity.field"). This is the
+/// currency of column-family definitions, predicates and select lists.
+struct FieldRef {
+  std::string entity;
+  std::string field;
+
+  std::string QualifiedName() const { return entity + "." + field; }
+
+  friend bool operator==(const FieldRef& a, const FieldRef& b) {
+    return a.entity == b.entity && a.field == b.field;
+  }
+  friend bool operator<(const FieldRef& a, const FieldRef& b) {
+    if (a.entity != b.entity) return a.entity < b.entity;
+    return a.field < b.field;
+  }
+};
+
+struct FieldRefHash {
+  size_t operator()(const FieldRef& ref) const {
+    return std::hash<std::string>()(ref.entity) * 1000003u ^
+           std::hash<std::string>()(ref.field);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const FieldRef& ref) {
+  return os << ref.QualifiedName();
+}
+
+}  // namespace nose
+
+#endif  // NOSE_MODEL_FIELD_H_

@@ -1,0 +1,57 @@
+#include "model/key_path.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "model/entity_graph.h"
+
+namespace nose {
+
+KeyPath::KeyPath(const EntityGraph* graph, std::string start_entity,
+                 std::vector<PathStep> steps)
+    : graph_(graph), steps_(std::move(steps)) {
+  assert(graph_ != nullptr);
+  entities_.push_back(std::move(start_entity));
+  for (const PathStep& step : steps_) {
+    entities_.push_back(graph_->StepTarget(entities_.back(), step));
+  }
+}
+
+int KeyPath::IndexOfEntity(const std::string& entity) const {
+  auto it = std::find(entities_.begin(), entities_.end(), entity);
+  if (it == entities_.end()) return -1;
+  return static_cast<int>(it - entities_.begin());
+}
+
+bool KeyPath::TraversesRelationship(int relationship) const {
+  return std::any_of(steps_.begin(), steps_.end(), [&](const PathStep& s) {
+    return s.relationship == relationship;
+  });
+}
+
+KeyPath KeyPath::Reversed() const {
+  std::vector<PathStep> rev;
+  rev.reserve(steps_.size());
+  for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
+    rev.push_back(PathStep{it->relationship, !it->forward});
+  }
+  return KeyPath(graph_, entities_.back(), std::move(rev));
+}
+
+KeyPath KeyPath::SubPath(size_t first, size_t last) const {
+  assert(first <= last && last < entities_.size());
+  std::vector<PathStep> steps(steps_.begin() + static_cast<long>(first),
+                              steps_.begin() + static_cast<long>(last));
+  return KeyPath(graph_, entities_[first], std::move(steps));
+}
+
+std::string KeyPath::ToString() const {
+  std::string out = entities_.front();
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    out += "-[" + graph_->StepName(steps_[i]) + "]->";
+    out += entities_[i + 1];
+  }
+  return out;
+}
+
+}  // namespace nose

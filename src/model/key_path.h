@@ -1,0 +1,73 @@
+#ifndef NOSE_MODEL_KEY_PATH_H_
+#define NOSE_MODEL_KEY_PATH_H_
+
+#include <string>
+#include <vector>
+
+namespace nose {
+
+class EntityGraph;
+
+/// One traversal step of a path: a relationship (by index in the owning
+/// EntityGraph) walked forward (from -> to) or backward (to -> from).
+struct PathStep {
+  int relationship = -1;
+  bool forward = true;
+
+  friend bool operator==(const PathStep& a, const PathStep& b) {
+    return a.relationship == b.relationship && a.forward == b.forward;
+  }
+};
+
+/// A directed, simple (no entity revisited) path through the entity graph.
+/// A path with k steps touches k+1 entities; a path with zero steps is a
+/// single entity. Queries, column families and plans are all anchored to
+/// key paths (paper §III-B: "a path that originates at the target entity
+/// set and traverses the entity graph").
+class KeyPath {
+ public:
+  KeyPath() = default;
+  KeyPath(const EntityGraph* graph, std::string start_entity,
+          std::vector<PathStep> steps);
+
+  const EntityGraph* graph() const { return graph_; }
+  const std::string& start_entity() const { return entities_.front(); }
+  const std::vector<PathStep>& steps() const { return steps_; }
+
+  /// Number of entities on the path (steps + 1).
+  size_t NumEntities() const { return entities_.size(); }
+  const std::string& EntityAt(size_t i) const { return entities_[i]; }
+  const std::vector<std::string>& entities() const { return entities_; }
+
+  /// Index of `entity` on this path, or -1 if absent. Unambiguous because
+  /// paths are simple.
+  int IndexOfEntity(const std::string& entity) const;
+  bool ContainsEntity(const std::string& entity) const {
+    return IndexOfEntity(entity) >= 0;
+  }
+
+  /// True if this path traverses `relationship` (in either direction).
+  bool TraversesRelationship(int relationship) const;
+
+  /// The same path walked in the opposite direction.
+  KeyPath Reversed() const;
+
+  /// The sub-path covering entities [first, last] (inclusive indices).
+  KeyPath SubPath(size_t first, size_t last) const;
+
+  /// Stable textual form, e.g. "Guest-[Reservations]->Reservation".
+  std::string ToString() const;
+
+  friend bool operator==(const KeyPath& a, const KeyPath& b) {
+    return a.entities_ == b.entities_ && a.steps_ == b.steps_;
+  }
+
+ private:
+  const EntityGraph* graph_ = nullptr;
+  std::vector<PathStep> steps_;
+  std::vector<std::string> entities_;  // steps_.size() + 1 names
+};
+
+}  // namespace nose
+
+#endif  // NOSE_MODEL_KEY_PATH_H_

@@ -1,0 +1,38 @@
+#ifndef NOSE_MODEL_RELATIONSHIP_H_
+#define NOSE_MODEL_RELATIONSHIP_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nose {
+
+/// Cardinality of a relationship between two entity sets, read as
+/// "one/many `from` relate to one/many `to`".
+enum class Cardinality {
+  kOneToOne,
+  kOneToMany,   ///< one `from` has many `to`; each `to` has one `from`
+  kManyToMany,
+};
+
+const char* CardinalityName(Cardinality c);
+
+/// An edge of the entity graph. A relationship is traversable in both
+/// directions; each direction has a name usable as a step in query paths
+/// (e.g. Guest --"Reservations"--> Reservation --"Guest"--> Guest).
+struct Relationship {
+  std::string from_entity;
+  std::string to_entity;
+  Cardinality cardinality = Cardinality::kOneToMany;
+  /// Path-step name for the from -> to direction (must be unique among the
+  /// steps leaving `from_entity`).
+  std::string forward_name;
+  /// Path-step name for the to -> from direction.
+  std::string reverse_name;
+  /// For kManyToMany: the expected number of (from, to) association pairs;
+  /// 0 means "derive" as max(count(from), count(to)).
+  uint64_t link_count = 0;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_MODEL_RELATIONSHIP_H_

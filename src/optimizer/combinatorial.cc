@@ -1,0 +1,217 @@
+#include "optimizer/combinatorial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/stopwatch.h"
+
+namespace nose {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Node {
+  /// Candidate fixings along the branch: (index, on/off).
+  std::vector<std::pair<size_t, bool>> fixings;
+  double parent_bound = -kInf;
+};
+
+/// Evaluation of one node: lower bound, a feasible completion (incumbent
+/// candidate), and the best branching candidate.
+struct Evaluation {
+  bool feasible = false;
+  double lower_bound = kInf;
+  double incumbent_cost = kInf;
+  std::vector<bool> incumbent_selected;
+  int branch_candidate = -1;
+};
+
+class Solver {
+ public:
+  Solver(const CombinatorialInput& input, const CombinatorialOptions& options)
+      : in_(input), opt_(options) {}
+
+  CombinatorialResult Run() {
+    CombinatorialResult result;
+    std::vector<Node> stack;
+    stack.push_back(Node{});
+    double incumbent = kInf;
+
+    Stopwatch watch;
+    bool budget_hit = false;
+    while (!stack.empty()) {
+      if (result.nodes_explored >= opt_.max_nodes ||
+          (opt_.time_limit_seconds > 0.0 &&
+           watch.ElapsedSeconds() > opt_.time_limit_seconds)) {
+        budget_hit = true;
+        break;
+      }
+      Node node = std::move(stack.back());
+      stack.pop_back();
+      const double threshold =
+          incumbent - std::max(1e-9, opt_.relative_gap * std::abs(incumbent));
+      if (node.parent_bound >= threshold && std::isfinite(incumbent)) continue;
+
+      ++result.nodes_explored;
+      Evaluation eval = Evaluate(node);
+      if (!eval.feasible) continue;
+      if (eval.incumbent_cost < incumbent) {
+        incumbent = eval.incumbent_cost;
+        result.selected = eval.incumbent_selected;
+        result.objective = incumbent;
+        result.feasible = true;
+      }
+      if (eval.lower_bound >= incumbent - std::max(1e-9, opt_.relative_gap *
+                                                             std::abs(incumbent))) {
+        continue;
+      }
+      if (eval.branch_candidate < 0) continue;  // node solved exactly
+
+      const size_t j = static_cast<size_t>(eval.branch_candidate);
+      Node off = node;
+      off.parent_bound = eval.lower_bound;
+      off.fixings.emplace_back(j, false);
+      Node on = std::move(node);
+      on.parent_bound = eval.lower_bound;
+      on.fixings.emplace_back(j, true);
+      // DFS explores "on" first: it keeps the current plans and converges
+      // to the greedy solution quickly; "off" forces replanning later.
+      stack.push_back(std::move(off));
+      stack.push_back(std::move(on));
+    }
+    result.proven = result.feasible && !budget_hit;
+    return result;
+  }
+
+ private:
+  Evaluation Evaluate(const Node& node) const {
+    Evaluation out;
+    std::vector<bool> usable = in_.allowed;
+    std::vector<bool> forced(in_.num_candidates, false);
+    for (const auto& [j, on] : node.fixings) {
+      if (on) {
+        forced[j] = true;
+      } else {
+        usable[j] = false;
+      }
+    }
+    for (size_t j = 0; j < in_.num_candidates; ++j) {
+      if (forced[j] && !usable[j]) return out;  // contradictory fixings
+    }
+
+    // --- Feasible completion: plan every query against all usable
+    //     candidates; the used set defines the selection. ---
+    std::vector<bool> selected = forced;
+    double flow_cost = 0.0;
+    for (const auto& q : in_.query_spaces) {
+      const double c = q.space->BestCost(usable);
+      if (!std::isfinite(c)) return out;  // some query uncoverable: prune
+      flow_cost += q.weight * c;
+      auto path = q.space->BestPath(usable);
+      if (!path.ok()) return out;
+      for (const auto& [state, edge] : *path) {
+        selected[q.space->states()[state].edges[edge].cf_index] = true;
+      }
+    }
+    out.feasible = true;
+
+    // Transitive support needs of the selection (fixpoint: support plans
+    // may pull in further candidates).
+    std::vector<bool> support_needed(in_.support_spaces.size(), false);
+    std::vector<double> support_cost(in_.support_spaces.size(), 0.0);
+    bool changed = true;
+    bool support_ok = true;
+    while (changed && support_ok) {
+      changed = false;
+      for (size_t j = 0; j < in_.num_candidates; ++j) {
+        if (!selected[j]) continue;
+        for (int s : in_.supports_of_cf[j]) {
+          if (support_needed[static_cast<size_t>(s)]) continue;
+          support_needed[static_cast<size_t>(s)] = true;
+          changed = true;
+          const auto& sp = in_.support_spaces[static_cast<size_t>(s)];
+          const double c = sp.space->BestCost(usable);
+          if (!std::isfinite(c)) {
+            support_ok = false;
+            break;
+          }
+          support_cost[static_cast<size_t>(s)] = sp.weight * c;
+          auto path = sp.space->BestPath(usable);
+          if (!path.ok()) {
+            support_ok = false;
+            break;
+          }
+          for (const auto& [state, edge] : *path) {
+            selected[sp.space->states()[state].edges[edge].cf_index] = true;
+          }
+        }
+        if (!support_ok) break;
+      }
+    }
+
+    double true_cost = kInf;
+    if (support_ok) {
+      true_cost = flow_cost;
+      for (size_t j = 0; j < in_.num_candidates; ++j) {
+        if (selected[j]) true_cost += in_.maintenance[j];
+      }
+      for (size_t s = 0; s < in_.support_spaces.size(); ++s) {
+        if (support_needed[s]) true_cost += support_cost[s];
+      }
+      out.incumbent_cost = true_cost;
+      out.incumbent_selected = selected;
+    }
+
+    // --- Lower bound: query flows + maintenance/support of *forced*
+    //     candidates only (any completion pays at least this). ---
+    double bound = flow_cost;
+    std::set<int> forced_supports;
+    for (size_t j = 0; j < in_.num_candidates; ++j) {
+      if (!forced[j]) continue;
+      bound += in_.maintenance[j];
+      for (int s : in_.supports_of_cf[j]) forced_supports.insert(s);
+    }
+    for (int s : forced_supports) {
+      const auto& sp = in_.support_spaces[static_cast<size_t>(s)];
+      const double c = sp.space->BestCost(usable);
+      if (!std::isfinite(c)) return Evaluation{};  // forced cf unmaintainable
+      bound += sp.weight * c;
+    }
+    out.lower_bound = bound;
+
+    // --- Branching: the used-but-unfixed candidate contributing the most
+    //     uncounted maintenance + support cost. ---
+    double best_score = 1e-12;
+    for (size_t j = 0; j < in_.num_candidates; ++j) {
+      if (!selected[j] || forced[j]) continue;
+      double score = in_.maintenance[j];
+      for (int s : in_.supports_of_cf[j]) {
+        if (forced_supports.count(s) == 0 &&
+            support_needed[static_cast<size_t>(s)]) {
+          score += support_cost[static_cast<size_t>(s)];
+        }
+      }
+      if (score > best_score) {
+        best_score = score;
+        out.branch_candidate = static_cast<int>(j);
+      }
+    }
+    return out;
+  }
+
+  const CombinatorialInput& in_;
+  const CombinatorialOptions& opt_;
+};
+
+}  // namespace
+
+CombinatorialResult SolveCombinatorial(const CombinatorialInput& input,
+                                       const CombinatorialOptions& options) {
+  Solver solver(input, options);
+  return solver.Run();
+}
+
+}  // namespace nose

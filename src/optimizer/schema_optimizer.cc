@@ -1,0 +1,543 @@
+#include "optimizer/schema_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "optimizer/combinatorial.h"
+#include "solver/lp.h"
+#include "util/stopwatch.h"
+
+namespace nose {
+
+namespace {
+
+/// Plan space plus its BIP bookkeeping: one decision variable per edge,
+/// flow-conservation constraints per state.
+struct SpaceVars {
+  PlanSpace space;
+  double weight = 0.0;
+  /// edge_vars[state][edge] = LP variable index.
+  std::vector<std::vector<int>> edge_vars;
+  /// Root constraint right-hand side: fixed 1 for workload queries, or a
+  /// shared y indicator for support queries.
+  int root_delta_var = -1;  // -1 => constant 1
+};
+
+/// Adds x_e variables for every edge and the path constraints
+/// (paper Fig. 7): Σ root edges = rhs; for every interior state,
+/// Σ outgoing = Σ incoming; x_e ≤ δ_cf.
+void AddSpaceToBip(SpaceVars* sv, LpProblem* lp,
+                   const std::vector<int>& delta_vars, int* num_constraints) {
+  const PlanSpace& space = sv->space;
+  sv->edge_vars.resize(space.states().size());
+  for (size_t s = 0; s < space.states().size(); ++s) {
+    const PlanSpaceState& state = space.states()[s];
+    sv->edge_vars[s].resize(state.edges.size());
+    for (size_t e = 0; e < state.edges.size(); ++e) {
+      const double cost = sv->weight * state.edges[e].cost;
+      sv->edge_vars[s][e] = lp->AddVariable(0.0, 1.0, cost);
+    }
+  }
+  // Linking constraints x_e <= delta_j.
+  for (size_t s = 0; s < space.states().size(); ++s) {
+    const PlanSpaceState& state = space.states()[s];
+    for (size_t e = 0; e < state.edges.size(); ++e) {
+      lp->AddRow(RowType::kLe, 0.0,
+                 {{sv->edge_vars[s][e], 1.0},
+                  {delta_vars[state.edges[e].cf_index], -1.0}});
+      ++*num_constraints;
+    }
+  }
+  // Flow conservation. Incoming edges per state:
+  std::vector<std::vector<int>> incoming(space.states().size());
+  for (size_t s = 0; s < space.states().size(); ++s) {
+    const PlanSpaceState& state = space.states()[s];
+    for (size_t e = 0; e < state.edges.size(); ++e) {
+      const int t = state.edges[e].target_state;
+      if (t != PlanSpaceEdge::kDone) {
+        incoming[static_cast<size_t>(t)].push_back(sv->edge_vars[s][e]);
+      }
+    }
+  }
+  // Root: sum of outgoing = 1 (query) or = y (support query).
+  {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int v : sv->edge_vars[0]) coeffs.emplace_back(v, 1.0);
+    if (sv->root_delta_var >= 0) {
+      coeffs.emplace_back(sv->root_delta_var, -1.0);
+      lp->AddRow(RowType::kEq, 0.0, std::move(coeffs));
+    } else {
+      lp->AddRow(RowType::kEq, 1.0, std::move(coeffs));
+    }
+    ++*num_constraints;
+  }
+  // Interior states: outgoing - incoming = 0.
+  for (size_t s = 1; s < space.states().size(); ++s) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int v : sv->edge_vars[s]) coeffs.emplace_back(v, 1.0);
+    for (int v : incoming[s]) coeffs.emplace_back(v, -1.0);
+    if (coeffs.empty()) continue;
+    lp->AddRow(RowType::kEq, 0.0, std::move(coeffs));
+    ++*num_constraints;
+  }
+  // Cover cut (workload queries only): every plan opens with some
+  // first-step column family, so at least one of them must be selected
+  // outright. Redundant for integer solutions but tightens the LP bound,
+  // which otherwise pays maintenance costs fractionally.
+  if (sv->root_delta_var < 0) {
+    std::set<int> root_cfs;
+    for (const PlanSpaceEdge& e : space.states()[0].edges) {
+      root_cfs.insert(delta_vars[e.cf_index]);
+    }
+    std::vector<std::pair<int, double>> coeffs;
+    for (int dv : root_cfs) coeffs.emplace_back(dv, 1.0);
+    if (!coeffs.empty()) {
+      lp->AddRow(RowType::kGe, 1.0, std::move(coeffs));
+      ++*num_constraints;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
+    const Workload& workload, const std::string& mix,
+    const CandidatePool& pool) const {
+  OptimizationResult result;
+  Stopwatch total_watch;
+  const std::vector<ColumnFamily>& candidates = pool.candidates();
+  if (candidates.empty()) {
+    return Status::InvalidArgument("candidate pool is empty");
+  }
+  const auto entries = workload.EntriesIn(mix);
+  if (entries.empty()) {
+    return Status::InvalidArgument("workload has no statements in mix " + mix);
+  }
+
+  // ==== Phase: cost calculation (plan-space construction). ====
+  Stopwatch phase_watch;
+  QueryPlanner planner(cost_, est_);
+
+  std::vector<SpaceVars> query_spaces;  // workload queries
+  std::vector<const WorkloadEntry*> query_entries;
+  for (const auto& [entry, weight] : entries) {
+    if (!entry->IsQuery()) continue;
+    SpaceVars sv;
+    sv.space = planner.Build(entry->query(), candidates);
+    sv.weight = weight;
+    if (!sv.space.HasPlan()) {
+      return Status::Infeasible("no candidate plan covers query " +
+                                entry->name);
+    }
+    query_spaces.push_back(std::move(sv));
+    query_entries.push_back(entry);
+  }
+
+  // Support queries. Different column families maintained under the same
+  // update often need textually identical support queries (e.g. "fetch the
+  // user name for this user ID"); the application issues that lookup once
+  // per update execution, so plan one shared space per distinct
+  // (update, support query) pair.
+  struct SharedSupport {
+    std::shared_ptr<const Query> query;  // owns the synthesized query
+    SpaceVars sv;
+    int y_var = -1;
+  };
+  std::vector<std::unique_ptr<SharedSupport>> shared_supports;
+  std::map<std::pair<const WorkloadEntry*, std::string>, size_t> shared_index;
+
+  // Per (update, modified candidate): write cost + the shared support
+  // spaces whose results it needs.
+  struct SupportInfo {
+    const WorkloadEntry* entry;
+    double weight;  // normalized mix weight of the update
+    size_t cf_index;
+    std::vector<size_t> shared_ids;  // into shared_supports
+    double write_cost;
+    bool maintainable = true;
+  };
+  std::vector<SupportInfo> supports;
+
+  for (const auto& [entry, weight] : entries) {
+    if (entry->IsQuery()) continue;
+    const Update& update = entry->update();
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (!Modifies(update, candidates[c])) continue;
+      SupportInfo info;
+      info.entry = entry;
+      info.weight = weight;
+      info.cf_index = c;
+      info.write_cost = UpdateWriteCost(update, candidates[c], *est_, *cost_);
+      for (Query& sq : SupportQueries(update, candidates[c])) {
+        const auto key = std::make_pair(entry, sq.ToString());
+        auto it = shared_index.find(key);
+        size_t idx;
+        if (it == shared_index.end()) {
+          auto shared = std::make_unique<SharedSupport>();
+          shared->query = std::make_shared<Query>(std::move(sq));
+          shared->sv.space = planner.Build(*shared->query, candidates);
+          shared->sv.weight = weight;
+          if (!shared->sv.space.HasPlan()) {
+            shared->sv.space = PlanSpace();  // unanswerable marker
+          }
+          idx = shared_supports.size();
+          shared_index.emplace(key, idx);
+          shared_supports.push_back(std::move(shared));
+        } else {
+          idx = it->second;
+        }
+        if (shared_supports[idx]->sv.space.states().empty()) {
+          info.maintainable = false;
+        }
+        info.shared_ids.push_back(idx);
+      }
+      supports.push_back(std::move(info));
+    }
+  }
+
+  // Maintenance cost per candidate: Σ_m w_m C'_mj (paper Fig. 10).
+  std::vector<double> delta_cost(candidates.size(), 0.0);
+  std::vector<bool> allowed(candidates.size(), true);
+  for (const SupportInfo& info : supports) {
+    delta_cost[info.cf_index] += info.weight * info.write_cost;
+    if (!info.maintainable) allowed[info.cf_index] = false;
+  }
+  // Propagate pinning: a support query answerable only through pinned
+  // candidates pins every candidate that depends on it.
+  {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t idx = 0; idx < shared_supports.size(); ++idx) {
+        const PlanSpace& space = shared_supports[idx]->sv.space;
+        if (space.states().empty()) continue;
+        if (std::isfinite(space.BestCost(allowed))) continue;
+        for (const SupportInfo& info : supports) {
+          if (!allowed[info.cf_index]) continue;
+          if (std::find(info.shared_ids.begin(), info.shared_ids.end(), idx) !=
+              info.shared_ids.end()) {
+            allowed[info.cf_index] = false;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  // Coverage check with a useful message before handing off to a solver.
+  for (size_t qi = 0; qi < query_spaces.size(); ++qi) {
+    if (!std::isfinite(query_spaces[qi].space.BestCost(allowed))) {
+      return Status::Infeasible("no maintainable candidate plan covers query " +
+                                query_entries[qi]->name);
+    }
+  }
+  result.timing.cost_calculation_seconds = phase_watch.ElapsedSeconds();
+
+  // ==== Strategy selection. ====
+  SolveStrategy strategy = options_.strategy;
+  if (options_.space_limit_bytes.has_value()) {
+    strategy = SolveStrategy::kBip;  // only the BIP models the budget
+  } else if (strategy == SolveStrategy::kAuto) {
+    strategy = candidates.size() > options_.auto_bip_threshold
+                   ? SolveStrategy::kCombinatorial
+                   : SolveStrategy::kBip;
+  }
+
+  std::vector<bool> selected(candidates.size(), false);
+
+  if (strategy == SolveStrategy::kCombinatorial) {
+    // ==== Combinatorial branch and bound (large instances). ====
+    phase_watch.Reset();
+    CombinatorialInput input;
+    input.num_candidates = candidates.size();
+    input.maintenance = delta_cost;
+    input.allowed = allowed;
+    for (const SpaceVars& sv : query_spaces) {
+      input.query_spaces.push_back({&sv.space, sv.weight});
+    }
+    std::vector<int> shared_to_input(shared_supports.size(), -1);
+    for (size_t i = 0; i < shared_supports.size(); ++i) {
+      const SharedSupport& shared = *shared_supports[i];
+      if (shared.sv.space.states().empty()) continue;
+      shared_to_input[i] = static_cast<int>(input.support_spaces.size());
+      input.support_spaces.push_back({&shared.sv.space, shared.sv.weight});
+    }
+    input.supports_of_cf.resize(candidates.size());
+    for (const SupportInfo& info : supports) {
+      for (size_t idx : info.shared_ids) {
+        if (shared_to_input[idx] >= 0) {
+          input.supports_of_cf[info.cf_index].push_back(shared_to_input[idx]);
+        }
+      }
+    }
+    result.timing.bip_construction_seconds = phase_watch.ElapsedSeconds();
+
+    phase_watch.Reset();
+    CombinatorialOptions copt;
+    copt.relative_gap = options_.bip.relative_gap;
+    copt.max_nodes = options_.bip.max_nodes;
+    copt.time_limit_seconds = options_.bip.time_limit_seconds > 0.0
+                                  ? options_.bip.time_limit_seconds
+                                  : 60.0;
+    CombinatorialResult comb = SolveCombinatorial(input, copt);
+    result.timing.bip_solve_seconds = phase_watch.ElapsedSeconds();
+    if (!comb.feasible) {
+      return Status::ResourceExhausted(
+          "combinatorial solve found no schema within its budget");
+    }
+    result.bb_nodes = comb.nodes_explored;
+    result.objective = comb.objective;
+    result.solve_proven = comb.proven;
+    selected = comb.selected;
+  } else {
+    // ==== BIP construction (paper Figs. 7 and 10). ====
+    phase_watch.Reset();
+    LpProblem lp;
+    int num_constraints = 0;
+
+    std::vector<int> delta_vars(candidates.size());
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      delta_vars[c] =
+          lp.AddVariable(0.0, allowed[c] ? 1.0 : 0.0, delta_cost[c]);
+    }
+    for (SpaceVars& sv : query_spaces) {
+      AddSpaceToBip(&sv, &lp, delta_vars, &num_constraints);
+    }
+    // Shared support spaces: root flow equals the indicator y_s; selecting
+    // a dependent family forces y_s.
+    for (auto& shared : shared_supports) {
+      if (shared->sv.space.states().empty()) continue;
+      shared->y_var = lp.AddVariable(0.0, 1.0, 0.0);
+      shared->sv.root_delta_var = shared->y_var;
+      AddSpaceToBip(&shared->sv, &lp, delta_vars, &num_constraints);
+    }
+    for (const SupportInfo& info : supports) {
+      if (!allowed[info.cf_index]) continue;
+      for (size_t idx : info.shared_ids) {
+        const int y = shared_supports[idx]->y_var;
+        if (y < 0) continue;
+        lp.AddRow(RowType::kLe, 0.0,
+                  {{delta_vars[info.cf_index], 1.0}, {y, -1.0}});
+        ++num_constraints;
+      }
+    }
+    // Optional storage constraint: Σ s_j δ_j ≤ S.
+    if (options_.space_limit_bytes.has_value()) {
+      std::vector<std::pair<int, double>> coeffs;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        coeffs.emplace_back(delta_vars[c], candidates[c].SizeBytes());
+      }
+      lp.AddRow(RowType::kLe, *options_.space_limit_bytes, std::move(coeffs));
+      ++num_constraints;
+    }
+
+    // Branch only on the delta variables: with deltas integral, every
+    // space subproblem is a min-cost flow whose LP optimum is integral
+    // (totally unimodular constraints), so edge variables never need
+    // branching.
+    const std::vector<int>& binaries = delta_vars;
+
+    // Warm start: select every usable candidate and route each flow along
+    // its best plan — feasible unless a storage budget is active. Gives
+    // branch and bound an incumbent immediately (anytime behavior).
+    std::vector<double> warm;
+    BipOptions first_options = options_.bip;
+    if (!options_.space_limit_bytes.has_value()) {
+      warm.assign(static_cast<size_t>(lp.num_variables()), 0.0);
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        warm[static_cast<size_t>(delta_vars[c])] = allowed[c] ? 1.0 : 0.0;
+      }
+      bool warm_ok = true;
+      auto route = [&](const SpaceVars& sv) {
+        auto path = sv.space.BestPath(allowed);
+        if (!path.ok()) {
+          warm_ok = false;
+          return;
+        }
+        for (const auto& [state, edge] : *path) {
+          warm[static_cast<size_t>(sv.edge_vars[state][edge])] = 1.0;
+        }
+      };
+      for (const SpaceVars& sv : query_spaces) route(sv);
+      for (const auto& shared : shared_supports) {
+        if (shared->sv.space.states().empty() || shared->y_var < 0) continue;
+        if (!std::isfinite(shared->sv.space.BestCost(allowed))) continue;
+        warm[static_cast<size_t>(shared->y_var)] = 1.0;
+        route(shared->sv);
+      }
+      if (warm_ok) first_options.warm_start = &warm;
+    }
+
+    result.bip_variables = lp.num_variables();
+    result.bip_constraints = num_constraints;
+    result.timing.bip_construction_seconds = phase_watch.ElapsedSeconds();
+
+    // ==== BIP solving (two-stage, paper §V). ====
+    phase_watch.Reset();
+    BipResult first = SolveBip(lp, binaries, first_options);
+    if (first.status == BipStatus::kInfeasible) {
+      return Status::Infeasible(
+          "schema BIP has no feasible solution (space limit too tight?)");
+    }
+    if (first.status == BipStatus::kNoSolution) {
+      return Status::ResourceExhausted(
+          "BIP solve hit its node/time budget before finding any feasible "
+          "schema; raise OptimizerOptions::bip limits");
+    }
+    result.bb_nodes = first.nodes_explored;
+    result.objective = first.objective;
+    result.solve_proven = first.status == BipStatus::kOptimal;
+
+    BipResult chosen = std::move(first);
+    if (options_.minimize_schema_size) {
+      // Pin the workload cost to the optimum, then minimize the number of
+      // selected column families. Proving optimality of a count objective
+      // is hopeless for plain branch and bound, so budget this phase; the
+      // unused-candidate prune below removes any slack it leaves.
+      std::vector<std::pair<int, double>> cost_row;
+      for (int v = 0; v < lp.num_variables(); ++v) {
+        const double c = lp.cost(v);
+        if (c != 0.0) cost_row.emplace_back(v, c);
+      }
+      const double budget =
+          chosen.objective + 1e-6 * std::max(1.0, std::abs(chosen.objective));
+      LpProblem second_lp = lp;
+      second_lp.AddRow(RowType::kLe, budget, std::move(cost_row));
+      for (int v = 0; v < second_lp.num_variables(); ++v) {
+        second_lp.SetCost(v, 0.0);
+      }
+      for (int dv : delta_vars) second_lp.SetCost(dv, 1.0);
+      // The phase-1 solution is feasible here (its cost equals the
+      // budget); use it as the incumbent, and exploit the integral
+      // objective (a count) for near-unit gap pruning.
+      BipOptions second_options = options_.bip;
+      second_options.warm_start = &chosen.x;
+      second_options.absolute_gap = 1.0 - 1e-6;
+      second_options.max_nodes = std::min(options_.bip.max_nodes, 500);
+      BipResult second = SolveBip(second_lp, binaries, second_options);
+      if (second.status == BipStatus::kOptimal ||
+          second.status == BipStatus::kNodeLimit) {
+        result.bb_nodes += second.nodes_explored;
+        chosen = std::move(second);
+      }
+    }
+    result.timing.bip_solve_seconds = phase_watch.ElapsedSeconds();
+
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      selected[c] = chosen.x[static_cast<size_t>(delta_vars[c])] > 0.5;
+    }
+  }
+
+  // ==== Phase: extraction ("other"). ====
+  for (size_t qi = 0; qi < query_spaces.size(); ++qi) {
+    auto plan = query_spaces[qi].space.BestPlan(candidates, selected);
+    if (!plan.ok()) {
+      return Status::Internal("solution does not cover query " +
+                              query_entries[qi]->name + ": " +
+                              plan.status().ToString());
+    }
+    result.query_plans.emplace_back(query_entries[qi]->name,
+                                    std::move(plan).value());
+  }
+
+  // Drop selected candidates no recommended plan touches (transitively
+  // through support plans): they add maintenance/storage for nothing.
+  {
+    std::vector<bool> used(candidates.size(), false);
+    for (const auto& [name, plan] : result.query_plans) {
+      for (const PlanStep& step : plan.steps) {
+        used[static_cast<size_t>(step.cf - candidates.data())] = true;
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const SupportInfo& info : supports) {
+        if (!selected[info.cf_index] || !used[info.cf_index]) continue;
+        for (size_t idx : info.shared_ids) {
+          const PlanSpace& space = shared_supports[idx]->sv.space;
+          if (space.states().empty()) continue;
+          auto plan = space.BestPlan(candidates, selected);
+          if (!plan.ok()) continue;  // defensive; checked again below
+          for (const PlanStep& step : plan->steps) {
+            const size_t ci = static_cast<size_t>(step.cf - candidates.data());
+            if (!used[ci]) {
+              used[ci] = true;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      selected[c] = selected[c] && used[c];
+    }
+  }
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (selected[c]) result.schema.Add(candidates[c]);
+  }
+
+  // Update plans: one UpdatePlan per update entry, one part per selected
+  // modified column family.
+  std::map<const WorkloadEntry*, UpdatePlan> update_plans;
+  for (const SupportInfo& info : supports) {
+    if (!selected[info.cf_index]) continue;
+    UpdatePlan& uplan = update_plans[info.entry];
+    uplan.update = &info.entry->update();
+    UpdatePlanPart part;
+    part.cf = &candidates[info.cf_index];
+    part.rows = ModifiedRowEstimate(info.entry->update(),
+                                    candidates[info.cf_index], *est_);
+    part.write_cost = info.write_cost;
+    if (info.entry->update().kind() == UpdateKind::kUpdate) {
+      for (const FieldRef& f : info.entry->update().ModifiedFields()) {
+        const auto& pk = part.cf->partition_key();
+        const auto& ck = part.cf->clustering_key();
+        if (std::find(pk.begin(), pk.end(), f) != pk.end() ||
+            std::find(ck.begin(), ck.end(), f) != ck.end()) {
+          part.delete_then_insert = true;
+        }
+      }
+    }
+    double part_cost = part.write_cost;
+    for (size_t idx : info.shared_ids) {
+      const SharedSupport& shared = *shared_supports[idx];
+      if (shared.sv.space.states().empty()) continue;
+      auto plan = shared.sv.space.BestPlan(candidates, selected);
+      if (!plan.ok()) {
+        return Status::Internal("solution cannot maintain " +
+                                part.cf->ToString() + " under " +
+                                info.entry->name);
+      }
+      QueryPlan splan = std::move(plan).value();
+      // Support queries are synthesized here; share ownership so the plan
+      // stays printable/executable after this function returns.
+      splan.owned_query = shared.query;
+      splan.query = splan.owned_query.get();
+      part_cost += splan.cost;
+      part.support_plans.push_back(std::move(splan));
+    }
+    uplan.cost += part_cost;
+    uplan.parts.push_back(std::move(part));
+  }
+  for (const auto& [entry, weight] : entries) {
+    if (entry->IsQuery()) continue;
+    auto it = update_plans.find(entry);
+    if (it != update_plans.end()) {
+      result.update_plans.emplace_back(entry->name, std::move(it->second));
+    } else {
+      // Update touches no selected column family: free.
+      UpdatePlan empty;
+      empty.update = &entry->update();
+      result.update_plans.emplace_back(entry->name, std::move(empty));
+    }
+  }
+  result.timing.other_seconds =
+      total_watch.ElapsedSeconds() - result.timing.cost_calculation_seconds -
+      result.timing.bip_construction_seconds - result.timing.bip_solve_seconds;
+  return result;
+}
+
+}  // namespace nose

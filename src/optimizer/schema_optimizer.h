@@ -1,0 +1,98 @@
+#ifndef NOSE_OPTIMIZER_SCHEMA_OPTIMIZER_H_
+#define NOSE_OPTIMIZER_SCHEMA_OPTIMIZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "enumerator/enumerator.h"
+#include "planner/plan_space.h"
+#include "planner/update_planner.h"
+#include "schema/schema.h"
+#include "solver/bip.h"
+#include "util/statusor.h"
+#include "workload/workload.h"
+
+namespace nose {
+
+/// How the candidate-selection problem is solved.
+enum class SolveStrategy {
+  /// Binary integer program via the LP-based branch-and-bound solver —
+  /// the paper's formulation (Figs. 7/10), exact, best for small/medium
+  /// instances and required when a space constraint is set.
+  kBip,
+  /// Structure-exploiting branch and bound with dynamic-programming
+  /// bounds over the plan-space DAGs. Equivalent objective, much faster on
+  /// large instances; no space-constraint support.
+  kCombinatorial,
+  /// kBip below `auto_bip_threshold` candidates (or when a space limit is
+  /// set), kCombinatorial above.
+  kAuto,
+};
+
+struct OptimizerOptions {
+  /// Optional storage budget in bytes (paper: "an optional space
+  /// constraint").
+  std::optional<double> space_limit_bytes;
+  /// Run the second solve that, among all minimum-cost schemas, picks the
+  /// one with the fewest column families (paper §V).
+  bool minimize_schema_size = true;
+  SolveStrategy strategy = SolveStrategy::kAuto;
+  size_t auto_bip_threshold = 120;
+  BipOptions bip;
+};
+
+/// Phase timing for the Fig. 13 runtime breakdown.
+struct OptimizerTiming {
+  double cost_calculation_seconds = 0.0;  ///< plan-space construction
+  double bip_construction_seconds = 0.0;
+  double bip_solve_seconds = 0.0;
+  double other_seconds = 0.0;
+};
+
+struct OptimizationResult {
+  Schema schema;
+  /// One entry per weighted query, aligned with the queries of
+  /// Workload::EntriesIn(mix): (statement name, recommended plan).
+  std::vector<std::pair<std::string, QueryPlan>> query_plans;
+  std::vector<std::pair<std::string, UpdatePlan>> update_plans;
+  /// Optimal weighted workload cost (the BIP objective).
+  double objective = 0.0;
+  /// True when the solver proved optimality (within its gap); false when a
+  /// node/time budget stopped it with the best incumbent found.
+  bool solve_proven = false;
+
+  OptimizerTiming timing;
+  int bip_variables = 0;
+  int bip_constraints = 0;
+  int bb_nodes = 0;
+};
+
+/// Selects the cost-minimal subset of candidate column families that covers
+/// the workload, by solving the paper's binary integer program: per-edge
+/// decision variables constrained to form one plan per query (path
+/// constraints), linking variables per candidate, update maintenance costs
+/// conditioned on candidate selection, and an optional storage constraint.
+class SchemaOptimizer {
+ public:
+  SchemaOptimizer(const CostModel* cost_model,
+                  const CardinalityEstimator* estimator,
+                  OptimizerOptions options = OptimizerOptions())
+      : cost_(cost_model), est_(estimator), options_(options) {}
+
+  /// `pool` must outlive the result (recommended plans point into it).
+  StatusOr<OptimizationResult> Optimize(const Workload& workload,
+                                        const std::string& mix,
+                                        const CandidatePool& pool) const;
+
+ private:
+  const CostModel* cost_;
+  const CardinalityEstimator* est_;
+  OptimizerOptions options_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_OPTIMIZER_SCHEMA_OPTIMIZER_H_

@@ -1,0 +1,95 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace nose {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdentifier && AsciiLower(text) == AsciiLower(kw);
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto peek = [&](size_t k = 0) -> char {
+    return i + k < n ? input[i + k] : '\0';
+  };
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenType::kIdentifier, input.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      ++i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       (input[i] == '.' && !seen_dot &&
+                        std::isdigit(static_cast<unsigned char>(peek(1)))))) {
+        if (input[i] == '.') seen_dot = true;
+        ++i;
+      }
+      tokens.push_back(
+          {TokenType::kNumber, input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      while (i < n && input[i] != '\'') value += input[i++];
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      ++i;  // closing quote
+      tokens.push_back({TokenType::kString, std::move(value), start});
+      continue;
+    }
+    if (c == '?') {
+      ++i;
+      std::string name;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        name += input[i++];
+      }
+      tokens.push_back({TokenType::kParam, std::move(name), start});
+      continue;
+    }
+    // Multi-character operators first.
+    if ((c == '!' || c == '<' || c == '>') && peek(1) == '=') {
+      tokens.push_back({TokenType::kSymbol, input.substr(i, 2), start});
+      i += 2;
+      continue;
+    }
+    if (std::string(".,(){}*=<>:/").find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace nose

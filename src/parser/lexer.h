@@ -1,0 +1,40 @@
+#ifndef NOSE_PARSER_LEXER_H_
+#define NOSE_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace nose {
+
+enum class TokenType {
+  kIdentifier,  ///< bare word: SELECT, Guest, HotelCity, ...
+  kNumber,      ///< integer or decimal literal
+  kString,      ///< single-quoted string literal (quotes stripped)
+  kParam,       ///< ?name or bare ?
+  kSymbol,      ///< punctuation: . , ( ) { } * / and comparison operators
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  ///< identifier/number/string/param name/symbol spelling
+  size_t offset = 0; ///< byte offset in the input, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword test for identifiers.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes the statement / model-DSL languages. Comments run from '#' to
+/// end of line. Comparison operators (=, !=, <, <=, >, >=) are single
+/// symbol tokens.
+StatusOr<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace nose
+
+#endif  // NOSE_PARSER_LEXER_H_

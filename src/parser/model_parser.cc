@@ -1,0 +1,146 @@
+#include "parser/model_parser.h"
+
+#include "parser/lexer.h"
+#include "util/strings.h"
+
+namespace nose {
+
+namespace {
+
+StatusOr<FieldType> ParseFieldType(const std::string& name) {
+  const std::string lower = AsciiLower(name);
+  if (lower == "string") return FieldType::kString;
+  if (lower == "integer" || lower == "int") return FieldType::kInteger;
+  if (lower == "float" || lower == "double") return FieldType::kFloat;
+  if (lower == "date") return FieldType::kDate;
+  if (lower == "boolean" || lower == "bool") return FieldType::kBoolean;
+  return Status::InvalidArgument("unknown field type " + name);
+}
+
+class ModelParser {
+ public:
+  explicit ModelParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::unique_ptr<EntityGraph>> Parse() {
+    auto graph = std::make_unique<EntityGraph>();
+    while (!Peek().Is(TokenType::kEnd)) {
+      if (Peek().IsKeyword("entity")) {
+        NOSE_RETURN_IF_ERROR(ParseEntity(graph.get()));
+      } else if (Peek().IsKeyword("relationship")) {
+        NOSE_RETURN_IF_ERROR(ParseRelationship(graph.get()));
+      } else {
+        return Status::InvalidArgument(
+            "expected 'entity' or 'relationship' near '" + Peek().text + "'");
+      }
+    }
+    return graph;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  StatusOr<std::string> ExpectIdentifier() {
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().text + "'");
+    }
+    return Next().text;
+  }
+  StatusOr<uint64_t> ExpectNumber() {
+    if (!Peek().Is(TokenType::kNumber)) {
+      return Status::InvalidArgument("expected number near '" + Peek().text +
+                                     "'");
+    }
+    return static_cast<uint64_t>(std::stoull(Next().text));
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!Peek().IsSymbol(sym)) {
+      return Status::InvalidArgument(std::string("expected '") + sym +
+                                     "' near '" + Peek().text + "'");
+    }
+    Next();
+    return Status::Ok();
+  }
+
+  Status ParseEntity(EntityGraph* graph) {
+    Next();  // entity
+    NOSE_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    NOSE_ASSIGN_OR_RETURN(uint64_t count, ExpectNumber());
+    NOSE_RETURN_IF_ERROR(ExpectSymbol("{"));
+
+    // Optional custom primary-key name must come first.
+    std::string id_name;
+    if (Peek().IsKeyword("id")) {
+      Next();
+      NOSE_ASSIGN_OR_RETURN(id_name, ExpectIdentifier());
+    }
+    Entity entity(name, count, id_name);
+
+    while (!Peek().IsSymbol("}")) {
+      Field field;
+      NOSE_ASSIGN_OR_RETURN(field.name, ExpectIdentifier());
+      NOSE_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier());
+      NOSE_ASSIGN_OR_RETURN(field.type, ParseFieldType(type_name));
+      while (Peek().IsKeyword("card") || Peek().IsKeyword("size")) {
+        const bool is_card = Peek().IsKeyword("card");
+        Next();
+        NOSE_ASSIGN_OR_RETURN(uint64_t value, ExpectNumber());
+        if (is_card) {
+          field.cardinality = value;
+        } else {
+          field.size = static_cast<uint32_t>(value);
+        }
+      }
+      NOSE_RETURN_IF_ERROR(entity.AddField(std::move(field)));
+    }
+    Next();  // }
+    return graph->AddEntity(std::move(entity));
+  }
+
+  Status ParseRelationship(EntityGraph* graph) {
+    Next();  // relationship
+    Relationship rel;
+    NOSE_ASSIGN_OR_RETURN(rel.from_entity, ExpectIdentifier());
+    NOSE_ASSIGN_OR_RETURN(std::string card, ExpectIdentifier());
+    const std::string lower = AsciiLower(card);
+    if (lower == "one_to_one") {
+      rel.cardinality = Cardinality::kOneToOne;
+    } else if (lower == "one_to_many") {
+      rel.cardinality = Cardinality::kOneToMany;
+    } else if (lower == "many_to_many") {
+      rel.cardinality = Cardinality::kManyToMany;
+    } else {
+      return Status::InvalidArgument("unknown cardinality " + card);
+    }
+    NOSE_ASSIGN_OR_RETURN(rel.to_entity, ExpectIdentifier());
+    if (Peek().IsKeyword("as")) {
+      Next();
+      NOSE_ASSIGN_OR_RETURN(rel.forward_name, ExpectIdentifier());
+      NOSE_RETURN_IF_ERROR(ExpectSymbol("/"));
+      NOSE_ASSIGN_OR_RETURN(rel.reverse_name, ExpectIdentifier());
+    }
+    if (Peek().IsKeyword("links")) {
+      Next();
+      NOSE_ASSIGN_OR_RETURN(rel.link_count, ExpectNumber());
+    }
+    return graph->AddRelationship(std::move(rel));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<EntityGraph>> ParseModel(const std::string& text) {
+  NOSE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  ModelParser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace nose

@@ -1,0 +1,34 @@
+#ifndef NOSE_PARSER_MODEL_PARSER_H_
+#define NOSE_PARSER_MODEL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "model/entity_graph.h"
+#include "util/statusor.h"
+
+namespace nose {
+
+/// Parses the entity-graph DSL:
+///
+///   entity Hotel 100 {
+///     HotelName string
+///     HotelCity string card 20
+///     HotelAddress string size 64
+///   }
+///   entity Reservation 100000 {
+///     id ResID                     # optional custom primary-key name
+///     ResEndDate date card 365
+///   }
+///   relationship Hotel one_to_many Room as Rooms / Hotel
+///   relationship Hotel many_to_many POI as PointsOfInterest / Hotels links 1000
+///
+/// Field types: string, integer, float, date, boolean. Optional per-field
+/// attributes: `card N` (distinct values) and `size N` (bytes).
+/// Cardinalities: one_to_one, one_to_many, many_to_many. The names after
+/// `as` are the forward / reverse path-step names. `# comments` allowed.
+StatusOr<std::unique_ptr<EntityGraph>> ParseModel(const std::string& text);
+
+}  // namespace nose
+
+#endif  // NOSE_PARSER_MODEL_PARSER_H_

@@ -1,0 +1,506 @@
+#include "parser/statement_parser.h"
+
+#include <algorithm>
+
+#include "parser/lexer.h"
+#include "util/strings.h"
+
+namespace nose {
+
+namespace {
+
+/// Incrementally builds the statement's path: starts with the FROM clause
+/// and extends when dotted references walk past the current end (paper
+/// Fig. 3 carries the whole path in WHERE).
+class PathBuilder {
+ public:
+  PathBuilder(const EntityGraph& graph, std::string start)
+      : graph_(graph), entities_{std::move(start)} {}
+
+  const EntityGraph& graph() const { return graph_; }
+  const std::string& start() const { return entities_.front(); }
+
+  Status AppendStep(const std::string& step_name) {
+    std::optional<PathStep> step =
+        graph_.FindStep(entities_.back(), step_name);
+    if (!step.has_value()) {
+      return Status::NotFound("no relationship step named " + step_name +
+                              " leaving entity " + entities_.back());
+    }
+    const std::string& target = graph_.StepTarget(entities_.back(), *step);
+    if (std::find(entities_.begin(), entities_.end(), target) !=
+        entities_.end()) {
+      return Status::InvalidArgument("path revisits entity " + target);
+    }
+    step_names_.push_back(step_name);
+    entities_.push_back(target);
+    return Status::Ok();
+  }
+
+  /// Resolves a dotted reference (names[0..n-2] walk, names[n-1] field).
+  /// The first name must be an entity already on the path; intermediate
+  /// names are steps that must either follow the existing path or extend
+  /// it at the end.
+  StatusOr<FieldRef> ResolveRef(const std::vector<std::string>& names) {
+    if (names.size() < 2) {
+      return Status::InvalidArgument("field reference needs Entity.Field: " +
+                                     StrJoin(names, "."));
+    }
+    auto it = std::find(entities_.begin(), entities_.end(), names[0]);
+    if (it == entities_.end()) {
+      return Status::InvalidArgument("entity " + names[0] +
+                                     " is not on the statement path");
+    }
+    size_t pos = static_cast<size_t>(it - entities_.begin());
+    for (size_t k = 1; k + 1 < names.size(); ++k) {
+      std::optional<PathStep> step = graph_.FindStep(entities_[pos], names[k]);
+      if (!step.has_value()) {
+        return Status::NotFound("no relationship step named " + names[k] +
+                                " leaving entity " + entities_[pos]);
+      }
+      const std::string& target = graph_.StepTarget(entities_[pos], *step);
+      if (pos + 1 < entities_.size()) {
+        if (entities_[pos + 1] != target) {
+          return Status::InvalidArgument(
+              "reference " + StrJoin(names, ".") +
+              " branches off the statement path (all predicates must lie "
+              "along one path)");
+        }
+      } else {
+        NOSE_RETURN_IF_ERROR(AppendStep(names[k]));
+      }
+      ++pos;
+    }
+    FieldRef ref{entities_[pos], names.back()};
+    auto field = graph_.ResolveField(ref);
+    if (!field.ok()) return field.status();
+    return ref;
+  }
+
+  /// As ResolveRef but the last name may be "*": returns all fields.
+  StatusOr<std::vector<FieldRef>> ResolveSelectItem(
+      const std::vector<std::string>& names, bool star) {
+    if (star) {
+      std::vector<std::string> walk = names;
+      walk.push_back("");  // dummy field slot; resolve entity via prefix
+      // Walk to the entity.
+      auto it = std::find(entities_.begin(), entities_.end(), names[0]);
+      if (it == entities_.end()) {
+        return Status::InvalidArgument("entity " + names[0] +
+                                       " is not on the statement path");
+      }
+      size_t pos = static_cast<size_t>(it - entities_.begin());
+      for (size_t k = 1; k < names.size(); ++k) {
+        std::optional<PathStep> step =
+            graph_.FindStep(entities_[pos], names[k]);
+        if (!step.has_value()) {
+          return Status::NotFound("no relationship step named " + names[k] +
+                                  " leaving entity " + entities_[pos]);
+        }
+        const std::string& target = graph_.StepTarget(entities_[pos], *step);
+        if (pos + 1 < entities_.size()) {
+          if (entities_[pos + 1] != target) {
+            return Status::InvalidArgument("reference branches off the path");
+          }
+        } else {
+          NOSE_RETURN_IF_ERROR(AppendStep(names[k]));
+        }
+        ++pos;
+      }
+      std::vector<FieldRef> out;
+      for (const Field& f : graph_.GetEntity(entities_[pos]).fields()) {
+        out.push_back(FieldRef{entities_[pos], f.name});
+      }
+      return out;
+    }
+    NOSE_ASSIGN_OR_RETURN(FieldRef ref, ResolveRef(names));
+    return std::vector<FieldRef>{ref};
+  }
+
+  StatusOr<KeyPath> Build() const {
+    return graph_.ResolvePath(entities_.front(), step_names_);
+  }
+
+ private:
+  const EntityGraph& graph_;
+  std::vector<std::string> entities_;
+  std::vector<std::string> step_names_;
+};
+
+class Parser {
+ public:
+  Parser(const EntityGraph& graph, std::vector<Token> tokens)
+      : graph_(graph), tokens_(std::move(tokens)) {}
+
+  StatusOr<ParsedStatement> Parse() {
+    const Token& head = Peek();
+    if (head.IsKeyword("select")) return ParseSelect();
+    if (head.IsKeyword("insert")) return ParseInsert();
+    if (head.IsKeyword("update")) return ParseUpdateStmt();
+    if (head.IsKeyword("delete")) return ParseDelete();
+    if (head.IsKeyword("connect")) return ParseConnect(false);
+    if (head.IsKeyword("disconnect")) return ParseConnect(true);
+    return Status::InvalidArgument("statement must start with SELECT/INSERT/"
+                                   "UPDATE/DELETE/CONNECT/DISCONNECT");
+  }
+
+ private:
+  const Token& Peek(size_t k = 0) const {
+    const size_t i = std::min(pos_ + k, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool Accept(const char* keyword) {
+    if (Peek().IsKeyword(keyword)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const char* keyword) {
+    if (!Accept(keyword)) {
+      return Status::InvalidArgument(std::string("expected ") + keyword +
+                                     " near '" + Peek().text + "'");
+    }
+    return Status::Ok();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!Peek().IsSymbol(sym)) {
+      return Status::InvalidArgument(std::string("expected '") + sym +
+                                     "' near '" + Peek().text + "'");
+    }
+    Next();
+    return Status::Ok();
+  }
+  StatusOr<std::string> ExpectIdentifier() {
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().text + "'");
+    }
+    return Next().text;
+  }
+
+  /// Dotted name list; sets *star if the list ends with ".*".
+  StatusOr<std::vector<std::string>> ParseDottedNames(bool* star = nullptr) {
+    if (star != nullptr) *star = false;
+    std::vector<std::string> names;
+    NOSE_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    names.push_back(std::move(first));
+    while (Peek().IsSymbol(".")) {
+      Next();
+      if (star != nullptr && Peek().IsSymbol("*")) {
+        Next();
+        *star = true;
+        break;
+      }
+      NOSE_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      names.push_back(std::move(name));
+    }
+    return names;
+  }
+
+  std::string FreshParamName() { return "p" + std::to_string(++param_count_); }
+
+  /// Parses `= ?name` / `> 42` / ... into op + rhs.
+  StatusOr<Predicate> ParsePredicateTail(FieldRef field) {
+    Predicate pred;
+    pred.field = std::move(field);
+    const Token& op = Next();
+    if (!op.Is(TokenType::kSymbol)) {
+      return Status::InvalidArgument("expected comparison operator near '" +
+                                     op.text + "'");
+    }
+    if (op.text == "=") {
+      pred.op = PredicateOp::kEq;
+    } else if (op.text == "<") {
+      pred.op = PredicateOp::kLt;
+    } else if (op.text == "<=") {
+      pred.op = PredicateOp::kLe;
+    } else if (op.text == ">") {
+      pred.op = PredicateOp::kGt;
+    } else if (op.text == ">=") {
+      pred.op = PredicateOp::kGe;
+    } else if (op.text == "!=") {
+      pred.op = PredicateOp::kNe;
+    } else {
+      return Status::InvalidArgument("unknown operator " + op.text);
+    }
+    const Token& rhs = Next();
+    if (rhs.Is(TokenType::kParam)) {
+      pred.param = rhs.text.empty() ? FreshParamName() : rhs.text;
+    } else if (rhs.Is(TokenType::kNumber)) {
+      if (rhs.text.find('.') != std::string::npos) {
+        pred.literal = Value(std::stod(rhs.text));
+      } else {
+        pred.literal = Value(static_cast<int64_t>(std::stoll(rhs.text)));
+      }
+    } else if (rhs.Is(TokenType::kString)) {
+      pred.literal = Value(rhs.text);
+    } else if (rhs.IsKeyword("true") || rhs.IsKeyword("false")) {
+      pred.literal = Value(rhs.IsKeyword("true"));
+    } else {
+      return Status::InvalidArgument("expected parameter or literal near '" +
+                                     rhs.text + "'");
+    }
+    return pred;
+  }
+
+  StatusOr<std::vector<Predicate>> ParseWhere(PathBuilder* path) {
+    std::vector<Predicate> preds;
+    do {
+      NOSE_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                            ParseDottedNames());
+      NOSE_ASSIGN_OR_RETURN(FieldRef ref, path->ResolveRef(names));
+      NOSE_ASSIGN_OR_RETURN(Predicate pred, ParsePredicateTail(std::move(ref)));
+      preds.push_back(std::move(pred));
+    } while (Accept("and"));
+    return preds;
+  }
+
+  /// FROM clause: entity name followed by step names.
+  StatusOr<PathBuilder> ParseFromPath() {
+    NOSE_ASSIGN_OR_RETURN(std::string start, ExpectIdentifier());
+    if (graph_.FindEntity(start) == nullptr) {
+      return Status::NotFound("unknown entity " + start + " in FROM clause");
+    }
+    PathBuilder builder(graph_, std::move(start));
+    while (Peek().IsSymbol(".")) {
+      Next();
+      NOSE_ASSIGN_OR_RETURN(std::string step, ExpectIdentifier());
+      NOSE_RETURN_IF_ERROR(builder.AppendStep(step));
+    }
+    return builder;
+  }
+
+  StatusOr<ParsedStatement> ParseSelect() {
+    NOSE_RETURN_IF_ERROR(Expect("select"));
+    // Select items are resolved after FROM is known; stash the raw names.
+    struct Item {
+      std::vector<std::string> names;
+      bool star;
+    };
+    std::vector<Item> items;
+    do {
+      Item item;
+      NOSE_ASSIGN_OR_RETURN(item.names, ParseDottedNames(&item.star));
+      items.push_back(std::move(item));
+    } while (Peek().IsSymbol(",") && (Next(), true));
+    NOSE_RETURN_IF_ERROR(Expect("from"));
+    NOSE_ASSIGN_OR_RETURN(PathBuilder path, ParseFromPath());
+
+    std::vector<Predicate> preds;
+    if (Accept("where")) {
+      NOSE_ASSIGN_OR_RETURN(preds, ParseWhere(&path));
+    }
+    std::vector<OrderField> orders;
+    if (Accept("order")) {
+      NOSE_RETURN_IF_ERROR(Expect("by"));
+      do {
+        NOSE_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                              ParseDottedNames());
+        NOSE_ASSIGN_OR_RETURN(FieldRef ref, path.ResolveRef(names));
+        orders.push_back(OrderField{std::move(ref)});
+      } while (Peek().IsSymbol(",") && (Next(), true));
+    }
+    if (!Peek().Is(TokenType::kEnd)) {
+      return Status::InvalidArgument("unexpected trailing input near '" +
+                                     Peek().text + "'");
+    }
+
+    std::vector<FieldRef> select;
+    for (const Item& item : items) {
+      NOSE_ASSIGN_OR_RETURN(std::vector<FieldRef> refs,
+                            path.ResolveSelectItem(item.names, item.star));
+      for (FieldRef& r : refs) {
+        if (std::find(select.begin(), select.end(), r) == select.end()) {
+          select.push_back(std::move(r));
+        }
+      }
+    }
+    NOSE_ASSIGN_OR_RETURN(KeyPath key_path, path.Build());
+    Query query(std::move(key_path), std::move(select), std::move(preds),
+                std::move(orders));
+    NOSE_RETURN_IF_ERROR(query.Validate());
+    return ParsedStatement(std::move(query));
+  }
+
+  StatusOr<std::vector<SetClause>> ParseSetList() {
+    std::vector<SetClause> sets;
+    do {
+      SetClause set;
+      NOSE_ASSIGN_OR_RETURN(set.field, ExpectIdentifier());
+      NOSE_RETURN_IF_ERROR(ExpectSymbol("="));
+      const Token& rhs = Next();
+      if (rhs.Is(TokenType::kParam)) {
+        set.param = rhs.text.empty() ? FreshParamName() : rhs.text;
+      } else if (rhs.Is(TokenType::kNumber)) {
+        if (rhs.text.find('.') != std::string::npos) {
+          set.literal = Value(std::stod(rhs.text));
+        } else {
+          set.literal = Value(static_cast<int64_t>(std::stoll(rhs.text)));
+        }
+      } else if (rhs.Is(TokenType::kString)) {
+        set.literal = Value(rhs.text);
+      } else {
+        return Status::InvalidArgument("expected parameter or literal in SET");
+      }
+      sets.push_back(std::move(set));
+    } while (Peek().IsSymbol(",") && (Next(), true));
+    return sets;
+  }
+
+  StatusOr<ParsedStatement> ParseInsert() {
+    NOSE_RETURN_IF_ERROR(Expect("insert"));
+    NOSE_RETURN_IF_ERROR(Expect("into"));
+    NOSE_ASSIGN_OR_RETURN(std::string entity, ExpectIdentifier());
+    NOSE_RETURN_IF_ERROR(Expect("set"));
+    NOSE_ASSIGN_OR_RETURN(std::vector<SetClause> sets, ParseSetList());
+    std::vector<ConnectClause> connects;
+    if (Accept("and")) {
+      NOSE_RETURN_IF_ERROR(Expect("connect"));
+      NOSE_RETURN_IF_ERROR(Expect("to"));
+      do {
+        ConnectClause c;
+        NOSE_ASSIGN_OR_RETURN(c.step_name, ExpectIdentifier());
+        NOSE_RETURN_IF_ERROR(ExpectSymbol("("));
+        const Token& p = Next();
+        if (!p.Is(TokenType::kParam)) {
+          return Status::InvalidArgument("CONNECT TO expects a ?parameter");
+        }
+        c.param = p.text.empty() ? FreshParamName() : p.text;
+        NOSE_RETURN_IF_ERROR(ExpectSymbol(")"));
+        connects.push_back(std::move(c));
+      } while (Peek().IsSymbol(",") && (Next(), true));
+    }
+    if (!Peek().Is(TokenType::kEnd)) {
+      return Status::InvalidArgument("unexpected trailing input near '" +
+                                     Peek().text + "'");
+    }
+    NOSE_ASSIGN_OR_RETURN(
+        Update update,
+        Update::MakeInsert(&graph_, entity, std::move(sets),
+                           std::move(connects)));
+    return ParsedStatement(std::move(update));
+  }
+
+  StatusOr<ParsedStatement> ParseUpdateStmt() {
+    NOSE_RETURN_IF_ERROR(Expect("update"));
+    NOSE_ASSIGN_OR_RETURN(std::string entity, ExpectIdentifier());
+    if (graph_.FindEntity(entity) == nullptr) {
+      return Status::NotFound("unknown entity " + entity);
+    }
+    PathBuilder path(graph_, entity);
+    if (Accept("from")) {
+      NOSE_ASSIGN_OR_RETURN(std::string start, ExpectIdentifier());
+      if (start != entity) {
+        return Status::InvalidArgument(
+            "UPDATE FROM path must start at the updated entity " + entity);
+      }
+      while (Peek().IsSymbol(".")) {
+        Next();
+        NOSE_ASSIGN_OR_RETURN(std::string step, ExpectIdentifier());
+        NOSE_RETURN_IF_ERROR(path.AppendStep(step));
+      }
+    }
+    NOSE_RETURN_IF_ERROR(Expect("set"));
+    NOSE_ASSIGN_OR_RETURN(std::vector<SetClause> sets, ParseSetList());
+    std::vector<Predicate> preds;
+    if (Accept("where")) {
+      NOSE_ASSIGN_OR_RETURN(preds, ParseWhere(&path));
+    }
+    if (!Peek().Is(TokenType::kEnd)) {
+      return Status::InvalidArgument("unexpected trailing input near '" +
+                                     Peek().text + "'");
+    }
+    NOSE_ASSIGN_OR_RETURN(KeyPath key_path, path.Build());
+    NOSE_ASSIGN_OR_RETURN(Update update,
+                          Update::MakeUpdate(std::move(key_path),
+                                             std::move(sets),
+                                             std::move(preds)));
+    return ParsedStatement(std::move(update));
+  }
+
+  StatusOr<ParsedStatement> ParseDelete() {
+    NOSE_RETURN_IF_ERROR(Expect("delete"));
+    NOSE_RETURN_IF_ERROR(Expect("from"));
+    NOSE_ASSIGN_OR_RETURN(PathBuilder path, ParseFromPath());
+    std::vector<Predicate> preds;
+    if (Accept("where")) {
+      NOSE_ASSIGN_OR_RETURN(preds, ParseWhere(&path));
+    }
+    if (!Peek().Is(TokenType::kEnd)) {
+      return Status::InvalidArgument("unexpected trailing input near '" +
+                                     Peek().text + "'");
+    }
+    NOSE_ASSIGN_OR_RETURN(KeyPath key_path, path.Build());
+    NOSE_ASSIGN_OR_RETURN(
+        Update update, Update::MakeDelete(std::move(key_path), std::move(preds)));
+    return ParsedStatement(std::move(update));
+  }
+
+  StatusOr<ParsedStatement> ParseConnect(bool disconnect) {
+    NOSE_RETURN_IF_ERROR(Expect(disconnect ? "disconnect" : "connect"));
+    NOSE_ASSIGN_OR_RETURN(std::string entity, ExpectIdentifier());
+    NOSE_RETURN_IF_ERROR(ExpectSymbol("("));
+    const Token& fp = Next();
+    if (!fp.Is(TokenType::kParam)) {
+      return Status::InvalidArgument("expected ?parameter");
+    }
+    const std::string from_param = fp.text.empty() ? FreshParamName() : fp.text;
+    NOSE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    NOSE_RETURN_IF_ERROR(Expect(disconnect ? "from" : "to"));
+    NOSE_ASSIGN_OR_RETURN(std::string step, ExpectIdentifier());
+    NOSE_RETURN_IF_ERROR(ExpectSymbol("("));
+    const Token& tp = Next();
+    if (!tp.Is(TokenType::kParam)) {
+      return Status::InvalidArgument("expected ?parameter");
+    }
+    const std::string to_param = tp.text.empty() ? FreshParamName() : tp.text;
+    NOSE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (!Peek().Is(TokenType::kEnd)) {
+      return Status::InvalidArgument("unexpected trailing input near '" +
+                                     Peek().text + "'");
+    }
+    NOSE_ASSIGN_OR_RETURN(Update update,
+                          Update::MakeConnect(&graph_, entity, from_param,
+                                              step, to_param, disconnect));
+    return ParsedStatement(std::move(update));
+  }
+
+  const EntityGraph& graph_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int param_count_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ParsedStatement> ParseStatement(const EntityGraph& graph,
+                                         const std::string& text) {
+  NOSE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(graph, std::move(tokens));
+  return parser.Parse();
+}
+
+StatusOr<Query> ParseQuery(const EntityGraph& graph, const std::string& text) {
+  NOSE_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(graph, text));
+  if (!std::holds_alternative<Query>(stmt)) {
+    return Status::InvalidArgument("statement is not a query: " + text);
+  }
+  return std::get<Query>(std::move(stmt));
+}
+
+StatusOr<Update> ParseUpdate(const EntityGraph& graph,
+                             const std::string& text) {
+  NOSE_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(graph, text));
+  if (!std::holds_alternative<Update>(stmt)) {
+    return Status::InvalidArgument("statement is not an update: " + text);
+  }
+  return std::get<Update>(std::move(stmt));
+}
+
+}  // namespace nose

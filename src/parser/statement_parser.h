@@ -1,0 +1,49 @@
+#ifndef NOSE_PARSER_STATEMENT_PARSER_H_
+#define NOSE_PARSER_STATEMENT_PARSER_H_
+
+#include <string>
+#include <variant>
+
+#include "model/entity_graph.h"
+#include "util/statusor.h"
+#include "workload/query.h"
+#include "workload/update.h"
+
+namespace nose {
+
+using ParsedStatement = std::variant<Query, Update>;
+
+/// Parses one statement of the paper's SQL-like workload language
+/// (Figs. 3, 8, 9) against `graph`:
+///
+///   SELECT Guest.GuestName, Guest.GuestEmail
+///     FROM Guest.Reservations.Room.Hotel
+///     WHERE Hotel.HotelCity = ?city AND Room.RoomRate > ?rate
+///     ORDER BY Room.RoomRate
+///
+///   INSERT INTO Reservation SET ResID = ?, ResEndDate = ?date
+///     AND CONNECT TO Guest(?guest), Room(?room)
+///   UPDATE Reservation FROM Reservation.Guest SET ResEndDate = ?
+///     WHERE Guest.GuestID = ?guestid
+///   DELETE FROM Guest WHERE Guest.GuestID = ?guestid
+///   CONNECT Guest(?userid) TO Reservations(?resid)
+///   DISCONNECT Guest(?userid) FROM Reservations(?resid)
+///
+/// The FROM clause names the target entity followed by relationship steps.
+/// Field references are `Entity.Field` for entities on the path, or
+/// extended dotted paths (`Guest.Reservations.Room.RoomRate`) which
+/// implicitly extend the query path, as in the paper's Fig. 3 where the
+/// path is carried entirely by the WHERE clause. `SELECT Entity.*` expands
+/// to all attributes of the entity. Anonymous `?` parameters are named
+/// p1, p2, ... in statement order.
+StatusOr<ParsedStatement> ParseStatement(const EntityGraph& graph,
+                                         const std::string& text);
+
+/// As ParseStatement but requires a query / an update.
+StatusOr<Query> ParseQuery(const EntityGraph& graph, const std::string& text);
+StatusOr<Update> ParseUpdate(const EntityGraph& graph,
+                             const std::string& text);
+
+}  // namespace nose
+
+#endif  // NOSE_PARSER_STATEMENT_PARSER_H_

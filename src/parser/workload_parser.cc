@@ -1,0 +1,108 @@
+#include "parser/workload_parser.h"
+
+#include "parser/statement_parser.h"
+#include "util/strings.h"
+
+namespace nose {
+
+namespace {
+
+/// Strips '#' comments (outside string literals) so ';' splitting is safe.
+std::string StripComments(const std::string& text) {
+  std::string out;
+  bool in_string = false;
+  bool in_comment = false;
+  for (char c : text) {
+    if (in_comment) {
+      if (c == '\n') {
+        in_comment = false;
+        out += c;
+      }
+      continue;
+    }
+    if (c == '\'') in_string = !in_string;
+    if (c == '#' && !in_string) {
+      in_comment = true;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Workload>> ParseWorkload(const EntityGraph& graph,
+                                                  const std::string& text) {
+  auto workload = std::make_unique<Workload>(&graph);
+  for (const std::string& raw : StrSplit(StripComments(text), ';')) {
+    const std::string_view directive = StripWhitespace(raw);
+    if (directive.empty()) continue;
+
+    // First word selects the directive.
+    const size_t space = directive.find_first_of(" \t\n");
+    if (space == std::string_view::npos) {
+      return Status::InvalidArgument("malformed directive: " +
+                                     std::string(directive));
+    }
+    const std::string head = AsciiLower(directive.substr(0, space));
+    const std::string rest = std::string(StripWhitespace(directive.substr(space)));
+
+    if (head == "statement") {
+      // <name> <weight> : <statement>
+      const size_t colon = rest.find(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument("statement directive needs ':': " +
+                                       rest);
+      }
+      const std::vector<std::string> parts =
+          StrSplit(std::string(StripWhitespace(rest.substr(0, colon))), ' ');
+      std::vector<std::string> words;
+      for (const std::string& p : parts) {
+        if (!StripWhitespace(p).empty()) words.emplace_back(StripWhitespace(p));
+      }
+      if (words.size() != 2) {
+        return Status::InvalidArgument(
+            "statement directive needs '<name> <weight> :', got: " + rest);
+      }
+      const std::string& name = words[0];
+      double weight = 0.0;
+      try {
+        weight = std::stod(words[1]);
+      } catch (...) {
+        return Status::InvalidArgument("bad weight in: " + rest);
+      }
+      NOSE_ASSIGN_OR_RETURN(ParsedStatement stmt,
+                            ParseStatement(graph, rest.substr(colon + 1)));
+      if (std::holds_alternative<Query>(stmt)) {
+        NOSE_RETURN_IF_ERROR(workload->AddQuery(
+            name, std::get<Query>(std::move(stmt)), weight));
+      } else {
+        NOSE_RETURN_IF_ERROR(workload->AddUpdate(
+            name, std::get<Update>(std::move(stmt)), weight));
+      }
+    } else if (head == "weight") {
+      // <name> <mix> <weight>
+      std::vector<std::string> words;
+      for (const std::string& p : StrSplit(rest, ' ')) {
+        if (!StripWhitespace(p).empty()) words.emplace_back(StripWhitespace(p));
+      }
+      if (words.size() != 3) {
+        return Status::InvalidArgument(
+            "weight directive needs '<name> <mix> <weight>', got: " + rest);
+      }
+      double weight = 0.0;
+      try {
+        weight = std::stod(words[2]);
+      } catch (...) {
+        return Status::InvalidArgument("bad weight in: " + rest);
+      }
+      NOSE_RETURN_IF_ERROR(workload->SetWeight(words[0], words[1], weight));
+    } else {
+      return Status::InvalidArgument("unknown directive '" + head + "'");
+    }
+  }
+  return workload;
+}
+
+}  // namespace nose

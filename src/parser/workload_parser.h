@@ -1,0 +1,28 @@
+#ifndef NOSE_PARSER_WORKLOAD_PARSER_H_
+#define NOSE_PARSER_WORKLOAD_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "model/entity_graph.h"
+#include "util/statusor.h"
+#include "workload/workload.h"
+
+namespace nose {
+
+/// Parses a workload file: ';'-terminated directives.
+///
+///   statement get_guests 10.0 : SELECT Guest.GuestName FROM Guest
+///     WHERE Guest.GuestID = ?id ;
+///   statement upd_email 2 : UPDATE Guest SET GuestEmail = ?
+///     WHERE Guest.GuestID = ?id ;
+///   weight get_guests browsing 5.0 ;   # weight under another mix
+///
+/// The numeric weight after the statement name applies to the default mix.
+/// `# comments` are allowed anywhere.
+StatusOr<std::unique_ptr<Workload>> ParseWorkload(const EntityGraph& graph,
+                                                  const std::string& text);
+
+}  // namespace nose
+
+#endif  // NOSE_PARSER_WORKLOAD_PARSER_H_

@@ -1,0 +1,41 @@
+#include "planner/plan.h"
+
+#include "util/strings.h"
+
+namespace nose {
+
+std::string PlanStep::ToString() const {
+  std::string out = first ? "GET " : "JOIN-GET ";
+  out += cf != nullptr ? cf->ToString() : "<null>";
+  std::vector<std::string> notes;
+  if (access.partition_uses_id || access.clustering_uses_id) {
+    notes.push_back("bind-ids");
+  }
+  for (const Predicate& p : access.partition_preds) {
+    notes.push_back("pk:" + p.ToString());
+  }
+  for (const Predicate& p : access.clustering_eq) {
+    notes.push_back("ck:" + p.ToString());
+  }
+  if (access.pushed_range.has_value()) {
+    notes.push_back("range:" + access.pushed_range->ToString());
+  }
+  for (const Predicate& p : access.filters) {
+    notes.push_back("filter:" + p.ToString());
+  }
+  if (!notes.empty()) out += " (" + StrJoin(notes, ", ") + ")";
+  return out;
+}
+
+std::string QueryPlan::ToString() const {
+  std::string out;
+  if (query != nullptr) out += query->ToString() + "\n";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    out += "  " + std::to_string(i + 1) + ". " + steps[i].ToString() + "\n";
+  }
+  if (needs_sort) out += "  " + std::to_string(steps.size() + 1) + ". SORT\n";
+  out += "  estimated cost: " + std::to_string(cost) + "\n";
+  return out;
+}
+
+}  // namespace nose

@@ -1,0 +1,76 @@
+#ifndef NOSE_PLANNER_PLAN_H_
+#define NOSE_PLANNER_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schema/column_family.h"
+#include "workload/predicate.h"
+#include "workload/query.h"
+
+namespace nose {
+
+/// How one get-based plan step accesses a column family: which predicates
+/// are bound to the partition key, which are consumed by the clustering
+/// prefix, which range is pushed into the clustering scan, and which are
+/// filtered client-side afterwards (the application model's get / filter /
+/// sort / join primitives, paper §IV-B).
+struct AccessDetail {
+  /// Equality predicates bound to partition-key fields.
+  std::vector<Predicate> partition_preds;
+  /// True if the held entity-ID set binds a partition-key field.
+  bool partition_uses_id = false;
+  /// Equality predicates consumed as a clustering-key prefix.
+  std::vector<Predicate> clustering_eq;
+  /// True if the held entity-ID set binds a clustering-prefix field.
+  bool clustering_uses_id = false;
+  /// Range predicate pushed into the clustering scan, if any.
+  std::optional<Predicate> pushed_range;
+  /// Predicates evaluated client-side on the fetched rows.
+  std::vector<Predicate> filters;
+  /// True if this step's output arrives in the query's requested order.
+  bool sorted_output = false;
+
+  // --- cost bookkeeping (expectations) ---
+  double requests = 1.0;          ///< number of get operations issued
+  double rows_per_request = 1.0;  ///< records scanned per get
+  double rows_out = 1.0;          ///< rows surviving client filters
+  double step_cost = 0.0;         ///< get + filter cost of this step
+};
+
+/// One executed step of a query plan: a get against `cf` walking the query
+/// path from entity index `from_index` down to `to_index` (equal indices
+/// mean an in-place materialization lookup), followed by client filtering.
+struct PlanStep {
+  const ColumnFamily* cf = nullptr;
+  size_t from_index = 0;
+  size_t to_index = 0;
+  /// True for the plan's opening step (keyed by statement parameters
+  /// rather than by IDs produced by the previous step).
+  bool first = false;
+  AccessDetail access;
+
+  std::string ToString() const;
+};
+
+/// A complete implementation plan for one query: a chain of lookups joined
+/// client-side, plus an optional final sort.
+struct QueryPlan {
+  const Query* query = nullptr;
+  /// When set, keeps `query` alive (used for synthesized support queries
+  /// that have no owner elsewhere).
+  std::shared_ptr<const Query> owned_query;
+  std::vector<PlanStep> steps;
+  bool needs_sort = false;
+  double sort_cost = 0.0;
+  /// Total estimated cost including the sort.
+  double cost = 0.0;
+
+  std::string ToString() const;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_PLANNER_PLAN_H_

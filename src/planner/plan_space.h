@@ -1,0 +1,107 @@
+#ifndef NOSE_PLANNER_PLAN_SPACE_H_
+#define NOSE_PLANNER_PLAN_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "planner/plan.h"
+#include "schema/column_family.h"
+#include "util/statusor.h"
+#include "workload/query.h"
+
+namespace nose {
+
+/// An edge of the plan space: use candidate column family `cf_index` to
+/// advance from the owning state to `target_state` (kDone when the query is
+/// complete after this step).
+struct PlanSpaceEdge {
+  static constexpr int kDone = -1;
+
+  int target_state = kDone;
+  size_t cf_index = 0;
+  size_t from_index = 0;  ///< path entity index the step starts at (j)
+  size_t to_index = 0;    ///< path entity index the step lands on (i)
+  bool first = false;
+  AccessDetail access;
+  /// Edge cost: step cost plus, on query-completing edges, any client sort.
+  double cost = 0.0;
+  bool adds_sort = false;
+  double sort_cost = 0.0;
+};
+
+/// A state of the recursive query decomposition (paper Fig. 5/6): the plan
+/// has resolved the path suffix above entity `entity_index`; `pending_*`
+/// are predicates/select attributes of that entity not yet applied/fetched
+/// (deferred by a relaxed column family); `holds_ids` distinguishes the
+/// initial state (only statement parameters in hand) from later states
+/// (a concrete ID set in hand).
+struct PlanSpaceState {
+  size_t entity_index = 0;
+  std::vector<Predicate> pending_preds;
+  std::vector<FieldRef> pending_attrs;
+  bool holds_ids = false;
+  /// Outgoing alternatives. Empty means the state is a dead end.
+  std::vector<PlanSpaceEdge> edges;
+};
+
+/// The full space of implementation plans for one query over a candidate
+/// pool. States form a DAG rooted at states[0]; every root-to-kDone path is
+/// a valid plan. The schema optimizer turns this DAG into BIP constraints;
+/// plan recommendation extracts the min-cost path.
+class PlanSpace {
+ public:
+  const Query* query() const { return query_; }
+  const std::vector<PlanSpaceState>& states() const { return states_; }
+  bool HasPlan() const;
+
+  /// Minimum plan cost restricted to candidates where `allowed[cf_index]`
+  /// is true (all candidates when `allowed` is empty). Returns infinity if
+  /// no complete plan survives.
+  double BestCost(const std::vector<bool>& allowed = {}) const;
+
+  /// Extracts the min-cost plan under the same restriction.
+  StatusOr<QueryPlan> BestPlan(const std::vector<ColumnFamily>& pool,
+                               const std::vector<bool>& allowed = {}) const;
+
+  /// The (state index, edge index) pairs of the min-cost plan — the raw
+  /// path through the DAG (used e.g. to seed BIP warm starts).
+  StatusOr<std::vector<std::pair<size_t, size_t>>> BestPath(
+      const std::vector<bool>& allowed = {}) const;
+
+  std::string ToString(const std::vector<ColumnFamily>& pool) const;
+
+ private:
+  friend class QueryPlanner;
+
+  const Query* query_ = nullptr;
+  std::vector<PlanSpaceState> states_;
+};
+
+/// Builds plan spaces: enumerates every way of answering a query with gets
+/// against the candidate pool plus client-side filter/sort/join steps.
+class QueryPlanner {
+ public:
+  QueryPlanner(const CostModel* cost_model, const CardinalityEstimator* est)
+      : cost_(cost_model), est_(est) {}
+
+  /// Explores all decomposition states of `query` against `pool`.
+  /// The result references `query` (not owned).
+  PlanSpace Build(const Query& query,
+                  const std::vector<ColumnFamily>& pool) const;
+
+  /// Convenience: the best plan for `query` using only `pool` (e.g. a fixed
+  /// schema such as the normalized/expert baselines). Fails if the pool
+  /// cannot answer the query.
+  StatusOr<QueryPlan> PlanForSchema(const Query& query,
+                                    const std::vector<ColumnFamily>& pool) const;
+
+ private:
+  const CostModel* cost_;
+  const CardinalityEstimator* est_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_PLANNER_PLAN_SPACE_H_

@@ -1,0 +1,203 @@
+#include "randwl/random_workload.h"
+
+#include <algorithm>
+#include <set>
+
+namespace nose::randwl {
+
+namespace {
+
+std::string EntityName(size_t i) { return "E" + std::to_string(i); }
+
+/// Watts-Strogatz small-world edges over `n` nodes: ring of degree `k`,
+/// each edge rewired with probability `beta` (paper §VII-B cites
+/// Watts-Strogatz for the random entity graphs).
+std::vector<std::pair<size_t, size_t>> WattsStrogatzEdges(
+    size_t n, size_t k, double beta, Rng& rng) {
+  std::set<std::pair<size_t, size_t>> edges;
+  auto canon = [](size_t a, size_t b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 1; j <= k; ++j) {
+      size_t target = (i + j) % n;
+      if (target == i) continue;
+      if (rng.NextDouble() < beta) {
+        // Rewire to a uniform random non-self target.
+        for (int attempt = 0; attempt < 10; ++attempt) {
+          const size_t t = rng.Uniform(n);
+          if (t != i && edges.count(canon(i, t)) == 0) {
+            target = t;
+            break;
+          }
+        }
+      }
+      if (target != i) edges.insert(canon(i, target));
+    }
+  }
+  return {edges.begin(), edges.end()};
+}
+
+FieldType RandomFieldType(Rng& rng) {
+  switch (rng.Uniform(4)) {
+    case 0:
+      return FieldType::kInteger;
+    case 1:
+      return FieldType::kFloat;
+    case 2:
+      return FieldType::kString;
+    default:
+      return FieldType::kDate;
+  }
+}
+
+}  // namespace
+
+StatusOr<RandomWorkload> Generate(const GeneratorOptions& options) {
+  Rng rng(options.seed);
+  RandomWorkload out;
+  out.graph = std::make_unique<EntityGraph>();
+
+  // --- Entities with random attributes and sizes. ---
+  const size_t n = std::max<size_t>(2, options.num_entities);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t count = 100ull << rng.Uniform(8);  // 100 .. 12800
+    Entity entity(EntityName(i), count);
+    const size_t attrs = 2 + rng.Uniform(options.max_extra_attributes + 1);
+    for (size_t a = 0; a < attrs; ++a) {
+      Field field;
+      field.name = "A" + std::to_string(i) + "_" + std::to_string(a);
+      field.type = RandomFieldType(rng);
+      field.cardinality = 1 + rng.Uniform(count);
+      NOSE_RETURN_IF_ERROR(entity.AddField(std::move(field)));
+    }
+    NOSE_RETURN_IF_ERROR(out.graph->AddEntity(std::move(entity)));
+  }
+
+  // --- Relationships: random direction + cardinality per WS edge. ---
+  size_t rel_count = 0;
+  for (auto [a, b] : WattsStrogatzEdges(n, options.ws_k, options.ws_beta, rng)) {
+    if (rng.Chance(0.5)) std::swap(a, b);
+    Relationship rel;
+    rel.from_entity = EntityName(a);
+    rel.to_entity = EntityName(b);
+    rel.cardinality =
+        rng.Chance(0.8) ? Cardinality::kOneToMany : Cardinality::kManyToMany;
+    rel.forward_name = "r" + std::to_string(rel_count) + "_fwd";
+    rel.reverse_name = "r" + std::to_string(rel_count) + "_rev";
+    ++rel_count;
+    NOSE_RETURN_IF_ERROR(out.graph->AddRelationship(std::move(rel)));
+  }
+
+  // --- Statements: random walks with random predicates. ---
+  out.workload = std::make_unique<Workload>(out.graph.get());
+  auto random_path = [&]() -> KeyPath {
+    while (true) {
+      const std::string start = EntityName(rng.Uniform(n));
+      std::vector<std::string> steps;
+      std::set<std::string> visited = {start};
+      std::string current = start;
+      const size_t want = 1 + rng.Uniform(options.max_path_length);
+      for (size_t s = 0; s < want; ++s) {
+        // Collect candidate steps leaving `current`.
+        std::vector<std::pair<std::string, std::string>> choices;  // step, target
+        for (const Relationship& rel : out.graph->relationships()) {
+          if (rel.from_entity == current && visited.count(rel.to_entity) == 0) {
+            choices.emplace_back(rel.forward_name, rel.to_entity);
+          }
+          if (rel.to_entity == current && visited.count(rel.from_entity) == 0) {
+            choices.emplace_back(rel.reverse_name, rel.from_entity);
+          }
+        }
+        if (choices.empty()) break;
+        const auto& [step, target] = choices[rng.Uniform(choices.size())];
+        steps.push_back(step);
+        visited.insert(target);
+        current = target;
+      }
+      if (steps.empty()) continue;  // retry: need a real path
+      auto path = out.graph->ResolvePath(start, steps);
+      if (path.ok()) return std::move(path).value();
+    }
+  };
+
+  auto random_attr = [&](const std::string& entity) -> FieldRef {
+    const Entity& e = out.graph->GetEntity(entity);
+    const Field& f = e.fields()[rng.Uniform(e.fields().size())];
+    return FieldRef{entity, f.name};
+  };
+
+  int param_count = 0;
+  auto fresh_param = [&]() { return "p" + std::to_string(++param_count); };
+
+  for (size_t s = 0; s < options.num_statements; ++s) {
+    const std::string name = "stmt" + std::to_string(s);
+    const bool is_update = rng.NextDouble() < options.update_fraction;
+    KeyPath path = random_path();
+    const size_t last = path.NumEntities() - 1;
+
+    if (!is_update) {
+      // Query: anchor equality on the deepest entity, up to two more
+      // predicates along the path (paper: three predicates per statement).
+      std::vector<Predicate> preds;
+      preds.push_back(Predicate{random_attr(path.EntityAt(last)),
+                                PredicateOp::kEq, std::nullopt, fresh_param()});
+      for (int extra = 0; extra < 2; ++extra) {
+        if (!rng.Chance(0.7)) continue;
+        const size_t pos = rng.Uniform(path.NumEntities());
+        const PredicateOp op = rng.Chance(0.5) ? PredicateOp::kEq
+                               : rng.Chance(0.5) ? PredicateOp::kGt
+                                                 : PredicateOp::kLt;
+        preds.push_back(Predicate{random_attr(path.EntityAt(pos)), op,
+                                  std::nullopt, fresh_param()});
+      }
+      std::vector<FieldRef> select;
+      const size_t nsel = 1 + rng.Uniform(2);
+      for (size_t k = 0; k < nsel; ++k) {
+        const FieldRef ref = random_attr(path.EntityAt(0));
+        if (std::find(select.begin(), select.end(), ref) == select.end()) {
+          select.push_back(ref);
+        }
+      }
+      Query query(path, std::move(select), std::move(preds), {});
+      if (!query.Validate().ok()) {
+        --s;  // regenerate (e.g. duplicate predicate field edge cases)
+        continue;
+      }
+      NOSE_RETURN_IF_ERROR(
+          out.workload->AddQuery(name, std::move(query), 1.0 + rng.Uniform(10)));
+    } else {
+      // Update: set random non-key attributes of the path's first entity,
+      // selected by an ID equality at a random path position.
+      const std::string& target = path.EntityAt(0);
+      const Entity& te = out.graph->GetEntity(target);
+      std::vector<SetClause> sets;
+      for (const Field& f : te.fields()) {
+        if (f.type == FieldType::kId) continue;
+        if (sets.size() < 2 && rng.Chance(0.35)) {
+          sets.push_back(SetClause{f.name, std::nullopt, fresh_param()});
+        }
+      }
+      if (sets.empty() && te.fields().size() > 1) {
+        sets.push_back(SetClause{te.fields()[1].name, std::nullopt,
+                                 fresh_param()});
+      }
+      const size_t pos = rng.Uniform(path.NumEntities());
+      const std::string& pred_entity = path.EntityAt(pos);
+      std::vector<Predicate> preds = {
+          Predicate{FieldRef{pred_entity,
+                             out.graph->GetEntity(pred_entity).id_field().name},
+                    PredicateOp::kEq, std::nullopt, fresh_param()}};
+      auto update = Update::MakeUpdate(path, std::move(sets), std::move(preds));
+      if (!update.ok()) {
+        --s;
+        continue;
+      }
+      NOSE_RETURN_IF_ERROR(out.workload->AddUpdate(
+          name, std::move(update).value(), 1.0 + rng.Uniform(5)));
+    }
+  }
+  return out;
+}
+
+}  // namespace nose::randwl

@@ -1,0 +1,48 @@
+#ifndef NOSE_RANDWL_RANDOM_WORKLOAD_H_
+#define NOSE_RANDWL_RANDOM_WORKLOAD_H_
+
+#include <memory>
+
+#include "model/entity_graph.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+#include "workload/workload.h"
+
+namespace nose::randwl {
+
+/// Parameters of the random model/workload generator used to measure
+/// advisor runtime at scale (paper §VII-B, Fig. 13).
+struct GeneratorOptions {
+  /// Number of entity sets (scaled by the experiment's factor). The
+  /// defaults approximate the RUBiS workload's proportions (paper §VII-B:
+  /// "a random workload having similar properties to the RUBiS workload").
+  size_t num_entities = 6;
+  /// Number of statements (scaled by the experiment's factor).
+  size_t num_statements = 12;
+  /// Fraction of statements that are updates.
+  double update_fraction = 0.3;
+  /// Watts-Strogatz ring degree (each node connects to k nearest).
+  size_t ws_k = 2;
+  /// Watts-Strogatz rewiring probability.
+  double ws_beta = 0.1;
+  /// Attributes per entity: 2 + Uniform(max_extra_attributes).
+  size_t max_extra_attributes = 5;
+  /// Maximum random-walk length for statement paths.
+  size_t max_path_length = 2;
+  uint64_t seed = 1;
+};
+
+struct RandomWorkload {
+  std::unique_ptr<EntityGraph> graph;
+  std::unique_ptr<Workload> workload;
+};
+
+/// Generates a random entity graph (Watts-Strogatz topology, random edge
+/// directions and cardinalities, random attributes) plus a workload of
+/// random-walk queries with up to three predicates and random updates —
+/// the input distribution of the paper's advisor-runtime experiment.
+StatusOr<RandomWorkload> Generate(const GeneratorOptions& options);
+
+}  // namespace nose::randwl
+
+#endif  // NOSE_RANDWL_RANDOM_WORKLOAD_H_

@@ -1,0 +1,178 @@
+#include "rubis/datagen.h"
+
+#include "util/strings.h"
+
+namespace nose::rubis {
+
+namespace {
+
+// Relationship indices, in the order MakeGraph declares them.
+enum RelIndex {
+  kRegionUsers = 0,
+  kCategoryItems,
+  kUserSelling,
+  kUserBids,
+  kItemBids,
+  kUserBuyNows,
+  kItemBuyNows,
+  kUserCommentsWritten,
+  kUserCommentsReceived,
+  kCategoryOldItems,
+  kUserOldSelling,
+};
+
+int64_t I(size_t v) { return static_cast<int64_t>(v); }
+
+}  // namespace
+
+Dataset GenerateData(EntityGraph* graph, const ModelScale& scale,
+                     uint64_t seed) {
+  Dataset data(graph);
+  Rng rng(seed);
+  ZipfDistribution item_zipf(scale.items, 1.0);
+
+  for (size_t r = 0; r < scale.regions; ++r) {
+    data.AddRow("Region",
+                {I(r), Value(I(1)), Value("Region" + std::to_string(r))});
+  }
+  for (size_t c = 0; c < scale.categories; ++c) {
+    data.AddRow("Category",
+                {I(c), Value(I(1)), Value("Category" + std::to_string(c))});
+  }
+  for (size_t u = 0; u < scale.users; ++u) {
+    data.AddRow("User", {I(u), Value("user" + std::to_string(u)),
+                         Value("user" + std::to_string(u) + "@rubis.com"),
+                         Value(std::string("hunter2")),
+                         Value(I(rng.Uniform(100))),
+                         Value(static_cast<double>(rng.Uniform(100000)) / 100.0),
+                         Value(I(rng.Uniform(1000)))});
+    data.AddLink(kRegionUsers, rng.Uniform(scale.regions), u);
+  }
+  for (size_t i = 0; i < scale.items; ++i) {
+    const double initial = 1.0 + static_cast<double>(rng.Uniform(99900)) / 100.0;
+    data.AddRow(
+        "Item",
+        {I(i), Value("item" + std::to_string(i)),
+         Value("description of item " + std::to_string(i)), Value(initial),
+         Value(I(1 + rng.Uniform(10))), Value(initial * 1.2),
+         Value(initial * 2.0), Value(I(0)), Value(0.0),
+         Value(I(rng.Uniform(1000))), Value(I(rng.Uniform(1000)))});
+    data.AddLink(kCategoryItems, rng.Uniform(scale.categories), i);
+    data.AddLink(kUserSelling, rng.Uniform(scale.users), i);
+  }
+  for (size_t o = 0; o < scale.old_items; ++o) {
+    data.AddRow("OldItem",
+                {I(o), Value("olditem" + std::to_string(o)),
+                 Value("old description " + std::to_string(o)),
+                 Value(I(rng.Uniform(1000))),
+                 Value(static_cast<double>(rng.Uniform(100000)) / 100.0)});
+    data.AddLink(kCategoryOldItems, rng.Uniform(scale.categories), o);
+    data.AddLink(kUserOldSelling, rng.Uniform(scale.users), o);
+  }
+  for (size_t b = 0; b < scale.bids; ++b) {
+    data.AddRow("Bid",
+                {I(b), Value(I(1 + rng.Uniform(5))),
+                 Value(static_cast<double>(rng.Uniform(100000)) / 100.0),
+                 Value(I(rng.Uniform(1000)))});
+    data.AddLink(kUserBids, rng.Uniform(scale.users), b);
+    data.AddLink(kItemBids, item_zipf.Sample(rng), b);
+  }
+  for (size_t b = 0; b < scale.buynows; ++b) {
+    data.AddRow("BuyNow", {I(b), Value(I(1 + rng.Uniform(3))),
+                           Value(I(rng.Uniform(1000)))});
+    data.AddLink(kUserBuyNows, rng.Uniform(scale.users), b);
+    data.AddLink(kItemBuyNows, item_zipf.Sample(rng), b);
+  }
+  for (size_t c = 0; c < scale.comments; ++c) {
+    data.AddRow("Comment",
+                {I(c), Value(I(rng.Uniform(10))), Value(I(rng.Uniform(1000))),
+                 Value("comment text " + std::to_string(c))});
+    data.AddLink(kUserCommentsWritten, rng.Uniform(scale.users), c);
+    data.AddLink(kUserCommentsReceived, rng.Uniform(scale.users), c);
+  }
+
+  data.SyncCountsTo(graph);
+  return data;
+}
+
+ParamGenerator::ParamGenerator(const Dataset* data, uint64_t seed)
+    : data_(data),
+      rng_(seed),
+      item_zipf_(std::max<size_t>(1, data->RowCount("Item")), 1.0),
+      next_fresh_id_(1000000000) {}
+
+Value ParamGenerator::ValueForParam(const std::string& name) {
+  auto uniform_id = [&](const char* entity) {
+    return Value(static_cast<int64_t>(
+        rng_.Uniform(std::max<size_t>(1, data_->RowCount(entity)))));
+  };
+  // Fresh primary keys for INSERT statements.
+  if (StartsWith(name, "itemid") || StartsWith(name, "userid") ||
+      StartsWith(name, "bidid") || StartsWith(name, "buynowid") ||
+      StartsWith(name, "commentid")) {
+    return Value(next_fresh_id_++);
+  }
+  if (StartsWith(name, "item")) {
+    return Value(static_cast<int64_t>(item_zipf_.Sample(rng_)));
+  }
+  if (StartsWith(name, "touser") || StartsWith(name, "user")) {
+    return uniform_id("User");
+  }
+  if (StartsWith(name, "category")) return uniform_id("Category");
+  if (StartsWith(name, "region")) return uniform_id("Region");
+  if (StartsWith(name, "comment")) return uniform_id("Comment");
+  if (StartsWith(name, "now") || StartsWith(name, "end") ||
+      StartsWith(name, "date")) {
+    return Value(static_cast<int64_t>(rng_.Uniform(1000)));
+  }
+  if (StartsWith(name, "qty")) {
+    return Value(static_cast<int64_t>(1 + rng_.Uniform(10)));
+  }
+  if (StartsWith(name, "rating")) {
+    return Value(static_cast<int64_t>(rng_.Uniform(10)));
+  }
+  if (StartsWith(name, "nbbids")) {
+    return Value(static_cast<int64_t>(rng_.Uniform(100)));
+  }
+  if (StartsWith(name, "price")) {
+    return Value(static_cast<double>(rng_.Uniform(100000)) / 100.0);
+  }
+  if (StartsWith(name, "name") || StartsWith(name, "text")) {
+    return Value("generated-" + std::to_string(rng_.Uniform(1000000)));
+  }
+  return Value(static_cast<int64_t>(0));
+}
+
+PlanExecutor::Params ParamGenerator::ForStatement(const WorkloadEntry& entry) {
+  PlanExecutor::Params params;
+  AddStatementParams(entry, &params);
+  return params;
+}
+
+void ParamGenerator::AddStatementParams(const WorkloadEntry& entry,
+                                        PlanExecutor::Params* out) {
+  PlanExecutor::Params& params = *out;
+  auto add = [&](const std::string& name) {
+    if (!name.empty() && params.count(name) == 0) {
+      params[name] = ValueForParam(name);
+    }
+  };
+  if (entry.IsQuery()) {
+    for (const Predicate& p : entry.query().predicates()) {
+      if (!p.literal.has_value()) add(p.param);
+    }
+  } else {
+    const Update& u = entry.update();
+    for (const Predicate& p : u.predicates()) {
+      if (!p.literal.has_value()) add(p.param);
+    }
+    for (const SetClause& s : u.sets()) {
+      if (!s.literal.has_value()) add(s.param);
+    }
+    for (const ConnectClause& c : u.connects()) add(c.param);
+    add(u.from_param());
+    add(u.to_param());
+  }
+}
+
+}  // namespace nose::rubis

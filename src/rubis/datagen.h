@@ -1,0 +1,48 @@
+#ifndef NOSE_RUBIS_DATAGEN_H_
+#define NOSE_RUBIS_DATAGEN_H_
+
+#include "executor/dataset.h"
+#include "executor/plan_executor.h"
+#include "rubis/model.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace nose::rubis {
+
+/// Generates a deterministic RUBiS dataset: entity instances sized per
+/// `scale`, bids/buynows Zipf-skewed over items (popular auctions attract
+/// most bids), comments between random user pairs. IDs are dense int64 row
+/// indices. Also syncs the generated counts into `graph` so the advisor's
+/// cost model matches the data.
+Dataset GenerateData(EntityGraph* graph, const ModelScale& scale,
+                     uint64_t seed);
+
+/// Draws statement parameters consistent with a generated dataset: IDs are
+/// sampled from the populated ranges (items Zipf-skewed), fresh primary
+/// keys for INSERTs are allocated past the loaded range, dates/prices/
+/// quantities are sampled from the generator's distributions.
+class ParamGenerator {
+ public:
+  ParamGenerator(const Dataset* data, uint64_t seed);
+
+  /// Parameters for one workload statement (all its `?params` bound).
+  PlanExecutor::Params ForStatement(const WorkloadEntry& entry);
+
+  /// Adds missing parameters of `entry` into `params` (shared names keep
+  /// their existing values, so the statements of one transaction agree on
+  /// ?item, ?user, ...).
+  void AddStatementParams(const WorkloadEntry& entry,
+                          PlanExecutor::Params* params);
+
+ private:
+  Value ValueForParam(const std::string& name);
+
+  const Dataset* data_;
+  Rng rng_;
+  ZipfDistribution item_zipf_;
+  int64_t next_fresh_id_;
+};
+
+}  // namespace nose::rubis
+
+#endif  // NOSE_RUBIS_DATAGEN_H_

@@ -1,0 +1,111 @@
+#include "rubis/expert_schema.h"
+
+#include "model/entity_graph.h"
+
+namespace nose::rubis {
+
+StatusOr<Schema> ExpertSchema(const EntityGraph& graph) {
+  Schema schema;
+  auto add = [&](const char* name, StatusOr<KeyPath> path,
+                 std::vector<FieldRef> pk, std::vector<FieldRef> ck,
+                 std::vector<FieldRef> values) -> Status {
+    NOSE_RETURN_IF_ERROR(path.status());
+    NOSE_ASSIGN_OR_RETURN(ColumnFamily cf,
+                          ColumnFamily::Create(std::move(path).value(),
+                                               std::move(pk), std::move(ck),
+                                               std::move(values)));
+    schema.Add(std::move(cf), name);
+    return Status::Ok();
+  };
+
+  // Entity lookup tables (user / item pages and update targets).
+  NOSE_RETURN_IF_ERROR(add(
+      "users", graph.SingleEntityPath("User"), {{"User", "UserID"}}, {},
+      {{"User", "UserName"},
+       {"User", "UserEmail"},
+       {"User", "UserPassword"},
+       {"User", "UserRating"},
+       {"User", "UserBalance"},
+       {"User", "UserCreationDate"}}));
+  NOSE_RETURN_IF_ERROR(add(
+      "items", graph.SingleEntityPath("Item"), {{"Item", "ItemID"}}, {},
+      {{"Item", "ItemName"},
+       {"Item", "ItemDescription"},
+       {"Item", "ItemInitialPrice"},
+       {"Item", "ItemQuantity"},
+       {"Item", "ItemReservePrice"},
+       {"Item", "ItemBuyNowPrice"},
+       {"Item", "ItemNbOfBids"},
+       {"Item", "ItemMaxBid"},
+       {"Item", "ItemStartDate"},
+       {"Item", "ItemEndDate"}}));
+
+  // Browse pages.
+  NOSE_RETURN_IF_ERROR(add("categories", graph.SingleEntityPath("Category"),
+                           {{"Category", "Dummy"}},
+                           {{"Category", "CategoryID"}},
+                           {{"Category", "CategoryName"}}));
+  NOSE_RETURN_IF_ERROR(add(
+      "items_by_category", graph.ResolvePath("Item", {"Category"}),
+      {{"Category", "CategoryID"}},
+      {{"Item", "ItemEndDate"}, {"Item", "ItemID"}},
+      {{"Item", "ItemName"}, {"Item", "ItemInitialPrice"},
+       {"Item", "ItemMaxBid"}}));
+
+  // Item page: seller block.
+  NOSE_RETURN_IF_ERROR(add("item_seller",
+                           graph.ResolvePath("Item", {"Seller"}),
+                           {{"Item", "ItemID"}}, {{"User", "UserID"}},
+                           {{"User", "UserName"}, {"User", "UserRating"}}));
+
+  // Bid history page (bidder names denormalized into the bid row).
+  NOSE_RETURN_IF_ERROR(add(
+      "bids_by_item", graph.ResolvePath("Item", {"ItemBids", "Bidder"}),
+      {{"Item", "ItemID"}}, {{"Bid", "BidID"}, {"User", "UserID"}},
+      {{"Bid", "BidQty"}, {"Bid", "BidPrice"}, {"Bid", "BidDate"},
+       {"User", "UserName"}}));
+
+  // User page: comments received + author lookup.
+  NOSE_RETURN_IF_ERROR(add(
+      "comments_by_user", graph.ResolvePath("Comment", {"ToUser"}),
+      {{"User", "UserID"}}, {{"Comment", "CommentID"}},
+      {{"Comment", "CommentText"}, {"Comment", "CommentRating"},
+       {"Comment", "CommentDate"}}));
+  NOSE_RETURN_IF_ERROR(add("comment_authors",
+                           graph.ResolvePath("Comment", {"FromUser"}),
+                           {{"Comment", "CommentID"}}, {{"User", "UserID"}},
+                           {{"User", "UserName"}}));
+
+  // AboutMe blocks.
+  NOSE_RETURN_IF_ERROR(add(
+      "items_by_seller", graph.ResolvePath("Item", {"Seller"}),
+      {{"User", "UserID"}}, {{"Item", "ItemID"}},
+      {{"Item", "ItemName"}, {"Item", "ItemEndDate"},
+       {"Item", "ItemMaxBid"}}));
+  NOSE_RETURN_IF_ERROR(add(
+      "bids_by_user", graph.ResolvePath("Item", {"ItemBids", "Bidder"}),
+      {{"User", "UserID"}}, {{"Bid", "BidID"}, {"Item", "ItemID"}},
+      {{"Bid", "BidPrice"}, {"Bid", "BidDate"}, {"Item", "ItemName"}}));
+  NOSE_RETURN_IF_ERROR(add(
+      "buynows_by_user",
+      graph.ResolvePath("Item", {"ItemBuyNows", "Buyer"}),
+      {{"User", "UserID"}}, {{"BuyNow", "BuyNowID"}, {"Item", "ItemID"}},
+      {{"BuyNow", "BuyNowDate"}, {"Item", "ItemName"}}));
+  NOSE_RETURN_IF_ERROR(add(
+      "olditems_by_seller", graph.ResolvePath("OldItem", {"OldSeller"}),
+      {{"User", "UserID"}}, {{"OldItem", "OldItemID"}},
+      {{"OldItem", "OldItemName"}, {"OldItem", "OldItemMaxBid"}}));
+
+  // Item -> category/end-date lookup: lets update_item_bids and
+  // register_item maintain items_by_category without scanning.
+  NOSE_RETURN_IF_ERROR(add("item_category",
+                           graph.ResolvePath("Item", {"Category"}),
+                           {{"Item", "ItemID"}},
+                           {{"Category", "CategoryID"}},
+                           {{"Item", "ItemEndDate"}, {"Item", "ItemName"},
+                            {"Item", "ItemInitialPrice"}}));
+
+  return schema;
+}
+
+}  // namespace nose::rubis

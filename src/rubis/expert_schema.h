@@ -1,0 +1,19 @@
+#ifndef NOSE_RUBIS_EXPERT_SCHEMA_H_
+#define NOSE_RUBIS_EXPERT_SCHEMA_H_
+
+#include "schema/schema.h"
+#include "util/statusor.h"
+
+namespace nose::rubis {
+
+/// The hand-designed "expert" schema of the paper's evaluation (§VII-A):
+/// one denormalized column family per page the bidding workload serves,
+/// shared across transactions where a Cassandra practitioner would reuse a
+/// table, plus the per-entity lookup tables updates need. Encodes the
+/// rules of thumb (denormalize read paths, key by the access pattern)
+/// without any cost-based search.
+StatusOr<Schema> ExpertSchema(const EntityGraph& graph);
+
+}  // namespace nose::rubis
+
+#endif  // NOSE_RUBIS_EXPERT_SCHEMA_H_

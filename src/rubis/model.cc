@@ -1,0 +1,74 @@
+#include "rubis/model.h"
+
+#include "parser/model_parser.h"
+
+namespace nose::rubis {
+
+StatusOr<std::unique_ptr<EntityGraph>> MakeGraph(const ModelScale& scale) {
+  auto n = [](size_t v) { return std::to_string(v); };
+  const std::string dsl = R"(
+# RUBiS conceptual model (8 entity sets, 11 relationships).
+entity Region )" + n(scale.regions) + R"( {
+  Dummy integer card 1
+  RegionName string
+}
+entity Category )" + n(scale.categories) + R"( {
+  Dummy integer card 1
+  CategoryName string
+}
+entity User )" + n(scale.users) + R"( {
+  UserName string
+  UserEmail string
+  UserPassword string size 16
+  UserRating integer card 100
+  UserBalance float card 1000
+  UserCreationDate date card 1000
+}
+entity Item )" + n(scale.items) + R"( {
+  ItemName string
+  ItemDescription string size 200
+  ItemInitialPrice float card 1000
+  ItemQuantity integer card 10
+  ItemReservePrice float card 1000
+  ItemBuyNowPrice float card 1000
+  ItemNbOfBids integer card 100
+  ItemMaxBid float card 1000
+  ItemStartDate date card 1000
+  ItemEndDate date card 1000
+}
+entity OldItem )" + n(scale.old_items) + R"( {
+  OldItemName string
+  OldItemDescription string size 200
+  OldItemEndDate date card 1000
+  OldItemMaxBid float card 1000
+}
+entity Bid )" + n(scale.bids) + R"( {
+  BidQty integer card 10
+  BidPrice float card 1000
+  BidDate date card 1000
+}
+entity BuyNow )" + n(scale.buynows) + R"( {
+  BuyNowQty integer card 10
+  BuyNowDate date card 1000
+}
+entity Comment )" + n(scale.comments) + R"( {
+  CommentRating integer card 10
+  CommentDate date card 1000
+  CommentText string size 200
+}
+relationship Region one_to_many User as Users / Region
+relationship Category one_to_many Item as Items / Category
+relationship User one_to_many Item as Selling / Seller
+relationship User one_to_many Bid as Bids / Bidder
+relationship Item one_to_many Bid as ItemBids / Item
+relationship User one_to_many BuyNow as BuyNows / Buyer
+relationship Item one_to_many BuyNow as ItemBuyNows / Item
+relationship User one_to_many Comment as CommentsWritten / FromUser
+relationship User one_to_many Comment as CommentsReceived / ToUser
+relationship Category one_to_many OldItem as OldItems / OldCategory
+relationship User one_to_many OldItem as OldSelling / OldSeller
+)";
+  return ParseModel(dsl);
+}
+
+}  // namespace nose::rubis

@@ -1,0 +1,35 @@
+#ifndef NOSE_RUBIS_MODEL_H_
+#define NOSE_RUBIS_MODEL_H_
+
+#include <memory>
+
+#include "model/entity_graph.h"
+#include "util/statusor.h"
+
+namespace nose::rubis {
+
+/// Baseline entity counts at scale 1 (multiplied by the data generator's
+/// scale factor; `Dataset::SyncCountsTo` overwrites them with the generated
+/// sizes before advising).
+struct ModelScale {
+  size_t regions = 10;
+  size_t categories = 20;
+  size_t users = 2000;
+  size_t items = 4000;
+  size_t old_items = 2000;
+  size_t bids = 20000;
+  size_t buynows = 1000;
+  size_t comments = 4000;
+};
+
+/// Builds the RUBiS conceptual model used in the paper's evaluation
+/// (§VII-A): eight entity sets — Region, Category, User, Item, OldItem,
+/// Bid, BuyNow, Comment — and eleven relationships. `Dummy` attributes on
+/// Region/Category support the browse-all pages (constant-value partition
+/// key), mirroring the trick the NoSE prototype's RUBiS workload uses.
+StatusOr<std::unique_ptr<EntityGraph>> MakeGraph(
+    const ModelScale& scale = ModelScale());
+
+}  // namespace nose::rubis
+
+#endif  // NOSE_RUBIS_MODEL_H_

@@ -1,0 +1,45 @@
+#ifndef NOSE_RUBIS_WORKLOAD_H_
+#define NOSE_RUBIS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+#include "workload/workload.h"
+
+namespace nose::rubis {
+
+/// Mix names used by the Fig. 12 experiment.
+inline constexpr const char* kBiddingMix = "default";  // bidding == default
+inline constexpr const char* kBrowsingMix = "browsing";
+inline constexpr const char* kWrite10xMix = "write10x";
+inline constexpr const char* kWrite100xMix = "write100x";
+
+/// One RUBiS user transaction: a named group of workload statements
+/// executed together for a single request to the application server
+/// (Fig. 11's x-axis categories).
+struct Transaction {
+  std::string name;
+  std::vector<std::string> statements;
+  /// Relative frequency in the bidding / browsing mixes (0 = absent).
+  double bidding_weight = 0.0;
+  double browsing_weight = 0.0;
+  /// True if the transaction writes (its weight scales in the 10x/100x
+  /// mixes, paper §VII-A).
+  bool is_write = false;
+};
+
+/// The fourteen RUBiS bidding-workload transactions. Region browse/search
+/// pages are excluded as in the paper.
+const std::vector<Transaction>& Transactions();
+
+/// Builds the full RUBiS workload over `graph`: every statement of every
+/// transaction, with statement weights equal to the sum of the weights of
+/// the transactions using them under each mix (bidding = default mix,
+/// browsing, write10x, write100x).
+StatusOr<std::unique_ptr<Workload>> MakeWorkload(const EntityGraph& graph);
+
+}  // namespace nose::rubis
+
+#endif  // NOSE_RUBIS_WORKLOAD_H_

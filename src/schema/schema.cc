@@ -1,0 +1,46 @@
+#include "schema/schema.h"
+
+namespace nose {
+
+std::string Schema::Add(ColumnFamily cf, std::string name) {
+  auto it = by_key_.find(cf.key());
+  if (it != by_key_.end()) return names_[it->second];
+  if (name.empty()) name = "cf" + std::to_string(cfs_.size());
+  const size_t index = cfs_.size();
+  by_key_.emplace(cf.key(), index);
+  by_name_.emplace(name, index);
+  cfs_.push_back(std::move(cf));
+  names_.push_back(name);
+  return name;
+}
+
+const ColumnFamily* Schema::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &cfs_[it->second];
+}
+
+const ColumnFamily* Schema::FindByKey(const std::string& key) const {
+  auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : &cfs_[it->second];
+}
+
+const std::string* Schema::NameOf(const ColumnFamily& cf) const {
+  auto it = by_key_.find(cf.key());
+  return it == by_key_.end() ? nullptr : &names_[it->second];
+}
+
+double Schema::TotalSizeBytes() const {
+  double total = 0.0;
+  for (const ColumnFamily& cf : cfs_) total += cf.SizeBytes();
+  return total;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < cfs_.size(); ++i) {
+    out += names_[i] + ": " + cfs_[i].ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace nose

@@ -1,0 +1,53 @@
+#ifndef NOSE_SCHEMA_SCHEMA_H_
+#define NOSE_SCHEMA_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/column_family.h"
+
+namespace nose {
+
+/// A set of column families with stable names — the advisor's output and
+/// the record store's catalog. Column families are deduplicated by their
+/// canonical key.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds `cf` under an auto-generated name ("cf0", "cf1", ...) unless
+  /// `name` is given. Adding a duplicate definition is a no-op returning
+  /// the existing name.
+  std::string Add(ColumnFamily cf, std::string name = "");
+
+  size_t size() const { return cfs_.size(); }
+  bool empty() const { return cfs_.empty(); }
+
+  const std::vector<ColumnFamily>& column_families() const { return cfs_; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  const ColumnFamily* FindByName(const std::string& name) const;
+  /// Looks up by canonical definition key; nullptr if absent.
+  const ColumnFamily* FindByKey(const std::string& key) const;
+  const std::string* NameOf(const ColumnFamily& cf) const;
+  bool Contains(const ColumnFamily& cf) const {
+    return FindByKey(cf.key()) != nullptr;
+  }
+
+  /// Sum of the size estimates of all column families.
+  double TotalSizeBytes() const;
+
+  /// One line per column family: "name: [pk][ck][values] $ path".
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnFamily> cfs_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, size_t> by_key_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_SCHEMA_SCHEMA_H_

@@ -1,0 +1,100 @@
+#include "schemas/normalized.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace nose {
+
+namespace {
+
+FieldRef IdRefOf(const EntityGraph& graph, const std::string& entity) {
+  return FieldRef{entity, graph.GetEntity(entity).id_field().name};
+}
+
+}  // namespace
+
+StatusOr<Schema> NormalizedSchema(const EntityGraph& graph,
+                                  const Workload& workload,
+                                  const std::string& mix) {
+  Schema schema;
+
+  // Entity tables: [id][][all attributes].
+  for (const std::string& name : graph.entity_order()) {
+    const Entity& entity = graph.GetEntity(name);
+    std::vector<FieldRef> values;
+    for (const Field& f : entity.fields()) {
+      if (f.type == FieldType::kId) continue;
+      values.push_back(FieldRef{name, f.name});
+    }
+    NOSE_ASSIGN_OR_RETURN(KeyPath path, graph.SingleEntityPath(name));
+    NOSE_ASSIGN_OR_RETURN(
+        ColumnFamily cf,
+        ColumnFamily::Create(path, {IdRefOf(graph, name)}, {}, values));
+    schema.Add(std::move(cf), "entity_" + name);
+  }
+
+  // Relationship links, one per direction.
+  for (size_t r = 0; r < graph.relationships().size(); ++r) {
+    const Relationship& rel = graph.relationships()[r];
+    NOSE_ASSIGN_OR_RETURN(KeyPath path,
+                          graph.ResolvePath(rel.from_entity,
+                                            {rel.forward_name}));
+    NOSE_ASSIGN_OR_RETURN(
+        ColumnFamily forward,
+        ColumnFamily::Create(path, {IdRefOf(graph, rel.from_entity)},
+                             {IdRefOf(graph, rel.to_entity)}, {}));
+    schema.Add(std::move(forward),
+               "link_" + rel.from_entity + "_" + rel.forward_name);
+    NOSE_ASSIGN_OR_RETURN(
+        ColumnFamily backward,
+        ColumnFamily::Create(path, {IdRefOf(graph, rel.to_entity)},
+                             {IdRefOf(graph, rel.from_entity)}, {}));
+    schema.Add(std::move(backward),
+               "link_" + rel.to_entity + "_" + rel.reverse_name);
+  }
+
+  // Secondary indexes for non-primary-key equality predicates.
+  int index_count = 0;
+  std::set<std::string> seen_indexes;
+  for (const auto& [entry, weight] : workload.EntriesIn(mix)) {
+    if (!entry->IsQuery()) continue;
+    const Query& q = entry->query();
+    // Group predicates by entity.
+    std::map<std::string, std::vector<const Predicate*>> by_entity;
+    for (const Predicate& p : q.predicates()) {
+      by_entity[p.field.entity].push_back(&p);
+    }
+    for (const auto& [entity, preds] : by_entity) {
+      const FieldRef id = IdRefOf(graph, entity);
+      std::vector<FieldRef> partition;
+      std::vector<FieldRef> clustering;
+      for (const Predicate* p : preds) {
+        if (p->IsEquality() && !(p->field == id)) {
+          if (std::find(partition.begin(), partition.end(), p->field) ==
+              partition.end()) {
+            partition.push_back(p->field);
+          }
+        } else if (p->IsRange()) {
+          if (std::find(clustering.begin(), clustering.end(), p->field) ==
+              clustering.end()) {
+            clustering.push_back(p->field);
+          }
+        }
+      }
+      if (partition.empty()) continue;  // anchored by primary key or range
+      clustering.push_back(id);
+      NOSE_ASSIGN_OR_RETURN(KeyPath path, graph.SingleEntityPath(entity));
+      NOSE_ASSIGN_OR_RETURN(
+          ColumnFamily cf,
+          ColumnFamily::Create(path, partition, clustering, {}));
+      if (seen_indexes.insert(cf.key()).second) {
+        schema.Add(std::move(cf), "index_" + entity + "_" +
+                                      std::to_string(index_count++));
+      }
+    }
+  }
+  return schema;
+}
+
+}  // namespace nose

@@ -1,0 +1,28 @@
+#ifndef NOSE_SCHEMAS_NORMALIZED_H_
+#define NOSE_SCHEMAS_NORMALIZED_H_
+
+#include <string>
+
+#include "schema/schema.h"
+#include "util/statusor.h"
+#include "workload/workload.h"
+
+namespace nose {
+
+/// Builds the paper's "normalized" baseline schema (§VII-A):
+///  - one column family per entity set, keyed by the entity's primary key
+///    and holding all of its attributes;
+///  - two link column families per relationship (one per direction),
+///    [id(a)][id(b)][] — the normalized way to traverse;
+///  - secondary-index column families for queries whose predicates do not
+///    name an entity primary key: [predicate eq fields][range fields, id][]
+///    per referenced entity.
+/// Every workload query is answerable against this schema via chains of
+/// gets plus client-side filtering (the long plans of Fig. 11).
+StatusOr<Schema> NormalizedSchema(const EntityGraph& graph,
+                                  const Workload& workload,
+                                  const std::string& mix);
+
+}  // namespace nose
+
+#endif  // NOSE_SCHEMAS_NORMALIZED_H_

@@ -1,0 +1,157 @@
+#include "solver/bip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "util/stopwatch.h"
+
+namespace nose {
+
+const char* BipStatusName(BipStatus status) {
+  switch (status) {
+    case BipStatus::kOptimal:
+      return "optimal";
+    case BipStatus::kInfeasible:
+      return "infeasible";
+    case BipStatus::kNodeLimit:
+      return "node-limit";
+    case BipStatus::kNoSolution:
+      return "no-solution";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Node {
+  /// Per-binary-variable fixings accumulated along the branch:
+  /// (var, lb, ub) with lb == ub ∈ {0, 1}.
+  std::vector<std::tuple<int, double, double>> fixings;
+  double parent_bound;  // LP bound of the parent (for pruning before solve)
+};
+
+/// Picks the branching variable: among fractional binaries, the one with
+/// the largest fractionality weighted by its objective coefficient.
+/// High-cost variables (e.g. maintenance-heavy column families) drive the
+/// LP bound up fastest when resolved. Returns -1 if all integral.
+int PickBranchVariable(const LpProblem& problem, const std::vector<double>& x,
+                       const std::vector<int>& binary_vars, double tol) {
+  double max_cost = 0.0;
+  for (int var : binary_vars) {
+    max_cost = std::max(max_cost, std::abs(problem.cost(var)));
+  }
+  int best = -1;
+  double best_score = 0.0;
+  for (int var : binary_vars) {
+    const double v = x[static_cast<size_t>(var)];
+    const double dist = std::min(v - std::floor(v), std::ceil(v) - v);
+    if (dist <= tol) continue;
+    const double score =
+        dist * (std::abs(problem.cost(var)) + 0.01 * max_cost + 1e-12);
+    if (score > best_score) {
+      best_score = score;
+      best = var;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars,
+                   const BipOptions& options) {
+  BipResult result;
+  double incumbent = LpProblem::kInfinity;
+  if (options.warm_start != nullptr &&
+      options.warm_start->size() ==
+          static_cast<size_t>(problem.num_variables())) {
+    incumbent = 0.0;
+    for (int v = 0; v < problem.num_variables(); ++v) {
+      incumbent +=
+          problem.cost(v) * (*options.warm_start)[static_cast<size_t>(v)];
+    }
+    result.x = *options.warm_start;
+    result.objective = incumbent;
+    result.status = BipStatus::kOptimal;  // provisional
+  }
+
+  std::vector<Node> stack;
+  stack.push_back(Node{{}, -LpProblem::kInfinity});
+
+  auto prune_threshold = [&]() {
+    const double rel = std::isfinite(incumbent)
+                           ? options.relative_gap * std::abs(incumbent)
+                           : 0.0;
+    return incumbent - std::max(options.absolute_gap, rel);
+  };
+
+  Stopwatch watch;
+  while (!stack.empty() && result.nodes_explored < options.max_nodes) {
+    if (options.time_limit_seconds > 0.0 &&
+        watch.ElapsedSeconds() > options.time_limit_seconds) {
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    if (node.parent_bound >= prune_threshold()) continue;
+
+    ++result.nodes_explored;
+    double lp_deadline = 0.0;
+    if (options.time_limit_seconds > 0.0) {
+      lp_deadline = std::max(
+          1.0, options.time_limit_seconds - watch.ElapsedSeconds());
+    }
+    LpResult lp = problem.Solve(node.fixings, /*max_iterations=*/0,
+                                lp_deadline);
+    result.lp_iterations += lp.iterations;
+    if (lp.status == LpStatus::kInfeasible) continue;
+    if (lp.status != LpStatus::kOptimal) {
+      // Unbounded or iteration-limited relaxations abort the search; the
+      // schema optimizer's models are always bounded, so this is defensive.
+      continue;
+    }
+    if (lp.objective >= prune_threshold()) continue;
+
+    const int branch_var = PickBranchVariable(problem, lp.x, binary_vars,
+                                              options.integrality_tolerance);
+    if (branch_var == -1) {
+      // Integral: new incumbent. Snap binaries exactly.
+      incumbent = lp.objective;
+      result.x = std::move(lp.x);
+      for (int var : binary_vars) {
+        result.x[static_cast<size_t>(var)] =
+            std::round(result.x[static_cast<size_t>(var)]);
+      }
+      result.objective = incumbent;
+      result.status = BipStatus::kOptimal;  // provisional; confirmed below
+      continue;
+    }
+
+    // Depth-first: explore the branch suggested by the fractional value
+    // first (rounding), pushing the other branch for later.
+    const double frac = lp.x[static_cast<size_t>(branch_var)];
+    const double preferred = frac >= 0.5 ? 1.0 : 0.0;
+    Node other = node;
+    other.parent_bound = lp.objective;
+    other.fixings.emplace_back(branch_var, 1.0 - preferred, 1.0 - preferred);
+    stack.push_back(std::move(other));
+    Node first = std::move(node);
+    first.parent_bound = lp.objective;
+    first.fixings.emplace_back(branch_var, preferred, preferred);
+    stack.push_back(std::move(first));
+  }
+
+  if (!stack.empty()) {
+    // Node limit reached with work remaining.
+    result.status = std::isfinite(incumbent) ? BipStatus::kNodeLimit
+                                             : BipStatus::kNoSolution;
+  } else if (!std::isfinite(incumbent)) {
+    result.status = BipStatus::kInfeasible;
+  } else {
+    result.status = BipStatus::kOptimal;
+  }
+  return result;
+}
+
+}  // namespace nose

@@ -1,0 +1,60 @@
+#ifndef NOSE_SOLVER_BIP_H_
+#define NOSE_SOLVER_BIP_H_
+
+#include <vector>
+
+#include "solver/lp.h"
+
+namespace nose {
+
+/// Termination status of a branch-and-bound solve.
+enum class BipStatus {
+  kOptimal,
+  kInfeasible,
+  kNodeLimit,   ///< best incumbent returned, optimality not proven
+  kNoSolution,  ///< node limit hit before any incumbent was found
+};
+
+const char* BipStatusName(BipStatus status);
+
+struct BipOptions {
+  double integrality_tolerance = 1e-6;
+  /// Prune nodes whose LP bound is within this of the incumbent. For
+  /// problems with provably integral objectives (e.g. minimizing a count),
+  /// set this just below 1 to prune aggressively.
+  double absolute_gap = 1e-9;
+  /// Additionally prune within `relative_gap * |incumbent|`: the returned
+  /// solution is optimal to within this factor (Gurobi-style MIP gap).
+  /// Schema-advisor instances contain many near-duplicate candidates whose
+  /// equal-cost plateaus are pointless to enumerate exactly.
+  double relative_gap = 0.01;
+  int max_nodes = 1000000;
+  /// Wall-clock budget in seconds; 0 disables. On expiry the best
+  /// incumbent is returned with kNodeLimit status.
+  double time_limit_seconds = 0.0;
+  /// Optional feasible starting point (e.g. the solution of a previous
+  /// phase); used as the initial incumbent so pruning bites immediately.
+  /// Feasibility is the caller's responsibility.
+  const std::vector<double>* warm_start = nullptr;
+};
+
+struct BipResult {
+  BipStatus status = BipStatus::kNoSolution;
+  double objective = 0.0;
+  std::vector<double> x;  ///< integral solution (if any)
+  int nodes_explored = 0;
+  int lp_iterations = 0;
+};
+
+/// Exact 0/1 integer programming by LP-based branch and bound: depth-first
+/// search, most-fractional branching, bound pruning against the incumbent.
+/// `binary_vars` lists the variables required to be integral; they must
+/// have bounds within [0, 1] in `problem`. Remaining variables stay
+/// continuous. This is the solver NoSE's schema optimizer uses in place of
+/// Gurobi (paper §V).
+BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars,
+                   const BipOptions& options = BipOptions());
+
+}  // namespace nose
+
+#endif  // NOSE_SOLVER_BIP_H_

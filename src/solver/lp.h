@@ -1,0 +1,77 @@
+#ifndef NOSE_SOLVER_LP_H_
+#define NOSE_SOLVER_LP_H_
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nose {
+
+/// Sense of a linear constraint row.
+enum class RowType { kLe, kGe, kEq };
+
+/// Termination status of an LP solve.
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+const char* LpStatusName(LpStatus status);
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< variable values at the optimum (if kOptimal)
+  int iterations = 0;
+};
+
+/// A linear program: minimize cᵀx subject to row constraints and variable
+/// bounds l ≤ x ≤ u. Build incrementally, then Solve(). The solver is a
+/// dense full-tableau two-phase primal simplex with bounded variables
+/// (nonbasic variables rest at either bound; bound flips are handled
+/// without pivots). Designed for the small/medium instances NoSE's schema
+/// optimizer emits; replaces the paper's use of Gurobi.
+class LpProblem {
+ public:
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// Adds a variable with bounds [lb, ub] and objective coefficient `cost`.
+  /// Returns its index.
+  int AddVariable(double lb, double ub, double cost);
+
+  /// Adds a constraint  Σ coeff·x  (≤ | ≥ | =)  rhs. Duplicate variable
+  /// entries in `coeffs` are summed.
+  void AddRow(RowType type, double rhs,
+              std::vector<std::pair<int, double>> coeffs);
+
+  int num_variables() const { return static_cast<int>(cost_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  double cost(int var) const { return cost_[static_cast<size_t>(var)]; }
+  double lower_bound(int var) const { return lb_[static_cast<size_t>(var)]; }
+  double upper_bound(int var) const { return ub_[static_cast<size_t>(var)]; }
+  void SetBounds(int var, double lb, double ub);
+  void SetCost(int var, double cost);
+
+  /// Solves the LP. `bound_overrides` optionally tightens per-variable
+  /// bounds for this solve only (used by branch-and-bound nodes);
+  /// entries are (var, lb, ub). `deadline_seconds` (0 = none) aborts an
+  /// overlong solve with kIterationLimit so callers stay responsive.
+  LpResult Solve(
+      const std::vector<std::tuple<int, double, double>>& bound_overrides = {},
+      int max_iterations = 0, double deadline_seconds = 0.0) const;
+
+ private:
+  struct Row {
+    RowType type;
+    double rhs;
+    std::vector<std::pair<int, double>> coeffs;
+  };
+
+  std::vector<double> cost_;
+  std::vector<double> lb_;
+  std::vector<double> ub_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_SOLVER_LP_H_

@@ -1,0 +1,193 @@
+#include "store/record_store.h"
+
+namespace nose {
+
+size_t TupleBytes(const ValueTuple& tuple) {
+  size_t bytes = 0;
+  for (const Value& v : tuple) {
+    switch (v.index()) {
+      case 0:
+      case 1:
+        bytes += 8;
+        break;
+      case 2:
+        bytes += std::get<std::string>(v).size();
+        break;
+      case 3:
+        bytes += 1;
+        break;
+    }
+  }
+  return bytes;
+}
+
+Status RecordStore::CreateColumnFamily(const std::string& name,
+                                       size_t partition_width,
+                                       size_t clustering_width,
+                                       size_t value_width) {
+  if (name.empty()) {
+    return Status::InvalidArgument("column family name must be non-empty");
+  }
+  if (partition_width == 0) {
+    return Status::InvalidArgument("partition key must have at least one "
+                                   "component: " +
+                                   name);
+  }
+  if (cfs_.count(name) > 0) {
+    return Status::AlreadyExists("column family " + name + " already exists");
+  }
+  ColumnFamilyData cf;
+  cf.partition_width = partition_width;
+  cf.clustering_width = clustering_width;
+  cf.value_width = value_width;
+  cfs_.emplace(name, std::move(cf));
+  return Status::Ok();
+}
+
+StatusOr<RecordStore::ColumnFamilyData*> RecordStore::FindCf(
+    const std::string& name) {
+  auto it = cfs_.find(name);
+  if (it == cfs_.end()) {
+    return Status::NotFound("unknown column family " + name);
+  }
+  return &it->second;
+}
+
+StatusOr<std::vector<RecordStore::Row>> RecordStore::Get(
+    const std::string& name, const ValueTuple& partition,
+    const ValueTuple& clustering_prefix,
+    const std::optional<RangeBound>& range) {
+  NOSE_ASSIGN_OR_RETURN(ColumnFamilyData * cf, FindCf(name));
+  if (partition.size() != cf->partition_width) {
+    return Status::InvalidArgument("partition key arity mismatch for " + name);
+  }
+  if (clustering_prefix.size() > cf->clustering_width) {
+    return Status::InvalidArgument("clustering prefix too long for " + name);
+  }
+  if (range.has_value() && clustering_prefix.size() >= cf->clustering_width) {
+    return Status::InvalidArgument(
+        "range scan needs a clustering component after the prefix: " + name);
+  }
+
+  ++stats_.gets;
+  stats_.simulated_ms += params_.read_request;
+
+  std::vector<Row> rows;
+  auto pit = cf->partitions.find(partition);
+  if (pit == cf->partitions.end()) return rows;
+
+  // Iterate the ordered records of this partition from the prefix onward.
+  const std::map<ValueTuple, ValueTuple>& records = pit->second;
+  auto it = clustering_prefix.empty() ? records.begin()
+                                      : records.lower_bound(clustering_prefix);
+  for (; it != records.end(); ++it) {
+    const ValueTuple& key = it->first;
+    // Stop when the prefix no longer matches (keys are sorted).
+    bool prefix_ok = true;
+    for (size_t i = 0; i < clustering_prefix.size(); ++i) {
+      if (key[i] != clustering_prefix[i]) {
+        prefix_ok = false;
+        break;
+      }
+    }
+    if (!prefix_ok) break;
+    if (range.has_value()) {
+      const Value& probe = key[clustering_prefix.size()];
+      const Value& bound = range->value;
+      bool keep = true;
+      switch (range->op) {
+        case PredicateOp::kLt:
+          keep = probe < bound;
+          break;
+        case PredicateOp::kLe:
+          keep = !(bound < probe);
+          break;
+        case PredicateOp::kGt:
+          keep = bound < probe;
+          break;
+        case PredicateOp::kGe:
+          keep = !(probe < bound);
+          break;
+        default:
+          return Status::InvalidArgument("invalid range operator");
+      }
+      // The scanned component is not the immediate next sort key once the
+      // prefix is fixed... it is: prefix fixed => next component ordered, so
+      // for kLt/kLe we could stop early; for simplicity (and to charge scan
+      // costs faithfully) we skip non-matching rows and keep scanning only
+      // while a match is still possible.
+      if (!keep) {
+        if (range->op == PredicateOp::kLt || range->op == PredicateOp::kLe) {
+          break;  // ordered: nothing further can match
+        }
+        continue;  // kGt/kGe: later rows are larger; this one just misses
+      }
+    }
+    rows.push_back(Row{ValueTuple(key.begin(), key.end()), it->second});
+  }
+
+  stats_.rows_read += rows.size();
+  size_t bytes = 0;
+  for (const Row& r : rows) bytes += TupleBytes(r.clustering) + TupleBytes(r.values);
+  stats_.bytes_read += bytes;
+  stats_.simulated_ms += static_cast<double>(rows.size()) * params_.read_row +
+                         static_cast<double>(bytes) * params_.read_byte;
+  return rows;
+}
+
+Status RecordStore::Put(const std::string& name, const ValueTuple& partition,
+                        const ValueTuple& clustering,
+                        const std::vector<std::optional<Value>>& values) {
+  NOSE_ASSIGN_OR_RETURN(ColumnFamilyData * cf, FindCf(name));
+  if (partition.size() != cf->partition_width ||
+      clustering.size() != cf->clustering_width ||
+      values.size() != cf->value_width) {
+    return Status::InvalidArgument("tuple arity mismatch in Put for " + name);
+  }
+  auto& records = cf->partitions[partition];
+  auto [it, inserted] = records.try_emplace(clustering);
+  if (inserted) {
+    it->second.resize(values.size(), Value(static_cast<int64_t>(0)));
+    ++cf->total_rows;
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].has_value()) it->second[i] = *values[i];
+  }
+  ++stats_.puts;
+  ++stats_.rows_written;
+  stats_.simulated_ms +=
+      params_.write_request +
+      params_.write_row +
+      static_cast<double>(TupleBytes(it->second)) * params_.read_byte;
+  return Status::Ok();
+}
+
+Status RecordStore::Delete(const std::string& name, const ValueTuple& partition,
+                           const ValueTuple& clustering) {
+  NOSE_ASSIGN_OR_RETURN(ColumnFamilyData * cf, FindCf(name));
+  if (partition.size() != cf->partition_width ||
+      clustering.size() != cf->clustering_width) {
+    return Status::InvalidArgument("tuple arity mismatch in Delete for " +
+                                   name);
+  }
+  ++stats_.deletes;
+  stats_.simulated_ms += params_.write_request + params_.write_row;
+  auto pit = cf->partitions.find(partition);
+  if (pit == cf->partitions.end()) return Status::Ok();
+  if (pit->second.erase(clustering) > 0) {
+    --cf->total_rows;
+    ++stats_.rows_written;
+  }
+  if (pit->second.empty()) cf->partitions.erase(pit);
+  return Status::Ok();
+}
+
+StatusOr<size_t> RecordStore::RowCount(const std::string& name) const {
+  auto it = cfs_.find(name);
+  if (it == cfs_.end()) {
+    return Status::NotFound("unknown column family " + name);
+  }
+  return it->second.total_rows;
+}
+
+}  // namespace nose

@@ -1,0 +1,115 @@
+#ifndef NOSE_STORE_RECORD_STORE_H_
+#define NOSE_STORE_RECORD_STORE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "util/statusor.h"
+#include "util/value.h"
+#include "workload/predicate.h"
+
+namespace nose {
+
+/// Operation counters plus simulated latency. The simulation charges each
+/// get/put with the same per-request / per-row / per-byte constants the
+/// cost model uses, standing in for the paper's physical Cassandra cluster
+/// (see DESIGN.md, substitutions). Wall-clock work of the in-memory store
+/// is *not* what benchmarks report — simulated_ms is.
+struct StoreStats {
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t rows_read = 0;
+  uint64_t rows_written = 0;
+  uint64_t bytes_read = 0;
+  double simulated_ms = 0.0;
+
+  void Reset() { *this = StoreStats(); }
+};
+
+/// Inclusive/exclusive bound for a clustering-range scan.
+struct RangeBound {
+  PredicateOp op = PredicateOp::kGt;  ///< kLt/kLe/kGt/kGe
+  Value value;
+};
+
+/// An extensible record store in the paper's model (§III-C): a column
+/// family maps a partition key to clustering-key-sorted records,
+///   K -> (C -> V),
+/// supporting only get (partition key + clustering prefix + optional range)
+/// and put/delete. In-memory; single-threaded.
+class RecordStore {
+ public:
+  explicit RecordStore(CostParams params = CostParams())
+      : params_(params) {}
+
+  /// Registers a column family; widths fix the tuple arity of partition
+  /// key, clustering key and values for all subsequent operations.
+  Status CreateColumnFamily(const std::string& name, size_t partition_width,
+                            size_t clustering_width, size_t value_width);
+  bool HasColumnFamily(const std::string& name) const {
+    return cfs_.count(name) > 0;
+  }
+
+  struct Row {
+    ValueTuple clustering;
+    ValueTuple values;
+  };
+
+  /// Fetches, from the record identified by `partition`, all (C -> V) pairs
+  /// whose clustering key starts with `clustering_prefix`, optionally
+  /// restricted by `range` on the clustering component right after the
+  /// prefix. Rows come back in clustering order.
+  StatusOr<std::vector<Row>> Get(const std::string& name,
+                                 const ValueTuple& partition,
+                                 const ValueTuple& clustering_prefix = {},
+                                 const std::optional<RangeBound>& range =
+                                     std::nullopt);
+
+  /// Upserts one record. `values` entries that are nullopt keep the stored
+  /// value (Cassandra-style per-column write); for a fresh record they
+  /// default to int64 0.
+  Status Put(const std::string& name, const ValueTuple& partition,
+             const ValueTuple& clustering,
+             const std::vector<std::optional<Value>>& values);
+
+  /// Removes one record; removing a non-existent record is a no-op (still
+  /// counted as a write request).
+  Status Delete(const std::string& name, const ValueTuple& partition,
+                const ValueTuple& clustering);
+
+  /// Total records stored in a column family.
+  StatusOr<size_t> RowCount(const std::string& name) const;
+
+  StoreStats& stats() { return stats_; }
+  const StoreStats& stats() const { return stats_; }
+  const CostParams& params() const { return params_; }
+
+ private:
+  struct ColumnFamilyData {
+    size_t partition_width;
+    size_t clustering_width;
+    size_t value_width;
+    std::unordered_map<ValueTuple, std::map<ValueTuple, ValueTuple>,
+                       ValueTupleHash>
+        partitions;
+    size_t total_rows = 0;
+  };
+
+  StatusOr<ColumnFamilyData*> FindCf(const std::string& name);
+
+  CostParams params_;
+  StoreStats stats_;
+  std::unordered_map<std::string, ColumnFamilyData> cfs_;
+};
+
+/// Approximate wire size of a tuple in bytes (latency simulation).
+size_t TupleBytes(const ValueTuple& tuple);
+
+}  // namespace nose
+
+#endif  // NOSE_STORE_RECORD_STORE_H_

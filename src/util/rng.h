@@ -1,0 +1,87 @@
+#ifndef NOSE_UTIL_RNG_H_
+#define NOSE_UTIL_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace nose {
+
+/// Deterministic pseudo-random generator (xoshiro256**). All randomness in
+/// the library flows through explicitly seeded Rng instances so that tests
+/// and benchmarks are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 expansion of the seed into the four state words.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Samples from a Zipf(s) distribution over {0, ..., n-1} using a
+/// precomputed cumulative table. Used to give the RUBiS data generator
+/// realistic skew (popular items attract most bids).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws one sample in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_UTIL_RNG_H_

@@ -1,0 +1,69 @@
+#ifndef NOSE_UTIL_STATUSOR_H_
+#define NOSE_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace nose {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of a non-OK StatusOr is a programming
+/// error (checked with assert in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversion from a non-OK Status (the usual error-return path).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  /// Implicit conversion from a value (the usual success-return path).
+  StatusOr(T value)  // NOLINT
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a StatusOr<T> expression); on error returns the status,
+/// otherwise moves the value into `lhs`.
+#define NOSE_ASSIGN_OR_RETURN(lhs, expr)               \
+  NOSE_ASSIGN_OR_RETURN_IMPL_(                         \
+      NOSE_STATUS_MACRO_CONCAT_(nose_sor_, __LINE__), lhs, expr)
+
+#define NOSE_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define NOSE_STATUS_MACRO_CONCAT_(x, y) NOSE_STATUS_MACRO_CONCAT_INNER_(x, y)
+#define NOSE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace nose
+
+#endif  // NOSE_UTIL_STATUSOR_H_

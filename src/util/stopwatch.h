@@ -1,0 +1,29 @@
+#ifndef NOSE_UTIL_STOPWATCH_H_
+#define NOSE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace nose {
+
+/// Wall-clock stopwatch used to time advisor phases (Fig. 13 breakdown).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_UTIL_STOPWATCH_H_

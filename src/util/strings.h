@@ -1,0 +1,28 @@
+#ifndef NOSE_UTIL_STRINGS_H_
+#define NOSE_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nose {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `s` on the single character `sep`; empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Returns `s` with ASCII whitespace removed from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Case-sensitive prefix test.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// ASCII lower-casing (statement keywords are case-insensitive).
+std::string AsciiLower(std::string_view s);
+
+}  // namespace nose
+
+#endif  // NOSE_UTIL_STRINGS_H_

@@ -1,0 +1,56 @@
+#ifndef NOSE_WORKLOAD_PREDICATE_H_
+#define NOSE_WORKLOAD_PREDICATE_H_
+
+#include <optional>
+#include <string>
+
+#include "model/field.h"
+#include "util/value.h"
+
+namespace nose {
+
+/// Comparison operator in a WHERE clause.
+enum class PredicateOp { kEq, kLt, kLe, kGt, kGe, kNe };
+
+const char* PredicateOpName(PredicateOp op);
+
+/// True for operators that can be served by a clustering-key range scan.
+inline bool IsRangeOp(PredicateOp op) {
+  return op == PredicateOp::kLt || op == PredicateOp::kLe ||
+         op == PredicateOp::kGt || op == PredicateOp::kGe;
+}
+
+/// A single comparison `field op (?param | literal)` in a statement.
+struct Predicate {
+  FieldRef field;
+  PredicateOp op = PredicateOp::kEq;
+  /// Present when the right-hand side is a literal; otherwise the statement
+  /// is parameterized and `param` names the placeholder.
+  std::optional<Value> literal;
+  std::string param;
+
+  bool IsEquality() const { return op == PredicateOp::kEq; }
+  bool IsRange() const { return IsRangeOp(op); }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Predicate& a, const Predicate& b) {
+    return a.field == b.field && a.op == b.op && a.literal == b.literal &&
+           a.param == b.param;
+  }
+};
+
+/// A result-ordering directive (ORDER BY item). Only ascending order is
+/// modeled; extensible record stores cluster ascending and the cost model
+/// is direction-agnostic.
+struct OrderField {
+  FieldRef field;
+
+  friend bool operator==(const OrderField& a, const OrderField& b) {
+    return a.field == b.field;
+  }
+};
+
+}  // namespace nose
+
+#endif  // NOSE_WORKLOAD_PREDICATE_H_

@@ -1,0 +1,201 @@
+#include "workload/update.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace nose {
+
+const char* UpdateKindName(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kInsert:
+      return "INSERT";
+    case UpdateKind::kUpdate:
+      return "UPDATE";
+    case UpdateKind::kDelete:
+      return "DELETE";
+    case UpdateKind::kConnect:
+      return "CONNECT";
+    case UpdateKind::kDisconnect:
+      return "DISCONNECT";
+  }
+  return "?";
+}
+
+std::string SetClause::ToString() const {
+  std::string rhs = literal.has_value() ? ValueToString(*literal) : "?" + param;
+  return field + " = " + rhs;
+}
+
+namespace {
+
+Status ValidateSets(const EntityGraph* graph, const std::string& entity,
+                    const std::vector<SetClause>& sets) {
+  for (const SetClause& set : sets) {
+    auto field = graph->ResolveField(FieldRef{entity, set.field});
+    if (!field.ok()) return field.status();
+  }
+  return Status::Ok();
+}
+
+Status ValidatePredicates(const KeyPath& path,
+                          const std::vector<Predicate>& predicates) {
+  const EntityGraph* graph = path.graph();
+  for (const Predicate& p : predicates) {
+    auto field = graph->ResolveField(p.field);
+    if (!field.ok()) return field.status();
+    if (!path.ContainsEntity(p.field.entity)) {
+      return Status::InvalidArgument("predicate field " +
+                                     p.field.QualifiedName() +
+                                     " is not on path " + path.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Update> Update::MakeInsert(const EntityGraph* graph,
+                                    const std::string& entity,
+                                    std::vector<SetClause> sets,
+                                    std::vector<ConnectClause> connects) {
+  const Entity* e = graph->FindEntity(entity);
+  if (e == nullptr) return Status::NotFound("unknown entity " + entity);
+  NOSE_RETURN_IF_ERROR(ValidateSets(graph, entity, sets));
+  const bool has_id =
+      std::any_of(sets.begin(), sets.end(), [&](const SetClause& s) {
+        return s.field == e->id_field().name;
+      });
+  if (!has_id) {
+    return Status::InvalidArgument(
+        "INSERT INTO " + entity +
+        " must provide the primary key field " + e->id_field().name);
+  }
+  for (const ConnectClause& c : connects) {
+    if (!graph->FindStep(entity, c.step_name).has_value()) {
+      return Status::NotFound("INSERT ... CONNECT TO unknown step " +
+                              c.step_name + " from " + entity);
+    }
+  }
+  Update u;
+  u.kind_ = UpdateKind::kInsert;
+  NOSE_ASSIGN_OR_RETURN(u.path_, graph->SingleEntityPath(entity));
+  u.sets_ = std::move(sets);
+  u.connects_ = std::move(connects);
+  return u;
+}
+
+StatusOr<Update> Update::MakeUpdate(KeyPath path, std::vector<SetClause> sets,
+                                    std::vector<Predicate> predicates) {
+  if (path.graph() == nullptr) {
+    return Status::InvalidArgument("UPDATE path has no graph");
+  }
+  NOSE_RETURN_IF_ERROR(ValidateSets(path.graph(), path.EntityAt(0), sets));
+  NOSE_RETURN_IF_ERROR(ValidatePredicates(path, predicates));
+  if (sets.empty()) {
+    return Status::InvalidArgument("UPDATE must set at least one field");
+  }
+  Update u;
+  u.kind_ = UpdateKind::kUpdate;
+  u.path_ = std::move(path);
+  u.sets_ = std::move(sets);
+  u.predicates_ = std::move(predicates);
+  return u;
+}
+
+StatusOr<Update> Update::MakeDelete(KeyPath path,
+                                    std::vector<Predicate> predicates) {
+  if (path.graph() == nullptr) {
+    return Status::InvalidArgument("DELETE path has no graph");
+  }
+  NOSE_RETURN_IF_ERROR(ValidatePredicates(path, predicates));
+  Update u;
+  u.kind_ = UpdateKind::kDelete;
+  u.path_ = std::move(path);
+  u.predicates_ = std::move(predicates);
+  return u;
+}
+
+StatusOr<Update> Update::MakeConnect(const EntityGraph* graph,
+                                     const std::string& entity,
+                                     const std::string& from_param,
+                                     const std::string& step_name,
+                                     const std::string& to_param,
+                                     bool disconnect) {
+  if (graph->FindEntity(entity) == nullptr) {
+    return Status::NotFound("unknown entity " + entity);
+  }
+  std::optional<PathStep> step = graph->FindStep(entity, step_name);
+  if (!step.has_value()) {
+    return Status::NotFound("no step named " + step_name + " leaving " +
+                            entity);
+  }
+  Update u;
+  u.kind_ = disconnect ? UpdateKind::kDisconnect : UpdateKind::kConnect;
+  NOSE_ASSIGN_OR_RETURN(u.path_, graph->ResolvePath(entity, {step_name}));
+  u.from_param_ = from_param;
+  u.to_param_ = to_param;
+  return u;
+}
+
+std::vector<FieldRef> Update::ModifiedFields() const {
+  std::vector<FieldRef> out;
+  const std::string& target = entity();
+  switch (kind_) {
+    case UpdateKind::kUpdate:
+      for (const SetClause& s : sets_) out.push_back(FieldRef{target, s.field});
+      break;
+    case UpdateKind::kInsert:
+    case UpdateKind::kDelete:
+      for (const Field& f : graph()->GetEntity(target).fields()) {
+        out.push_back(FieldRef{target, f.name});
+      }
+      break;
+    case UpdateKind::kConnect:
+    case UpdateKind::kDisconnect:
+      break;
+  }
+  return out;
+}
+
+std::string Update::ToString() const {
+  std::string out = UpdateKindName(kind_);
+  switch (kind_) {
+    case UpdateKind::kInsert: {
+      out += " INTO " + entity() + " SET ";
+      std::vector<std::string> parts;
+      for (const SetClause& s : sets_) parts.push_back(s.ToString());
+      out += StrJoin(parts, ", ");
+      for (const ConnectClause& c : connects_) {
+        out += " AND CONNECT TO " + c.step_name + "(?" + c.param + ")";
+      }
+      break;
+    }
+    case UpdateKind::kUpdate: {
+      out += " " + entity() + " FROM " + path_.ToString() + " SET ";
+      std::vector<std::string> parts;
+      for (const SetClause& s : sets_) parts.push_back(s.ToString());
+      out += StrJoin(parts, ", ");
+      break;
+    }
+    case UpdateKind::kDelete:
+      out += " FROM " + path_.ToString();
+      break;
+    case UpdateKind::kConnect:
+    case UpdateKind::kDisconnect: {
+      const std::string join =
+          kind_ == UpdateKind::kConnect ? " TO " : " FROM ";
+      out += " " + entity() + "(?" + from_param_ + ")" + join +
+             graph()->StepName(path_.steps()[0]) + "(?" + to_param_ + ")";
+      return out;
+    }
+  }
+  if (!predicates_.empty()) {
+    std::vector<std::string> preds;
+    for (const Predicate& p : predicates_) preds.push_back(p.ToString());
+    out += " WHERE " + StrJoin(preds, " AND ");
+  }
+  return out;
+}
+
+}  // namespace nose

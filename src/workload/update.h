@@ -1,0 +1,100 @@
+#ifndef NOSE_WORKLOAD_UPDATE_H_
+#define NOSE_WORKLOAD_UPDATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/entity_graph.h"
+#include "model/key_path.h"
+#include "workload/predicate.h"
+
+namespace nose {
+
+/// Kind of write statement (paper Fig. 8).
+enum class UpdateKind { kInsert, kUpdate, kDelete, kConnect, kDisconnect };
+
+const char* UpdateKindName(UpdateKind kind);
+
+/// Assignment `field = (?param | literal)` in an INSERT/UPDATE SET list.
+/// The field always belongs to the statement's target entity.
+struct SetClause {
+  std::string field;
+  std::optional<Value> literal;
+  std::string param;
+
+  std::string ToString() const;
+};
+
+/// `AND CONNECT TO step(?param)` attached to an INSERT: relates the new
+/// entity to an existing one through the named relationship step.
+struct ConnectClause {
+  std::string step_name;
+  std::string param;
+};
+
+/// A write statement over the conceptual model. The target entity — the one
+/// being inserted/modified/deleted or connected — is always path entity 0.
+/// UPDATE and DELETE take predicates over entities along the path
+/// (paper: "specify the entities to modify using the same predicates
+/// available for queries").
+class Update {
+ public:
+  Update() = default;
+
+  /// INSERT INTO entity SET f = ?, ... [AND CONNECT TO step(?), ...].
+  /// The primary key of the new entity must be among the SET fields
+  /// (paper §VI-A: "the primary key of each entity is provided").
+  static StatusOr<Update> MakeInsert(const EntityGraph* graph,
+                                     const std::string& entity,
+                                     std::vector<SetClause> sets,
+                                     std::vector<ConnectClause> connects);
+
+  /// UPDATE e FROM path SET ... WHERE ...; `path` starts at the target.
+  static StatusOr<Update> MakeUpdate(KeyPath path, std::vector<SetClause> sets,
+                                     std::vector<Predicate> predicates);
+
+  /// DELETE FROM path WHERE ...; `path` starts at the target.
+  static StatusOr<Update> MakeDelete(KeyPath path,
+                                     std::vector<Predicate> predicates);
+
+  /// CONNECT entity(?from) TO step(?to) / DISCONNECT ... FROM ...
+  static StatusOr<Update> MakeConnect(const EntityGraph* graph,
+                                      const std::string& entity,
+                                      const std::string& from_param,
+                                      const std::string& step_name,
+                                      const std::string& to_param,
+                                      bool disconnect);
+
+  UpdateKind kind() const { return kind_; }
+  const KeyPath& path() const { return path_; }
+  const EntityGraph* graph() const { return path_.graph(); }
+  /// The entity being written.
+  const std::string& entity() const { return path_.EntityAt(0); }
+  const std::vector<SetClause>& sets() const { return sets_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::vector<ConnectClause>& connects() const { return connects_; }
+  /// For kConnect/kDisconnect: parameters holding the two entity IDs.
+  const std::string& from_param() const { return from_param_; }
+  const std::string& to_param() const { return to_param_; }
+
+  /// Fields of the target entity whose stored value this statement changes.
+  /// (UPDATE: the SET fields; INSERT: all fields of the entity; DELETE:
+  /// all fields of the entity; CONNECT/DISCONNECT: none.)
+  std::vector<FieldRef> ModifiedFields() const;
+
+  std::string ToString() const;
+
+ private:
+  UpdateKind kind_ = UpdateKind::kUpdate;
+  KeyPath path_;
+  std::vector<SetClause> sets_;
+  std::vector<Predicate> predicates_;
+  std::vector<ConnectClause> connects_;
+  std::string from_param_;
+  std::string to_param_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_WORKLOAD_UPDATE_H_

@@ -1,0 +1,81 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <set>
+
+namespace nose {
+
+Status Workload::AddQuery(std::string name, Query query, double weight) {
+  if (FindEntry(name) != nullptr) {
+    return Status::AlreadyExists("duplicate statement name " + name);
+  }
+  NOSE_RETURN_IF_ERROR(query.Validate());
+  WorkloadEntry entry;
+  entry.name = std::move(name);
+  entry.statement = std::move(query);
+  entry.weights[kDefaultMix] = weight;
+  entries_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+Status Workload::AddUpdate(std::string name, Update update, double weight) {
+  if (FindEntry(name) != nullptr) {
+    return Status::AlreadyExists("duplicate statement name " + name);
+  }
+  WorkloadEntry entry;
+  entry.name = std::move(name);
+  entry.statement = std::move(update);
+  entry.weights[kDefaultMix] = weight;
+  entries_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+Status Workload::SetWeight(const std::string& name, const std::string& mix,
+                           double weight) {
+  for (WorkloadEntry& entry : entries_) {
+    if (entry.name == name) {
+      entry.weights[mix] = weight;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no statement named " + name);
+}
+
+const WorkloadEntry* Workload::FindEntry(const std::string& name) const {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const WorkloadEntry& e) { return e.name == name; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+std::vector<std::pair<const WorkloadEntry*, double>> Workload::EntriesIn(
+    const std::string& mix) const {
+  std::vector<std::pair<const WorkloadEntry*, double>> out;
+  double total = 0.0;
+  for (const WorkloadEntry& entry : entries_) {
+    const double w = entry.WeightIn(mix);
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return out;
+  // Queries first, then updates, preserving insertion order within groups.
+  for (int want_query = 1; want_query >= 0; --want_query) {
+    for (const WorkloadEntry& entry : entries_) {
+      const double w = entry.WeightIn(mix);
+      if (w > 0.0 && entry.IsQuery() == (want_query == 1)) {
+        out.emplace_back(&entry, w / total);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Workload::MixNames() const {
+  std::set<std::string> names;
+  for (const WorkloadEntry& entry : entries_) {
+    for (const auto& [mix, weight] : entry.weights) {
+      if (weight > 0.0) names.insert(mix);
+    }
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+}  // namespace nose

@@ -1,0 +1,68 @@
+#ifndef NOSE_WORKLOAD_WORKLOAD_H_
+#define NOSE_WORKLOAD_WORKLOAD_H_
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "workload/query.h"
+#include "workload/update.h"
+
+namespace nose {
+
+/// A named statement plus its relative execution frequency, possibly under
+/// several named workload mixes (paper §VII: bidding vs. browsing vs.
+/// write-scaled mixes reuse the same statements with different weights).
+struct WorkloadEntry {
+  std::string name;
+  std::variant<Query, Update> statement;
+  /// Weight per mix; a missing mix means weight 0 under that mix.
+  std::map<std::string, double> weights;
+
+  bool IsQuery() const { return std::holds_alternative<Query>(statement); }
+  const Query& query() const { return std::get<Query>(statement); }
+  const Update& update() const { return std::get<Update>(statement); }
+  double WeightIn(const std::string& mix) const {
+    auto it = weights.find(mix);
+    return it == weights.end() ? 0.0 : it->second;
+  }
+};
+
+/// The application workload: weighted queries and updates over one entity
+/// graph. Thin container; the advisor consumes it read-only.
+class Workload {
+ public:
+  static constexpr const char* kDefaultMix = "default";
+
+  explicit Workload(const EntityGraph* graph) : graph_(graph) {}
+
+  const EntityGraph* graph() const { return graph_; }
+
+  /// Adds a statement with a weight in the default mix.
+  Status AddQuery(std::string name, Query query, double weight = 1.0);
+  Status AddUpdate(std::string name, Update update, double weight = 1.0);
+
+  /// Adds/overrides the weight of statement `name` in `mix`.
+  Status SetWeight(const std::string& name, const std::string& mix,
+                   double weight);
+
+  const std::vector<WorkloadEntry>& entries() const { return entries_; }
+  const WorkloadEntry* FindEntry(const std::string& name) const;
+
+  /// Entries with nonzero weight under `mix`, paired with those weights,
+  /// queries first (stable order). Weights are normalized to sum to 1.
+  std::vector<std::pair<const WorkloadEntry*, double>> EntriesIn(
+      const std::string& mix) const;
+
+  /// Names of all mixes mentioned by any entry.
+  std::vector<std::string> MixNames() const;
+
+ private:
+  const EntityGraph* graph_;
+  std::vector<WorkloadEntry> entries_;
+};
+
+}  // namespace nose
+
+#endif  // NOSE_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "tests/hotel_fixture.h"
+
+namespace nose {
+namespace {
+
+/// The §II guest-POI query: points of interest near hotels booked by a
+/// guest.
+Query MakeGuestPoiQuery(const EntityGraph& graph) {
+  auto path = graph.ResolvePath(
+      "POI", {"Hotels", "Rooms", "Reservations", "Guest"});
+  assert(path.ok());
+  std::vector<FieldRef> select = {{"POI", "POIName"},
+                                  {"POI", "POIDescription"}};
+  std::vector<Predicate> preds = {
+      {{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "guest"}};
+  return Query(std::move(path).value(), std::move(select), std::move(preds),
+               {});
+}
+
+TEST(AdvisorTest, Fig3QueryGetsMaterializedView) {
+  auto graph = MakeHotelGraph();
+  Workload workload(graph.get());
+  ASSERT_TRUE(workload.AddQuery("guests_by_city", MakeFig3Query(*graph)).ok());
+
+  Advisor advisor;
+  auto rec = advisor.Recommend(workload);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  // Read-only workload: a single materialized view answers the query in one
+  // get, and the second solve phase shrinks the schema to just that.
+  EXPECT_EQ(rec->schema.size(), 1u);
+  ASSERT_EQ(rec->query_plans.size(), 1u);
+  EXPECT_EQ(rec->query_plans[0].second.steps.size(), 1u);
+  EXPECT_GT(rec->num_candidates, 5u);
+}
+
+TEST(AdvisorTest, SectionIIGuestPoiExample) {
+  auto graph = MakeHotelGraph();
+  Workload workload(graph.get());
+  ASSERT_TRUE(workload.AddQuery("guest_pois", MakeGuestPoiQuery(*graph)).ok());
+
+  Advisor advisor;
+  auto rec = advisor.Recommend(workload);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->schema.size(), 1u);
+  const ColumnFamily& cf = rec->schema.column_families()[0];
+  // Keyed by the guest, carrying POI name/description — §II's denormalized
+  // column family.
+  ASSERT_EQ(cf.partition_key().size(), 1u);
+  EXPECT_EQ(cf.partition_key()[0].QualifiedName(), "Guest.GuestID");
+  EXPECT_TRUE(cf.ContainsField({"POI", "POIName"}));
+  EXPECT_TRUE(cf.ContainsField({"POI", "POIDescription"}));
+}
+
+TEST(AdvisorTest, FrequentUpdatesForceNormalization) {
+  // §II: "if the application expects to be updating the names and
+  // descriptions of points of interest frequently, [the denormalized]
+  // column family may not be ideal".
+  auto graph = MakeHotelGraph();
+
+  auto make_workload = [&](double update_weight) {
+    auto workload = std::make_unique<Workload>(graph.get());
+    Status s =
+        workload->AddQuery("guest_pois", MakeGuestPoiQuery(*graph), 1.0);
+    assert(s.ok());
+    auto poi_path = graph->SingleEntityPath("POI");
+    auto update = Update::MakeUpdate(
+        *poi_path,
+        {{"POIDescription", std::nullopt, "desc"}},
+        {{{"POI", "POIID"}, PredicateOp::kEq, std::nullopt, "poi"}});
+    assert(update.ok());
+    s = workload->AddUpdate("update_poi", std::move(update).value(),
+                            update_weight);
+    assert(s.ok());
+    (void)s;
+    return workload;
+  };
+
+  Advisor advisor;
+  // Light updates: denormalization stays (POI attributes in the guest CF).
+  // Each POI is duplicated into ~2000 guest partitions, so the update must
+  // be genuinely rare for the duplication to pay off.
+  auto light = make_workload(1e-5);
+  auto rec_light = advisor.Recommend(*light);
+  ASSERT_TRUE(rec_light.ok()) << rec_light.status();
+
+  // Heavy updates: POI attributes should be stored once, keyed by POIID,
+  // with the guest CF holding only the structure.
+  auto heavy = make_workload(10000.0);
+  auto rec_heavy = advisor.Recommend(*heavy);
+  ASSERT_TRUE(rec_heavy.ok()) << rec_heavy.status();
+
+  auto denormalized = [](const Recommendation& rec) {
+    for (const ColumnFamily& cf : rec.schema.column_families()) {
+      const bool keyed_by_guest =
+          cf.partition_key().size() == 1 &&
+          cf.partition_key()[0].QualifiedName() == "Guest.GuestID";
+      if (keyed_by_guest && cf.ContainsField({"POI", "POIDescription"})) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(denormalized(*rec_light));
+  EXPECT_FALSE(denormalized(*rec_heavy));
+  // The heavy-update schema still answers the query (plan exists) but via a
+  // normalized split: a structure CF plus a POI materialization CF.
+  ASSERT_EQ(rec_heavy->query_plans.size(), 1u);
+  EXPECT_GE(rec_heavy->query_plans[0].second.steps.size(), 2u);
+}
+
+TEST(AdvisorTest, SpaceConstraintForcesSmallerSchema) {
+  auto graph = MakeHotelGraph();
+  Workload workload(graph.get());
+  ASSERT_TRUE(workload.AddQuery("guests_by_city", MakeFig3Query(*graph)).ok());
+  ASSERT_TRUE(workload.AddQuery("guest_pois", MakeGuestPoiQuery(*graph)).ok());
+
+  Advisor unconstrained;
+  auto rec_free = unconstrained.Recommend(workload);
+  ASSERT_TRUE(rec_free.ok()) << rec_free.status();
+  const double free_size = rec_free->schema.TotalSizeBytes();
+  const double free_cost = rec_free->objective;
+
+  AdvisorOptions opts;
+  opts.optimizer.space_limit_bytes = free_size * 0.5;
+  Advisor constrained(opts);
+  auto rec_tight = constrained.Recommend(workload);
+  ASSERT_TRUE(rec_tight.ok()) << rec_tight.status();
+  EXPECT_LE(rec_tight->schema.TotalSizeBytes(), free_size * 0.5);
+  // Less space => no cheaper than the unconstrained optimum.
+  EXPECT_GE(rec_tight->objective, free_cost - 1e-9);
+}
+
+TEST(AdvisorTest, ImpossibleSpaceConstraintIsInfeasible) {
+  auto graph = MakeHotelGraph();
+  Workload workload(graph.get());
+  ASSERT_TRUE(workload.AddQuery("guests_by_city", MakeFig3Query(*graph)).ok());
+  AdvisorOptions opts;
+  opts.optimizer.space_limit_bytes = 1.0;  // one byte
+  Advisor advisor(opts);
+  auto rec = advisor.Recommend(workload);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(AdvisorTest, ObjectiveMatchesRecommendedPlanCosts) {
+  auto graph = MakeHotelGraph();
+  Workload workload(graph.get());
+  ASSERT_TRUE(workload.AddQuery("guests_by_city", MakeFig3Query(*graph), 3.0)
+                  .ok());
+  ASSERT_TRUE(workload.AddQuery("guest_pois", MakeGuestPoiQuery(*graph), 1.0)
+                  .ok());
+  Advisor advisor;
+  auto rec = advisor.Recommend(workload);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  double replayed = 0.0;
+  for (const auto& [name, plan] : rec->query_plans) {
+    const WorkloadEntry* entry = workload.FindEntry(name);
+    replayed += entry->WeightIn(Workload::kDefaultMix) / 4.0 * plan.cost;
+  }
+  EXPECT_NEAR(replayed, rec->objective, 1e-6 * std::max(1.0, rec->objective));
+}
+
+TEST(AdvisorTest, SecondPhaseMinimizesSchemaSize) {
+  auto graph = MakeHotelGraph();
+  Workload workload(graph.get());
+  ASSERT_TRUE(workload.AddQuery("guests_by_city", MakeFig3Query(*graph)).ok());
+
+  AdvisorOptions no_min;
+  no_min.optimizer.minimize_schema_size = false;
+  Advisor plain(no_min);
+  auto rec_plain = plain.Recommend(workload);
+  Advisor minimizing;
+  auto rec_min = minimizing.Recommend(workload);
+  ASSERT_TRUE(rec_plain.ok());
+  ASSERT_TRUE(rec_min.ok());
+  EXPECT_LE(rec_min->schema.size(), rec_plain->schema.size());
+  EXPECT_NEAR(rec_min->objective, rec_plain->objective,
+              1e-5 * std::max(1.0, rec_plain->objective));
+}
+
+}  // namespace
+}  // namespace nose

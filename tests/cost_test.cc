@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "schema/column_family.h"
+#include "tests/hotel_fixture.h"
+
+namespace nose {
+namespace {
+
+TEST(CostModelTest, GetCostComposition) {
+  CostParams params;
+  CostModel model(params);
+  // One request, no rows.
+  EXPECT_DOUBLE_EQ(model.GetCost(1, 0, 0), params.read_request);
+  // Rows and bytes add linearly.
+  const double c = model.GetCost(2, 10, 100);
+  EXPECT_DOUBLE_EQ(c, 2 * params.read_request + 20 * params.read_row +
+                          20 * 100 * params.read_byte);
+  // Negative inputs clamp to zero.
+  EXPECT_DOUBLE_EQ(model.GetCost(-1, 5, 10), 0.0);
+}
+
+TEST(CostModelTest, PutFilterSortCosts) {
+  CostParams params;
+  CostModel model(params);
+  EXPECT_DOUBLE_EQ(model.PutCost(1, 1, 0),
+                   params.write_request + params.write_row);
+  EXPECT_DOUBLE_EQ(model.FilterCost(100), 100 * params.filter_row);
+  EXPECT_DOUBLE_EQ(model.SortCost(0), 0.0);
+  EXPECT_GT(model.SortCost(1000), model.SortCost(100));
+  // n log n growth: sorting 10x the rows costs more than 10x.
+  EXPECT_GT(model.SortCost(1000), 10 * model.SortCost(100) * 0.99);
+}
+
+class CardinalityTest : public ::testing::Test {
+ protected:
+  CardinalityTest()
+      : graph_(MakeHotelGraph()),
+        model_(CostParams{}),
+        est_(graph_.get(), &model_.params()) {}
+  std::unique_ptr<EntityGraph> graph_;
+  CostModel model_;
+  CardinalityEstimator est_;
+};
+
+TEST_F(CardinalityTest, PredicateSelectivities) {
+  // Equality on a 20-value city attribute.
+  Predicate city{{"Hotel", "HotelCity"}, PredicateOp::kEq, std::nullopt, "c"};
+  EXPECT_DOUBLE_EQ(est_.Selectivity(city), 1.0 / 20.0);
+  // Equality on an ID: 1/count.
+  Predicate id{{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "g"};
+  EXPECT_DOUBLE_EQ(est_.Selectivity(id), 1.0 / 50000.0);
+  // Ranges use the configured constant.
+  Predicate rate{{"Room", "RoomRate"}, PredicateOp::kGt, std::nullopt, "r"};
+  EXPECT_DOUBLE_EQ(est_.Selectivity(rate), model_.params().range_selectivity);
+  Predicate ne{{"Room", "RoomFloor"}, PredicateOp::kNe, std::nullopt, "f"};
+  EXPECT_DOUBLE_EQ(est_.Selectivity(ne), model_.params().ne_selectivity);
+  // Combined under independence.
+  EXPECT_DOUBLE_EQ(est_.Selectivity(std::vector<Predicate>{city, rate}),
+                   0.05 * model_.params().range_selectivity);
+}
+
+TEST_F(CardinalityTest, MatchingEntitiesAlongFig3Path) {
+  Query q = MakeFig3Query(*graph_);
+  // At Hotel (index 3): hotels in one city = 100/20.
+  EXPECT_NEAR(est_.MatchingEntities(q, 3), 5.0, 1e-9);
+  // At Room (index 2): rooms in city above rate = 10000/20 * 0.1.
+  EXPECT_NEAR(est_.MatchingEntities(q, 2), 50.0, 1e-9);
+  // At Reservation (index 1): reservations through those rooms.
+  EXPECT_NEAR(est_.MatchingEntities(q, 1), 500.0, 1e-9);
+  // At Guest (index 0): one guest per reservation here.
+  EXPECT_NEAR(est_.MatchingEntities(q, 0), 500.0, 1e-9);
+}
+
+TEST_F(CardinalityTest, MatchingEntitiesRespectsFanOutNotBareCounts) {
+  // One guest reaches ~2 reservations -> ~2 hotels, not
+  // count(Hotel) * tiny-selectivity.
+  auto path = graph_->ResolvePath(
+      "POI", {"Hotels", "Rooms", "Reservations", "Guest"});
+  Query q(*path, {{"POI", "POIName"}},
+          {{{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "g"}}, {});
+  // Hotel is at index 1: suffix Hotel..Guest has 100k instances / 50k
+  // guests = 2 expected hotels per guest.
+  EXPECT_NEAR(est_.MatchingEntities(q, 1), 2.0, 1e-9);
+  // Clamped by entity count at the POI end: 2 hotels * 10 POIs = 20.
+  EXPECT_NEAR(est_.MatchingEntities(q, 0), 20.0, 1e-9);
+}
+
+TEST_F(CardinalityTest, RowsPerBinding) {
+  auto segment = graph_->ResolvePath("Room", {"Hotel"});
+  // Partitioned by Hotel (index 1): 10000 rooms / 100 hotels = 100 each.
+  EXPECT_NEAR(est_.RowsPerBinding(*segment, 1, {}), 100.0, 1e-9);
+  // A range predicate thins the rows.
+  Predicate rate{{"Room", "RoomRate"}, PredicateOp::kGt, std::nullopt, "r"};
+  EXPECT_NEAR(est_.RowsPerBinding(*segment, 1, {rate}), 10.0, 1e-9);
+}
+
+TEST(ColumnFamilySizeTest, EstimatesScaleWithContent) {
+  auto graph = MakeHotelGraph();
+  auto path = graph->ResolvePath("Room", {"Hotel"});
+  auto small = ColumnFamily::Create(*path, {{"Hotel", "HotelCity"}},
+                                    {{"Room", "RoomID"}}, {});
+  auto large = ColumnFamily::Create(
+      *path, {{"Hotel", "HotelCity"}}, {{"Room", "RoomID"}},
+      {{"Room", "RoomRate"}, {"Hotel", "HotelAddress"}});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  // 10000 path instances; 20 partitions.
+  EXPECT_DOUBLE_EQ(small->EntryCount(), 10000.0);
+  EXPECT_DOUBLE_EQ(small->PartitionCount(), 20.0);
+  EXPECT_GT(large->SizeBytes(), small->SizeBytes());
+}
+
+}  // namespace
+}  // namespace nose

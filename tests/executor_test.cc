@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "executor/dataset.h"
+#include "executor/loader.h"
+#include "executor/plan_executor.h"
+#include "tests/hotel_fixture.h"
+#include "tests/reference_evaluator.h"
+#include "util/rng.h"
+
+namespace nose {
+namespace {
+
+int64_t I(int64_t v) { return v; }
+
+/// Deterministic small hotel dataset: every entity instance carries its row
+/// index as ID; attribute values are simple functions of the index so the
+/// reference evaluator and the executor must agree exactly.
+Dataset MakeHotelData(const EntityGraph& graph, Rng& rng, size_t hotels = 6,
+                      size_t rooms_per_hotel = 5, size_t guests = 20,
+                      size_t reservations = 60, size_t pois = 8) {
+  Dataset data(const_cast<EntityGraph*>(&graph));
+  const std::vector<std::string> cities = {"Boston", "NYC", "Waterloo"};
+  for (size_t h = 0; h < hotels; ++h) {
+    data.AddRow("Hotel",
+                {I(static_cast<int64_t>(h)),
+                 Value("Hotel" + std::to_string(h)), Value(cities[h % 3]),
+                 Value(std::string("State") + std::to_string(h % 2)),
+                 Value("Addr" + std::to_string(h)), Value(std::string("555"))});
+  }
+  for (size_t p = 0; p < pois; ++p) {
+    data.AddRow("POI", {I(static_cast<int64_t>(p)),
+                        Value("POI" + std::to_string(p)),
+                        Value("Desc" + std::to_string(p))});
+  }
+  for (size_t a = 0; a < 4; ++a) {
+    data.AddRow("Amenity", {I(static_cast<int64_t>(a)),
+                            Value("Amenity" + std::to_string(a))});
+  }
+  size_t room_count = 0;
+  for (size_t h = 0; h < hotels; ++h) {
+    for (size_t r = 0; r < rooms_per_hotel; ++r) {
+      const size_t room = data.AddRow(
+          "Room", {I(static_cast<int64_t>(room_count)),
+                   I(static_cast<int64_t>(100 + r)),
+                   Value(50.0 + 10.0 * static_cast<double>(room_count % 10)),
+                   I(static_cast<int64_t>(r % 3))});
+      data.AddLink(0, h, room);               // Hotel -> Rooms
+      data.AddLink(4, room, room % 4);        // Room -> Amenities (M:N)
+      data.AddLink(4, room, (room + 1) % 4);
+      ++room_count;
+    }
+  }
+  for (size_t g = 0; g < guests; ++g) {
+    data.AddRow("Guest", {I(static_cast<int64_t>(g)),
+                          Value("Guest" + std::to_string(g)),
+                          Value("g" + std::to_string(g) + "@x.com")});
+  }
+  for (size_t r = 0; r < reservations; ++r) {
+    const size_t res = data.AddRow(
+        "Reservation", {I(static_cast<int64_t>(r)),
+                        I(static_cast<int64_t>(rng.Uniform(365))),
+                        I(static_cast<int64_t>(rng.Uniform(365)))});
+    data.AddLink(1, rng.Uniform(room_count), res);  // Room -> Reservations
+    data.AddLink(2, rng.Uniform(guests), res);      // Guest -> Reservations
+  }
+  for (size_t h = 0; h < hotels; ++h) {  // Hotel <-> POI
+    data.AddLink(3, h, h % pois);
+    data.AddLink(3, h, (h + 3) % pois);
+  }
+  return data;
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : graph_(MakeHotelGraph()), rng_(42) {
+    data_ = std::make_unique<Dataset>(MakeHotelData(*graph_, rng_));
+    data_->SyncCountsTo(graph_.get());
+  }
+
+  /// Recommends a schema for the workload, loads it, and returns the
+  /// executor machinery.
+  void Recommend(Workload& workload) {
+    Advisor advisor;
+    auto rec = advisor.Recommend(workload);
+    ASSERT_TRUE(rec.ok()) << rec.status();
+    rec_ = std::make_unique<Recommendation>(std::move(rec).value());
+    store_ = std::make_unique<RecordStore>();
+    ASSERT_TRUE(LoadSchema(*data_, rec_->schema, store_.get()).ok());
+    executor_ = std::make_unique<PlanExecutor>(store_.get(), &rec_->schema);
+  }
+
+  std::unique_ptr<EntityGraph> graph_;
+  Rng rng_;
+  std::unique_ptr<Dataset> data_;
+  std::unique_ptr<Recommendation> rec_;
+  std::unique_ptr<RecordStore> store_;
+  std::unique_ptr<PlanExecutor> executor_;
+};
+
+TEST_F(ExecutorTest, Fig3QueryMatchesReference) {
+  Workload workload(graph_.get());
+  ASSERT_TRUE(workload.AddQuery("q", MakeFig3Query(*graph_)).ok());
+  Recommend(workload);
+
+  const QueryPlan& plan = rec_->query_plans[0].second;
+  for (const char* city : {"Boston", "NYC", "Waterloo", "Nowhere"}) {
+    for (double rate : {0.0, 75.0, 200.0}) {
+      PlanExecutor::Params params = {{"city", Value(std::string(city))},
+                                     {"rate", Value(rate)}};
+      auto got = executor_->ExecuteQuery(plan, params);
+      ASSERT_TRUE(got.ok()) << got.status();
+      auto want = ReferenceEvaluate(*data_, *plan.query, params);
+      EXPECT_EQ(CanonicalRows(*got), CanonicalRows(want))
+          << "city=" << city << " rate=" << rate;
+    }
+  }
+}
+
+TEST_F(ExecutorTest, MultiStepPlanMatchesReference) {
+  // Force a normalized schema by adding a heavy update on Guest emails, so
+  // the recommended plan has several steps; results must be identical.
+  Workload workload(graph_.get());
+  ASSERT_TRUE(workload.AddQuery("q", MakeFig3Query(*graph_), 1.0).ok());
+  auto guest_path = graph_->SingleEntityPath("Guest");
+  auto upd = Update::MakeUpdate(
+      *guest_path, {{"GuestEmail", std::nullopt, "email"}},
+      {{{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "g"}});
+  ASSERT_TRUE(upd.ok());
+  ASSERT_TRUE(workload.AddUpdate("u", std::move(upd).value(), 500.0).ok());
+  Recommend(workload);
+
+  const QueryPlan& plan = rec_->query_plans[0].second;
+  EXPECT_GE(plan.steps.size(), 2u);  // denormalized email is too expensive
+  PlanExecutor::Params params = {{"city", Value(std::string("Boston"))},
+                                 {"rate", Value(60.0)}};
+  auto got = executor_->ExecuteQuery(plan, params);
+  ASSERT_TRUE(got.ok()) << got.status();
+  auto want = ReferenceEvaluate(*data_, *plan.query, params);
+  EXPECT_EQ(CanonicalRows(*got), CanonicalRows(want));
+  EXPECT_FALSE(want.empty());
+}
+
+TEST_F(ExecutorTest, OrderByDeliversSortedResults) {
+  auto path = graph_->ResolvePath("Room", {"Hotel"});
+  ASSERT_TRUE(path.ok());
+  Query q(*path, {{"Room", "RoomID"}, {"Room", "RoomRate"}},
+          {{{"Hotel", "HotelCity"}, PredicateOp::kEq, std::nullopt, "city"}},
+          {OrderField{{"Room", "RoomRate"}}});
+  ASSERT_TRUE(q.Validate().ok());
+  Workload workload(graph_.get());
+  ASSERT_TRUE(workload.AddQuery("rooms", std::move(q)).ok());
+  Recommend(workload);
+
+  PlanExecutor::Params params = {{"city", Value(std::string("NYC"))}};
+  auto got = executor_->ExecuteQuery(rec_->query_plans[0].second, params);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_GT(got->size(), 1u);
+  for (size_t i = 1; i < got->size(); ++i) {
+    EXPECT_FALSE((*got)[i][1] < (*got)[i - 1][1]);  // RoomRate ascending
+  }
+}
+
+TEST_F(ExecutorTest, UpdateExecutionMaintainsAllColumnFamilies) {
+  // Query guests' emails by city; update an email; re-query must see it.
+  Workload workload(graph_.get());
+  ASSERT_TRUE(workload.AddQuery("q", MakeFig3Query(*graph_), 1.0).ok());
+  auto guest_path = graph_->SingleEntityPath("Guest");
+  auto upd = Update::MakeUpdate(
+      *guest_path, {{"GuestEmail", std::nullopt, "email"}},
+      {{{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "g"}});
+  ASSERT_TRUE(upd.ok());
+  ASSERT_TRUE(workload.AddUpdate("u", std::move(upd).value(), 0.5).ok());
+  Recommend(workload);
+
+  PlanExecutor::Params qparams = {{"city", Value(std::string("Boston"))},
+                                  {"rate", Value(0.0)}};
+  auto before = executor_->ExecuteQuery(rec_->query_plans[0].second, qparams);
+  ASSERT_TRUE(before.ok()) << before.status();
+  ASSERT_FALSE(before->empty());
+
+  // Find a guest that appears in the Boston results and change their email.
+  // Select list is (GuestName, GuestEmail); find the guest id by name.
+  const std::string victim_name = std::get<std::string>((*before)[0][0]);
+  int64_t victim_id = -1;
+  for (size_t g = 0; g < data_->RowCount("Guest"); ++g) {
+    if (std::get<std::string>(data_->FieldValue("Guest", g, "GuestName")) ==
+        victim_name) {
+      victim_id = std::get<int64_t>(data_->FieldValue("Guest", g, "GuestID"));
+    }
+  }
+  ASSERT_GE(victim_id, 0);
+
+  PlanExecutor::Params uparams = {{"g", Value(victim_id)},
+                                  {"email", Value(std::string("new@x.com"))}};
+  ASSERT_TRUE(
+      executor_->ExecuteUpdate(rec_->update_plans[0].second, uparams).ok());
+
+  auto after = executor_->ExecuteQuery(rec_->query_plans[0].second, qparams);
+  ASSERT_TRUE(after.ok()) << after.status();
+  bool found_new = false;
+  for (const ValueTuple& row : *after) {
+    if (std::get<std::string>(row[0]) == victim_name) {
+      EXPECT_EQ(std::get<std::string>(row[1]), "new@x.com");
+      found_new = true;
+    }
+  }
+  EXPECT_TRUE(found_new);
+}
+
+TEST_F(ExecutorTest, InsertAndConnectBecomeVisible) {
+  // Workload: reservations of a guest; insert a new reservation connected
+  // to a guest and room; it must appear.
+  auto path = graph_->ResolvePath("Reservation", {"Guest"});
+  ASSERT_TRUE(path.ok());
+  Query q(*path, {{"Reservation", "ResID"}},
+          {{{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "g"}}, {});
+  ASSERT_TRUE(q.Validate().ok());
+  Workload workload(graph_.get());
+  ASSERT_TRUE(workload.AddQuery("res_by_guest", std::move(q)).ok());
+  auto ins = Update::MakeInsert(
+      graph_.get(), "Reservation",
+      {{"ResID", std::nullopt, "rid"},
+       {"ResStartDate", std::nullopt, "start"},
+       {"ResEndDate", std::nullopt, "end"}},
+      {{"Guest", "guest"}, {"Room", "room"}});
+  ASSERT_TRUE(ins.ok()) << ins.status();
+  ASSERT_TRUE(workload.AddUpdate("ins", std::move(ins).value(), 1.0).ok());
+  Recommend(workload);
+
+  PlanExecutor::Params qparams = {{"g", Value(I(3))}};
+  auto before = executor_->ExecuteQuery(rec_->query_plans[0].second, qparams);
+  ASSERT_TRUE(before.ok()) << before.status();
+  const size_t before_count = before->size();
+
+  PlanExecutor::Params iparams = {{"rid", Value(I(99999))},
+                                  {"start", Value(I(1))},
+                                  {"end", Value(I(2))},
+                                  {"guest", Value(I(3))},
+                                  {"room", Value(I(0))}};
+  ASSERT_TRUE(
+      executor_->ExecuteUpdate(rec_->update_plans[0].second, iparams).ok());
+
+  auto after = executor_->ExecuteQuery(rec_->query_plans[0].second, qparams);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->size(), before_count + 1);
+  bool found = false;
+  for (const ValueTuple& row : *after) {
+    if (std::get<int64_t>(row[0]) == 99999) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ExecutorTest, DeleteRemovesEntityEverywhere) {
+  auto path = graph_->ResolvePath("Reservation", {"Guest"});
+  ASSERT_TRUE(path.ok());
+  Query q(*path, {{"Reservation", "ResID"}},
+          {{{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "g"}}, {});
+  Workload workload(graph_.get());
+  ASSERT_TRUE(workload.AddQuery("res_by_guest", std::move(q)).ok());
+  auto res_path = graph_->ResolvePath("Reservation", {"Guest"});
+  auto del = Update::MakeDelete(
+      *res_path,
+      {{{"Reservation", "ResID"}, PredicateOp::kEq, std::nullopt, "r"}});
+  ASSERT_TRUE(del.ok());
+  ASSERT_TRUE(workload.AddUpdate("del", std::move(del).value(), 1.0).ok());
+  Recommend(workload);
+
+  // Find a guest with at least one reservation.
+  PlanExecutor::Params qparams = {{"g", Value(I(5))}};
+  auto before = executor_->ExecuteQuery(rec_->query_plans[0].second, qparams);
+  ASSERT_TRUE(before.ok()) << before.status();
+  if (before->empty()) GTEST_SKIP() << "guest 5 has no reservations";
+  const int64_t victim = std::get<int64_t>((*before)[0][0]);
+
+  PlanExecutor::Params dparams = {{"r", Value(victim)}};
+  ASSERT_TRUE(
+      executor_->ExecuteUpdate(rec_->update_plans[0].second, dparams).ok());
+  auto after = executor_->ExecuteQuery(rec_->query_plans[0].second, qparams);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->size(), before->size() - 1);
+}
+
+/// Property test: random parameters over several workload shapes always
+/// match the reference evaluator.
+class ExecutorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorPropertyTest, RandomQueriesMatchReference) {
+  auto graph = MakeHotelGraph();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 5);
+  Dataset data = MakeHotelData(*graph, rng);
+  data.SyncCountsTo(graph.get());
+
+  // A few query shapes with different path lengths and predicate mixes.
+  std::vector<Query> queries;
+  {
+    auto p = graph->ResolvePath("Room", {"Hotel"});
+    queries.emplace_back(
+        *p, std::vector<FieldRef>{{"Room", "RoomID"}, {"Room", "RoomRate"}},
+        std::vector<Predicate>{
+            {{"Hotel", "HotelCity"}, PredicateOp::kEq, std::nullopt, "city"},
+            {{"Room", "RoomRate"}, PredicateOp::kGt, std::nullopt, "rate"}},
+        std::vector<OrderField>{});
+  }
+  {
+    auto p = graph->ResolvePath("Guest", {"Reservations", "Room"});
+    queries.emplace_back(
+        *p, std::vector<FieldRef>{{"Guest", "GuestName"}},
+        std::vector<Predicate>{
+            {{"Room", "RoomID"}, PredicateOp::kEq, std::nullopt, "room"}},
+        std::vector<OrderField>{});
+  }
+  {
+    auto p = graph->ResolvePath("POI", {"Hotels"});
+    queries.emplace_back(
+        *p, std::vector<FieldRef>{{"POI", "POIName"}},
+        std::vector<Predicate>{
+            {{"Hotel", "HotelID"}, PredicateOp::kEq, std::nullopt, "h"},
+            {{"POI", "POIID"}, PredicateOp::kNe, std::nullopt, "notpoi"}},
+        std::vector<OrderField>{});
+  }
+
+  Workload workload(graph.get());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(workload.AddQuery("q" + std::to_string(i), queries[i]).ok());
+  }
+  Advisor advisor;
+  auto rec = advisor.Recommend(workload);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  RecordStore store;
+  ASSERT_TRUE(LoadSchema(data, rec->schema, &store).ok());
+  PlanExecutor executor(&store, &rec->schema);
+
+  const std::vector<std::string> cities = {"Boston", "NYC", "Waterloo"};
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<PlanExecutor::Params> all_params = {
+        {{"city", Value(cities[rng.Uniform(3)])},
+         {"rate", Value(50.0 + static_cast<double>(rng.Uniform(100)))}},
+        {{"room", Value(static_cast<int64_t>(rng.Uniform(30)))}},
+        {{"h", Value(static_cast<int64_t>(rng.Uniform(6)))},
+         {"notpoi", Value(static_cast<int64_t>(rng.Uniform(8)))}},
+    };
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const QueryPlan& plan = rec->query_plans[i].second;
+      auto got = executor.ExecuteQuery(plan, all_params[i]);
+      ASSERT_TRUE(got.ok()) << got.status();
+      auto want = ReferenceEvaluate(data, queries[i], all_params[i]);
+      EXPECT_EQ(CanonicalRows(*got), CanonicalRows(want))
+          << "query " << i << " trial " << trial << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace nose

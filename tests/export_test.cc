@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "export/cql.h"
+#include "tests/hotel_fixture.h"
+
+namespace nose {
+namespace {
+
+TEST(CqlExportTest, TypeAndNameMapping) {
+  EXPECT_STREQ(CqlTypeName(FieldType::kId), "bigint");
+  EXPECT_STREQ(CqlTypeName(FieldType::kInteger), "bigint");
+  EXPECT_STREQ(CqlTypeName(FieldType::kFloat), "double");
+  EXPECT_STREQ(CqlTypeName(FieldType::kString), "text");
+  EXPECT_STREQ(CqlTypeName(FieldType::kDate), "timestamp");
+  EXPECT_STREQ(CqlTypeName(FieldType::kBoolean), "boolean");
+  EXPECT_EQ(CqlColumnName({"Hotel", "HotelCity"}), "hotel_hotelcity");
+}
+
+TEST(CqlExportTest, TableDdlShape) {
+  auto graph = MakeHotelGraph();
+  auto path = graph->ResolvePath("Room", {"Hotel"});
+  auto cf = ColumnFamily::Create(*path, {{"Hotel", "HotelCity"}},
+                                 {{"Room", "RoomRate"}, {"Room", "RoomID"}},
+                                 {{"Room", "RoomFloor"}});
+  ASSERT_TRUE(cf.ok());
+  Schema schema;
+  schema.Add(std::move(cf).value(), "rooms_by_city");
+
+  const std::string ddl = SchemaToCql(schema, "myks");
+  EXPECT_NE(ddl.find("CREATE KEYSPACE IF NOT EXISTS myks"), std::string::npos);
+  EXPECT_NE(ddl.find("CREATE TABLE myks.rooms_by_city ("), std::string::npos);
+  EXPECT_NE(ddl.find("hotel_hotelcity text"), std::string::npos);
+  EXPECT_NE(ddl.find("room_roomrate double"), std::string::npos);
+  EXPECT_NE(ddl.find("room_roomfloor bigint"), std::string::npos);
+  EXPECT_NE(ddl.find("PRIMARY KEY ((hotel_hotelcity), room_roomrate, "
+                     "room_roomid)"),
+            std::string::npos);
+  EXPECT_NE(ddl.find("CLUSTERING ORDER BY (room_roomrate ASC, room_roomid "
+                     "ASC)"),
+            std::string::npos);
+  // The relationship path is documented.
+  EXPECT_NE(ddl.find("-- materializes Hotel-[Rooms]->Room"),  // canonical direction
+            std::string::npos);
+}
+
+TEST(CqlExportTest, NoClusteringMeansNoOrderClause) {
+  auto graph = MakeHotelGraph();
+  auto guest = graph->SingleEntityPath("Guest");
+  auto cf = ColumnFamily::Create(*guest, {{"Guest", "GuestID"}}, {},
+                                 {{"Guest", "GuestName"}});
+  ASSERT_TRUE(cf.ok());
+  Schema schema;
+  schema.Add(std::move(cf).value(), "guests");
+  const std::string ddl = SchemaToCql(schema);
+  EXPECT_EQ(ddl.find("CLUSTERING ORDER"), std::string::npos);
+  EXPECT_NE(ddl.find("PRIMARY KEY ((guest_guestid))"), std::string::npos);
+}
+
+TEST(CqlExportTest, RecommendationIncludesPlansAsComments) {
+  auto graph = MakeHotelGraph();
+  Workload workload(graph.get());
+  ASSERT_TRUE(workload.AddQuery("q", MakeFig3Query(*graph)).ok());
+  auto guest = graph->SingleEntityPath("Guest");
+  auto upd = Update::MakeUpdate(
+      *guest, {{"GuestEmail", std::nullopt, "e"}},
+      {{{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "g"}});
+  ASSERT_TRUE(upd.ok());
+  ASSERT_TRUE(workload.AddUpdate("u", std::move(upd).value(), 0.5).ok());
+
+  Advisor advisor;
+  auto rec = advisor.Recommend(workload);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  const std::string out = RecommendationToCql(*rec);
+  EXPECT_NE(out.find("CREATE TABLE"), std::string::npos);
+  EXPECT_NE(out.find("-- query q:"), std::string::npos);
+  EXPECT_NE(out.find("-- update u:"), std::string::npos);
+  // Every schema table name appears in the DDL.
+  for (const std::string& name : rec->schema.names()) {
+    EXPECT_NE(out.find("nose." + name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace nose

@@ -1,0 +1,86 @@
+#ifndef NOSE_TESTS_HOTEL_FIXTURE_H_
+#define NOSE_TESTS_HOTEL_FIXTURE_H_
+
+#include <cassert>
+#include <memory>
+
+#include "model/entity_graph.h"
+#include "workload/query.h"
+
+namespace nose {
+
+/// Builds the paper's hotel-booking conceptual model (Fig. 1): six entity
+/// sets with the relationships Hotel-Room, Room-Reservation,
+/// Guest-Reservation, Hotel-POI (M:N) and Room-Amenity (M:N).
+inline std::unique_ptr<EntityGraph> MakeHotelGraph() {
+  auto graph = std::make_unique<EntityGraph>();
+
+  auto add_entity = [&](const char* name, uint64_t count,
+                        std::vector<Field> fields, const char* id_name = "") {
+    Entity e(name, count, id_name);
+    for (Field& f : fields) {
+      Status s = e.AddField(std::move(f));
+      assert(s.ok());
+      (void)s;
+    }
+    Status s = graph->AddEntity(std::move(e));
+    assert(s.ok());
+    (void)s;
+  };
+
+  add_entity("Hotel", 100,
+             {{"HotelName", FieldType::kString, 0, 0},
+              {"HotelCity", FieldType::kString, 0, 20},
+              {"HotelState", FieldType::kString, 0, 10},
+              {"HotelAddress", FieldType::kString, 64, 0},
+              {"HotelPhone", FieldType::kString, 16, 0}});
+  add_entity("Room", 10000,
+             {{"RoomNumber", FieldType::kInteger, 0, 500},
+              {"RoomRate", FieldType::kFloat, 0, 100},
+              {"RoomFloor", FieldType::kInteger, 0, 20}});
+  add_entity("Reservation", 100000,
+             {{"ResStartDate", FieldType::kDate, 0, 365},
+              {"ResEndDate", FieldType::kDate, 0, 365}},
+             "ResID");
+  add_entity("Guest", 50000,
+             {{"GuestName", FieldType::kString, 0, 0},
+              {"GuestEmail", FieldType::kString, 0, 0}});
+  add_entity("POI", 500,
+             {{"POIName", FieldType::kString, 0, 0},
+              {"POIDescription", FieldType::kString, 128, 0}});
+  add_entity("Amenity", 50, {{"AmenityName", FieldType::kString, 0, 0}});
+
+  auto add_rel = [&](Relationship rel) {
+    Status s = graph->AddRelationship(std::move(rel));
+    assert(s.ok());
+    (void)s;
+  };
+  add_rel({"Hotel", "Room", Cardinality::kOneToMany, "Rooms", "Hotel"});
+  add_rel({"Room", "Reservation", Cardinality::kOneToMany, "Reservations",
+           "Room"});
+  add_rel({"Guest", "Reservation", Cardinality::kOneToMany, "Reservations",
+           "Guest"});
+  add_rel({"Hotel", "POI", Cardinality::kManyToMany, "PointsOfInterest",
+           "Hotels", 1000});
+  add_rel({"Room", "Amenity", Cardinality::kManyToMany, "Amenities", "Rooms",
+           30000});
+  return graph;
+}
+
+/// The paper's Fig. 3 query: guests with reservations in a given city above
+/// a given room rate.
+inline Query MakeFig3Query(const EntityGraph& graph) {
+  auto path = graph.ResolvePath("Guest", {"Reservations", "Room", "Hotel"});
+  assert(path.ok());
+  std::vector<FieldRef> select = {{"Guest", "GuestName"},
+                                  {"Guest", "GuestEmail"}};
+  std::vector<Predicate> preds = {
+      {{"Hotel", "HotelCity"}, PredicateOp::kEq, std::nullopt, "city"},
+      {{"Room", "RoomRate"}, PredicateOp::kGt, std::nullopt, "rate"}};
+  return Query(std::move(path).value(), std::move(select), std::move(preds),
+               {});
+}
+
+}  // namespace nose
+
+#endif  // NOSE_TESTS_HOTEL_FIXTURE_H_

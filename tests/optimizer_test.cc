@@ -1,0 +1,142 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "randwl/random_workload.h"
+#include "tests/hotel_fixture.h"
+
+namespace nose {
+namespace {
+
+Query MakeGuestPoiQuery(const EntityGraph& graph) {
+  auto path =
+      graph.ResolvePath("POI", {"Hotels", "Rooms", "Reservations", "Guest"});
+  std::vector<FieldRef> select = {{"POI", "POIName"}};
+  std::vector<Predicate> preds = {
+      {{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "guest"}};
+  return Query(std::move(path).value(), std::move(select), std::move(preds),
+               {});
+}
+
+/// Builds a mixed hotel workload with `update_weight` on a POI update.
+std::unique_ptr<Workload> MakeMixedWorkload(const EntityGraph& graph,
+                                            double update_weight) {
+  auto workload = std::make_unique<Workload>(&graph);
+  (void)workload->AddQuery("guests_by_city", MakeFig3Query(graph), 2.0);
+  (void)workload->AddQuery("guest_pois", MakeGuestPoiQuery(graph), 1.0);
+  auto poi = graph.SingleEntityPath("POI");
+  auto upd = Update::MakeUpdate(
+      *poi, {{"POIDescription", std::nullopt, "d"}},
+      {{{"POI", "POIID"}, PredicateOp::kEq, std::nullopt, "p"}});
+  (void)workload->AddUpdate("upd_poi", std::move(upd).value(), update_weight);
+  return workload;
+}
+
+/// The two solve strategies must agree on the objective (within the
+/// optimality gaps both honor).
+TEST(OptimizerStrategyTest, CombinatorialMatchesBipOnHotelWorkloads) {
+  auto graph = MakeHotelGraph();
+  for (double w : {0.001, 0.5, 10.0}) {
+    auto workload = MakeMixedWorkload(*graph, w);
+
+    AdvisorOptions bip_opts;
+    bip_opts.optimizer.strategy = SolveStrategy::kBip;
+    Advisor bip_advisor(bip_opts);
+    auto bip = bip_advisor.Recommend(*workload);
+    ASSERT_TRUE(bip.ok()) << bip.status();
+
+    AdvisorOptions comb_opts;
+    comb_opts.optimizer.strategy = SolveStrategy::kCombinatorial;
+    Advisor comb_advisor(comb_opts);
+    auto comb = comb_advisor.Recommend(*workload);
+    ASSERT_TRUE(comb.ok()) << comb.status();
+
+    const double tol =
+        0.025 * std::max(1e-9, std::max(bip->objective, comb->objective));
+    EXPECT_NEAR(bip->objective, comb->objective, tol) << "weight " << w;
+  }
+}
+
+class StrategyEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyEquivalenceTest, RandomWorkloadsAgree) {
+  randwl::GeneratorOptions gen;
+  gen.num_entities = 4;
+  gen.num_statements = 6;
+  gen.seed = 1000 + static_cast<uint64_t>(GetParam());
+  auto rw = randwl::Generate(gen);
+  ASSERT_TRUE(rw.ok()) << rw.status();
+
+  AdvisorOptions bip_opts;
+  bip_opts.optimizer.strategy = SolveStrategy::kBip;
+  bip_opts.optimizer.bip.time_limit_seconds = 30;
+  Advisor bip_advisor(bip_opts);
+  auto bip = bip_advisor.Recommend(*rw->workload);
+
+  AdvisorOptions comb_opts;
+  comb_opts.optimizer.strategy = SolveStrategy::kCombinatorial;
+  Advisor comb_advisor(comb_opts);
+  auto comb = comb_advisor.Recommend(*rw->workload);
+
+  ASSERT_EQ(bip.ok(), comb.ok());
+  if (!bip.ok()) return;
+  if (!bip->solve_proven || !comb->solve_proven) {
+    GTEST_SKIP() << "a solver hit its budget; objectives not comparable";
+  }
+  const double tol =
+      0.03 * std::max(1e-9, std::max(bip->objective, comb->objective));
+  EXPECT_NEAR(bip->objective, comb->objective, tol)
+      << "seed " << gen.seed;
+  // Both schemas must cover the workload with comparable costs; plan counts
+  // match statement counts.
+  EXPECT_EQ(bip->query_plans.size(), comb->query_plans.size());
+  EXPECT_EQ(bip->update_plans.size(), comb->update_plans.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+TEST(OptimizerStrategyTest, AutoSelectsBipForSmallPools) {
+  auto graph = MakeHotelGraph();
+  auto workload = MakeMixedWorkload(*graph, 0.5);
+  AdvisorOptions opts;  // kAuto by default
+  Advisor advisor(opts);
+  auto rec = advisor.Recommend(*workload);
+  ASSERT_TRUE(rec.ok());
+  // Small pool => BIP path => variable counts reported.
+  EXPECT_GT(rec->bip_variables, 0);
+}
+
+TEST(OptimizerStrategyTest, SpaceLimitForcesBip) {
+  auto graph = MakeHotelGraph();
+  auto workload = MakeMixedWorkload(*graph, 0.5);
+  AdvisorOptions opts;
+  opts.optimizer.strategy = SolveStrategy::kCombinatorial;
+  opts.optimizer.space_limit_bytes = 1e12;  // roomy, but forces BIP
+  Advisor advisor(opts);
+  auto rec = advisor.Recommend(*workload);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_GT(rec->bip_variables, 0);  // BIP path was taken
+}
+
+TEST(OptimizerStrategyTest, CombinatorialHandlesLargerRandomInstances) {
+  randwl::GeneratorOptions gen;
+  gen.num_entities = 18;
+  gen.num_statements = 36;
+  gen.seed = 77;
+  auto rw = randwl::Generate(gen);
+  ASSERT_TRUE(rw.ok());
+  AdvisorOptions opts;
+  opts.optimizer.strategy = SolveStrategy::kCombinatorial;
+  opts.optimizer.bip.time_limit_seconds = 20;
+  Advisor advisor(opts);
+  auto rec = advisor.Recommend(*rw->workload);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_GT(rec->schema.size(), 0u);
+  EXPECT_GT(rec->objective, 0.0);
+  EXPECT_LT(rec->timing.total_seconds, 60.0);
+}
+
+}  // namespace
+}  // namespace nose

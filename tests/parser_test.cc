@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/model_parser.h"
+#include "parser/statement_parser.h"
+#include "parser/workload_parser.h"
+#include "tests/hotel_fixture.h"
+
+namespace nose {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a.b, c >= 4.5 ?x ? 'hi' # comment\n<=");
+  ASSERT_TRUE(tokens.ok());
+  const std::vector<Token>& t = *tokens;
+  EXPECT_TRUE(t[0].IsKeyword("select"));
+  EXPECT_TRUE(t[1].Is(TokenType::kIdentifier));
+  EXPECT_TRUE(t[2].IsSymbol("."));
+  EXPECT_TRUE(t[4].IsSymbol(","));
+  EXPECT_TRUE(t[6].IsSymbol(">="));
+  EXPECT_EQ(t[7].text, "4.5");
+  EXPECT_TRUE(t[8].Is(TokenType::kParam));
+  EXPECT_EQ(t[8].text, "x");
+  EXPECT_TRUE(t[9].Is(TokenType::kParam));
+  EXPECT_EQ(t[9].text, "");
+  EXPECT_EQ(t[10].text, "hi");
+  EXPECT_TRUE(t[11].IsSymbol("<="));  // comment skipped
+  EXPECT_TRUE(t[12].Is(TokenType::kEnd));
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+class StatementParserTest : public ::testing::Test {
+ protected:
+  StatementParserTest() : graph_(MakeHotelGraph()) {}
+  std::unique_ptr<EntityGraph> graph_;
+};
+
+TEST_F(StatementParserTest, Fig3QueryViaFromPath) {
+  auto q = ParseQuery(*graph_,
+                      "SELECT Guest.GuestName, Guest.GuestEmail "
+                      "FROM Guest.Reservations.Room.Hotel "
+                      "WHERE Hotel.HotelCity = ?city AND Room.RoomRate > ?rate");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->path().NumEntities(), 4u);
+  EXPECT_EQ(q->select().size(), 2u);
+  EXPECT_EQ(q->predicates().size(), 2u);
+  EXPECT_EQ(q->predicates()[0].param, "city");
+  EXPECT_EQ(q->predicates()[1].op, PredicateOp::kGt);
+}
+
+TEST_F(StatementParserTest, Fig3QueryViaWhereChains) {
+  // Paper style: the path lives entirely in the WHERE clause.
+  auto q = ParseQuery(
+      *graph_,
+      "SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+      "WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city "
+      "AND Guest.Reservations.Room.RoomRate > ?rate");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->path().NumEntities(), 4u);
+  EXPECT_EQ(q->path().EntityAt(3), "Hotel");
+  EXPECT_EQ(q->predicates()[0].field.QualifiedName(), "Hotel.HotelCity");
+}
+
+TEST_F(StatementParserTest, StarSelect) {
+  auto q = ParseQuery(*graph_,
+                      "SELECT Guest.* FROM Guest WHERE Guest.GuestID = ?id");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->select().size(), 3u);  // GuestID, GuestName, GuestEmail
+}
+
+TEST_F(StatementParserTest, OrderByAndAnonymousParams) {
+  auto q = ParseQuery(*graph_,
+                      "SELECT Room.RoomNumber FROM Room.Hotel "
+                      "WHERE Hotel.HotelID = ? AND Room.RoomRate > ? "
+                      "ORDER BY Room.RoomRate");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->order_by().size(), 1u);
+  EXPECT_EQ(q->predicates()[0].param, "p1");
+  EXPECT_EQ(q->predicates()[1].param, "p2");
+}
+
+TEST_F(StatementParserTest, LiteralPredicates) {
+  auto q = ParseQuery(*graph_,
+                      "SELECT Room.RoomNumber FROM Room.Hotel "
+                      "WHERE Hotel.HotelCity = 'Boston' AND Room.RoomFloor = 3");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_TRUE(q->predicates()[0].literal.has_value());
+  EXPECT_EQ(std::get<std::string>(*q->predicates()[0].literal), "Boston");
+  EXPECT_EQ(std::get<int64_t>(*q->predicates()[1].literal), 3);
+}
+
+TEST_F(StatementParserTest, BranchingPathRejected) {
+  auto q = ParseQuery(*graph_,
+                      "SELECT Guest.GuestName FROM Guest.Reservations.Room "
+                      "WHERE Room.Hotel.HotelCity = ?c "
+                      "AND Room.Amenities.AmenityName = ?a");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(StatementParserTest, InsertWithConnect) {
+  auto u = ParseUpdate(*graph_,
+                       "INSERT INTO Reservation SET ResID = ?rid, "
+                       "ResEndDate = ?date "
+                       "AND CONNECT TO Guest(?guest), Room(?room)");
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->kind(), UpdateKind::kInsert);
+  EXPECT_EQ(u->entity(), "Reservation");
+  EXPECT_EQ(u->sets().size(), 2u);
+  EXPECT_EQ(u->connects().size(), 2u);
+  EXPECT_EQ(u->connects()[0].step_name, "Guest");
+}
+
+TEST_F(StatementParserTest, InsertRequiresPrimaryKey) {
+  auto u = ParseUpdate(*graph_, "INSERT INTO Reservation SET ResEndDate = ?d");
+  EXPECT_FALSE(u.ok());
+}
+
+TEST_F(StatementParserTest, UpdateWithPathPredicates) {
+  auto u = ParseUpdate(*graph_,
+                       "UPDATE Reservation FROM Reservation.Guest "
+                       "SET ResEndDate = ? WHERE Guest.GuestID = ?guestid");
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->kind(), UpdateKind::kUpdate);
+  EXPECT_EQ(u->path().NumEntities(), 2u);
+  EXPECT_EQ(u->predicates().size(), 1u);
+}
+
+TEST_F(StatementParserTest, DeleteStatement) {
+  auto u = ParseUpdate(*graph_, "DELETE FROM Guest WHERE Guest.GuestID = ?g");
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->kind(), UpdateKind::kDelete);
+}
+
+TEST_F(StatementParserTest, ConnectDisconnect) {
+  auto c = ParseUpdate(*graph_, "CONNECT Guest(?g) TO Reservations(?r)");
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_EQ(c->kind(), UpdateKind::kConnect);
+  EXPECT_EQ(c->from_param(), "g");
+  EXPECT_EQ(c->to_param(), "r");
+  auto d = ParseUpdate(*graph_, "DISCONNECT Guest(?g) FROM Reservations(?r)");
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->kind(), UpdateKind::kDisconnect);
+}
+
+TEST_F(StatementParserTest, ErrorsAreReported) {
+  EXPECT_FALSE(ParseStatement(*graph_, "FROB the data").ok());
+  EXPECT_FALSE(ParseQuery(*graph_, "SELECT Guest.Nope FROM Guest "
+                                   "WHERE Guest.GuestID = ?g")
+                   .ok());
+  EXPECT_FALSE(
+      ParseQuery(*graph_, "SELECT Guest.GuestName FROM Motel").ok());
+  EXPECT_FALSE(ParseQuery(*graph_,
+                          "SELECT Guest.GuestName FROM Guest "
+                          "WHERE Guest.GuestID = ?g extra")
+                   .ok());
+}
+
+TEST(ModelParserTest, RoundTrip) {
+  auto graph = ParseModel(R"(
+    # A tiny model
+    entity Hotel 100 {
+      HotelName string
+      HotelCity string card 20
+      HotelAddress string size 64
+    }
+    entity Reservation 1000 {
+      id ResID
+      ResEndDate date card 365
+    }
+    entity POI 50 {
+      POIName string
+    }
+    relationship Hotel one_to_many Reservation as Reservations / Hotel
+    relationship Hotel many_to_many POI as PointsOfInterest / Hotels links 400
+  )");
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  const Entity* hotel = (*graph)->FindEntity("Hotel");
+  ASSERT_NE(hotel, nullptr);
+  EXPECT_EQ(hotel->count(), 100u);
+  EXPECT_EQ(hotel->FindField("HotelCity")->cardinality, 20u);
+  EXPECT_EQ(hotel->FindField("HotelAddress")->size, 64u);
+  const Entity* res = (*graph)->FindEntity("Reservation");
+  ASSERT_NE(res, nullptr);
+  EXPECT_EQ(res->id_field().name, "ResID");
+  ASSERT_EQ((*graph)->relationships().size(), 2u);
+  EXPECT_EQ((*graph)->relationships()[1].link_count, 400u);
+  // Steps resolve.
+  EXPECT_TRUE((*graph)->ResolvePath("Hotel", {"PointsOfInterest"}).ok());
+}
+
+TEST(ModelParserTest, Errors) {
+  EXPECT_FALSE(ParseModel("entity { }").ok());
+  EXPECT_FALSE(ParseModel("entity A 10 { F badtype }").ok());
+  EXPECT_FALSE(
+      ParseModel("entity A 10 {} relationship A one_to_many B").ok());
+  EXPECT_FALSE(ParseModel("wibble").ok());
+}
+
+TEST(WorkloadParserTest, StatementsAndMixes) {
+  auto graph = MakeHotelGraph();
+  auto workload = ParseWorkload(*graph, R"(
+    statement guests_by_city 10 :
+      SELECT Guest.GuestName FROM Guest.Reservations.Room.Hotel
+      WHERE Hotel.HotelCity = ?city ;
+    statement set_email 2 :
+      UPDATE Guest SET GuestEmail = ?email WHERE Guest.GuestID = ?id ;
+    weight guests_by_city browsing 7 ;   # browsing mix
+  )");
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ((*workload)->entries().size(), 2u);
+  const auto def = (*workload)->EntriesIn(Workload::kDefaultMix);
+  ASSERT_EQ(def.size(), 2u);
+  EXPECT_NEAR(def[0].second, 10.0 / 12.0, 1e-12);
+  const auto browsing = (*workload)->EntriesIn("browsing");
+  ASSERT_EQ(browsing.size(), 1u);
+  EXPECT_DOUBLE_EQ(browsing[0].second, 1.0);
+}
+
+TEST(WorkloadParserTest, Errors) {
+  auto graph = MakeHotelGraph();
+  EXPECT_FALSE(ParseWorkload(*graph, "statement broken : SELECT x ;").ok());
+  EXPECT_FALSE(ParseWorkload(*graph, "frob a b ;").ok());
+  EXPECT_FALSE(
+      ParseWorkload(*graph, "weight nothere mix 1 ;").ok());
+}
+
+TEST(ParserRobustnessTest, GarbageInputsFailCleanly) {
+  auto graph = MakeHotelGraph();
+  const char* inputs[] = {
+      "",
+      ";;;",
+      "SELECT",
+      "SELECT FROM WHERE",
+      "SELECT Guest. FROM Guest",
+      "SELECT Guest.GuestName FROM",
+      "SELECT Guest.GuestName FROM Guest WHERE",
+      "SELECT Guest.GuestName FROM Guest WHERE Guest.GuestID",
+      "SELECT Guest.GuestName FROM Guest WHERE Guest.GuestID = ",
+      "INSERT INTO",
+      "INSERT INTO Guest",
+      "UPDATE Guest SET",
+      "DELETE FROM",
+      "CONNECT Guest TO Reservations",
+      "CONNECT Guest(?a) TO",
+      "SELECT Guest.GuestName FROM Guest.Reservations.Reservations "
+      "WHERE Guest.GuestID = ?g",
+      "SELECT * FROM Guest WHERE Guest.GuestID = ?g",
+      "((((((((",
+      "SELECT Guest.GuestName FROM Guest WHERE Guest.GuestID = ?g ORDER",
+      "SELECT Guest.GuestName FROM Guest WHERE Guest.GuestID = ?g ORDER BY",
+  };
+  for (const char* input : inputs) {
+    auto result = ParseStatement(*graph, input);
+    EXPECT_FALSE(result.ok()) << "should reject: " << input;
+  }
+}
+
+TEST(ParserRobustnessTest, ModelGarbageFailsCleanly) {
+  const char* inputs[] = {
+      "entity", "entity A", "entity A x {", "entity A 10 { F }",
+      "entity A 10 { F string card }", "relationship",
+      "relationship A one_to_many", "entity A 10 {} entity A 10 {}",
+  };
+  for (const char* input : inputs) {
+    EXPECT_FALSE(ParseModel(input).ok()) << "should reject: " << input;
+  }
+}
+
+}  // namespace
+}  // namespace nose

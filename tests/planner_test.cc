@@ -1,0 +1,295 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "planner/plan_space.h"
+#include "schema/column_family.h"
+#include "tests/hotel_fixture.h"
+
+namespace nose {
+namespace {
+
+/// Fig. 6 environment: the relaxed prefix query
+///   SELECT Room.RoomID FROM Room WHERE Room.Hotel.HotelCity = ?city
+///                                   AND Room.RoomRate > ?rate
+/// and the five column families CF1..CF5 of the paper.
+class Fig6Test : public ::testing::Test {
+ protected:
+  Fig6Test()
+      : graph_(MakeHotelGraph()),
+        cost_model_(CostParams{}),
+        estimator_(graph_.get(), &cost_model_.params()),
+        planner_(&cost_model_, &estimator_) {
+    auto path = graph_->ResolvePath("Room", {"Hotel"});
+    assert(path.ok());
+    query_ = Query(*path, {{"Room", "RoomID"}},
+                   {{{"Hotel", "HotelCity"}, PredicateOp::kEq, std::nullopt,
+                     "city"},
+                    {{"Room", "RoomRate"}, PredicateOp::kGt, std::nullopt,
+                     "rate"}},
+                   {});
+    assert(query_.Validate().ok());
+
+    const KeyPath room_hotel = *path;
+    const KeyPath hotel_only = *graph_->SingleEntityPath("Hotel");
+    const KeyPath room_only = *graph_->SingleEntityPath("Room");
+    auto add = [&](StatusOr<ColumnFamily> cf) {
+      assert(cf.ok());
+      pool_.push_back(std::move(cf).value());
+    };
+    // CF1 [HotelCity][RoomRate, RoomID][]
+    add(ColumnFamily::Create(room_hotel, {{"Hotel", "HotelCity"}},
+                             {{"Room", "RoomRate"}, {"Room", "RoomID"}}, {}));
+    // CF2 [HotelCity][RoomID][]
+    add(ColumnFamily::Create(room_hotel, {{"Hotel", "HotelCity"}},
+                             {{"Room", "RoomID"}}, {}));
+    // CF3 [HotelCity][HotelID][]
+    add(ColumnFamily::Create(hotel_only, {{"Hotel", "HotelCity"}},
+                             {{"Hotel", "HotelID"}}, {}));
+    // CF4 [HotelID][RoomID][]
+    add(ColumnFamily::Create(room_hotel, {{"Hotel", "HotelID"}},
+                             {{"Room", "RoomID"}}, {}));
+    // CF5 [RoomID][][RoomRate]
+    add(ColumnFamily::Create(room_only, {{"Room", "RoomID"}}, {},
+                             {{"Room", "RoomRate"}}));
+  }
+
+  std::vector<bool> Only(std::initializer_list<int> cfs) const {
+    std::vector<bool> mask(pool_.size(), false);
+    for (int c : cfs) mask[static_cast<size_t>(c)] = true;
+    return mask;
+  }
+
+  std::unique_ptr<EntityGraph> graph_;
+  CostModel cost_model_;
+  CardinalityEstimator estimator_;
+  QueryPlanner planner_;
+  Query query_;
+  std::vector<ColumnFamily> pool_;
+};
+
+TEST_F(Fig6Test, AllThreePaperPlansExist) {
+  PlanSpace space = planner_.Build(query_, pool_);
+  ASSERT_TRUE(space.HasPlan());
+
+  // Plan 1: CF1 alone (materialized view with pushed range).
+  EXPECT_TRUE(std::isfinite(space.BestCost(Only({0}))));
+  // Plan 2: CF3 -> CF4 -> CF5 (+ filter).
+  EXPECT_TRUE(std::isfinite(space.BestCost(Only({2, 3, 4}))));
+  // Plan 3: CF2 -> CF5 (+ filter).
+  EXPECT_TRUE(std::isfinite(space.BestCost(Only({1, 4}))));
+}
+
+TEST_F(Fig6Test, IncompleteSubsetsHaveNoPlan) {
+  PlanSpace space = planner_.Build(query_, pool_);
+  // CF3+CF4 alone cannot apply the RoomRate predicate.
+  EXPECT_TRUE(std::isinf(space.BestCost(Only({2, 3}))));
+  // CF5 alone cannot anchor the first get.
+  EXPECT_TRUE(std::isinf(space.BestCost(Only({4}))));
+  // CF2 alone leaves the RoomRate predicate pending.
+  EXPECT_TRUE(std::isinf(space.BestCost(Only({1}))));
+  EXPECT_TRUE(std::isinf(space.BestCost(Only({}))));
+}
+
+TEST_F(Fig6Test, MaterializedViewIsCheapest) {
+  PlanSpace space = planner_.Build(query_, pool_);
+  const double mv = space.BestCost(Only({0}));
+  const double long_plan = space.BestCost(Only({2, 3, 4}));
+  const double mid_plan = space.BestCost(Only({1, 4}));
+  EXPECT_LT(mv, mid_plan);
+  EXPECT_LT(mid_plan, long_plan);
+  EXPECT_DOUBLE_EQ(space.BestCost(), mv);
+}
+
+TEST_F(Fig6Test, BestPlanExtractsMaterializedView) {
+  PlanSpace space = planner_.Build(query_, pool_);
+  auto plan = space.BestPlan(pool_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->steps.size(), 1u);
+  EXPECT_EQ(plan->steps[0].cf, &pool_[0]);
+  EXPECT_TRUE(plan->steps[0].first);
+  EXPECT_TRUE(plan->steps[0].access.pushed_range.has_value());
+  EXPECT_EQ(plan->steps[0].access.partition_preds.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->steps[0].access.requests, 1.0);
+  // 10000 rooms / 20 cities * 0.1 range selectivity = 50 rows expected.
+  EXPECT_NEAR(plan->steps[0].access.rows_per_request, 50.0, 1e-9);
+}
+
+TEST_F(Fig6Test, LongPlanHasThreeStepsWithFilter) {
+  PlanSpace space = planner_.Build(query_, pool_);
+  auto plan = space.BestPlan(pool_, Only({2, 3, 4}));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->steps.size(), 3u);
+  EXPECT_EQ(plan->steps[0].cf, &pool_[2]);  // CF3
+  EXPECT_EQ(plan->steps[1].cf, &pool_[3]);  // CF4
+  EXPECT_EQ(plan->steps[2].cf, &pool_[4]);  // CF5
+  // The final materialization step filters on RoomRate.
+  EXPECT_EQ(plan->steps[2].access.filters.size(), 1u);
+  // CF4 step: one request per hotel in the city (100 hotels / 20 cities).
+  EXPECT_NEAR(plan->steps[1].access.requests, 5.0, 1e-9);
+  // CF5 step: one request per candidate room (before the rate filter):
+  // 10000/20 = 500 rooms.
+  EXPECT_NEAR(plan->steps[2].access.requests, 500.0, 1e-9);
+}
+
+TEST_F(Fig6Test, PlanCostsAccumulate) {
+  PlanSpace space = planner_.Build(query_, pool_);
+  auto plan = space.BestPlan(pool_, Only({1, 4}));
+  ASSERT_TRUE(plan.ok());
+  double total = 0.0;
+  for (const PlanStep& s : plan->steps) total += s.access.step_cost;
+  EXPECT_NEAR(total, plan->cost, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Full Fig. 3 query over the 4-entity path.
+// ---------------------------------------------------------------------------
+
+class Fig3PlannerTest : public ::testing::Test {
+ protected:
+  Fig3PlannerTest()
+      : graph_(MakeHotelGraph()),
+        cost_model_(CostParams{}),
+        estimator_(graph_.get(), &cost_model_.params()),
+        planner_(&cost_model_, &estimator_),
+        query_(MakeFig3Query(*graph_)) {}
+
+  std::unique_ptr<EntityGraph> graph_;
+  CostModel cost_model_;
+  CardinalityEstimator estimator_;
+  QueryPlanner planner_;
+  Query query_;
+};
+
+TEST_F(Fig3PlannerTest, PaperMaterializedViewAnswersInOneStep) {
+  // [HotelCity][RoomRate, GuestID, ResID, RoomID, HotelID]
+  //   [GuestName, GuestEmail]  (paper §IV-A1)
+  auto path = graph_->ResolvePath("Guest", {"Reservations", "Room", "Hotel"});
+  ASSERT_TRUE(path.ok());
+  auto mv = ColumnFamily::Create(
+      *path, {{"Hotel", "HotelCity"}},
+      {{"Room", "RoomRate"},
+       {"Guest", "GuestID"},
+       {"Reservation", "ResID"},
+       {"Room", "RoomID"},
+       {"Hotel", "HotelID"}},
+      {{"Guest", "GuestName"}, {"Guest", "GuestEmail"}});
+  ASSERT_TRUE(mv.ok());
+  std::vector<ColumnFamily> pool = {*mv};
+  auto plan = planner_.PlanForSchema(query_, pool);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->steps.size(), 1u);
+  EXPECT_TRUE(plan->steps[0].access.pushed_range.has_value());
+  EXPECT_TRUE(plan->steps[0].access.filters.empty());
+}
+
+TEST_F(Fig3PlannerTest, SectionIVPlanWithTwoColumnFamilies) {
+  // Paper §IV-B example: CF1 [HotelCity][RoomID][RoomRate],
+  // CF2 [RoomID][GuestID][GuestName, GuestEmail] — get, filter, join.
+  auto room_hotel = graph_->ResolvePath("Room", {"Hotel"});
+  auto guest_room =
+      graph_->ResolvePath("Guest", {"Reservations", "Room"});
+  ASSERT_TRUE(room_hotel.ok());
+  ASSERT_TRUE(guest_room.ok());
+  auto cf1 = ColumnFamily::Create(*room_hotel, {{"Hotel", "HotelCity"}},
+                                  {{"Room", "RoomID"}}, {{"Room", "RoomRate"}});
+  // The paper omits ResID in its prose example; include it for uniqueness as
+  // §IV-A1 prescribes.
+  auto cf2 = ColumnFamily::Create(
+      *guest_room, {{"Room", "RoomID"}},
+      {{"Guest", "GuestID"}, {"Reservation", "ResID"}},
+      {{"Guest", "GuestName"}, {"Guest", "GuestEmail"}});
+  ASSERT_TRUE(cf1.ok());
+  ASSERT_TRUE(cf2.ok());
+  std::vector<ColumnFamily> pool = {*cf1, *cf2};
+  auto plan = planner_.PlanForSchema(query_, pool);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->steps.size(), 2u);
+  EXPECT_EQ(plan->steps[0].cf, &pool[0]);
+  // RoomRate is filtered client-side after the first get.
+  ASSERT_EQ(plan->steps[0].access.filters.size(), 1u);
+  EXPECT_EQ(plan->steps[0].access.filters[0].field.field, "RoomRate");
+  EXPECT_EQ(plan->steps[1].cf, &pool[1]);
+  EXPECT_TRUE(plan->steps[1].access.partition_uses_id);
+}
+
+TEST_F(Fig3PlannerTest, OrderByRequiresSortUnlessClustered) {
+  auto path = graph_->ResolvePath("Guest", {"Reservations", "Room", "Hotel"});
+  ASSERT_TRUE(path.ok());
+  Query ordered(*path, {{"Guest", "GuestName"}},
+                {{{"Hotel", "HotelCity"}, PredicateOp::kEq, std::nullopt,
+                  "city"}},
+                {OrderField{{"Room", "RoomRate"}}});
+  ASSERT_TRUE(ordered.Validate().ok());
+
+  auto sorted_mv = ColumnFamily::Create(
+      *path, {{"Hotel", "HotelCity"}},
+      {{"Room", "RoomRate"},
+       {"Guest", "GuestID"},
+       {"Reservation", "ResID"},
+       {"Room", "RoomID"},
+       {"Hotel", "HotelID"}},
+      {{"Guest", "GuestName"}});
+  auto unsorted_mv = ColumnFamily::Create(
+      *path, {{"Hotel", "HotelCity"}},
+      {{"Guest", "GuestID"},
+       {"Reservation", "ResID"},
+       {"Room", "RoomID"},
+       {"Hotel", "HotelID"}},
+      {{"Guest", "GuestName"}, {"Room", "RoomRate"}});
+  ASSERT_TRUE(sorted_mv.ok());
+  ASSERT_TRUE(unsorted_mv.ok());
+
+  {
+    std::vector<ColumnFamily> pool = {*sorted_mv};
+    auto plan = planner_.PlanForSchema(ordered, pool);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_FALSE(plan->needs_sort);
+  }
+  {
+    std::vector<ColumnFamily> pool = {*unsorted_mv};
+    auto plan = planner_.PlanForSchema(ordered, pool);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_TRUE(plan->needs_sort);
+    EXPECT_GT(plan->sort_cost, 0.0);
+  }
+}
+
+TEST_F(Fig3PlannerTest, NormalizedStylePoolStillAnswers) {
+  // Entity tables plus secondary index on HotelCity: forces a long chain.
+  auto hotel = graph_->SingleEntityPath("Hotel");
+  auto room_hotel = graph_->ResolvePath("Room", {"Hotel"});
+  auto res_room = graph_->ResolvePath("Reservation", {"Room"});
+  auto guest_res = graph_->ResolvePath("Guest", {"Reservations"});
+  auto guest = graph_->SingleEntityPath("Guest");
+  auto idx = ColumnFamily::Create(*hotel, {{"Hotel", "HotelCity"}},
+                                  {{"Hotel", "HotelID"}}, {});
+  auto rooms = ColumnFamily::Create(*room_hotel, {{"Hotel", "HotelID"}},
+                                    {{"Room", "RoomID"}},
+                                    {{"Room", "RoomRate"}});
+  auto reservations = ColumnFamily::Create(
+      *res_room, {{"Room", "RoomID"}}, {{"Reservation", "ResID"}}, {});
+  auto guests = ColumnFamily::Create(*guest_res, {{"Reservation", "ResID"}},
+                                     {{"Guest", "GuestID"}}, {});
+  auto guest_attrs = ColumnFamily::Create(
+      *guest, {{"Guest", "GuestID"}}, {},
+      {{"Guest", "GuestName"}, {"Guest", "GuestEmail"}});
+  std::vector<ColumnFamily> pool = {*idx, *rooms, *reservations, *guests,
+                                    *guest_attrs};
+  auto plan = planner_.PlanForSchema(query_, pool);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->steps.size(), 5u);
+  EXPECT_GT(plan->cost, 0.0);
+}
+
+TEST_F(Fig3PlannerTest, EmptyPoolFails) {
+  std::vector<ColumnFamily> pool;
+  auto plan = planner_.PlanForSchema(query_, pool);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInfeasible);
+}
+
+}  // namespace
+}  // namespace nose

@@ -1,0 +1,110 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "randwl/random_workload.h"
+
+namespace nose {
+namespace {
+
+TEST(RandomWorkloadTest, GeneratesRequestedShape) {
+  randwl::GeneratorOptions gen;
+  gen.num_entities = 10;
+  gen.num_statements = 20;
+  gen.seed = 5;
+  auto rw = randwl::Generate(gen);
+  ASSERT_TRUE(rw.ok()) << rw.status();
+  EXPECT_EQ(rw->graph->entity_order().size(), 10u);
+  EXPECT_GE(rw->graph->relationships().size(), 9u);  // connected-ish ring
+  EXPECT_EQ(rw->workload->entries().size(), 20u);
+}
+
+TEST(RandomWorkloadTest, StatementsAreValid) {
+  randwl::GeneratorOptions gen;
+  gen.num_entities = 12;
+  gen.num_statements = 30;
+  gen.seed = 6;
+  auto rw = randwl::Generate(gen);
+  ASSERT_TRUE(rw.ok());
+  size_t queries = 0, updates = 0;
+  for (const WorkloadEntry& entry : rw->workload->entries()) {
+    if (entry.IsQuery()) {
+      ++queries;
+      EXPECT_TRUE(entry.query().Validate().ok()) << entry.name;
+      EXPECT_GE(entry.query().predicates().size(), 1u);
+      EXPECT_LE(entry.query().predicates().size(), 3u);
+    } else {
+      ++updates;
+      EXPECT_FALSE(entry.update().sets().empty());
+      EXPECT_EQ(entry.update().predicates().size(), 1u);
+    }
+  }
+  EXPECT_GT(queries, 0u);
+  EXPECT_GT(updates, 0u);
+}
+
+TEST(RandomWorkloadTest, Deterministic) {
+  randwl::GeneratorOptions gen;
+  gen.seed = 42;
+  auto a = randwl::Generate(gen);
+  auto b = randwl::Generate(gen);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->workload->entries().size(), b->workload->entries().size());
+  for (size_t i = 0; i < a->workload->entries().size(); ++i) {
+    const WorkloadEntry& ea = a->workload->entries()[i];
+    const WorkloadEntry& eb = b->workload->entries()[i];
+    EXPECT_EQ(ea.name, eb.name);
+    if (ea.IsQuery() && eb.IsQuery()) {
+      EXPECT_EQ(ea.query().ToString(), eb.query().ToString());
+    }
+  }
+}
+
+TEST(RandomWorkloadTest, SeedsDiffer) {
+  randwl::GeneratorOptions g1, g2;
+  g1.seed = 1;
+  g2.seed = 2;
+  auto a = randwl::Generate(g1);
+  auto b = randwl::Generate(g2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // At least one statement differs.
+  bool differ = false;
+  for (size_t i = 0; i < a->workload->entries().size(); ++i) {
+    const WorkloadEntry& ea = a->workload->entries()[i];
+    const WorkloadEntry& eb = b->workload->entries()[i];
+    if (ea.IsQuery() != eb.IsQuery()) {
+      differ = true;
+    } else if (ea.IsQuery() &&
+               ea.query().ToString() != eb.query().ToString()) {
+      differ = true;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RandomWorkloadTest, WattsStrogatzRewiringChangesTopology) {
+  randwl::GeneratorOptions ring;
+  ring.num_entities = 20;
+  ring.ws_beta = 0.0;
+  ring.seed = 9;
+  randwl::GeneratorOptions rewired = ring;
+  rewired.ws_beta = 1.0;
+  auto a = randwl::Generate(ring);
+  auto b = randwl::Generate(rewired);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto edge_set = [](const EntityGraph& g) {
+    std::set<std::pair<std::string, std::string>> out;
+    for (const Relationship& r : g.relationships()) {
+      out.insert({std::min(r.from_entity, r.to_entity),
+                  std::max(r.from_entity, r.to_entity)});
+    }
+    return out;
+  };
+  EXPECT_NE(edge_set(*a->graph), edge_set(*b->graph));
+}
+
+}  // namespace
+}  // namespace nose

@@ -1,0 +1,93 @@
+#ifndef NOSE_TESTS_REFERENCE_EVALUATOR_H_
+#define NOSE_TESTS_REFERENCE_EVALUATOR_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "executor/dataset.h"
+#include "executor/plan_executor.h"
+#include "workload/query.h"
+
+namespace nose {
+
+/// Brute-force reference semantics for conceptual-model queries: enumerate
+/// every instance of the query path in `data`, apply all predicates,
+/// project the select list, discard duplicates. The oracle that executed
+/// plans must agree with.
+inline std::vector<ValueTuple> ReferenceEvaluate(
+    const Dataset& data, const Query& query,
+    const PlanExecutor::Params& params) {
+  const KeyPath& path = query.path();
+  std::vector<ValueTuple> result;
+  std::set<std::string> seen;
+  std::vector<size_t> rows(path.NumEntities());
+
+  auto value_of = [&](const FieldRef& ref) -> const Value& {
+    const int pos = path.IndexOfEntity(ref.entity);
+    return data.FieldValue(ref.entity, rows[static_cast<size_t>(pos)],
+                           ref.field);
+  };
+  auto compare = [](PredicateOp op, const Value& lhs, const Value& rhs) {
+    switch (op) {
+      case PredicateOp::kEq:
+        return lhs == rhs;
+      case PredicateOp::kNe:
+        return !(lhs == rhs);
+      case PredicateOp::kLt:
+        return lhs < rhs;
+      case PredicateOp::kLe:
+        return !(rhs < lhs);
+      case PredicateOp::kGt:
+        return rhs < lhs;
+      case PredicateOp::kGe:
+        return !(lhs < rhs);
+    }
+    return false;
+  };
+
+  std::function<void(size_t)> walk = [&](size_t depth) {
+    if (depth == path.NumEntities()) {
+      for (const Predicate& p : query.predicates()) {
+        const Value bound =
+            p.literal.has_value() ? *p.literal : params.at(p.param);
+        if (!compare(p.op, value_of(p.field), bound)) return;
+      }
+      ValueTuple row;
+      std::string key;
+      for (const FieldRef& f : query.select()) {
+        row.push_back(value_of(f));
+        key += ValueToString(row.back()) + "|";
+      }
+      if (seen.insert(key).second) result.push_back(std::move(row));
+      return;
+    }
+    const PathStep& step = path.steps()[depth - 1];
+    for (uint32_t next : data.Neighbors(step, rows[depth - 1])) {
+      rows[depth] = next;
+      walk(depth + 1);
+    }
+  };
+  for (size_t r0 = 0; r0 < data.RowCount(path.EntityAt(0)); ++r0) {
+    rows[0] = r0;
+    walk(1);
+  }
+  return result;
+}
+
+/// Canonical form for set comparison of result rows.
+inline std::vector<std::string> CanonicalRows(
+    const std::vector<ValueTuple>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const ValueTuple& r : rows) out.push_back(ValueTupleToString(r));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nose
+
+#endif  // NOSE_TESTS_REFERENCE_EVALUATOR_H_

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "schema/column_family.h"
+#include "schema/schema.h"
+#include "tests/hotel_fixture.h"
+
+namespace nose {
+namespace {
+
+class ColumnFamilyTest : public ::testing::Test {
+ protected:
+  ColumnFamilyTest() : graph_(MakeHotelGraph()) {}
+  std::unique_ptr<EntityGraph> graph_;
+};
+
+TEST_F(ColumnFamilyTest, CreateValidates) {
+  auto path = graph_->ResolvePath("Room", {"Hotel"});
+  ASSERT_TRUE(path.ok());
+  // Valid.
+  EXPECT_TRUE(ColumnFamily::Create(*path, {{"Hotel", "HotelCity"}},
+                                   {{"Room", "RoomID"}}, {})
+                  .ok());
+  // Empty partition key.
+  EXPECT_FALSE(
+      ColumnFamily::Create(*path, {}, {{"Room", "RoomID"}}, {}).ok());
+  // Field off the path.
+  EXPECT_FALSE(ColumnFamily::Create(*path, {{"Guest", "GuestID"}}, {}, {})
+                   .ok());
+  // Unknown field.
+  EXPECT_FALSE(
+      ColumnFamily::Create(*path, {{"Hotel", "Stars"}}, {}, {}).ok());
+  // Duplicate across components.
+  EXPECT_FALSE(ColumnFamily::Create(*path, {{"Hotel", "HotelCity"}},
+                                    {{"Hotel", "HotelCity"}}, {})
+                   .ok());
+}
+
+TEST_F(ColumnFamilyTest, CanonicalizationIsDirectionInvariant) {
+  auto forward = graph_->ResolvePath("Room", {"Hotel"});
+  KeyPath backward = forward->Reversed();
+  auto a = ColumnFamily::Create(*forward, {{"Hotel", "HotelCity"}},
+                                {{"Room", "RoomID"}}, {{"Room", "RoomRate"}});
+  auto b = ColumnFamily::Create(backward, {{"Hotel", "HotelCity"}},
+                                {{"Room", "RoomID"}}, {{"Room", "RoomRate"}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->key(), b->key());
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST_F(ColumnFamilyTest, PartitionAndValuesAreSets) {
+  auto path = graph_->SingleEntityPath("Hotel");
+  auto a = ColumnFamily::Create(
+      *path, {{"Hotel", "HotelCity"}, {"Hotel", "HotelState"}}, {},
+      {{"Hotel", "HotelName"}, {"Hotel", "HotelPhone"}});
+  auto b = ColumnFamily::Create(
+      *path, {{"Hotel", "HotelState"}, {"Hotel", "HotelCity"}}, {},
+      {{"Hotel", "HotelPhone"}, {"Hotel", "HotelName"}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->key(), b->key());
+}
+
+TEST_F(ColumnFamilyTest, ClusteringOrderMatters) {
+  auto path = graph_->ResolvePath("Room", {"Hotel"});
+  auto a = ColumnFamily::Create(*path, {{"Hotel", "HotelCity"}},
+                                {{"Room", "RoomRate"}, {"Room", "RoomID"}}, {});
+  auto b = ColumnFamily::Create(*path, {{"Hotel", "HotelCity"}},
+                                {{"Room", "RoomID"}, {"Room", "RoomRate"}}, {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->key(), b->key());
+}
+
+TEST_F(ColumnFamilyTest, FieldMembership) {
+  auto path = graph_->ResolvePath("Room", {"Hotel"});
+  auto cf = ColumnFamily::Create(*path, {{"Hotel", "HotelCity"}},
+                                 {{"Room", "RoomID"}}, {{"Room", "RoomRate"}});
+  ASSERT_TRUE(cf.ok());
+  EXPECT_TRUE(cf->ContainsField({"Hotel", "HotelCity"}));
+  EXPECT_TRUE(cf->ContainsField({"Room", "RoomID"}));
+  EXPECT_TRUE(cf->ContainsField({"Room", "RoomRate"}));
+  EXPECT_FALSE(cf->ContainsField({"Room", "RoomFloor"}));
+  EXPECT_TRUE(cf->TouchesEntity("Room"));
+  EXPECT_TRUE(cf->TouchesEntity("Hotel"));
+  EXPECT_FALSE(cf->TouchesEntity("Guest"));
+  EXPECT_EQ(cf->AllFields().size(), 3u);
+}
+
+TEST_F(ColumnFamilyTest, EntryCountCappedByKeyCardinality) {
+  // A family keyed only by a low-cardinality attribute cannot hold more
+  // distinct records than key combinations.
+  auto path = graph_->SingleEntityPath("Hotel");
+  auto cf = ColumnFamily::Create(*path, {{"Hotel", "HotelCity"}}, {},
+                                 {{"Hotel", "HotelName"}});
+  ASSERT_TRUE(cf.ok());
+  EXPECT_DOUBLE_EQ(cf->EntryCount(), 20.0);
+  EXPECT_DOUBLE_EQ(cf->PartitionCount(), 20.0);
+}
+
+TEST_F(ColumnFamilyTest, SchemaDeduplicatesAndNames) {
+  auto path = graph_->SingleEntityPath("Guest");
+  auto cf = ColumnFamily::Create(*path, {{"Guest", "GuestID"}}, {},
+                                 {{"Guest", "GuestName"}});
+  ASSERT_TRUE(cf.ok());
+  Schema schema;
+  const std::string n1 = schema.Add(*cf, "guests");
+  const std::string n2 = schema.Add(*cf, "other_name");  // duplicate def
+  EXPECT_EQ(n1, "guests");
+  EXPECT_EQ(n2, "guests");
+  EXPECT_EQ(schema.size(), 1u);
+  EXPECT_NE(schema.FindByName("guests"), nullptr);
+  EXPECT_EQ(schema.FindByName("other_name"), nullptr);
+  EXPECT_NE(schema.FindByKey(cf->key()), nullptr);
+  EXPECT_EQ(*schema.NameOf(*cf), "guests");
+  EXPECT_TRUE(schema.Contains(*cf));
+  EXPECT_GT(schema.TotalSizeBytes(), 0.0);
+
+  // Auto names.
+  auto cf2 = ColumnFamily::Create(*path, {{"Guest", "GuestID"}}, {},
+                                  {{"Guest", "GuestEmail"}});
+  const std::string n3 = schema.Add(*cf2);
+  EXPECT_EQ(n3, "cf1");
+}
+
+}  // namespace
+}  // namespace nose

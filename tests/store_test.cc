@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "store/record_store.h"
+
+namespace nose {
+namespace {
+
+int64_t I(int64_t v) { return v; }
+
+class RecordStoreTest : public ::testing::Test {
+ protected:
+  RecordStoreTest() {
+    EXPECT_TRUE(store_.CreateColumnFamily("cf", 1, 2, 1).ok());
+  }
+  RecordStore store_;
+};
+
+TEST_F(RecordStoreTest, PutGetRoundTrip) {
+  ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(10), I(100)}, {Value(I(7))}).ok());
+  ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(20), I(200)}, {Value(I(8))}).ok());
+  ASSERT_TRUE(store_.Put("cf", {I(2)}, {I(30), I(300)}, {Value(I(9))}).ok());
+
+  auto rows = store_.Get("cf", {I(1)});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].clustering, (ValueTuple{I(10), I(100)}));
+  EXPECT_EQ((*rows)[0].values, (ValueTuple{I(7)}));
+  EXPECT_EQ((*rows)[1].clustering, (ValueTuple{I(20), I(200)}));
+
+  auto missing = store_.Get("cf", {I(99)});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->empty());
+}
+
+TEST_F(RecordStoreTest, RowsComeBackInClusteringOrder) {
+  for (int64_t k : {5, 3, 9, 1, 7}) {
+    ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(k), I(0)}, {Value(I(k))}).ok());
+  }
+  auto rows = store_.Get("cf", {I(1)});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 5u);
+  for (size_t i = 1; i < rows->size(); ++i) {
+    EXPECT_TRUE((*rows)[i - 1].clustering < (*rows)[i].clustering);
+  }
+}
+
+TEST_F(RecordStoreTest, ClusteringPrefixFilters) {
+  ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(10), I(1)}, {Value(I(0))}).ok());
+  ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(10), I(2)}, {Value(I(0))}).ok());
+  ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(11), I(3)}, {Value(I(0))}).ok());
+  auto rows = store_.Get("cf", {I(1)}, {I(10)});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(RecordStoreTest, RangeScans) {
+  for (int64_t k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(k), I(0)}, {Value(I(k))}).ok());
+  }
+  auto gt = store_.Get("cf", {I(1)}, {}, RangeBound{PredicateOp::kGt, I(7)});
+  ASSERT_TRUE(gt.ok());
+  EXPECT_EQ(gt->size(), 3u);
+  auto ge = store_.Get("cf", {I(1)}, {}, RangeBound{PredicateOp::kGe, I(7)});
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(ge->size(), 4u);
+  auto lt = store_.Get("cf", {I(1)}, {}, RangeBound{PredicateOp::kLt, I(3)});
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(lt->size(), 2u);
+  auto le = store_.Get("cf", {I(1)}, {}, RangeBound{PredicateOp::kLe, I(3)});
+  ASSERT_TRUE(le.ok());
+  EXPECT_EQ(le->size(), 3u);
+}
+
+TEST_F(RecordStoreTest, RangeAfterPrefix) {
+  ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(10), I(1)}, {Value(I(0))}).ok());
+  ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(10), I(5)}, {Value(I(0))}).ok());
+  ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(11), I(9)}, {Value(I(0))}).ok());
+  auto rows =
+      store_.Get("cf", {I(1)}, {I(10)}, RangeBound{PredicateOp::kGt, I(2)});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].clustering, (ValueTuple{I(10), I(5)}));
+}
+
+TEST_F(RecordStoreTest, PartialValueWritesMerge) {
+  ASSERT_TRUE(store_.CreateColumnFamily("wide", 1, 0, 2).ok());
+  ASSERT_TRUE(
+      store_.Put("wide", {I(1)}, {}, {Value(I(10)), Value(I(20))}).ok());
+  ASSERT_TRUE(store_.Put("wide", {I(1)}, {}, {std::nullopt, Value(I(99))}).ok());
+  auto rows = store_.Get("wide", {I(1)});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].values, (ValueTuple{I(10), I(99)}));
+}
+
+TEST_F(RecordStoreTest, DeleteRemovesRecord) {
+  ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(10), I(1)}, {Value(I(0))}).ok());
+  EXPECT_EQ(*store_.RowCount("cf"), 1u);
+  ASSERT_TRUE(store_.Delete("cf", {I(1)}, {I(10), I(1)}).ok());
+  EXPECT_EQ(*store_.RowCount("cf"), 0u);
+  // Idempotent.
+  ASSERT_TRUE(store_.Delete("cf", {I(1)}, {I(10), I(1)}).ok());
+}
+
+TEST_F(RecordStoreTest, MixedValueTypes) {
+  ASSERT_TRUE(store_.CreateColumnFamily("mix", 1, 1, 2).ok());
+  ASSERT_TRUE(store_
+                  .Put("mix", {Value(std::string("Boston"))}, {Value(3.5)},
+                       {Value(std::string("x")), Value(true)})
+                  .ok());
+  auto rows = store_.Get("mix", {Value(std::string("Boston"))});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(std::get<std::string>((*rows)[0].values[0]), "x");
+  EXPECT_EQ(std::get<bool>((*rows)[0].values[1]), true);
+}
+
+TEST_F(RecordStoreTest, ErrorsOnMisuse) {
+  EXPECT_FALSE(store_.CreateColumnFamily("cf", 1, 0, 0).ok());  // duplicate
+  EXPECT_FALSE(store_.CreateColumnFamily("bad", 0, 0, 0).ok());
+  EXPECT_FALSE(store_.Get("nope", {I(1)}).ok());
+  EXPECT_FALSE(store_.Put("cf", {I(1)}, {I(1)}, {Value(I(0))}).ok());  // arity
+  EXPECT_FALSE(store_.Get("cf", {I(1)}, {I(1), I(2), I(3)}).ok());
+  // Range with full prefix has no component to scan.
+  EXPECT_FALSE(
+      store_.Get("cf", {I(1)}, {I(1), I(2)}, RangeBound{PredicateOp::kGt, I(0)})
+          .ok());
+}
+
+TEST_F(RecordStoreTest, StatsAccumulateSimulatedTime) {
+  const CostParams params;
+  ASSERT_TRUE(store_.Put("cf", {I(1)}, {I(1), I(1)}, {Value(I(0))}).ok());
+  const double after_put = store_.stats().simulated_ms;
+  EXPECT_GE(after_put, params.write_request);
+  ASSERT_TRUE(store_.Get("cf", {I(1)}).ok());
+  EXPECT_GE(store_.stats().simulated_ms, after_put + params.read_request);
+  EXPECT_EQ(store_.stats().gets, 1u);
+  EXPECT_EQ(store_.stats().puts, 1u);
+  EXPECT_EQ(store_.stats().rows_read, 1u);
+  store_.stats().Reset();
+  EXPECT_EQ(store_.stats().gets, 0u);
+  EXPECT_EQ(store_.stats().simulated_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace nose

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "planner/plan_space.h"
+#include "schema/schema.h"
+#include "planner/update_planner.h"
+#include "tests/hotel_fixture.h"
+
+namespace nose {
+namespace {
+
+class UpdatePlannerTest : public ::testing::Test {
+ protected:
+  UpdatePlannerTest() : graph_(MakeHotelGraph()) {}
+
+  ColumnFamily MakeCf(const KeyPath& path, std::vector<FieldRef> pk,
+                      std::vector<FieldRef> ck, std::vector<FieldRef> vals) {
+    auto cf = ColumnFamily::Create(path, std::move(pk), std::move(ck),
+                                   std::move(vals));
+    assert(cf.ok());
+    return std::move(cf).value();
+  }
+
+  std::unique_ptr<EntityGraph> graph_;
+};
+
+TEST_F(UpdatePlannerTest, ModifiesPredicate) {
+  auto guest = graph_->SingleEntityPath("Guest");
+  auto guest_res = graph_->ResolvePath("Guest", {"Reservations"});
+  const ColumnFamily guest_cf = MakeCf(*guest, {{"Guest", "GuestID"}}, {},
+                                       {{"Guest", "GuestEmail"}});
+  const ColumnFamily name_cf = MakeCf(*guest, {{"Guest", "GuestID"}}, {},
+                                      {{"Guest", "GuestName"}});
+  const ColumnFamily link_cf = MakeCf(*guest_res, {{"Guest", "GuestID"}},
+                                      {{"Reservation", "ResID"}}, {});
+
+  // UPDATE touches only families storing a SET field.
+  auto upd = Update::MakeUpdate(
+      *guest, {{"GuestEmail", std::nullopt, "e"}},
+      {{{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "g"}});
+  ASSERT_TRUE(upd.ok());
+  EXPECT_TRUE(Modifies(*upd, guest_cf));
+  EXPECT_FALSE(Modifies(*upd, name_cf));
+  EXPECT_FALSE(Modifies(*upd, link_cf));
+
+  // DELETE touches every family with any attribute of the entity.
+  auto del = Update::MakeDelete(
+      *guest, {{{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "g"}});
+  ASSERT_TRUE(del.ok());
+  EXPECT_TRUE(Modifies(*del, guest_cf));
+  EXPECT_TRUE(Modifies(*del, name_cf));
+  EXPECT_TRUE(Modifies(*del, link_cf));
+
+  // CONNECT touches families whose path traverses the relationship.
+  auto con = Update::MakeConnect(graph_.get(), "Guest", "g", "Reservations",
+                                 "r", /*disconnect=*/false);
+  ASSERT_TRUE(con.ok());
+  EXPECT_TRUE(Modifies(*con, link_cf));
+  EXPECT_FALSE(Modifies(*con, guest_cf));
+}
+
+TEST_F(UpdatePlannerTest, UpdateSupportRecoversMissingKeys) {
+  // Updating RoomRate in a family keyed by city requires recovering the
+  // city + the record ids from the room id.
+  auto room_hotel = graph_->ResolvePath("Room", {"Hotel"});
+  const ColumnFamily mv =
+      MakeCf(*room_hotel, {{"Hotel", "HotelCity"}},
+             {{"Room", "RoomID"}, {"Hotel", "HotelID"}}, {{"Room", "RoomRate"}});
+  auto room = graph_->SingleEntityPath("Room");
+  auto upd = Update::MakeUpdate(
+      *room, {{"RoomRate", std::nullopt, "rate"}},
+      {{{"Room", "RoomID"}, PredicateOp::kEq, std::nullopt, "room"}});
+  ASSERT_TRUE(upd.ok());
+  ASSERT_TRUE(Modifies(*upd, mv));
+  std::vector<Query> support = SupportQueries(*upd, mv);
+  ASSERT_EQ(support.size(), 1u);
+  // Selects the missing key attributes over the family's own path.
+  const Query& sq = support[0];
+  EXPECT_TRUE(std::find(sq.select().begin(), sq.select().end(),
+                        FieldRef{"Hotel", "HotelCity"}) != sq.select().end());
+  EXPECT_TRUE(std::find(sq.select().begin(), sq.select().end(),
+                        FieldRef{"Hotel", "HotelID"}) != sq.select().end());
+  EXPECT_EQ(sq.predicates().size(), 1u);
+}
+
+TEST_F(UpdatePlannerTest, NoSupportNeededWhenKeysProvided) {
+  auto guest = graph_->SingleEntityPath("Guest");
+  const ColumnFamily cf = MakeCf(*guest, {{"Guest", "GuestID"}}, {},
+                                 {{"Guest", "GuestEmail"}});
+  auto upd = Update::MakeUpdate(
+      *guest, {{"GuestEmail", std::nullopt, "e"}},
+      {{{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "g"}});
+  ASSERT_TRUE(upd.ok());
+  EXPECT_TRUE(SupportQueries(*upd, cf).empty());
+}
+
+TEST_F(UpdatePlannerTest, InsertSupportFetchesDenormalizedValues) {
+  // Inserting a Reservation into a family that denormalizes the guest name
+  // must fetch that name given the connected guest's id.
+  auto path = graph_->ResolvePath("Guest", {"Reservations"});
+  const ColumnFamily cf =
+      MakeCf(*path, {{"Guest", "GuestID"}}, {{"Reservation", "ResID"}},
+             {{"Guest", "GuestName"}, {"Reservation", "ResEndDate"}});
+  auto ins = Update::MakeInsert(graph_.get(), "Reservation",
+                                {{"ResID", std::nullopt, "rid"},
+                                 {"ResEndDate", std::nullopt, "end"}},
+                                {{"Guest", "guest"}});
+  ASSERT_TRUE(ins.ok());
+  ASSERT_TRUE(Modifies(*ins, cf));
+  std::vector<Query> support = SupportQueries(*ins, cf);
+  ASSERT_EQ(support.size(), 1u);
+  EXPECT_TRUE(std::find(support[0].select().begin(), support[0].select().end(),
+                        FieldRef{"Guest", "GuestName"}) !=
+              support[0].select().end());
+}
+
+TEST_F(UpdatePlannerTest, InsertWithoutConnectNeedsNoSupport) {
+  auto path = graph_->ResolvePath("Guest", {"Reservations"});
+  const ColumnFamily cf = MakeCf(*path, {{"Guest", "GuestID"}},
+                                 {{"Reservation", "ResID"}}, {});
+  auto ins = Update::MakeInsert(graph_.get(), "Reservation",
+                                {{"ResID", std::nullopt, "rid"}}, {});
+  ASSERT_TRUE(ins.ok());
+  // No CONNECT: no records can land in the multi-entity family, so no
+  // support queries either.
+  EXPECT_TRUE(SupportQueries(*ins, cf).empty());
+}
+
+TEST_F(UpdatePlannerTest, ConnectSupportCoversBothSides) {
+  // CONNECT Guest->Reservation on a family spanning Guest..Room: the
+  // reservation side needs its room id recovered.
+  auto path = graph_->ResolvePath("Guest", {"Reservations", "Room"});
+  const ColumnFamily cf =
+      MakeCf(*path, {{"Guest", "GuestID"}},
+             {{"Reservation", "ResID"}, {"Room", "RoomID"}}, {});
+  auto con = Update::MakeConnect(graph_.get(), "Guest", "g", "Reservations",
+                                 "r", /*disconnect=*/false);
+  ASSERT_TRUE(con.ok());
+  ASSERT_TRUE(Modifies(*con, cf));
+  std::vector<Query> support = SupportQueries(*con, cf);
+  ASSERT_EQ(support.size(), 1u);
+  EXPECT_TRUE(std::find(support[0].select().begin(), support[0].select().end(),
+                        FieldRef{"Room", "RoomID"}) !=
+              support[0].select().end());
+}
+
+TEST_F(UpdatePlannerTest, WriteCostReflectsKeyChanges) {
+  CostModel cm;
+  CardinalityEstimator est(graph_.get(), &cm.params());
+  auto room_hotel = graph_->ResolvePath("Room", {"Hotel"});
+  // RoomRate in the clustering key: updating it rewrites records
+  // (delete + insert), costing more than an in-place value update.
+  const ColumnFamily keyed =
+      MakeCf(*room_hotel, {{"Hotel", "HotelCity"}},
+             {{"Room", "RoomRate"}, {"Room", "RoomID"}}, {});
+  const ColumnFamily in_place =
+      MakeCf(*room_hotel, {{"Hotel", "HotelCity"}}, {{"Room", "RoomID"}},
+             {{"Room", "RoomRate"}});
+  auto room = graph_->SingleEntityPath("Room");
+  auto upd = Update::MakeUpdate(
+      *room, {{"RoomRate", std::nullopt, "rate"}},
+      {{{"Room", "RoomID"}, PredicateOp::kEq, std::nullopt, "room"}});
+  ASSERT_TRUE(upd.ok());
+  EXPECT_GT(UpdateWriteCost(*upd, keyed, est, cm),
+            UpdateWriteCost(*upd, in_place, est, cm));
+}
+
+TEST_F(UpdatePlannerTest, ModifiedRowEstimates) {
+  CostModel cm;
+  CardinalityEstimator est(graph_.get(), &cm.params());
+  auto room_hotel = graph_->ResolvePath("Room", {"Hotel"});
+  const ColumnFamily mv = MakeCf(*room_hotel, {{"Hotel", "HotelCity"}},
+                                 {{"Room", "RoomID"}}, {{"Room", "RoomRate"}});
+  auto room = graph_->SingleEntityPath("Room");
+  // Update of one room (id equality): one record.
+  auto one = Update::MakeUpdate(
+      *room, {{"RoomRate", std::nullopt, "r"}},
+      {{{"Room", "RoomID"}, PredicateOp::kEq, std::nullopt, "room"}});
+  EXPECT_NEAR(ModifiedRowEstimate(*one, mv, est), 1.0, 1e-9);
+  // Update of a whole floor: 10000/20 floors = 500 records.
+  auto floor = Update::MakeUpdate(
+      *room, {{"RoomRate", std::nullopt, "r"}},
+      {{{"Room", "RoomFloor"}, PredicateOp::kEq, std::nullopt, "f"}});
+  EXPECT_NEAR(ModifiedRowEstimate(*floor, mv, est), 500.0, 1e-9);
+}
+
+TEST_F(UpdatePlannerTest, PlanUpdateForSchemaFailsWithoutSupportCoverage) {
+  // A schema with only the denormalized family cannot answer its own
+  // support query (room id -> city), so planning must fail.
+  auto room_hotel = graph_->ResolvePath("Room", {"Hotel"});
+  Schema schema;
+  schema.Add(MakeCf(*room_hotel, {{"Hotel", "HotelCity"}},
+                    {{"Room", "RoomID"}, {"Hotel", "HotelID"}},
+                    {{"Room", "RoomRate"}}));
+  CostModel cm;
+  CardinalityEstimator est(graph_.get(), &cm.params());
+  QueryPlanner planner(&cm, &est);
+  auto room = graph_->SingleEntityPath("Room");
+  auto upd = Update::MakeUpdate(
+      *room, {{"RoomRate", std::nullopt, "rate"}},
+      {{{"Room", "RoomID"}, PredicateOp::kEq, std::nullopt, "room"}});
+  ASSERT_TRUE(upd.ok());
+  auto plan = PlanUpdateForSchema(*upd, schema, planner, est, cm);
+  EXPECT_FALSE(plan.ok());
+
+  // Adding a reverse-lookup family fixes it.
+  schema.Add(MakeCf(*room_hotel, {{"Room", "RoomID"}},
+                    {{"Hotel", "HotelID"}}, {{"Hotel", "HotelCity"}}));
+  auto plan2 = PlanUpdateForSchema(*upd, schema, planner, est, cm);
+  ASSERT_TRUE(plan2.ok()) << plan2.status();
+  ASSERT_EQ(plan2->parts.size(), 1u);
+  EXPECT_EQ(plan2->parts[0].support_plans.size(), 1u);
+  EXPECT_GT(plan2->cost, 0.0);
+}
+
+}  // namespace
+}  // namespace nose

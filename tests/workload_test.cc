@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "tests/hotel_fixture.h"
+#include "workload/workload.h"
+
+namespace nose {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : graph_(MakeHotelGraph()), workload_(graph_.get()) {}
+
+  Update MakeEmailUpdate() {
+    auto guest = graph_->SingleEntityPath("Guest");
+    auto upd = Update::MakeUpdate(
+        *guest, {{"GuestEmail", std::nullopt, "e"}},
+        {{{"Guest", "GuestID"}, PredicateOp::kEq, std::nullopt, "g"}});
+    assert(upd.ok());
+    return std::move(upd).value();
+  }
+
+  std::unique_ptr<EntityGraph> graph_;
+  Workload workload_;
+};
+
+TEST_F(WorkloadTest, AddAndFind) {
+  ASSERT_TRUE(workload_.AddQuery("q1", MakeFig3Query(*graph_), 3.0).ok());
+  ASSERT_TRUE(workload_.AddUpdate("u1", MakeEmailUpdate(), 1.0).ok());
+  EXPECT_NE(workload_.FindEntry("q1"), nullptr);
+  EXPECT_NE(workload_.FindEntry("u1"), nullptr);
+  EXPECT_EQ(workload_.FindEntry("nope"), nullptr);
+  // Duplicate names rejected.
+  EXPECT_EQ(workload_.AddQuery("q1", MakeFig3Query(*graph_)).code(),
+            StatusCode::kAlreadyExists);
+  // Invalid queries rejected at insertion.
+  auto guest = graph_->SingleEntityPath("Guest");
+  Query invalid(*guest, {{"Guest", "GuestName"}}, {}, {});  // no equality
+  EXPECT_FALSE(workload_.AddQuery("bad", std::move(invalid)).ok());
+}
+
+TEST_F(WorkloadTest, WeightsNormalizeAndOrderQueriesFirst) {
+  ASSERT_TRUE(workload_.AddUpdate("u1", MakeEmailUpdate(), 1.0).ok());
+  ASSERT_TRUE(workload_.AddQuery("q1", MakeFig3Query(*graph_), 3.0).ok());
+  const auto entries = workload_.EntriesIn(Workload::kDefaultMix);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first->name, "q1");  // queries first
+  EXPECT_DOUBLE_EQ(entries[0].second, 0.75);
+  EXPECT_DOUBLE_EQ(entries[1].second, 0.25);
+}
+
+TEST_F(WorkloadTest, MixesAreIndependent) {
+  ASSERT_TRUE(workload_.AddQuery("q1", MakeFig3Query(*graph_), 2.0).ok());
+  ASSERT_TRUE(workload_.AddUpdate("u1", MakeEmailUpdate(), 2.0).ok());
+  ASSERT_TRUE(workload_.SetWeight("q1", "reads_only", 1.0).ok());
+  EXPECT_FALSE(workload_.SetWeight("ghost", "reads_only", 1.0).ok());
+
+  const auto reads = workload_.EntriesIn("reads_only");
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].first->name, "q1");
+  EXPECT_DOUBLE_EQ(reads[0].second, 1.0);
+
+  const auto none = workload_.EntriesIn("unknown_mix");
+  EXPECT_TRUE(none.empty());
+
+  const auto mixes = workload_.MixNames();
+  EXPECT_EQ(mixes.size(), 2u);  // default + reads_only
+}
+
+TEST_F(WorkloadTest, UpdateAccessors) {
+  Update upd = MakeEmailUpdate();
+  EXPECT_EQ(upd.kind(), UpdateKind::kUpdate);
+  EXPECT_EQ(upd.entity(), "Guest");
+  const auto modified = upd.ModifiedFields();
+  ASSERT_EQ(modified.size(), 1u);
+  EXPECT_EQ(modified[0].QualifiedName(), "Guest.GuestEmail");
+  EXPECT_NE(upd.ToString().find("UPDATE Guest"), std::string::npos);
+
+  // INSERT reports every entity field as modified.
+  auto ins = Update::MakeInsert(graph_.get(), "Guest",
+                                {{"GuestID", std::nullopt, "g"},
+                                 {"GuestName", std::nullopt, "n"}},
+                                {});
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->ModifiedFields().size(), 3u);  // id + name + email
+
+  // CONNECT modifies no attribute values.
+  auto con = Update::MakeConnect(graph_.get(), "Guest", "g", "Reservations",
+                                 "r", false);
+  ASSERT_TRUE(con.ok());
+  EXPECT_TRUE(con->ModifiedFields().empty());
+}
+
+TEST_F(WorkloadTest, UpdateValidationErrors) {
+  // INSERT without a primary key.
+  EXPECT_FALSE(Update::MakeInsert(graph_.get(), "Guest",
+                                  {{"GuestName", std::nullopt, "n"}}, {})
+                   .ok());
+  // INSERT with unknown connect step.
+  EXPECT_FALSE(Update::MakeInsert(graph_.get(), "Guest",
+                                  {{"GuestID", std::nullopt, "g"}},
+                                  {{"Bookings", "b"}})
+                   .ok());
+  // UPDATE with no SET clause.
+  auto guest = graph_->SingleEntityPath("Guest");
+  EXPECT_FALSE(Update::MakeUpdate(*guest, {}, {}).ok());
+  // UPDATE with predicate off the path.
+  EXPECT_FALSE(
+      Update::MakeUpdate(
+          *guest, {{"GuestEmail", std::nullopt, "e"}},
+          {{{"Hotel", "HotelCity"}, PredicateOp::kEq, std::nullopt, "c"}})
+          .ok());
+  // CONNECT via nonexistent step.
+  EXPECT_FALSE(
+      Update::MakeConnect(graph_.get(), "Guest", "g", "Rooms", "r", false)
+          .ok());
+}
+
+}  // namespace
+}  // namespace nose
