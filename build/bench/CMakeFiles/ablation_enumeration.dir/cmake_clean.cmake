@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_enumeration.dir/ablation_enumeration.cc.o"
+  "CMakeFiles/ablation_enumeration.dir/ablation_enumeration.cc.o.d"
+  "ablation_enumeration"
+  "ablation_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/advisor_runtime.cc" "bench/CMakeFiles/advisor_runtime.dir/advisor_runtime.cc.o" "gcc" "bench/CMakeFiles/advisor_runtime.dir/advisor_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rubis/CMakeFiles/nose_rubis.dir/DependInfo.cmake"
+  "/root/repo/build/src/advisor/CMakeFiles/nose_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/nose_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/executor/CMakeFiles/nose_executor.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/nose_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/nose_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/nose_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumerator/CMakeFiles/nose_enumerator.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/nose_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/nose_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/nose_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nose_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/nose_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nose_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

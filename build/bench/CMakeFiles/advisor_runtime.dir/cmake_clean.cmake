@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_runtime.dir/advisor_runtime.cc.o"
+  "CMakeFiles/advisor_runtime.dir/advisor_runtime.cc.o.d"
+  "advisor_runtime"
+  "advisor_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

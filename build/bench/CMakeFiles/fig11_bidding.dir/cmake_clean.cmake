@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bidding.dir/fig11_bidding.cc.o"
+  "CMakeFiles/fig11_bidding.dir/fig11_bidding.cc.o.d"
+  "fig11_bidding"
+  "fig11_bidding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

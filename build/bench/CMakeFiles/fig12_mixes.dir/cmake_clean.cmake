@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mixes.dir/fig12_mixes.cc.o"
+  "CMakeFiles/fig12_mixes.dir/fig12_mixes.cc.o.d"
+  "fig12_mixes"
+  "fig12_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_micro.dir/solver_micro.cc.o"
+  "CMakeFiles/solver_micro.dir/solver_micro.cc.o.d"
+  "solver_micro"
+  "solver_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

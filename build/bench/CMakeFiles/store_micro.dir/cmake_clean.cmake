@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_micro.dir/store_micro.cc.o"
+  "CMakeFiles/store_micro.dir/store_micro.cc.o.d"
+  "store_micro"
+  "store_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_execution.dir/hotel_execution.cpp.o"
+  "CMakeFiles/hotel_execution.dir/hotel_execution.cpp.o.d"
+  "hotel_execution"
+  "hotel_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

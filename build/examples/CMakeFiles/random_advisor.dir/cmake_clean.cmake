@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_advisor.dir/random_advisor.cpp.o"
+  "CMakeFiles/random_advisor.dir/random_advisor.cpp.o.d"
+  "random_advisor"
+  "random_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubis_advisor.dir/rubis_advisor.cpp.o"
+  "CMakeFiles/rubis_advisor.dir/rubis_advisor.cpp.o.d"
+  "rubis_advisor"
+  "rubis_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubis_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

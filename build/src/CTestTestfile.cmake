@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("model")
+subdirs("parser")
+subdirs("workload")
+subdirs("schema")
+subdirs("cost")
+subdirs("solver")
+subdirs("planner")
+subdirs("enumerator")
+subdirs("optimizer")
+subdirs("advisor")
+subdirs("store")
+subdirs("executor")
+subdirs("schemas")
+subdirs("rubis")
+subdirs("randwl")
+subdirs("export")
+subdirs("cli")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_advisor.dir/advisor.cc.o"
+  "CMakeFiles/nose_advisor.dir/advisor.cc.o.d"
+  "libnose_advisor.a"
+  "libnose_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/main.cc" "src/cli/CMakeFiles/nose.dir/main.cc.o" "gcc" "src/cli/CMakeFiles/nose.dir/main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/advisor/CMakeFiles/nose_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/export/CMakeFiles/nose_export.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/nose_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/nose_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/nose_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumerator/CMakeFiles/nose_enumerator.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/nose_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/nose_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/nose_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nose_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/nose_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nose_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

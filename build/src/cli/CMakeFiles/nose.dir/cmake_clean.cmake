@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose.dir/main.cc.o"
+  "CMakeFiles/nose.dir/main.cc.o.d"
+  "nose"
+  "nose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_cost.dir/cardinality.cc.o"
+  "CMakeFiles/nose_cost.dir/cardinality.cc.o.d"
+  "CMakeFiles/nose_cost.dir/cost_model.cc.o"
+  "CMakeFiles/nose_cost.dir/cost_model.cc.o.d"
+  "libnose_cost.a"
+  "libnose_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

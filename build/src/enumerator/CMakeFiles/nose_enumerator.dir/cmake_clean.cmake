@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_enumerator.dir/enumerator.cc.o"
+  "CMakeFiles/nose_enumerator.dir/enumerator.cc.o.d"
+  "libnose_enumerator.a"
+  "libnose_enumerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_enumerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

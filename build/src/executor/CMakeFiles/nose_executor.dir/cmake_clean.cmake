@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_executor.dir/dataset.cc.o"
+  "CMakeFiles/nose_executor.dir/dataset.cc.o.d"
+  "CMakeFiles/nose_executor.dir/loader.cc.o"
+  "CMakeFiles/nose_executor.dir/loader.cc.o.d"
+  "CMakeFiles/nose_executor.dir/plan_executor.cc.o"
+  "CMakeFiles/nose_executor.dir/plan_executor.cc.o.d"
+  "libnose_executor.a"
+  "libnose_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

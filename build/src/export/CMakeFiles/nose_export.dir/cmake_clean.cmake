@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_export.dir/cql.cc.o"
+  "CMakeFiles/nose_export.dir/cql.cc.o.d"
+  "libnose_export.a"
+  "libnose_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/entity.cc" "src/model/CMakeFiles/nose_model.dir/entity.cc.o" "gcc" "src/model/CMakeFiles/nose_model.dir/entity.cc.o.d"
+  "/root/repo/src/model/entity_graph.cc" "src/model/CMakeFiles/nose_model.dir/entity_graph.cc.o" "gcc" "src/model/CMakeFiles/nose_model.dir/entity_graph.cc.o.d"
+  "/root/repo/src/model/field.cc" "src/model/CMakeFiles/nose_model.dir/field.cc.o" "gcc" "src/model/CMakeFiles/nose_model.dir/field.cc.o.d"
+  "/root/repo/src/model/key_path.cc" "src/model/CMakeFiles/nose_model.dir/key_path.cc.o" "gcc" "src/model/CMakeFiles/nose_model.dir/key_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nose_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_model.dir/entity.cc.o"
+  "CMakeFiles/nose_model.dir/entity.cc.o.d"
+  "CMakeFiles/nose_model.dir/entity_graph.cc.o"
+  "CMakeFiles/nose_model.dir/entity_graph.cc.o.d"
+  "CMakeFiles/nose_model.dir/field.cc.o"
+  "CMakeFiles/nose_model.dir/field.cc.o.d"
+  "CMakeFiles/nose_model.dir/key_path.cc.o"
+  "CMakeFiles/nose_model.dir/key_path.cc.o.d"
+  "libnose_model.a"
+  "libnose_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_optimizer.dir/combinatorial.cc.o"
+  "CMakeFiles/nose_optimizer.dir/combinatorial.cc.o.d"
+  "CMakeFiles/nose_optimizer.dir/schema_optimizer.cc.o"
+  "CMakeFiles/nose_optimizer.dir/schema_optimizer.cc.o.d"
+  "libnose_optimizer.a"
+  "libnose_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

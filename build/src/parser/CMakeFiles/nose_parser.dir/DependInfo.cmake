@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/lexer.cc" "src/parser/CMakeFiles/nose_parser.dir/lexer.cc.o" "gcc" "src/parser/CMakeFiles/nose_parser.dir/lexer.cc.o.d"
+  "/root/repo/src/parser/model_parser.cc" "src/parser/CMakeFiles/nose_parser.dir/model_parser.cc.o" "gcc" "src/parser/CMakeFiles/nose_parser.dir/model_parser.cc.o.d"
+  "/root/repo/src/parser/statement_parser.cc" "src/parser/CMakeFiles/nose_parser.dir/statement_parser.cc.o" "gcc" "src/parser/CMakeFiles/nose_parser.dir/statement_parser.cc.o.d"
+  "/root/repo/src/parser/workload_parser.cc" "src/parser/CMakeFiles/nose_parser.dir/workload_parser.cc.o" "gcc" "src/parser/CMakeFiles/nose_parser.dir/workload_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/nose_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/nose_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nose_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_parser.dir/lexer.cc.o"
+  "CMakeFiles/nose_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/nose_parser.dir/model_parser.cc.o"
+  "CMakeFiles/nose_parser.dir/model_parser.cc.o.d"
+  "CMakeFiles/nose_parser.dir/statement_parser.cc.o"
+  "CMakeFiles/nose_parser.dir/statement_parser.cc.o.d"
+  "CMakeFiles/nose_parser.dir/workload_parser.cc.o"
+  "CMakeFiles/nose_parser.dir/workload_parser.cc.o.d"
+  "libnose_parser.a"
+  "libnose_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

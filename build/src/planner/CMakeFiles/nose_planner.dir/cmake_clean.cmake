@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_planner.dir/plan.cc.o"
+  "CMakeFiles/nose_planner.dir/plan.cc.o.d"
+  "CMakeFiles/nose_planner.dir/plan_space.cc.o"
+  "CMakeFiles/nose_planner.dir/plan_space.cc.o.d"
+  "CMakeFiles/nose_planner.dir/update_planner.cc.o"
+  "CMakeFiles/nose_planner.dir/update_planner.cc.o.d"
+  "libnose_planner.a"
+  "libnose_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

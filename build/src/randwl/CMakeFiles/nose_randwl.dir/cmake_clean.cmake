@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_randwl.dir/random_workload.cc.o"
+  "CMakeFiles/nose_randwl.dir/random_workload.cc.o.d"
+  "libnose_randwl.a"
+  "libnose_randwl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_randwl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

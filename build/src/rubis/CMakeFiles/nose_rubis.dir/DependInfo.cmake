@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rubis/datagen.cc" "src/rubis/CMakeFiles/nose_rubis.dir/datagen.cc.o" "gcc" "src/rubis/CMakeFiles/nose_rubis.dir/datagen.cc.o.d"
+  "/root/repo/src/rubis/expert_schema.cc" "src/rubis/CMakeFiles/nose_rubis.dir/expert_schema.cc.o" "gcc" "src/rubis/CMakeFiles/nose_rubis.dir/expert_schema.cc.o.d"
+  "/root/repo/src/rubis/model.cc" "src/rubis/CMakeFiles/nose_rubis.dir/model.cc.o" "gcc" "src/rubis/CMakeFiles/nose_rubis.dir/model.cc.o.d"
+  "/root/repo/src/rubis/workload.cc" "src/rubis/CMakeFiles/nose_rubis.dir/workload.cc.o" "gcc" "src/rubis/CMakeFiles/nose_rubis.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/nose_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/executor/CMakeFiles/nose_executor.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/nose_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nose_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/nose_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nose_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/nose_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/nose_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/nose_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

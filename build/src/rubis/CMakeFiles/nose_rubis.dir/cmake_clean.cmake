@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_rubis.dir/datagen.cc.o"
+  "CMakeFiles/nose_rubis.dir/datagen.cc.o.d"
+  "CMakeFiles/nose_rubis.dir/expert_schema.cc.o"
+  "CMakeFiles/nose_rubis.dir/expert_schema.cc.o.d"
+  "CMakeFiles/nose_rubis.dir/model.cc.o"
+  "CMakeFiles/nose_rubis.dir/model.cc.o.d"
+  "CMakeFiles/nose_rubis.dir/workload.cc.o"
+  "CMakeFiles/nose_rubis.dir/workload.cc.o.d"
+  "libnose_rubis.a"
+  "libnose_rubis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_rubis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnose_rubis.a"
+)

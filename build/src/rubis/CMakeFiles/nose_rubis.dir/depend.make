@@ -1,0 +1,2 @@
+# Empty dependencies file for nose_rubis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_schema.dir/column_family.cc.o"
+  "CMakeFiles/nose_schema.dir/column_family.cc.o.d"
+  "CMakeFiles/nose_schema.dir/schema.cc.o"
+  "CMakeFiles/nose_schema.dir/schema.cc.o.d"
+  "libnose_schema.a"
+  "libnose_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_schemas.dir/normalized.cc.o"
+  "CMakeFiles/nose_schemas.dir/normalized.cc.o.d"
+  "libnose_schemas.a"
+  "libnose_schemas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_schemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

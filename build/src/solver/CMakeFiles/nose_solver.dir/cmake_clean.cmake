@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_solver.dir/bip.cc.o"
+  "CMakeFiles/nose_solver.dir/bip.cc.o.d"
+  "CMakeFiles/nose_solver.dir/lp.cc.o"
+  "CMakeFiles/nose_solver.dir/lp.cc.o.d"
+  "libnose_solver.a"
+  "libnose_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

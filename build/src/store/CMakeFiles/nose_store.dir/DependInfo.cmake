@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/record_store.cc" "src/store/CMakeFiles/nose_store.dir/record_store.cc.o" "gcc" "src/store/CMakeFiles/nose_store.dir/record_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/nose_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nose_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nose_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/nose_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

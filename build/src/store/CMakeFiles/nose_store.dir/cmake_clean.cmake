@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_store.dir/record_store.cc.o"
+  "CMakeFiles/nose_store.dir/record_store.cc.o.d"
+  "libnose_store.a"
+  "libnose_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_util.dir/rng.cc.o"
+  "CMakeFiles/nose_util.dir/rng.cc.o.d"
+  "CMakeFiles/nose_util.dir/status.cc.o"
+  "CMakeFiles/nose_util.dir/status.cc.o.d"
+  "CMakeFiles/nose_util.dir/strings.cc.o"
+  "CMakeFiles/nose_util.dir/strings.cc.o.d"
+  "CMakeFiles/nose_util.dir/value.cc.o"
+  "CMakeFiles/nose_util.dir/value.cc.o.d"
+  "libnose_util.a"
+  "libnose_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

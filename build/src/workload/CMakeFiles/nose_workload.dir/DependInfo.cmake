@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/query.cc" "src/workload/CMakeFiles/nose_workload.dir/query.cc.o" "gcc" "src/workload/CMakeFiles/nose_workload.dir/query.cc.o.d"
+  "/root/repo/src/workload/update.cc" "src/workload/CMakeFiles/nose_workload.dir/update.cc.o" "gcc" "src/workload/CMakeFiles/nose_workload.dir/update.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/nose_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/nose_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/nose_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nose_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

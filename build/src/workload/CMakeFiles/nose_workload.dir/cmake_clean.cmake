@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nose_workload.dir/query.cc.o"
+  "CMakeFiles/nose_workload.dir/query.cc.o.d"
+  "CMakeFiles/nose_workload.dir/update.cc.o"
+  "CMakeFiles/nose_workload.dir/update.cc.o.d"
+  "CMakeFiles/nose_workload.dir/workload.cc.o"
+  "CMakeFiles/nose_workload.dir/workload.cc.o.d"
+  "libnose_workload.a"
+  "libnose_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nose_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

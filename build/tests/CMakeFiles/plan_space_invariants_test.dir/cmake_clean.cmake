@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_space_invariants_test.dir/plan_space_invariants_test.cc.o"
+  "CMakeFiles/plan_space_invariants_test.dir/plan_space_invariants_test.cc.o.d"
+  "plan_space_invariants_test"
+  "plan_space_invariants_test.pdb"
+  "plan_space_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_space_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randwl_test.dir/randwl_test.cc.o"
+  "CMakeFiles/randwl_test.dir/randwl_test.cc.o.d"
+  "randwl_test"
+  "randwl_test.pdb"
+  "randwl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randwl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

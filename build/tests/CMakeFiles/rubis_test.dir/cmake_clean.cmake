@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubis_test.dir/rubis_test.cc.o"
+  "CMakeFiles/rubis_test.dir/rubis_test.cc.o.d"
+  "rubis_test"
+  "rubis_test.pdb"
+  "rubis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

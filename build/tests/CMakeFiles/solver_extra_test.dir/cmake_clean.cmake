@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_extra_test.dir/solver_extra_test.cc.o"
+  "CMakeFiles/solver_extra_test.dir/solver_extra_test.cc.o.d"
+  "solver_extra_test"
+  "solver_extra_test.pdb"
+  "solver_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

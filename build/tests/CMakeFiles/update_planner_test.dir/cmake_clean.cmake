@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_planner_test.dir/update_planner_test.cc.o"
+  "CMakeFiles/update_planner_test.dir/update_planner_test.cc.o.d"
+  "update_planner_test"
+  "update_planner_test.pdb"
+  "update_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[ConsistencyTest.AllSchemasAgreeOnEveryQueryAndSurviveUpdates]=]  /root/repo/build/tests/consistency_test [==[--gtest_filter=ConsistencyTest.AllSchemasAgreeOnEveryQueryAndSurviveUpdates]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ConsistencyTest.AllSchemasAgreeOnEveryQueryAndSurviveUpdates]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  consistency_test_TESTS ConsistencyTest.AllSchemasAgreeOnEveryQueryAndSurviveUpdates)
