@@ -1,5 +1,6 @@
 #include "advisor/advisor.h"
 
+#include "analysis/invariants.h"
 #include "util/stopwatch.h"
 
 namespace nose {
@@ -40,6 +41,12 @@ StatusOr<Recommendation> Advisor::Recommend(const Workload& workload,
   rec.timing.other_seconds =
       rec.timing.total_seconds - rec.timing.cost_calculation_seconds -
       rec.timing.bip_construction_seconds - rec.timing.bip_solve_seconds;
+
+  if (options_.verify_invariants) {
+    RecommendationView view{&rec.schema, &rec.query_plans, &rec.update_plans,
+                            rec.objective, rec.solve_proven};
+    NOSE_RETURN_IF_ERROR(VerifyRecommendation(workload, mix, view));
+  }
   return rec;
 }
 

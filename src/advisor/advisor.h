@@ -17,6 +17,15 @@ struct AdvisorOptions {
   CostParams cost_params;
   EnumeratorOptions enumerator;
   OptimizerOptions optimizer;
+  /// Audit every recommendation against the workload invariants (analysis/
+  /// invariants.h) before returning it; violations fail the Recommend call.
+  /// Defaults on in debug builds — the audit replays every plan, which is
+  /// cheap next to the solve but not free.
+#ifdef NDEBUG
+  bool verify_invariants = false;
+#else
+  bool verify_invariants = true;
+#endif
 };
 
 /// Full advisor timing breakdown (Fig. 13's categories).

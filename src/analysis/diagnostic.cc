@@ -1,0 +1,70 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+
+namespace nose {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string SourceLocation::ToString() const {
+  std::string out = file.empty() ? "<input>" : file;
+  if (line > 0) out += ":" + std::to_string(line);
+  return out;
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out;
+  if (location.IsKnown()) out += location.ToString() + ": ";
+  out += std::string(SeverityName(severity)) + ": " + message;
+  out += " [" + code + "]";
+  if (!note.empty()) out += "\n  note: " + note;
+  return out;
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+size_t CountSeverity(const std::vector<Diagnostic>& diags, Severity severity) {
+  return static_cast<size_t>(
+      std::count_if(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+        return d.severity == severity;
+      }));
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.location.file != b.location.file) {
+                       return a.location.file < b.location.file;
+                     }
+                     if (a.location.line != b.location.line) {
+                       return a.location.line < b.location.line;
+                     }
+                     if (a.code != b.code) return a.code < b.code;
+                     return a.message < b.message;
+                   });
+}
+
+}  // namespace nose

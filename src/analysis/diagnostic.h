@@ -1,0 +1,60 @@
+#ifndef NOSE_ANALYSIS_DIAGNOSTIC_H_
+#define NOSE_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+namespace nose {
+
+/// Severity of a lint / invariant diagnostic. Errors indicate input that is
+/// structurally valid but certainly wrong (the advisor would produce a
+/// meaningless or broken recommendation); warnings indicate suspicious
+/// constructs; notes are informational.
+enum class Severity { kNote, kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+/// Where a diagnostic points in the user's input. `line` is 1-based; 0 means
+/// the location is unknown (e.g. programmatically built models, or checks on
+/// advisor output rather than source text).
+struct SourceLocation {
+  std::string file;
+  int line = 0;
+
+  bool IsKnown() const { return line > 0 || !file.empty(); }
+  /// "file:12" / "file" / "<input>:12" / "<input>".
+  std::string ToString() const;
+};
+
+/// One structured finding from `nose lint` or the invariant checker.
+/// `code` is stable and machine-greppable (NOSE-Wnnn / NOSE-Ennn for lint
+/// passes, NOSE-Innn for advisor-output invariants); `message` is the
+/// one-line human explanation; `note` optionally carries a hint about the
+/// likely fix or the values involved.
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kWarning;
+  SourceLocation location;
+  std::string message;
+  std::string note;
+
+  /// Compiler-style rendering:
+  ///   "file:12: error: message [NOSE-E003]\n  note: hint"
+  std::string ToString() const;
+};
+
+/// Renders each diagnostic on its own line (notes indented under them).
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diags);
+
+/// True if any diagnostic has error severity.
+bool HasErrors(const std::vector<Diagnostic>& diags);
+
+/// Number of diagnostics at exactly `severity`.
+size_t CountSeverity(const std::vector<Diagnostic>& diags, Severity severity);
+
+/// Stable presentation order: by file, then line, then code, then message.
+void SortDiagnostics(std::vector<Diagnostic>* diags);
+
+}  // namespace nose
+
+#endif  // NOSE_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,72 @@
+#ifndef NOSE_ANALYSIS_INVARIANTS_H_
+#define NOSE_ANALYSIS_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "planner/plan.h"
+#include "planner/update_planner.h"
+#include "schema/schema.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace nose {
+
+/// A non-owning view of an advisor Recommendation, so the invariant checker
+/// can audit advisor output without depending on the advisor library (which
+/// depends on this one). Plans may point at column families outside
+/// `schema` (e.g. into a candidate pool); membership is checked by
+/// canonical key, not pointer identity.
+struct RecommendationView {
+  const Schema* schema = nullptr;
+  const std::vector<std::pair<std::string, QueryPlan>>* query_plans = nullptr;
+  const std::vector<std::pair<std::string, UpdatePlan>>* update_plans = nullptr;
+  double objective = 0.0;
+  bool solve_proven = false;
+};
+
+/// Structural invariants of one query plan against a schema. `label`
+/// prefixes messages (e.g. the statement name). Codes:
+///   NOSE-I002 step-chain-broken    steps do not form a contiguous walk of
+///                                  the query path from its anchor toward
+///                                  entity 0 (first flags, index chain, or
+///                                  column-family path segment wrong)
+///   NOSE-I003 predicate-partition  the plan does not apply each query
+///                                  predicate exactly once
+///   NOSE-I004 foreign-cf           a step reads a column family absent
+///                                  from the schema
+///   NOSE-I007 partition-key-unbound a step's get leaves part of the
+///                                  partition key unbound
+std::vector<Diagnostic> CheckQueryPlan(const QueryPlan& plan,
+                                       const Schema& schema,
+                                       const std::string& label);
+
+/// Structural invariants of one update plan: every part targets a schema
+/// column family (NOSE-I004) and its support plans satisfy CheckQueryPlan.
+std::vector<Diagnostic> CheckUpdatePlan(const UpdatePlan& plan,
+                                        const Schema& schema,
+                                        const std::string& label);
+
+/// Full audit of a recommendation against the workload it was derived from
+/// (paper Fig. 4's contract). Adds to the per-plan checks:
+///   NOSE-I001 plan-missing         a statement with weight in `mix` has no
+///                                  recommended plan
+///   NOSE-I005 maintenance-missing  an update modifies a schema column
+///                                  family but its plan has no part for it
+///   NOSE-I006 objective-mismatch   replaying plan costs against the mix
+///                                  weights does not reproduce the reported
+///                                  objective
+std::vector<Diagnostic> AuditRecommendation(const Workload& workload,
+                                            const std::string& mix,
+                                            const RecommendationView& view);
+
+/// AuditRecommendation folded into a Status: Ok when no error-severity
+/// diagnostic fires, Internal with the rendered diagnostics otherwise.
+/// This is what `AdvisorOptions::verify_invariants` runs after each solve.
+Status VerifyRecommendation(const Workload& workload, const std::string& mix,
+                            const RecommendationView& view);
+
+}  // namespace nose
+
+#endif  // NOSE_ANALYSIS_INVARIANTS_H_

@@ -1,0 +1,345 @@
+#include "analysis/lint.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nose {
+
+namespace {
+
+SourceLocation ModelLoc(const LintSources& sources, int line) {
+  return SourceLocation{sources.model_file, line};
+}
+
+SourceLocation WorkloadLoc(const LintSources& sources, int line) {
+  return SourceLocation{sources.workload_file, line};
+}
+
+void Emit(std::vector<Diagnostic>* out, std::string code, Severity severity,
+          SourceLocation loc, std::string message, std::string note = "") {
+  out->push_back(Diagnostic{std::move(code), severity, std::move(loc),
+                            std::move(message), std::move(note)});
+}
+
+/// True if a literal of this Value alternative can be compared against a
+/// field of `type` without a conversion that changes its meaning. Lenient
+/// where the parser is (integer literals satisfy float fields; dates accept
+/// both numeric and textual forms).
+bool LiteralCompatible(const Value& literal, FieldType type) {
+  const bool is_int = std::holds_alternative<int64_t>(literal);
+  const bool is_float = std::holds_alternative<double>(literal);
+  const bool is_string = std::holds_alternative<std::string>(literal);
+  const bool is_bool = std::holds_alternative<bool>(literal);
+  switch (type) {
+    case FieldType::kId:
+      return is_int || is_string;
+    case FieldType::kInteger:
+      return is_int;
+    case FieldType::kFloat:
+      return is_int || is_float;
+    case FieldType::kString:
+      return is_string;
+    case FieldType::kDate:
+      return is_int || is_float || is_string;
+    case FieldType::kBoolean:
+      return is_bool;
+  }
+  return true;
+}
+
+const char* LiteralTypeName(const Value& literal) {
+  if (std::holds_alternative<int64_t>(literal)) return "integer";
+  if (std::holds_alternative<double>(literal)) return "float";
+  if (std::holds_alternative<std::string>(literal)) return "string";
+  return "boolean";
+}
+
+/// Shared E001/E003 checks for one predicate. Returns the resolved field
+/// type when the reference is valid.
+void CheckPredicate(const EntityGraph& graph, const Predicate& pred,
+                    const std::string& stmt_name, const SourceLocation& loc,
+                    std::vector<Diagnostic>* out) {
+  StatusOr<const Field*> field = graph.ResolveField(pred.field);
+  if (!field.ok()) {
+    Emit(out, "NOSE-E001", Severity::kError, loc,
+         "statement '" + stmt_name + "' references unknown field '" +
+             pred.field.QualifiedName() + "'",
+         field.status().message());
+    return;
+  }
+  const FieldType type = field.value()->type;
+  if (pred.IsRange() && type == FieldType::kBoolean) {
+    Emit(out, "NOSE-E003", Severity::kError, loc,
+         "range predicate '" + pred.ToString() +
+             "' on non-orderable boolean field in statement '" + stmt_name +
+             "'",
+         "boolean fields support only = and != comparisons");
+  }
+  if (pred.literal.has_value() && !LiteralCompatible(*pred.literal, type)) {
+    Emit(out, "NOSE-E003", Severity::kError, loc,
+         std::string("literal of type ") + LiteralTypeName(*pred.literal) +
+             " compared against " + FieldTypeName(type) + " field '" +
+             pred.field.QualifiedName() + "' in statement '" + stmt_name + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> LintModel(const EntityGraph& graph,
+                                  const LintSources& sources) {
+  std::vector<Diagnostic> out;
+
+  // NOSE-E006: relationship endpoints must be entities of the graph.
+  for (const Relationship& rel : graph.relationships()) {
+    for (const std::string& end : {rel.from_entity, rel.to_entity}) {
+      if (graph.FindEntity(end) == nullptr) {
+        Emit(&out, "NOSE-E006", Severity::kError,
+             ModelLoc(sources, rel.def_line),
+             "relationship endpoint '" + end + "' is not a declared entity");
+      }
+    }
+  }
+
+  // NOSE-W005: statistics consistency.
+  for (const std::string& name : graph.entity_order()) {
+    const Entity& entity = graph.GetEntity(name);
+    for (const Field& field : entity.fields()) {
+      if (field.cardinality > entity.count() && entity.count() > 0) {
+        Emit(&out, "NOSE-W005", Severity::kWarning,
+             ModelLoc(sources, field.def_line),
+             "field '" + name + "." + field.name + "' declares " +
+                 std::to_string(field.cardinality) +
+                 " distinct values but entity '" + name + "' has only " +
+                 std::to_string(entity.count()) + " instances",
+             "the advisor clamps cardinality to the entity count");
+      }
+    }
+  }
+  for (const Relationship& rel : graph.relationships()) {
+    const Entity* from = graph.FindEntity(rel.from_entity);
+    const Entity* to = graph.FindEntity(rel.to_entity);
+    if (from == nullptr || to == nullptr) continue;  // E006 above
+    const SourceLocation loc = ModelLoc(sources, rel.def_line);
+    switch (rel.cardinality) {
+      case Cardinality::kOneToOne:
+        if (from->count() != to->count()) {
+          Emit(&out, "NOSE-W005", Severity::kWarning, loc,
+               "one_to_one relationship between '" + rel.from_entity + "' (" +
+                   std::to_string(from->count()) + " instances) and '" +
+                   rel.to_entity + "' (" + std::to_string(to->count()) +
+                   " instances) with unequal counts");
+        }
+        break;
+      case Cardinality::kOneToMany:
+        if (to->count() < from->count()) {
+          Emit(&out, "NOSE-W005", Severity::kWarning, loc,
+               "one_to_many relationship from '" + rel.from_entity + "' (" +
+                   std::to_string(from->count()) + " instances) to '" +
+                   rel.to_entity + "' (" + std::to_string(to->count()) +
+                   " instances): the many side has fewer instances",
+               "each '" + rel.to_entity + "' relates to exactly one '" +
+                   rel.from_entity + "', so some '" + rel.from_entity +
+                   "' instances relate to nothing");
+        }
+        break;
+      case Cardinality::kManyToMany: {
+        const uint64_t max_links = from->count() * to->count();
+        if (rel.link_count > max_links && max_links > 0) {
+          Emit(&out, "NOSE-W005", Severity::kWarning, loc,
+               "many_to_many relationship declares " +
+                   std::to_string(rel.link_count) +
+                   " links but only " + std::to_string(max_links) +
+                   " distinct pairs exist");
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> LintWorkload(const Workload& workload,
+                                     const LintSources& sources) {
+  std::vector<Diagnostic> out;
+  const EntityGraph& graph = *workload.graph();
+
+  // NOSE-E005: an empty workload yields a vacuous recommendation.
+  if (workload.entries().empty()) {
+    Emit(&out, "NOSE-E005", Severity::kError, WorkloadLoc(sources, 0),
+         "workload defines no statements");
+    return out;
+  }
+
+  // Accumulators for the cross-statement passes.
+  std::set<std::string> reachable;              // entities on some path
+  std::set<std::string> read_fields;            // selected/filtered/ordered
+  std::set<std::string> referenced_fields;      // read or written
+
+  for (const WorkloadEntry& entry : workload.entries()) {
+    const SourceLocation loc = WorkloadLoc(sources, entry.def_line);
+
+    // NOSE-E004: weights must be finite and non-negative in every mix.
+    for (const auto& [mix, weight] : entry.weights) {
+      if (!(weight >= 0.0) || !std::isfinite(weight)) {
+        Emit(&out, "NOSE-E004", Severity::kError, loc,
+             "statement '" + entry.name + "' has invalid weight " +
+                 std::to_string(weight) + " in mix '" + mix + "'",
+             "weights are relative frequencies and must be finite and >= 0");
+      }
+    }
+
+    if (entry.IsQuery()) {
+      const Query& query = entry.query();
+      for (const std::string& e : query.path().entities()) reachable.insert(e);
+
+      bool has_equality = false;
+      for (const Predicate& pred : query.predicates()) {
+        CheckPredicate(graph, pred, entry.name, loc, &out);
+        if (pred.IsEquality()) has_equality = true;
+        read_fields.insert(pred.field.QualifiedName());
+        referenced_fields.insert(pred.field.QualifiedName());
+      }
+      // NOSE-E002: without an equality the first get has no key to bind
+      // (paper §IV-A2); the planner cannot anchor any plan.
+      if (!has_equality) {
+        Emit(&out, "NOSE-E002", Severity::kError, loc,
+             "query '" + entry.name + "' has no equality predicate",
+             "every plan starts from a get keyed by an equality-bound "
+             "partition key");
+      }
+      for (const FieldRef& ref : query.select()) {
+        if (!graph.ResolveField(ref).ok()) {
+          Emit(&out, "NOSE-E001", Severity::kError, loc,
+               "query '" + entry.name + "' selects unknown field '" +
+                   ref.QualifiedName() + "'");
+        }
+        read_fields.insert(ref.QualifiedName());
+        referenced_fields.insert(ref.QualifiedName());
+      }
+      for (const OrderField& order : query.order_by()) {
+        if (!graph.ResolveField(order.field).ok()) {
+          Emit(&out, "NOSE-E001", Severity::kError, loc,
+               "query '" + entry.name + "' orders by unknown field '" +
+                   order.field.QualifiedName() + "'");
+        }
+        read_fields.insert(order.field.QualifiedName());
+        referenced_fields.insert(order.field.QualifiedName());
+      }
+    } else {
+      const Update& update = entry.update();
+      for (const std::string& e : update.path().entities()) reachable.insert(e);
+
+      for (const Predicate& pred : update.predicates()) {
+        CheckPredicate(graph, pred, entry.name, loc, &out);
+        read_fields.insert(pred.field.QualifiedName());
+        referenced_fields.insert(pred.field.QualifiedName());
+      }
+      std::vector<std::string> set_fields;
+      for (const SetClause& set : update.sets()) {
+        const FieldRef ref{update.entity(), set.field};
+        StatusOr<const Field*> field = graph.ResolveField(ref);
+        if (!field.ok()) {
+          Emit(&out, "NOSE-E001", Severity::kError, loc,
+               "statement '" + entry.name + "' sets unknown field '" +
+                   ref.QualifiedName() + "'");
+        } else if (set.literal.has_value() &&
+                   !LiteralCompatible(*set.literal, field.value()->type)) {
+          Emit(&out, "NOSE-E003", Severity::kError, loc,
+               std::string("literal of type ") + LiteralTypeName(*set.literal) +
+                   " assigned to " + FieldTypeName(field.value()->type) +
+                   " field '" + ref.QualifiedName() + "' in statement '" +
+                   entry.name + "'");
+        }
+        set_fields.push_back(ref.QualifiedName());
+        referenced_fields.insert(ref.QualifiedName());
+      }
+      for (const ConnectClause& connect : update.connects()) {
+        std::optional<PathStep> step =
+            graph.FindStep(update.entity(), connect.step_name);
+        if (!step.has_value()) {
+          Emit(&out, "NOSE-E001", Severity::kError, loc,
+               "statement '" + entry.name + "' connects through unknown step '" +
+                   connect.step_name + "' leaving '" + update.entity() + "'");
+        } else {
+          reachable.insert(graph.StepTarget(update.entity(), *step));
+        }
+      }
+    }
+  }
+
+  // NOSE-W003: an UPDATE whose written fields no query ever reads performs
+  // maintenance work that cannot be observed. (INSERT/DELETE/CONNECT change
+  // which entities exist, so they are never dead.)
+  for (const WorkloadEntry& entry : workload.entries()) {
+    if (entry.IsQuery()) continue;
+    const Update& update = entry.update();
+    if (update.kind() != UpdateKind::kUpdate || update.sets().empty()) continue;
+    bool any_read = false;
+    std::string written;
+    for (const SetClause& set : update.sets()) {
+      const std::string qualified = update.entity() + "." + set.field;
+      if (read_fields.count(qualified) > 0) any_read = true;
+      if (!written.empty()) written += ", ";
+      written += qualified;
+    }
+    if (!any_read) {
+      Emit(&out, "NOSE-W003", Severity::kWarning,
+           WorkloadLoc(sources, entry.def_line),
+           "dead write: statement '" + entry.name + "' sets only fields (" +
+               written + ") that no query reads",
+           "drop the statement or the fields it maintains");
+    }
+  }
+
+  // NOSE-W004 (note): statements missing from a named mix default to weight
+  // 0 there — legitimate for e.g. a read-only mix, but worth surfacing.
+  const std::vector<std::string> mixes = workload.MixNames();
+  if (mixes.size() > 1) {
+    for (const WorkloadEntry& entry : workload.entries()) {
+      for (const std::string& mix : mixes) {
+        if (entry.weights.count(mix) == 0) {
+          Emit(&out, "NOSE-W004", Severity::kNote,
+               WorkloadLoc(sources, entry.def_line),
+               "statement '" + entry.name + "' has no weight in mix '" + mix +
+                   "' (defaults to 0)");
+        }
+      }
+    }
+  }
+
+  // NOSE-W001 / NOSE-W002: entities and fields the workload never touches.
+  for (const std::string& name : graph.entity_order()) {
+    const Entity& entity = graph.GetEntity(name);
+    if (reachable.count(name) == 0) {
+      Emit(&out, "NOSE-W001", Severity::kWarning,
+           ModelLoc(sources, entity.def_line()),
+           "entity '" + name + "' is not reached by any statement path",
+           "no column family will store its attributes");
+      continue;  // per-field reports would be redundant
+    }
+    for (const Field& field : entity.fields()) {
+      if (field.type == FieldType::kId) continue;
+      if (referenced_fields.count(name + "." + field.name) == 0) {
+        Emit(&out, "NOSE-W002", Severity::kWarning,
+             ModelLoc(sources, field.def_line),
+             "field '" + name + "." + field.name +
+                 "' is never selected, filtered, ordered or written");
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> LintAll(const Workload& workload,
+                                const LintSources& sources) {
+  std::vector<Diagnostic> out = LintModel(*workload.graph(), sources);
+  std::vector<Diagnostic> wl = LintWorkload(workload, sources);
+  out.insert(out.end(), std::make_move_iterator(wl.begin()),
+             std::make_move_iterator(wl.end()));
+  SortDiagnostics(&out);
+  return out;
+}
+
+}  // namespace nose

@@ -1,0 +1,54 @@
+#ifndef NOSE_ANALYSIS_LINT_H_
+#define NOSE_ANALYSIS_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "model/entity_graph.h"
+#include "workload/workload.h"
+
+namespace nose {
+
+/// File names attached to lint diagnostics so locations render as
+/// "file:line". Leave empty when the model/workload did not come from files.
+struct LintSources {
+  std::string model_file;
+  std::string workload_file;
+};
+
+/// Static checks over the conceptual model alone. Diagnostic codes:
+///   NOSE-E006 broken-relationship    relationship endpoint is not an entity
+///   NOSE-W005 cardinality-mismatch   field/relationship statistics are
+///                                    inconsistent with entity counts
+std::vector<Diagnostic> LintModel(const EntityGraph& graph,
+                                  const LintSources& sources = {});
+
+/// Static checks over a workload and the model it references. Parsers reject
+/// outright-malformed input; these passes catch statements that parse but
+/// cannot mean what the author intended. Diagnostic codes:
+///   NOSE-E001 dangling-field          statement references a field that the
+///                                     model does not define
+///   NOSE-E002 missing-equality-anchor query has no equality predicate, so no
+///                                     get request can be anchored (§IV-A2)
+///   NOSE-E003 predicate-type-mismatch range predicate on a non-orderable
+///                                     (boolean) field, or a literal whose
+///                                     type contradicts the field type
+///   NOSE-E004 invalid-weight          negative or non-finite statement weight
+///   NOSE-E005 empty-workload          workload defines no statements
+///   NOSE-W001 unreachable-entity      entity appears on no statement path
+///   NOSE-W002 unused-field            field is never selected, filtered,
+///                                     ordered or written by any statement
+///   NOSE-W003 dead-write              UPDATE sets only fields no query reads
+///   NOSE-W004 mix-gap                 statement has no weight entry in some
+///                                     named mix (note severity)
+std::vector<Diagnostic> LintWorkload(const Workload& workload,
+                                     const LintSources& sources = {});
+
+/// LintModel + LintWorkload, sorted for presentation.
+std::vector<Diagnostic> LintAll(const Workload& workload,
+                                const LintSources& sources = {});
+
+}  // namespace nose
+
+#endif  // NOSE_ANALYSIS_LINT_H_

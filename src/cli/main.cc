@@ -4,21 +4,25 @@
 //
 //   nose advise --model hotel.model --workload hotel.workload
 //        [--mix NAME] [--space-limit-mb N] [--format text|cql]
-//        [--strategy auto|bip|comb] [--solve-budget SECONDS]
+//        [--strategy auto|bip|comb] [--solve-budget SECONDS] [--verify]
 //   nose check  --model hotel.model --workload hotel.workload
+//   nose lint   --model hotel.model --workload hotel.workload
 //
 // File formats: the entity-graph DSL (see ParseModel) and the ';'-separated
 // workload statement language (see ParseWorkload).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "advisor/advisor.h"
+#include "analysis/lint.h"
 #include "export/cql.h"
 #include "parser/model_parser.h"
 #include "parser/workload_parser.h"
@@ -30,13 +34,16 @@ int Usage() {
                "usage:\n"
                "  nose advise --model FILE --workload FILE [options]\n"
                "  nose check  --model FILE --workload FILE\n"
-               "options:\n"
+               "  nose lint   --model FILE --workload FILE\n"
+               "options (advise):\n"
                "  --mix NAME            workload mix to advise for "
                "(default: 'default')\n"
                "  --space-limit-mb N    storage budget in megabytes\n"
                "  --format text|cql     output format (default text)\n"
                "  --strategy auto|bip|comb  candidate-selection solver\n"
-               "  --solve-budget SECS   time budget for the solver\n");
+               "  --solve-budget SECS   time budget for the solver\n"
+               "  --verify              audit the recommendation against the\n"
+               "                        workload invariants before printing\n");
   return 2;
 }
 
@@ -48,17 +55,72 @@ nose::StatusOr<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
+/// Parses "--flag value" / bare boolean "--flag" argument lists against the
+/// command's allowed flag sets. Rejects unknown flags and value flags with
+/// a missing value instead of silently dropping them.
+bool ParseArgs(int argc, char** argv, int start,
+               const std::set<std::string>& value_flags,
+               const std::set<std::string>& bool_flags,
+               std::map<std::string, std::string>* args) {
+  for (int i = start; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: expected a --flag, got '%s'\n",
+                   flag.c_str());
+      return false;
+    }
+    if (bool_flags.count(flag) > 0) {
+      (*args)[flag] = "true";
+      continue;
+    }
+    if (value_flags.count(flag) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+      return false;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: flag '%s' needs a value\n", flag.c_str());
+      return false;
+    }
+    (*args)[flag] = argv[++i];
+  }
+  return true;
+}
+
+/// Parses a strictly positive double flag value; nullopt-style failure
+/// reports through the return code.
+bool ParsePositiveDouble(const std::string& flag, const std::string& text,
+                         double* out) {
+  try {
+    size_t used = 0;
+    *out = std::stod(text, &used);
+    if (used != text.size() || !(*out > 0.0)) throw std::invalid_argument(text);
+  } catch (...) {
+    std::fprintf(stderr, "error: flag '%s' needs a positive number, got '%s'\n",
+                 flag.c_str(), text.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  if (command != "advise" && command != "check") return Usage();
+  if (command != "advise" && command != "check" && command != "lint") {
+    return Usage();
+  }
 
+  std::set<std::string> value_flags = {"--model", "--workload"};
+  std::set<std::string> bool_flags;
+  if (command == "advise") {
+    value_flags.insert({"--mix", "--space-limit-mb", "--format", "--strategy",
+                        "--solve-budget"});
+    bool_flags.insert("--verify");
+  }
   std::map<std::string, std::string> args;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
-    args[argv[i]] = argv[i + 1];
+  if (!ParseArgs(argc, argv, 2, value_flags, bool_flags, &args)) {
+    return Usage();
   }
   if (args.count("--model") == 0 || args.count("--workload") == 0) {
     return Usage();
@@ -85,6 +147,32 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const nose::LintSources sources{args["--model"], args["--workload"]};
+  std::vector<nose::Diagnostic> diags = nose::LintAll(**workload, sources);
+  const size_t num_errors =
+      nose::CountSeverity(diags, nose::Severity::kError);
+
+  if (command == "lint") {
+    std::cout << nose::FormatDiagnostics(diags);
+    std::printf("%zu error(s), %zu warning(s), %zu note(s)\n", num_errors,
+                nose::CountSeverity(diags, nose::Severity::kWarning),
+                nose::CountSeverity(diags, nose::Severity::kNote));
+    return num_errors > 0 ? 1 : 0;
+  }
+
+  // check/advise refuse input with error-severity lint findings: the
+  // advisor would optimize for a workload the author cannot have meant.
+  if (num_errors > 0) {
+    for (const nose::Diagnostic& d : diags) {
+      if (d.severity == nose::Severity::kError) {
+        std::cerr << d.ToString() << "\n";
+      }
+    }
+    std::fprintf(stderr, "error: %zu lint error(s); run 'nose lint' for details\n",
+                 num_errors);
+    return 1;
+  }
+
   if (command == "check") {
     std::printf("ok: %zu entities, %zu relationships, %zu statements\n",
                 (*graph)->entity_order().size(),
@@ -95,11 +183,18 @@ int main(int argc, char** argv) {
 
   nose::AdvisorOptions options;
   if (args.count("--space-limit-mb") > 0) {
-    options.optimizer.space_limit_bytes =
-        std::stod(args["--space-limit-mb"]) * 1e6;
+    double mb = 0.0;
+    if (!ParsePositiveDouble("--space-limit-mb", args["--space-limit-mb"], &mb)) {
+      return Usage();
+    }
+    options.optimizer.space_limit_bytes = mb * 1e6;
   }
   if (args.count("--solve-budget") > 0) {
-    options.optimizer.bip.time_limit_seconds = std::stod(args["--solve-budget"]);
+    double secs = 0.0;
+    if (!ParsePositiveDouble("--solve-budget", args["--solve-budget"], &secs)) {
+      return Usage();
+    }
+    options.optimizer.bip.time_limit_seconds = secs;
   }
   if (args.count("--strategy") > 0) {
     const std::string& s = args["--strategy"];
@@ -108,12 +203,28 @@ int main(int argc, char** argv) {
     } else if (s == "comb") {
       options.optimizer.strategy = nose::SolveStrategy::kCombinatorial;
     } else if (s != "auto") {
+      std::fprintf(stderr, "error: unknown strategy '%s'\n", s.c_str());
       return Usage();
     }
   }
+  const std::string format =
+      args.count("--format") > 0 ? args["--format"] : "text";
+  if (format != "text" && format != "cql") {
+    std::fprintf(stderr, "error: unknown format '%s'\n", format.c_str());
+    return Usage();
+  }
+  if (args.count("--verify") > 0) options.verify_invariants = true;
   const std::string mix = args.count("--mix") > 0
                               ? args["--mix"]
                               : std::string(nose::Workload::kDefaultMix);
+  const std::vector<std::string> mixes = (*workload)->MixNames();
+  if (std::find(mixes.begin(), mixes.end(), mix) == mixes.end()) {
+    std::fprintf(stderr, "error: workload has no mix '%s'; available:",
+                 mix.c_str());
+    for (const std::string& m : mixes) std::fprintf(stderr, " %s", m.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
 
   nose::Advisor advisor(options);
   auto rec = advisor.Recommend(**workload, mix);
@@ -122,8 +233,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::string format =
-      args.count("--format") > 0 ? args["--format"] : "text";
   if (format == "cql") {
     std::cout << nose::RecommendationToCql(*rec);
   } else {

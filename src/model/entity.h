@@ -23,6 +23,11 @@ class Entity {
   uint64_t count() const { return count_; }
   void set_count(uint64_t count) { count_ = count; }
 
+  /// 1-based line of the declaration in the model source; 0 when built
+  /// programmatically (used by `nose lint` diagnostics).
+  int def_line() const { return def_line_; }
+  void set_def_line(int line) { def_line_ = line; }
+
   /// Adds an attribute; fails on duplicate names or a second kId field.
   Status AddField(Field field);
 
@@ -42,6 +47,7 @@ class Entity {
  private:
   std::string name_;
   uint64_t count_ = 0;
+  int def_line_ = 0;
   std::vector<Field> fields_;  // fields_[0] is always the ID field
 };
 

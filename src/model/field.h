@@ -33,6 +33,9 @@ struct Field {
   /// Number of distinct values; 0 means "derive" (entity count for kId and
   /// as a fallback for other types, i.e. assume unique values).
   uint64_t cardinality = 0;
+  /// 1-based line of the declaration in the model source; 0 when the field
+  /// was built programmatically (used by `nose lint` diagnostics).
+  int def_line = 0;
 
   uint32_t SizeBytes() const { return size != 0 ? size : DefaultFieldSize(type); }
 };

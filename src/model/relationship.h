@@ -31,6 +31,9 @@ struct Relationship {
   /// For kManyToMany: the expected number of (from, to) association pairs;
   /// 0 means "derive" as max(count(from), count(to)).
   uint64_t link_count = 0;
+  /// 1-based line of the declaration in the model source; 0 when built
+  /// programmatically (used by `nose lint` diagnostics).
+  int def_line = 0;
 };
 
 }  // namespace nose

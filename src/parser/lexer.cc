@@ -13,6 +13,7 @@ bool Token::IsKeyword(const char* kw) const {
 StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
   std::vector<Token> tokens;
   size_t i = 0;
+  size_t line = 1;
   const size_t n = input.size();
   auto peek = [&](size_t k = 0) -> char {
     return i + k < n ? input[i + k] : '\0';
@@ -20,6 +21,7 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
   while (i < n) {
     const char c = input[i];
     if (std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') ++line;
       ++i;
       continue;
     }
@@ -34,7 +36,7 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
         ++i;
       }
       tokens.push_back(
-          {TokenType::kIdentifier, input.substr(start, i - start), start});
+          {TokenType::kIdentifier, input.substr(start, i - start), start, line});
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -48,19 +50,23 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
         ++i;
       }
       tokens.push_back(
-          {TokenType::kNumber, input.substr(start, i - start), start});
+          {TokenType::kNumber, input.substr(start, i - start), start, line});
       continue;
     }
     if (c == '\'') {
+      const size_t start_line = line;
       ++i;
       std::string value;
-      while (i < n && input[i] != '\'') value += input[i++];
+      while (i < n && input[i] != '\'') {
+        if (input[i] == '\n') ++line;
+        value += input[i++];
+      }
       if (i >= n) {
         return Status::InvalidArgument("unterminated string literal at offset " +
                                        std::to_string(start));
       }
       ++i;  // closing quote
-      tokens.push_back({TokenType::kString, std::move(value), start});
+      tokens.push_back({TokenType::kString, std::move(value), start, start_line});
       continue;
     }
     if (c == '?') {
@@ -70,17 +76,17 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
                        input[i] == '_')) {
         name += input[i++];
       }
-      tokens.push_back({TokenType::kParam, std::move(name), start});
+      tokens.push_back({TokenType::kParam, std::move(name), start, line});
       continue;
     }
     // Multi-character operators first.
     if ((c == '!' || c == '<' || c == '>') && peek(1) == '=') {
-      tokens.push_back({TokenType::kSymbol, input.substr(i, 2), start});
+      tokens.push_back({TokenType::kSymbol, input.substr(i, 2), start, line});
       i += 2;
       continue;
     }
     if (std::string(".,(){}*=<>:/").find(c) != std::string::npos) {
-      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start, line});
       ++i;
       continue;
     }
@@ -88,7 +94,7 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
                                    std::string(1, c) + "' at offset " +
                                    std::to_string(i));
   }
-  tokens.push_back({TokenType::kEnd, "", n});
+  tokens.push_back({TokenType::kEnd, "", n, line});
   return tokens;
 }
 

@@ -21,6 +21,7 @@ struct Token {
   TokenType type = TokenType::kEnd;
   std::string text;  ///< identifier/number/string/param name/symbol spelling
   size_t offset = 0; ///< byte offset in the input, for error messages
+  size_t line = 1;   ///< 1-based line number in the input, for diagnostics
 
   bool Is(TokenType t) const { return type == t; }
   bool IsSymbol(const char* s) const {

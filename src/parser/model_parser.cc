@@ -68,6 +68,7 @@ class ModelParser {
   }
 
   Status ParseEntity(EntityGraph* graph) {
+    const int def_line = static_cast<int>(Peek().line);
     Next();  // entity
     NOSE_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     NOSE_ASSIGN_OR_RETURN(uint64_t count, ExpectNumber());
@@ -80,9 +81,11 @@ class ModelParser {
       NOSE_ASSIGN_OR_RETURN(id_name, ExpectIdentifier());
     }
     Entity entity(name, count, id_name);
+    entity.set_def_line(def_line);
 
     while (!Peek().IsSymbol("}")) {
       Field field;
+      field.def_line = static_cast<int>(Peek().line);
       NOSE_ASSIGN_OR_RETURN(field.name, ExpectIdentifier());
       NOSE_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier());
       NOSE_ASSIGN_OR_RETURN(field.type, ParseFieldType(type_name));
@@ -103,8 +106,9 @@ class ModelParser {
   }
 
   Status ParseRelationship(EntityGraph* graph) {
-    Next();  // relationship
     Relationship rel;
+    rel.def_line = static_cast<int>(Peek().line);
+    Next();  // relationship
     NOSE_ASSIGN_OR_RETURN(rel.from_entity, ExpectIdentifier());
     NOSE_ASSIGN_OR_RETURN(std::string card, ExpectIdentifier());
     const std::string lower = AsciiLower(card);

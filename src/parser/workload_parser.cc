@@ -35,7 +35,19 @@ std::string StripComments(const std::string& text) {
 StatusOr<std::unique_ptr<Workload>> ParseWorkload(const EntityGraph& graph,
                                                   const std::string& text) {
   auto workload = std::make_unique<Workload>(&graph);
+  // StripComments preserves newlines, so line numbers computed against the
+  // stripped text match the original file.
+  int line = 1;  // line number at the start of the current raw piece
   for (const std::string& raw : StrSplit(StripComments(text), ';')) {
+    // The directive starts after any leading whitespace of the piece.
+    int dir_line = line;
+    for (char c : std::string_view(raw).substr(
+             0, std::min(raw.size(), raw.find_first_not_of(" \t\r\n")))) {
+      if (c == '\n') ++dir_line;
+    }
+    for (char c : raw) {
+      if (c == '\n') ++line;
+    }
     const std::string_view directive = StripWhitespace(raw);
     if (directive.empty()) continue;
 
@@ -81,6 +93,7 @@ StatusOr<std::unique_ptr<Workload>> ParseWorkload(const EntityGraph& graph,
         NOSE_RETURN_IF_ERROR(workload->AddUpdate(
             name, std::get<Update>(std::move(stmt)), weight));
       }
+      NOSE_RETURN_IF_ERROR(workload->SetDefLine(name, dir_line));
     } else if (head == "weight") {
       // <name> <mix> <weight>
       std::vector<std::string> words;

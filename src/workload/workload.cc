@@ -41,6 +41,16 @@ Status Workload::SetWeight(const std::string& name, const std::string& mix,
   return Status::NotFound("no statement named " + name);
 }
 
+Status Workload::SetDefLine(const std::string& name, int line) {
+  for (WorkloadEntry& entry : entries_) {
+    if (entry.name == name) {
+      entry.def_line = line;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no statement named " + name);
+}
+
 const WorkloadEntry* Workload::FindEntry(const std::string& name) const {
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const WorkloadEntry& e) { return e.name == name; });

@@ -19,6 +19,9 @@ struct WorkloadEntry {
   std::variant<Query, Update> statement;
   /// Weight per mix; a missing mix means weight 0 under that mix.
   std::map<std::string, double> weights;
+  /// 1-based line of the statement directive in the workload source; 0 when
+  /// built programmatically (used by `nose lint` diagnostics).
+  int def_line = 0;
 
   bool IsQuery() const { return std::holds_alternative<Query>(statement); }
   const Query& query() const { return std::get<Query>(statement); }
@@ -46,6 +49,10 @@ class Workload {
   /// Adds/overrides the weight of statement `name` in `mix`.
   Status SetWeight(const std::string& name, const std::string& mix,
                    double weight);
+
+  /// Records the source line of statement `name` (parser bookkeeping for
+  /// lint diagnostics).
+  Status SetDefLine(const std::string& name, int line);
 
   const std::vector<WorkloadEntry>& entries() const { return entries_; }
   const WorkloadEntry* FindEntry(const std::string& name) const;

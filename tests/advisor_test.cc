@@ -6,6 +6,15 @@
 namespace nose {
 namespace {
 
+/// Every advisor in this file runs with the invariant audit on
+/// (analysis/invariants.h): each recommendation is re-checked for plan
+/// coverage, predicate partitioning, maintenance completeness and objective
+/// consistency before the test's own assertions run.
+AdvisorOptions Verified(AdvisorOptions opts = AdvisorOptions()) {
+  opts.verify_invariants = true;
+  return opts;
+}
+
 /// The §II guest-POI query: points of interest near hotels booked by a
 /// guest.
 Query MakeGuestPoiQuery(const EntityGraph& graph) {
@@ -25,7 +34,7 @@ TEST(AdvisorTest, Fig3QueryGetsMaterializedView) {
   Workload workload(graph.get());
   ASSERT_TRUE(workload.AddQuery("guests_by_city", MakeFig3Query(*graph)).ok());
 
-  Advisor advisor;
+  Advisor advisor(Verified());
   auto rec = advisor.Recommend(workload);
   ASSERT_TRUE(rec.ok()) << rec.status();
   // Read-only workload: a single materialized view answers the query in one
@@ -41,7 +50,7 @@ TEST(AdvisorTest, SectionIIGuestPoiExample) {
   Workload workload(graph.get());
   ASSERT_TRUE(workload.AddQuery("guest_pois", MakeGuestPoiQuery(*graph)).ok());
 
-  Advisor advisor;
+  Advisor advisor(Verified());
   auto rec = advisor.Recommend(workload);
   ASSERT_TRUE(rec.ok()) << rec.status();
   EXPECT_EQ(rec->schema.size(), 1u);
@@ -78,7 +87,7 @@ TEST(AdvisorTest, FrequentUpdatesForceNormalization) {
     return workload;
   };
 
-  Advisor advisor;
+  Advisor advisor(Verified());
   // Light updates: denormalization stays (POI attributes in the guest CF).
   // Each POI is duplicated into ~2000 guest partitions, so the update must
   // be genuinely rare for the duplication to pay off.
@@ -117,7 +126,7 @@ TEST(AdvisorTest, SpaceConstraintForcesSmallerSchema) {
   ASSERT_TRUE(workload.AddQuery("guests_by_city", MakeFig3Query(*graph)).ok());
   ASSERT_TRUE(workload.AddQuery("guest_pois", MakeGuestPoiQuery(*graph)).ok());
 
-  Advisor unconstrained;
+  Advisor unconstrained(Verified());
   auto rec_free = unconstrained.Recommend(workload);
   ASSERT_TRUE(rec_free.ok()) << rec_free.status();
   const double free_size = rec_free->schema.TotalSizeBytes();
@@ -125,7 +134,7 @@ TEST(AdvisorTest, SpaceConstraintForcesSmallerSchema) {
 
   AdvisorOptions opts;
   opts.optimizer.space_limit_bytes = free_size * 0.5;
-  Advisor constrained(opts);
+  Advisor constrained(Verified(opts));
   auto rec_tight = constrained.Recommend(workload);
   ASSERT_TRUE(rec_tight.ok()) << rec_tight.status();
   EXPECT_LE(rec_tight->schema.TotalSizeBytes(), free_size * 0.5);
@@ -139,7 +148,7 @@ TEST(AdvisorTest, ImpossibleSpaceConstraintIsInfeasible) {
   ASSERT_TRUE(workload.AddQuery("guests_by_city", MakeFig3Query(*graph)).ok());
   AdvisorOptions opts;
   opts.optimizer.space_limit_bytes = 1.0;  // one byte
-  Advisor advisor(opts);
+  Advisor advisor(Verified(opts));
   auto rec = advisor.Recommend(workload);
   ASSERT_FALSE(rec.ok());
   EXPECT_EQ(rec.status().code(), StatusCode::kInfeasible);
@@ -152,7 +161,7 @@ TEST(AdvisorTest, ObjectiveMatchesRecommendedPlanCosts) {
                   .ok());
   ASSERT_TRUE(workload.AddQuery("guest_pois", MakeGuestPoiQuery(*graph), 1.0)
                   .ok());
-  Advisor advisor;
+  Advisor advisor(Verified());
   auto rec = advisor.Recommend(workload);
   ASSERT_TRUE(rec.ok()) << rec.status();
   double replayed = 0.0;
@@ -170,9 +179,9 @@ TEST(AdvisorTest, SecondPhaseMinimizesSchemaSize) {
 
   AdvisorOptions no_min;
   no_min.optimizer.minimize_schema_size = false;
-  Advisor plain(no_min);
+  Advisor plain(Verified(no_min));
   auto rec_plain = plain.Recommend(workload);
-  Advisor minimizing;
+  Advisor minimizing(Verified());
   auto rec_min = minimizing.Recommend(workload);
   ASSERT_TRUE(rec_plain.ok());
   ASSERT_TRUE(rec_min.ok());

@@ -58,6 +58,21 @@ TEST(OptimizerStrategyTest, CombinatorialMatchesBipOnHotelWorkloads) {
   }
 }
 
+// Sanitizer instrumentation slows the solvers several-fold; give the BIP a
+// proportionally larger wall-clock budget so the equivalence check below
+// compares strategies rather than build configurations.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr double kSolverBudgetScale = 8.0;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr double kSolverBudgetScale = 8.0;
+#else
+constexpr double kSolverBudgetScale = 1.0;
+#endif
+#else
+constexpr double kSolverBudgetScale = 1.0;
+#endif
+
 class StrategyEquivalenceTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(StrategyEquivalenceTest, RandomWorkloadsAgree) {
@@ -70,7 +85,7 @@ TEST_P(StrategyEquivalenceTest, RandomWorkloadsAgree) {
 
   AdvisorOptions bip_opts;
   bip_opts.optimizer.strategy = SolveStrategy::kBip;
-  bip_opts.optimizer.bip.time_limit_seconds = 30;
+  bip_opts.optimizer.bip.time_limit_seconds = 30 * kSolverBudgetScale;
   Advisor bip_advisor(bip_opts);
   auto bip = bip_advisor.Recommend(*rw->workload);
 

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/invariants.h"
 #include "enumerator/enumerator.h"
 #include "planner/plan_space.h"
 #include "randwl/random_workload.h"
@@ -101,6 +102,15 @@ void CheckSpaceInvariants(const Query& query, const PlanSpace& space,
     double sum = plan->needs_sort ? plan->sort_cost : 0.0;
     for (const PlanStep& step : plan->steps) sum += step.access.step_cost;
     EXPECT_NEAR(sum, plan->cost, 1e-9);
+
+    // The extracted plan also satisfies the analysis-layer invariants:
+    // contiguous step chain, every predicate applied exactly once, all
+    // partition keys bound, all column families known.
+    Schema schema;
+    for (const ColumnFamily& cf : pool) schema.Add(cf);
+    const std::vector<Diagnostic> diags =
+        CheckQueryPlan(*plan, schema, query.ToString());
+    EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
   }
 }
 
