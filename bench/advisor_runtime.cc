@@ -1,8 +1,17 @@
 // Checks the paper's §VII-B claim that "running NoSE for the RUBiS
 // workload takes less than ten seconds", reporting the full phase
 // breakdown for the real RUBiS workload at paper-like entity counts.
+//
+//   advisor_runtime [--threads N] [--json FILE]
+//
+// --threads sets the advisor's worker-thread count; --json appends one JSON
+// object with the per-mix phase breakdown to FILE (bench_results/
+// convention).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "advisor/advisor.h"
 #include "rubis/model.h"
@@ -11,16 +20,46 @@
 namespace nose::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  size_t threads = 1;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: advisor_runtime [--threads N] [--json FILE]\n");
+      return 2;
+    }
+  }
+
   auto graph = rubis::MakeGraph();  // paper-like default counts
   if (!graph.ok()) return 1;
   auto workload = rubis::MakeWorkload(**graph);
   if (!workload.ok()) return 1;
 
-  std::printf("Advisor runtime on the RUBiS workload (paper: < 10 s)\n\n");
+  std::FILE* json = nullptr;
+  if (!json_path.empty()) {
+    json = std::fopen(json_path.c_str(), "a");
+    if (json == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(json,
+                 "{\"bench\":\"advisor_runtime\",\"threads\":%zu,\"mixes\":[",
+                 threads);
+  }
+
+  std::printf("Advisor runtime on the RUBiS workload (paper: < 10 s), "
+              "threads=%zu\n\n",
+              threads);
+  bool first_mix = true;
   for (const char* mix :
        {rubis::kBiddingMix, rubis::kBrowsingMix, rubis::kWrite100xMix}) {
-    Advisor advisor;
+    AdvisorOptions options;
+    options.num_threads = threads;
+    Advisor advisor(options);
     auto rec = advisor.Recommend(**workload, mix);
     if (!rec.ok()) {
       std::printf("%-10s FAILED: %s\n", mix, rec.status().ToString().c_str());
@@ -34,6 +73,24 @@ int Main() {
         rec->timing.bip_construction_seconds, rec->timing.bip_solve_seconds,
         rec->timing.other_seconds, rec->num_candidates, rec->schema.size(),
         rec->bip_variables, rec->bip_constraints, rec->bb_nodes);
+    if (json != nullptr) {
+      std::fprintf(
+          json,
+          "%s{\"mix\":\"%s\",\"candidates\":%zu,\"schema_size\":%zu,"
+          "\"objective\":%.17g,\"enum_seconds\":%.6f,\"cost_seconds\":%.6f,"
+          "\"build_seconds\":%.6f,\"solve_seconds\":%.6f,"
+          "\"other_seconds\":%.6f,\"total_seconds\":%.6f}",
+          first_mix ? "" : ",", mix, rec->num_candidates, rec->schema.size(),
+          rec->objective, rec->timing.enumeration_seconds,
+          rec->timing.cost_calculation_seconds,
+          rec->timing.bip_construction_seconds, rec->timing.bip_solve_seconds,
+          rec->timing.other_seconds, rec->timing.total_seconds);
+      first_mix = false;
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "]}\n");
+    std::fclose(json);
   }
   return 0;
 }
@@ -41,4 +98,4 @@ int Main() {
 }  // namespace
 }  // namespace nose::bench
 
-int main() { return nose::bench::Main(); }
+int main(int argc, char** argv) { return nose::bench::Main(argc, argv); }

@@ -4,11 +4,19 @@
 // paper's §VII-B setup; the scale factor multiplies both the number of
 // entities and the number of statements.
 //
-// Environment: NOSE_FIG13_MAX_SCALE (default 6), NOSE_FIG13_SOLVE_BUDGET
-// seconds per BIP solve (default 60).
+//   fig13_scaling [--threads N] [--json FILE] [--max-scale N]
+//                 [--solve-budget SECS]
+//
+// --threads sets the advisor's worker-thread count (the recommendation is
+// identical at any value; only the wall clock changes). --json appends the
+// per-scale phase breakdown as one JSON object to FILE (bench_results/
+// convention) so baseline-vs-threaded runs can be diffed. Environment
+// fallbacks NOSE_FIG13_MAX_SCALE and NOSE_FIG13_SOLVE_BUDGET still work.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "advisor/advisor.h"
 #include "randwl/random_workload.h"
@@ -16,20 +24,78 @@
 namespace nose::bench {
 namespace {
 
-int Main() {
-  const char* env = std::getenv("NOSE_FIG13_MAX_SCALE");
-  const int max_scale = env != nullptr ? std::atoi(env) : 5;
-  const char* budget_env = std::getenv("NOSE_FIG13_SOLVE_BUDGET");
-  const double solve_budget =
-      budget_env != nullptr ? std::atof(budget_env) : 45.0;
+struct Args {
+  size_t threads = 1;
+  std::string json_path;
+  int max_scale = 5;
+  double solve_budget = 45.0;
+  bool ok = true;
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (const char* env = std::getenv("NOSE_FIG13_MAX_SCALE")) {
+    args.max_scale = std::atoi(env);
+  }
+  if (const char* env = std::getenv("NOSE_FIG13_SOLVE_BUDGET")) {
+    args.solve_budget = std::atof(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s wants a value\n", argv[i]);
+        args.ok = false;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = value();
+      if (v != nullptr) args.threads = static_cast<size_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      const char* v = value();
+      if (v != nullptr) args.json_path = v;
+    } else if (std::strcmp(argv[i], "--max-scale") == 0) {
+      const char* v = value();
+      if (v != nullptr) args.max_scale = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--solve-budget") == 0) {
+      const char* v = value();
+      if (v != nullptr) args.solve_budget = std::atof(v);
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      args.ok = false;
+    }
+    if (!args.ok) break;
+  }
+  return args;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (!args.ok) return 2;
+
+  std::FILE* json = nullptr;
+  if (!args.json_path.empty()) {
+    json = std::fopen(args.json_path.c_str(), "a");
+    if (json == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(json, "{\"bench\":\"fig13_scaling\",\"threads\":%zu,"
+                       "\"scales\":[",
+                 args.threads);
+  }
 
   std::printf("Fig. 13 — advisor runtime vs workload scale factor\n");
-  std::printf("base: 6 entities, 12 statements; scale multiplies both\n\n");
+  std::printf("base: 6 entities, 12 statements; scale multiplies both; "
+              "threads=%zu\n\n",
+              args.threads);
   std::printf("%5s %9s %9s %7s %9s %9s %9s %9s %9s\n", "scale", "entities",
               "stmts", "cands", "cost(s)", "build(s)", "solve(s)", "other(s)",
               "total(s)");
 
-  for (int scale = 1; scale <= max_scale; ++scale) {
+  bool first_scale = true;
+  for (int scale = 1; scale <= args.max_scale; ++scale) {
     randwl::GeneratorOptions gen;
     gen.num_entities = 6 * static_cast<size_t>(scale);
     gen.num_statements = 12 * static_cast<size_t>(scale);
@@ -38,11 +104,13 @@ int Main() {
     if (!rw.ok()) {
       std::fprintf(stderr, "generate failed: %s\n",
                    rw.status().ToString().c_str());
+      if (json != nullptr) std::fclose(json);
       return 1;
     }
 
     AdvisorOptions options;
-    options.optimizer.bip.time_limit_seconds = solve_budget;
+    options.num_threads = args.threads;
+    options.optimizer.bip.time_limit_seconds = args.solve_budget;
     // The second solve phase (schema-size minimization) is cosmetic and
     // budget-bound; excluded so the measurement tracks the core pipeline.
     options.optimizer.minimize_schema_size = false;
@@ -61,6 +129,26 @@ int Main() {
                 rec->timing.other_seconds + rec->timing.enumeration_seconds,
                 rec->timing.total_seconds);
     std::fflush(stdout);
+    if (json != nullptr) {
+      std::fprintf(
+          json,
+          "%s{\"scale\":%d,\"entities\":%zu,\"statements\":%zu,"
+          "\"candidates\":%zu,\"schema_size\":%zu,\"objective\":%.17g,"
+          "\"cost_seconds\":%.6f,\"build_seconds\":%.6f,"
+          "\"solve_seconds\":%.6f,\"other_seconds\":%.6f,"
+          "\"total_seconds\":%.6f}",
+          first_scale ? "" : ",", scale, gen.num_entities, gen.num_statements,
+          rec->num_candidates, rec->schema.size(), rec->objective,
+          rec->timing.cost_calculation_seconds,
+          rec->timing.bip_construction_seconds, rec->timing.bip_solve_seconds,
+          rec->timing.other_seconds + rec->timing.enumeration_seconds,
+          rec->timing.total_seconds);
+      first_scale = false;
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "]}\n");
+    std::fclose(json);
   }
   std::printf(
       "\npaper shape check: runtime grows superlinearly with scale, and "
@@ -71,4 +159,4 @@ int Main() {
 }  // namespace
 }  // namespace nose::bench
 
-int main() { return nose::bench::Main(); }
+int main(int argc, char** argv) { return nose::bench::Main(argc, argv); }

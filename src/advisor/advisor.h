@@ -17,6 +17,12 @@ struct AdvisorOptions {
   CostParams cost_params;
   EnumeratorOptions enumerator;
   OptimizerOptions optimizer;
+  /// Worker threads for enumeration, plan-space construction, cost
+  /// calculation, and combinatorial node evaluation. 0 = one per hardware
+  /// core (or $NOSE_TEST_THREADS); 1 = fully serial, no pool created. The
+  /// recommendation is byte-identical at every setting — parallel stages
+  /// merge their results in deterministic statement/candidate order.
+  size_t num_threads = 0;
   /// Audit every recommendation against the workload invariants (analysis/
   /// invariants.h) before returning it; violations fail the Recommend call.
   /// Defaults on in debug builds — the audit replays every plan, which is

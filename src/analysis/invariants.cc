@@ -23,6 +23,16 @@ FieldRef IdRefAt(const Query& query, size_t index) {
   return FieldRef{entity.name(), entity.id_field().name};
 }
 
+/// Schema membership by interned pool id when both sides carry one (O(1),
+/// no canonical-key hashing); canonical-key fallback for hand-built
+/// schemas and ad-hoc plans.
+bool SchemaHasCf(const Schema& schema, CfId cf_id, const ColumnFamily& cf) {
+  if (cf_id != kInvalidCfId && schema.has_pool_ids()) {
+    return schema.ContainsId(cf_id);
+  }
+  return schema.Contains(cf);
+}
+
 /// Multiset of predicate renderings a step applies (partition bindings,
 /// clustering prefix, pushed range, client-side filters).
 void CollectStepPredicates(const PlanStep& step,
@@ -99,7 +109,7 @@ std::vector<Diagnostic> CheckQueryPlan(const QueryPlan& plan,
            label + ": step " + std::to_string(k) + " has no column family");
       continue;
     }
-    if (!schema.Contains(*step.cf)) {
+    if (!SchemaHasCf(schema, step.cf_id, *step.cf)) {
       Emit(&out, "NOSE-I004",
            label + ": step " + std::to_string(k) +
                " reads a column family absent from the schema: " +
@@ -172,7 +182,7 @@ std::vector<Diagnostic> CheckUpdatePlan(const UpdatePlan& plan,
                " has no column family");
       continue;
     }
-    if (!schema.Contains(*part.cf)) {
+    if (!SchemaHasCf(schema, part.cf_id, *part.cf)) {
       Emit(&out, "NOSE-I004",
            label + ": maintenance part " + std::to_string(k) +
                " targets a column family absent from the schema: " +
@@ -249,12 +259,20 @@ std::vector<Diagnostic> AuditRecommendation(const Workload& workload,
                  std::make_move_iterator(sub.end()));
 
       // NOSE-I005: every modified column family of the schema must have a
-      // maintenance part (Algorithm 1's Modifies? contract).
-      for (const ColumnFamily& cf : schema.column_families()) {
+      // maintenance part (Algorithm 1's Modifies? contract). Match parts
+      // by interned id when the schema has them, else by canonical key.
+      for (size_t ci = 0; ci < schema.column_families().size(); ++ci) {
+        const ColumnFamily& cf = schema.column_families()[ci];
         if (!Modifies(entry->update(), cf)) continue;
+        const CfId cf_id = schema.PoolIdAt(ci);
         bool covered = false;
         for (const UpdatePlanPart& part : plan.parts) {
-          if (part.cf != nullptr && part.cf->key() == cf.key()) covered = true;
+          if (part.cf == nullptr) continue;
+          if (cf_id != kInvalidCfId && part.cf_id != kInvalidCfId
+                  ? part.cf_id == cf_id
+                  : part.cf->key() == cf.key()) {
+            covered = true;
+          }
         }
         if (!covered) {
           Emit(&out, "NOSE-I005",

@@ -5,6 +5,7 @@
 //   nose advise --model hotel.model --workload hotel.workload
 //        [--mix NAME] [--space-limit-mb N] [--format text|cql]
 //        [--strategy auto|bip|comb] [--solve-budget SECONDS] [--verify]
+//        [--threads N]
 //   nose check  --model hotel.model --workload hotel.workload
 //   nose lint   --model hotel.model --workload hotel.workload
 //
@@ -42,6 +43,11 @@ int Usage() {
                "  --format text|cql     output format (default text)\n"
                "  --strategy auto|bip|comb  candidate-selection solver\n"
                "  --solve-budget SECS   time budget for the solver\n"
+               "  --threads N           worker threads for the advisor "
+               "pipeline\n"
+               "                        (default: hardware cores; same "
+               "recommendation\n"
+               "                        at any value)\n"
                "  --verify              audit the recommendation against the\n"
                "                        workload invariants before printing\n");
   return 2;
@@ -115,7 +121,7 @@ int main(int argc, char** argv) {
   std::set<std::string> bool_flags;
   if (command == "advise") {
     value_flags.insert({"--mix", "--space-limit-mb", "--format", "--strategy",
-                        "--solve-budget"});
+                        "--solve-budget", "--threads"});
     bool_flags.insert("--verify");
   }
   std::map<std::string, std::string> args;
@@ -195,6 +201,15 @@ int main(int argc, char** argv) {
       return Usage();
     }
     options.optimizer.bip.time_limit_seconds = secs;
+  }
+  if (args.count("--threads") > 0) {
+    double n = 0.0;
+    if (!ParsePositiveDouble("--threads", args["--threads"], &n) ||
+        n != static_cast<size_t>(n)) {
+      std::fprintf(stderr, "error: --threads wants a positive integer\n");
+      return Usage();
+    }
+    options.num_threads = static_cast<size_t>(n);
   }
   if (args.count("--strategy") > 0) {
     const std::string& s = args["--strategy"];

@@ -17,6 +17,8 @@ namespace nose {
 /// each path position is the same.
 class CardinalityEstimator {
  public:
+  /// Stateless over `graph`/`params`: const methods are safe to call
+  /// concurrently, which the advisor's parallel costing phases rely on.
   CardinalityEstimator(const EntityGraph* graph, const CostParams* params)
       : graph_(graph), params_(params) {}
 

@@ -34,7 +34,8 @@ struct CostParams {
 
 /// Stateless cost primitives shared by the query planner (estimation) and
 /// the benchmarks (reporting). All row/request counts are expectations and
-/// may be fractional.
+/// may be fractional. Const methods are safe to call concurrently (the
+/// advisor's parallel plan-space/costing phases share one instance).
 class CostModel {
  public:
   CostModel() = default;

@@ -7,15 +7,6 @@
 
 namespace nose {
 
-size_t CandidatePool::Add(ColumnFamily cf) {
-  auto it = by_key_.find(cf.key());
-  if (it != by_key_.end()) return it->second;
-  const size_t index = cfs_.size();
-  by_key_.emplace(cf.key(), index);
-  cfs_.push_back(std::move(cf));
-  return index;
-}
-
 namespace {
 
 FieldRef IdRefOf(const EntityGraph& graph, const std::string& entity) {
@@ -304,26 +295,53 @@ void Enumerator::Combine(CandidatePool* pool) const {
 }
 
 CandidatePool Enumerator::EnumerateWorkload(const Workload& workload,
-                                            const std::string& mix) const {
+                                            const std::string& mix,
+                                            util::ThreadPool* threads) const {
   CandidatePool pool;
   const auto entries = workload.EntriesIn(mix);
+
+  // Per-query enumeration is independent (EnumerateQuery never reads the
+  // pool), so each query fills a private pool in parallel; interning the
+  // private pools in statement order reproduces the serial insertion
+  // sequence — and therefore the serial CfIds — exactly.
+  std::vector<const Query*> queries;
   for (const auto& [entry, weight] : entries) {
-    if (entry->IsQuery()) EnumerateQuery(entry->query(), &pool);
+    if (entry->IsQuery()) queries.push_back(&entry->query());
   }
+  {
+    std::vector<CandidatePool> locals(queries.size());
+    util::ParallelFor(threads, queries.size(), [&](size_t i) {
+      EnumerateQuery(*queries[i], &locals[i]);
+    });
+    for (CandidatePool& local : locals) pool.MergeFrom(local);
+  }
+
   // Support-query enumeration runs twice: the first round may introduce
   // families over new paths whose own support queries need candidates too
-  // (paper Algorithm 1, "do twice").
+  // (paper Algorithm 1, "do twice"). Each round fans out over
+  // (update, candidate) pairs against a snapshot of the pool; the merge in
+  // pair order again matches the serial sequence.
   for (int round = 0; round < 2; ++round) {
     const std::vector<ColumnFamily> snapshot = pool.candidates();
+    struct SupportTask {
+      const Update* update;
+      const ColumnFamily* cf;
+    };
+    std::vector<SupportTask> tasks;
     for (const auto& [entry, weight] : entries) {
       if (entry->IsQuery()) continue;
       for (const ColumnFamily& cf : snapshot) {
         if (!Modifies(entry->update(), cf)) continue;
-        for (const Query& sq : SupportQueries(entry->update(), cf)) {
-          EnumerateQuery(sq, &pool);
-        }
+        tasks.push_back({&entry->update(), &cf});
       }
     }
+    std::vector<CandidatePool> locals(tasks.size());
+    util::ParallelFor(threads, tasks.size(), [&](size_t i) {
+      for (const Query& sq : SupportQueries(*tasks[i].update, *tasks[i].cf)) {
+        EnumerateQuery(sq, &locals[i]);
+      }
+    });
+    for (CandidatePool& local : locals) pool.MergeFrom(local);
   }
   Combine(&pool);
   return pool;

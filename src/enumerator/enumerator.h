@@ -2,32 +2,15 @@
 #define NOSE_ENUMERATOR_ENUMERATOR_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "schema/candidate_pool.h"
 #include "schema/column_family.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 #include "workload/workload.h"
 
 namespace nose {
-
-/// Deduplicated pool of candidate column families, indexed stably so the
-/// planner and optimizer can reference candidates by position.
-class CandidatePool {
- public:
-  /// Adds `cf` (no-op if an identical definition exists); returns its index.
-  size_t Add(ColumnFamily cf);
-
-  const std::vector<ColumnFamily>& candidates() const { return cfs_; }
-  size_t size() const { return cfs_.size(); }
-  bool Contains(const ColumnFamily& cf) const {
-    return by_key_.count(cf.key()) > 0;
-  }
-
- private:
-  std::vector<ColumnFamily> cfs_;
-  std::unordered_map<std::string, size_t> by_key_;
-};
 
 /// Feature toggles for ablation studies.
 struct EnumeratorOptions {
@@ -49,13 +32,21 @@ class Enumerator {
   explicit Enumerator(EnumeratorOptions options = EnumeratorOptions())
       : options_(options) {}
 
-  /// Candidates useful for one query (Enumerate(q) in the paper).
+  /// Candidates useful for one query (Enumerate(q) in the paper). Pure in
+  /// the pool: the candidates produced depend only on `query`, never on
+  /// what `pool` already holds — the property the parallel workload
+  /// enumeration relies on.
   void EnumerateQuery(const Query& query, CandidatePool* pool) const;
 
   /// Candidates for the whole workload under `mix`, including support-query
-  /// enumeration for updates (Algorithm 1) and the Combine step.
+  /// enumeration for updates (Algorithm 1) and the Combine step. When
+  /// `threads` is non-null, per-statement enumeration runs on it; local
+  /// pools are interned into the result in statement order, which
+  /// reproduces the serial insertion sequence exactly, so candidate CfIds
+  /// are identical at every thread count.
   CandidatePool EnumerateWorkload(const Workload& workload,
-                                  const std::string& mix) const;
+                                  const std::string& mix,
+                                  util::ThreadPool* threads = nullptr) const;
 
   /// Adds combinations of compatible candidates (same partition key, no
   /// clustering key, same path, different values).

@@ -72,7 +72,12 @@ StatusOr<std::vector<PlanExecutor::Context>> PlanExecutor::ExecuteContexts(
 
   std::vector<Context> contexts = {base};
   for (const PlanStep& step : plan.steps) {
-    const std::string* cf_name = schema_->NameOf(*step.cf);
+    // Interned-id lookup when the plan came out of the advisor (O(1), no
+    // canonical-key hashing); key lookup for hand-built plans.
+    const std::string* cf_name = step.cf_id != kInvalidCfId
+                                     ? schema_->NameOfId(step.cf_id)
+                                     : nullptr;
+    if (cf_name == nullptr) cf_name = schema_->NameOf(*step.cf);
     if (cf_name == nullptr) {
       return Status::FailedPrecondition(
           "plan references a column family missing from the schema: " +
@@ -306,7 +311,10 @@ Status PlanExecutor::ExecuteUpdate(const UpdatePlan& plan,
   }
 
   for (const UpdatePlanPart& part : plan.parts) {
-    const std::string* cf_name = schema_->NameOf(*part.cf);
+    const std::string* cf_name = part.cf_id != kInvalidCfId
+                                     ? schema_->NameOfId(part.cf_id)
+                                     : nullptr;
+    if (cf_name == nullptr) cf_name = schema_->NameOf(*part.cf);
     if (cf_name == nullptr) {
       return Status::FailedPrecondition(
           "update plan references a column family missing from the schema");

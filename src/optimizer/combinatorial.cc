@@ -13,6 +13,11 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Nodes evaluated per batch. Fixed — NOT derived from the thread count —
+/// so the batch composition, and with it the whole search trajectory, is
+/// the same for a serial run and any pool size.
+constexpr size_t kEvalBatch = 16;
+
 struct Node {
   /// Candidate fixings along the branch: (index, on/off).
   std::vector<std::pair<size_t, bool>> fixings;
@@ -42,45 +47,72 @@ class Solver {
 
     Stopwatch watch;
     bool budget_hit = false;
-    while (!stack.empty()) {
+    std::vector<Node> batch;
+    std::vector<Evaluation> evals;
+    while (!stack.empty() && !budget_hit) {
       if (result.nodes_explored >= opt_.max_nodes ||
           (opt_.time_limit_seconds > 0.0 &&
            watch.ElapsedSeconds() > opt_.time_limit_seconds)) {
         budget_hit = true;
         break;
       }
-      Node node = std::move(stack.back());
-      stack.pop_back();
-      const double threshold =
-          incumbent - std::max(1e-9, opt_.relative_gap * std::abs(incumbent));
-      if (node.parent_bound >= threshold && std::isfinite(incumbent)) continue;
-
-      ++result.nodes_explored;
-      Evaluation eval = Evaluate(node);
-      if (!eval.feasible) continue;
-      if (eval.incumbent_cost < incumbent) {
-        incumbent = eval.incumbent_cost;
-        result.selected = eval.incumbent_selected;
-        result.objective = incumbent;
-        result.feasible = true;
+      // Pop a batch and evaluate it concurrently. Evaluate() reads only
+      // the node and the immutable input, so the evaluations are
+      // independent; everything that depends on order — prune tests,
+      // incumbent updates, child pushes — happens below, sequentially, in
+      // pop order. Nodes a serial DFS would have pruned mid-batch get
+      // evaluated here too, but their results are discarded by the same
+      // test, so only wasted work differs, never the trajectory.
+      batch.clear();
+      while (!stack.empty() && batch.size() < kEvalBatch) {
+        batch.push_back(std::move(stack.back()));
+        stack.pop_back();
       }
-      if (eval.lower_bound >= incumbent - std::max(1e-9, opt_.relative_gap *
-                                                             std::abs(incumbent))) {
-        continue;
-      }
-      if (eval.branch_candidate < 0) continue;  // node solved exactly
+      evals.assign(batch.size(), Evaluation{});
+      util::ParallelFor(opt_.threads, batch.size(),
+                        [&](size_t i) { evals[i] = Evaluate(batch[i]); });
 
-      const size_t j = static_cast<size_t>(eval.branch_candidate);
-      Node off = node;
-      off.parent_bound = eval.lower_bound;
-      off.fixings.emplace_back(j, false);
-      Node on = std::move(node);
-      on.parent_bound = eval.lower_bound;
-      on.fixings.emplace_back(j, true);
-      // DFS explores "on" first: it keeps the current plans and converges
-      // to the greedy solution quickly; "off" forces replanning later.
-      stack.push_back(std::move(off));
-      stack.push_back(std::move(on));
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (result.nodes_explored >= opt_.max_nodes) {
+          budget_hit = true;
+          break;
+        }
+        Node& node = batch[i];
+        const double threshold =
+            incumbent -
+            std::max(1e-9, opt_.relative_gap * std::abs(incumbent));
+        if (node.parent_bound >= threshold && std::isfinite(incumbent)) {
+          continue;
+        }
+
+        ++result.nodes_explored;
+        Evaluation& eval = evals[i];
+        if (!eval.feasible) continue;
+        if (eval.incumbent_cost < incumbent) {
+          incumbent = eval.incumbent_cost;
+          result.selected = std::move(eval.incumbent_selected);
+          result.objective = incumbent;
+          result.feasible = true;
+        }
+        if (eval.lower_bound >=
+            incumbent -
+                std::max(1e-9, opt_.relative_gap * std::abs(incumbent))) {
+          continue;
+        }
+        if (eval.branch_candidate < 0) continue;  // node solved exactly
+
+        const size_t j = static_cast<size_t>(eval.branch_candidate);
+        Node off = node;
+        off.parent_bound = eval.lower_bound;
+        off.fixings.emplace_back(j, false);
+        Node on = std::move(node);
+        on.parent_bound = eval.lower_bound;
+        on.fixings.emplace_back(j, true);
+        // Explore "on" first: it keeps the current plans and converges to
+        // the greedy solution quickly; "off" forces replanning later.
+        stack.push_back(std::move(off));
+        stack.push_back(std::move(on));
+      }
     }
     result.proven = result.feasible && !budget_hit;
     return result;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "planner/plan_space.h"
+#include "util/thread_pool.h"
 
 namespace nose {
 
@@ -40,6 +41,13 @@ struct CombinatorialOptions {
   double relative_gap = 0.01;
   int max_nodes = 200000;
   double time_limit_seconds = 30.0;
+  /// Optional pool for node evaluation. The search pops a fixed-size batch
+  /// of open nodes, evaluates them concurrently (evaluation is pure), and
+  /// processes the results sequentially in pop order — the batch size does
+  /// not depend on the thread count, so the search trajectory (and thus
+  /// the recommendation) is identical whether this is null or an N-thread
+  /// pool.
+  util::ThreadPool* threads = nullptr;
 };
 
 struct CombinatorialResult {

@@ -105,7 +105,7 @@ void AddSpaceToBip(SpaceVars* sv, LpProblem* lp,
 
 StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     const Workload& workload, const std::string& mix,
-    const CandidatePool& pool) const {
+    const CandidatePool& pool, util::ThreadPool* threads) const {
   OptimizationResult result;
   Stopwatch total_watch;
   const std::vector<ColumnFamily>& candidates = pool.candidates();
@@ -118,22 +118,33 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
   }
 
   // ==== Phase: cost calculation (plan-space construction). ====
+  // Per-statement work — building a query's plan space, costing a
+  // candidate's maintenance under an update — is independent and
+  // side-effect-free, so it fans out on `threads` into pre-sized slots and
+  // is merged in statement/candidate order, keeping every downstream index
+  // (and hence the recommendation) identical at any thread count.
   Stopwatch phase_watch;
   QueryPlanner planner(cost_, est_);
 
   std::vector<SpaceVars> query_spaces;  // workload queries
   std::vector<const WorkloadEntry*> query_entries;
+  std::vector<double> query_weights;
   for (const auto& [entry, weight] : entries) {
     if (!entry->IsQuery()) continue;
-    SpaceVars sv;
-    sv.space = planner.Build(entry->query(), candidates);
-    sv.weight = weight;
-    if (!sv.space.HasPlan()) {
-      return Status::Infeasible("no candidate plan covers query " +
-                                entry->name);
-    }
-    query_spaces.push_back(std::move(sv));
     query_entries.push_back(entry);
+    query_weights.push_back(weight);
+  }
+  query_spaces.resize(query_entries.size());
+  util::ParallelFor(threads, query_entries.size(), [&](size_t qi) {
+    query_spaces[qi].space =
+        planner.Build(query_entries[qi]->query(), candidates);
+    query_spaces[qi].weight = query_weights[qi];
+  });
+  for (size_t qi = 0; qi < query_spaces.size(); ++qi) {
+    if (!query_spaces[qi].space.HasPlan()) {
+      return Status::Infeasible("no candidate plan covers query " +
+                                query_entries[qi]->name);
+    }
   }
 
   // Support queries. Different column families maintained under the same
@@ -161,40 +172,74 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
   };
   std::vector<SupportInfo> supports;
 
+  // Pass 1 (parallel): per update, find the candidates it modifies, price
+  // their writes, and synthesize their support queries.
+  struct RawSupport {
+    size_t cf_index;
+    double write_cost;
+    std::vector<Query> support_queries;
+  };
+  std::vector<const WorkloadEntry*> update_entries;
+  std::vector<double> update_weights;
   for (const auto& [entry, weight] : entries) {
     if (entry->IsQuery()) continue;
-    const Update& update = entry->update();
+    update_entries.push_back(entry);
+    update_weights.push_back(weight);
+  }
+  std::vector<std::vector<RawSupport>> raw_supports(update_entries.size());
+  util::ParallelFor(threads, update_entries.size(), [&](size_t u) {
+    const Update& update = update_entries[u]->update();
     for (size_t c = 0; c < candidates.size(); ++c) {
       if (!Modifies(update, candidates[c])) continue;
+      RawSupport raw;
+      raw.cf_index = c;
+      raw.write_cost = UpdateWriteCost(update, candidates[c], *est_, *cost_);
+      raw.support_queries = SupportQueries(update, candidates[c]);
+      raw_supports[u].push_back(std::move(raw));
+    }
+  });
+
+  // Pass 2 (serial, deterministic order): dedup shared support queries.
+  for (size_t u = 0; u < update_entries.size(); ++u) {
+    for (RawSupport& raw : raw_supports[u]) {
       SupportInfo info;
-      info.entry = entry;
-      info.weight = weight;
-      info.cf_index = c;
-      info.write_cost = UpdateWriteCost(update, candidates[c], *est_, *cost_);
-      for (Query& sq : SupportQueries(update, candidates[c])) {
-        const auto key = std::make_pair(entry, sq.ToString());
+      info.entry = update_entries[u];
+      info.weight = update_weights[u];
+      info.cf_index = raw.cf_index;
+      info.write_cost = raw.write_cost;
+      for (Query& sq : raw.support_queries) {
+        const auto key = std::make_pair(update_entries[u], sq.ToString());
         auto it = shared_index.find(key);
         size_t idx;
         if (it == shared_index.end()) {
           auto shared = std::make_unique<SharedSupport>();
           shared->query = std::make_shared<Query>(std::move(sq));
-          shared->sv.space = planner.Build(*shared->query, candidates);
-          shared->sv.weight = weight;
-          if (!shared->sv.space.HasPlan()) {
-            shared->sv.space = PlanSpace();  // unanswerable marker
-          }
+          shared->sv.weight = update_weights[u];
           idx = shared_supports.size();
           shared_index.emplace(key, idx);
           shared_supports.push_back(std::move(shared));
         } else {
           idx = it->second;
         }
-        if (shared_supports[idx]->sv.space.states().empty()) {
-          info.maintainable = false;
-        }
         info.shared_ids.push_back(idx);
       }
       supports.push_back(std::move(info));
+    }
+  }
+
+  // Pass 3 (parallel): build the deduplicated support plan spaces.
+  util::ParallelFor(threads, shared_supports.size(), [&](size_t i) {
+    SharedSupport& shared = *shared_supports[i];
+    shared.sv.space = planner.Build(*shared.query, candidates);
+    if (!shared.sv.space.HasPlan()) {
+      shared.sv.space = PlanSpace();  // unanswerable marker
+    }
+  });
+  for (SupportInfo& info : supports) {
+    for (size_t idx : info.shared_ids) {
+      if (shared_supports[idx]->sv.space.states().empty()) {
+        info.maintainable = false;
+      }
     }
   }
 
@@ -278,6 +323,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     CombinatorialOptions copt;
     copt.relative_gap = options_.bip.relative_gap;
     copt.max_nodes = options_.bip.max_nodes;
+    copt.threads = threads;
     copt.time_limit_seconds = options_.bip.time_limit_seconds > 0.0
                                   ? options_.bip.time_limit_seconds
                                   : 60.0;
@@ -448,7 +494,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     std::vector<bool> used(candidates.size(), false);
     for (const auto& [name, plan] : result.query_plans) {
       for (const PlanStep& step : plan.steps) {
-        used[static_cast<size_t>(step.cf - candidates.data())] = true;
+        used[step.cf_id] = true;
       }
     }
     bool changed = true;
@@ -462,9 +508,8 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
           auto plan = space.BestPlan(candidates, selected);
           if (!plan.ok()) continue;  // defensive; checked again below
           for (const PlanStep& step : plan->steps) {
-            const size_t ci = static_cast<size_t>(step.cf - candidates.data());
-            if (!used[ci]) {
-              used[ci] = true;
+            if (!used[step.cf_id]) {
+              used[step.cf_id] = true;
               changed = true;
             }
           }
@@ -476,7 +521,9 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     }
   }
   for (size_t c = 0; c < candidates.size(); ++c) {
-    if (selected[c]) result.schema.Add(candidates[c]);
+    if (selected[c]) {
+      result.schema.Add(candidates[c], "", static_cast<CfId>(c));
+    }
   }
 
   // Update plans: one UpdatePlan per update entry, one part per selected
@@ -488,6 +535,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     uplan.update = &info.entry->update();
     UpdatePlanPart part;
     part.cf = &candidates[info.cf_index];
+    part.cf_id = static_cast<CfId>(info.cf_index);
     part.rows = ModifiedRowEstimate(info.entry->update(),
                                     candidates[info.cf_index], *est_);
     part.write_cost = info.write_cost;

@@ -13,6 +13,7 @@
 #include "schema/schema.h"
 #include "solver/bip.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 #include "workload/workload.h"
 
 namespace nose {
@@ -83,9 +84,16 @@ class SchemaOptimizer {
       : cost_(cost_model), est_(estimator), options_(options) {}
 
   /// `pool` must outlive the result (recommended plans point into it).
+  /// When `threads` is non-null the independent per-statement stages —
+  /// plan-space construction, support costing, and (for the combinatorial
+  /// strategy) branch-and-bound node evaluation — run on it; results are
+  /// merged in deterministic statement/candidate order, so the
+  /// recommendation is identical at every thread count.
   StatusOr<OptimizationResult> Optimize(const Workload& workload,
                                         const std::string& mix,
-                                        const CandidatePool& pool) const;
+                                        const CandidatePool& pool,
+                                        util::ThreadPool* threads =
+                                            nullptr) const;
 
  private:
   const CostModel* cost_;

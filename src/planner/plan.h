@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "schema/candidate_pool.h"
 #include "schema/column_family.h"
 #include "workload/predicate.h"
 #include "workload/query.h"
@@ -45,6 +46,12 @@ struct AccessDetail {
 /// mean an in-place materialization lookup), followed by client filtering.
 struct PlanStep {
   const ColumnFamily* cf = nullptr;
+  /// Interned id of `cf` in the CandidatePool the plan was extracted from
+  /// (kInvalidCfId for plans built against ad-hoc pools, e.g. the
+  /// normalized/expert baselines). Downstream layers use the id for
+  /// identity — schema membership, δ_j lookup, store-name resolution —
+  /// instead of hashing the canonical key string.
+  CfId cf_id = kInvalidCfId;
   size_t from_index = 0;
   size_t to_index = 0;
   /// True for the plan's opening step (keyed by statement parameters

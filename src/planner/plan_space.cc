@@ -368,7 +368,7 @@ PlanSpace QueryPlanner::Build(const Query& query,
         if (!m.has_value()) continue;
 
         PlanSpaceEdge edge;
-        edge.cf_index = c;
+        edge.cf_index = static_cast<CfId>(c);
         edge.from_index = j;
         edge.to_index = i;
         edge.first = !state.holds_ids;
@@ -483,6 +483,7 @@ StatusOr<QueryPlan> PlanSpace::BestPlan(const std::vector<ColumnFamily>& pool,
     }
     PlanStep step;
     step.cf = &pool[chosen->cf_index];
+    step.cf_id = chosen->cf_index;
     step.from_index = chosen->from_index;
     step.to_index = chosen->to_index;
     step.first = chosen->first;

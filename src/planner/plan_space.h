@@ -13,14 +13,16 @@
 
 namespace nose {
 
-/// An edge of the plan space: use candidate column family `cf_index` to
-/// advance from the owning state to `target_state` (kDone when the query is
-/// complete after this step).
+/// An edge of the plan space: use the candidate column family with id
+/// `cf_index` to advance from the owning state to `target_state` (kDone
+/// when the query is complete after this step). The id is the candidate's
+/// dense CfId in the pool the space was built against, so per-candidate
+/// arrays (allowed/selected/δ variables) index by it directly.
 struct PlanSpaceEdge {
   static constexpr int kDone = -1;
 
   int target_state = kDone;
-  size_t cf_index = 0;
+  CfId cf_index = 0;
   size_t from_index = 0;  ///< path entity index the step starts at (j)
   size_t to_index = 0;    ///< path entity index the step lands on (i)
   bool first = false;
@@ -61,9 +63,14 @@ class PlanSpace {
   /// no complete plan survives.
   double BestCost(const std::vector<bool>& allowed = {}) const;
 
-  /// Extracts the min-cost plan under the same restriction.
+  /// Extracts the min-cost plan under the same restriction. Plan steps
+  /// point into `pool` and carry their CfId (the pool index).
   StatusOr<QueryPlan> BestPlan(const std::vector<ColumnFamily>& pool,
                                const std::vector<bool>& allowed = {}) const;
+  StatusOr<QueryPlan> BestPlan(const CandidatePool& pool,
+                               const std::vector<bool>& allowed = {}) const {
+    return BestPlan(pool.candidates(), allowed);
+  }
 
   /// The (state index, edge index) pairs of the min-cost plan — the raw
   /// path through the DAG (used e.g. to seed BIP warm starts).
@@ -87,9 +94,14 @@ class QueryPlanner {
       : cost_(cost_model), est_(est) {}
 
   /// Explores all decomposition states of `query` against `pool`.
-  /// The result references `query` (not owned).
+  /// The result references `query` (not owned). Build is a pure function
+  /// of (query, pool) — safe to run concurrently for different queries
+  /// over the same pool.
   PlanSpace Build(const Query& query,
                   const std::vector<ColumnFamily>& pool) const;
+  PlanSpace Build(const Query& query, const CandidatePool& pool) const {
+    return Build(query, pool.candidates());
+  }
 
   /// Convenience: the best plan for `query` using only `pool` (e.g. a fixed
   /// schema such as the normalized/expert baselines). Fails if the pool

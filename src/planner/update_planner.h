@@ -39,6 +39,9 @@ double UpdateWriteCost(const Update& update, const ColumnFamily& cf,
 /// schema: execute the support query plans, then delete/insert records.
 struct UpdatePlanPart {
   const ColumnFamily* cf = nullptr;
+  /// Interned CandidatePool id of `cf` (kInvalidCfId outside the advisor
+  /// pipeline); see PlanStep::cf_id.
+  CfId cf_id = kInvalidCfId;
   std::vector<QueryPlan> support_plans;
   /// True if the rewrite must delete old records before inserting (a key
   /// attribute changes); otherwise inserts overwrite in place.

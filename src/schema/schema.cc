@@ -2,16 +2,23 @@
 
 namespace nose {
 
-std::string Schema::Add(ColumnFamily cf, std::string name) {
+std::string Schema::Add(ColumnFamily cf, std::string name, CfId pool_id) {
   auto it = by_key_.find(cf.key());
   if (it != by_key_.end()) return names_[it->second];
   if (name.empty()) name = "cf" + std::to_string(cfs_.size());
   const size_t index = cfs_.size();
   by_key_.emplace(cf.key(), index);
   by_name_.emplace(name, index);
+  if (pool_id != kInvalidCfId) by_id_.emplace(pool_id, index);
   cfs_.push_back(std::move(cf));
   names_.push_back(name);
+  pool_ids_.push_back(pool_id);
   return name;
+}
+
+const std::string* Schema::NameOfId(CfId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &names_[it->second];
 }
 
 const ColumnFamily* Schema::FindByName(const std::string& name) const {

@@ -5,21 +5,27 @@
 #include <unordered_map>
 #include <vector>
 
+#include "schema/candidate_pool.h"
 #include "schema/column_family.h"
 
 namespace nose {
 
 /// A set of column families with stable names — the advisor's output and
 /// the record store's catalog. Column families are deduplicated by their
-/// canonical key.
+/// canonical key. Schemas assembled from a CandidatePool additionally
+/// remember each column family's interned CfId, giving downstream layers
+/// (invariant audit, plan executor) O(1) id-based membership and name
+/// resolution with no canonical-key hashing.
 class Schema {
  public:
   Schema() = default;
 
   /// Adds `cf` under an auto-generated name ("cf0", "cf1", ...) unless
   /// `name` is given. Adding a duplicate definition is a no-op returning
-  /// the existing name.
-  std::string Add(ColumnFamily cf, std::string name = "");
+  /// the existing name. `pool_id` records the candidate's interned id when
+  /// the schema is assembled from a CandidatePool.
+  std::string Add(ColumnFamily cf, std::string name = "",
+                  CfId pool_id = kInvalidCfId);
 
   size_t size() const { return cfs_.size(); }
   bool empty() const { return cfs_.empty(); }
@@ -35,6 +41,16 @@ class Schema {
     return FindByKey(cf.key()) != nullptr;
   }
 
+  /// Id-based lookups; only answer for column families added with a
+  /// pool_id (advisor-assembled schemas). `id` must not be kInvalidCfId.
+  bool ContainsId(CfId id) const { return by_id_.count(id) > 0; }
+  const std::string* NameOfId(CfId id) const;
+  /// Pool id recorded for the column family at `index` (kInvalidCfId when
+  /// the schema was hand-assembled).
+  CfId PoolIdAt(size_t index) const { return pool_ids_[index]; }
+  /// True if every column family carries a pool id.
+  bool has_pool_ids() const { return by_id_.size() == cfs_.size(); }
+
   /// Sum of the size estimates of all column families.
   double TotalSizeBytes() const;
 
@@ -44,8 +60,10 @@ class Schema {
  private:
   std::vector<ColumnFamily> cfs_;
   std::vector<std::string> names_;
+  std::vector<CfId> pool_ids_;
   std::unordered_map<std::string, size_t> by_key_;
   std::unordered_map<std::string, size_t> by_name_;
+  std::unordered_map<CfId, size_t> by_id_;
 };
 
 }  // namespace nose
