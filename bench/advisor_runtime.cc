@@ -2,11 +2,13 @@
 // workload takes less than ten seconds", reporting the full phase
 // breakdown for the real RUBiS workload at paper-like entity counts.
 //
-//   advisor_runtime [--threads N] [--json FILE]
+//   advisor_runtime [--threads N] [--json FILE] [--trace FILE]
+//                   [--metrics FILE]
 //
 // --threads sets the advisor's worker-thread count; --json appends one JSON
 // object with the per-mix phase breakdown to FILE (bench_results/
-// convention).
+// convention). --trace captures a Chrome trace_event timeline of the run;
+// --metrics dumps the pipeline counter snapshot.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +16,8 @@
 #include <string>
 
 #include "advisor/advisor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rubis/model.h"
 #include "rubis/workload.h"
 
@@ -23,15 +27,27 @@ namespace {
 int Main(int argc, char** argv) {
   size_t threads = 1;
   std::string json_path;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: advisor_runtime [--threads N] [--json FILE]\n");
+      std::fprintf(stderr,
+                   "usage: advisor_runtime [--threads N] [--json FILE] "
+                   "[--trace FILE] [--metrics FILE]\n");
       return 2;
     }
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::Global().Enable();
+    obs::SetCurrentThreadName("main");
   }
 
   auto graph = rubis::MakeGraph();  // paper-like default counts
@@ -91,6 +107,21 @@ int Main(int argc, char** argv) {
   if (json != nullptr) {
     std::fprintf(json, "]}\n");
     std::fclose(json);
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::Global().Disable();
+    std::string error;
+    if (!obs::TraceRecorder::Global().WriteChromeJson(trace_path, &error)) {
+      std::fprintf(stderr, "error: cannot write trace: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::string error;
+    if (!obs::MetricsRegistry::Global().WriteJson(metrics_path, &error)) {
+      std::fprintf(stderr, "error: cannot write metrics: %s\n", error.c_str());
+      return 1;
+    }
   }
   return 0;
 }

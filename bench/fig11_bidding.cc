@@ -8,11 +8,16 @@
 // bit more on rare writes) is the reproduced result.
 //
 // Environment: NOSE_RUBIS_SCALE (default 0.25) scales entity counts;
-// NOSE_FIG11_EXECUTIONS (default 200) sets executions per transaction.
+// NOSE_FIG11_EXECUTIONS (default 200) sets executions per transaction;
+// NOSE_METRICS (a path) dumps the executor/store counter snapshot —
+// requests, rows scanned, bytes moved, write amplification — as JSON.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "bench/rubis_driver.h"
+#include "obs/metrics.h"
 
 namespace nose::bench {
 namespace {
@@ -61,6 +66,13 @@ int Main() {
       "\npaper shape check: NoSE weighted-avg beats Expert by ~%.2fx "
       "(paper: 1.8x) and Normalized by ~%.2fx\n",
       wsum[2] / wsum[0], wsum[1] / wsum[0]);
+  if (const char* metrics_path = std::getenv("NOSE_METRICS")) {
+    std::string error;
+    if (!obs::MetricsRegistry::Global().WriteJson(metrics_path, &error)) {
+      std::fprintf(stderr, "error: cannot write metrics: %s\n", error.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 

@@ -5,7 +5,7 @@
 // entities and the number of statements.
 //
 //   fig13_scaling [--threads N] [--json FILE] [--max-scale N]
-//                 [--solve-budget SECS]
+//                 [--solve-budget SECS] [--metrics FILE]
 //
 // --threads sets the advisor's worker-thread count (the recommendation is
 // identical at any value; only the wall clock changes). --json appends the
@@ -19,6 +19,7 @@
 #include <string>
 
 #include "advisor/advisor.h"
+#include "obs/metrics.h"
 #include "randwl/random_workload.h"
 
 namespace nose::bench {
@@ -27,6 +28,7 @@ namespace {
 struct Args {
   size_t threads = 1;
   std::string json_path;
+  std::string metrics_path;
   int max_scale = 5;
   double solve_budget = 45.0;
   bool ok = true;
@@ -61,6 +63,9 @@ Args Parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--solve-budget") == 0) {
       const char* v = value();
       if (v != nullptr) args.solve_budget = std::atof(v);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      const char* v = value();
+      if (v != nullptr) args.metrics_path = v;
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       args.ok = false;
@@ -149,6 +154,13 @@ int Main(int argc, char** argv) {
   if (json != nullptr) {
     std::fprintf(json, "]}\n");
     std::fclose(json);
+  }
+  if (!args.metrics_path.empty()) {
+    std::string error;
+    if (!obs::MetricsRegistry::Global().WriteJson(args.metrics_path, &error)) {
+      std::fprintf(stderr, "error: cannot write metrics: %s\n", error.c_str());
+      return 1;
+    }
   }
   std::printf(
       "\npaper shape check: runtime grows superlinearly with scale, and "

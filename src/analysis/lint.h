@@ -42,6 +42,8 @@ std::vector<Diagnostic> LintModel(const EntityGraph& graph,
 ///   NOSE-W003 dead-write              UPDATE sets only fields no query reads
 ///   NOSE-W004 mix-gap                 statement has no weight entry in some
 ///                                     named mix (note severity)
+/// NOSE-W006 (timing-residual) is reserved: the advisor emits it directly on
+/// stderr when its phase breakdown fails to account for the measured total.
 std::vector<Diagnostic> LintWorkload(const Workload& workload,
                                      const LintSources& sources = {});
 

@@ -5,7 +5,7 @@
 //   nose advise --model hotel.model --workload hotel.workload
 //        [--mix NAME] [--space-limit-mb N] [--format text|cql]
 //        [--strategy auto|bip|comb] [--solve-budget SECONDS] [--verify]
-//        [--threads N]
+//        [--threads N] [--trace FILE] [--metrics FILE]
 //   nose check  --model hotel.model --workload hotel.workload
 //   nose lint   --model hotel.model --workload hotel.workload
 //
@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,6 +26,8 @@
 #include "advisor/advisor.h"
 #include "analysis/lint.h"
 #include "export/cql.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/model_parser.h"
 #include "parser/workload_parser.h"
 
@@ -49,7 +52,15 @@ int Usage() {
                "recommendation\n"
                "                        at any value)\n"
                "  --verify              audit the recommendation against the\n"
-               "                        workload invariants before printing\n");
+               "                        workload invariants before printing\n"
+               "  --trace FILE          write a Chrome trace_event JSON "
+               "timeline\n"
+               "                        (chrome://tracing / Perfetto; env "
+               "NOSE_TRACE\n"
+               "                        is the fallback when the flag is "
+               "absent)\n"
+               "  --metrics FILE        write a JSON snapshot of pipeline "
+               "counters\n");
   return 2;
 }
 
@@ -121,7 +132,7 @@ int main(int argc, char** argv) {
   std::set<std::string> bool_flags;
   if (command == "advise") {
     value_flags.insert({"--mix", "--space-limit-mb", "--format", "--strategy",
-                        "--solve-budget", "--threads"});
+                        "--solve-budget", "--threads", "--trace", "--metrics"});
     bool_flags.insert("--verify");
   }
   std::map<std::string, std::string> args;
@@ -241,11 +252,46 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --trace FILE wins over the NOSE_TRACE environment fallback; either
+  // turns recording on for the whole advisor run.
+  std::string trace_path;
+  if (args.count("--trace") > 0) {
+    trace_path = args["--trace"];
+  } else if (const char* env = std::getenv("NOSE_TRACE")) {
+    trace_path = env;
+  }
+  const std::string metrics_path =
+      args.count("--metrics") > 0 ? args["--metrics"] : "";
+  if (!trace_path.empty()) {
+    nose::obs::TraceRecorder::Global().Enable();
+    nose::obs::SetCurrentThreadName("main");
+  }
+
   nose::Advisor advisor(options);
   auto rec = advisor.Recommend(**workload, mix);
   if (!rec.ok()) {
     std::cerr << "advisor error: " << rec.status() << "\n";
     return 1;
+  }
+  // The advisor's pool is destroyed inside Recommend, so every worker has
+  // drained and the buffers are quiescent — safe to export.
+  if (!trace_path.empty()) {
+    nose::obs::TraceRecorder::Global().Disable();
+    std::string error;
+    if (!nose::obs::TraceRecorder::Global().WriteChromeJson(trace_path,
+                                                            &error)) {
+      std::fprintf(stderr, "error: cannot write trace: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::string error;
+    if (!nose::obs::MetricsRegistry::Global().WriteJson(metrics_path, &error)) {
+      std::fprintf(stderr, "error: cannot write metrics: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
   }
 
   if (format == "cql") {

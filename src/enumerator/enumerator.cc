@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "planner/update_planner.h"
 
 namespace nose {
@@ -275,6 +277,10 @@ void Enumerator::EnumerateQuery(const Query& q, CandidatePool* pool) const {
 
 void Enumerator::Combine(CandidatePool* pool) const {
   if (!options_.enable_combination) return;
+  obs::Span span("enumerate.combine", "enumerator");
+  static obs::Counter& combined =
+      obs::MetricsRegistry::Global().GetCounter("enumerator.combined_added");
+  const size_t size_before = pool->size();
   const std::vector<ColumnFamily> snapshot = pool->candidates();
   for (size_t x = 0; x < snapshot.size(); ++x) {
     const ColumnFamily& a = snapshot[x];
@@ -292,11 +298,22 @@ void Enumerator::Combine(CandidatePool* pool) const {
       if (cf.ok()) pool->Add(std::move(cf).value());
     }
   }
+  combined.Add(pool->size() - size_before);
 }
 
 CandidatePool Enumerator::EnumerateWorkload(const Workload& workload,
                                             const std::string& mix,
                                             util::ThreadPool* threads) const {
+  obs::Span span("enumerate.workload", "enumerator");
+  static obs::Counter& queries_counter =
+      obs::MetricsRegistry::Global().GetCounter("enumerator.queries");
+  static obs::Counter& generated = obs::MetricsRegistry::Global().GetCounter(
+      "enumerator.candidates_generated");
+  static obs::Counter& support_tasks =
+      obs::MetricsRegistry::Global().GetCounter("enumerator.support_tasks");
+  static obs::Counter& interned = obs::MetricsRegistry::Global().GetCounter(
+      "enumerator.candidates_interned");
+
   CandidatePool pool;
   const auto entries = workload.EntriesIn(mix);
 
@@ -308,12 +325,17 @@ CandidatePool Enumerator::EnumerateWorkload(const Workload& workload,
   for (const auto& [entry, weight] : entries) {
     if (entry->IsQuery()) queries.push_back(&entry->query());
   }
+  queries_counter.Add(queries.size());
   {
     std::vector<CandidatePool> locals(queries.size());
     util::ParallelFor(threads, queries.size(), [&](size_t i) {
+      obs::Span qspan("enumerate.query", "enumerator");
       EnumerateQuery(*queries[i], &locals[i]);
     });
-    for (CandidatePool& local : locals) pool.MergeFrom(local);
+    for (CandidatePool& local : locals) {
+      generated.Add(local.size());
+      pool.MergeFrom(local);
+    }
   }
 
   // Support-query enumeration runs twice: the first round may introduce
@@ -322,6 +344,7 @@ CandidatePool Enumerator::EnumerateWorkload(const Workload& workload,
   // (update, candidate) pairs against a snapshot of the pool; the merge in
   // pair order again matches the serial sequence.
   for (int round = 0; round < 2; ++round) {
+    obs::Span round_span("enumerate.support_round", "enumerator");
     const std::vector<ColumnFamily> snapshot = pool.candidates();
     struct SupportTask {
       const Update* update;
@@ -335,15 +358,21 @@ CandidatePool Enumerator::EnumerateWorkload(const Workload& workload,
         tasks.push_back({&entry->update(), &cf});
       }
     }
+    support_tasks.Add(tasks.size());
     std::vector<CandidatePool> locals(tasks.size());
     util::ParallelFor(threads, tasks.size(), [&](size_t i) {
+      obs::Span tspan("enumerate.support_task", "enumerator");
       for (const Query& sq : SupportQueries(*tasks[i].update, *tasks[i].cf)) {
         EnumerateQuery(sq, &locals[i]);
       }
     });
-    for (CandidatePool& local : locals) pool.MergeFrom(local);
+    for (CandidatePool& local : locals) {
+      generated.Add(local.size());
+      pool.MergeFrom(local);
+    }
   }
   Combine(&pool);
+  interned.Add(pool.size());
   return pool;
 }
 

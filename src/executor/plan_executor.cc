@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nose {
 
 namespace {
@@ -195,11 +198,18 @@ StatusOr<std::vector<PlanExecutor::Context>> PlanExecutor::ExecuteContexts(
 
 StatusOr<std::vector<ValueTuple>> PlanExecutor::ExecuteQuery(
     const QueryPlan& plan, const Params& params) {
+  obs::Span span("executor.query", "executor");
+  static obs::Counter& queries_counter =
+      obs::MetricsRegistry::Global().GetCounter("executor.queries");
+  queries_counter.Increment();
   NOSE_ASSIGN_OR_RETURN(std::vector<Context> contexts,
                         ExecuteContexts(plan, params, Context{}));
   const Query& query = *plan.query;
 
   if (plan.needs_sort || !query.order_by().empty()) {
+    static obs::Counter& sorts_counter =
+        obs::MetricsRegistry::Global().GetCounter("executor.client_sorts");
+    sorts_counter.Increment();
     // A stable client-side sort by the ORDER BY fields; when the plan
     // already delivers clustered order this is a cheap no-op pass kept for
     // simplicity of the executor (the *simulated* cost only charges the
@@ -237,11 +247,24 @@ StatusOr<std::vector<ValueTuple>> PlanExecutor::ExecuteQuery(
     }
     if (seen.insert(key).second) result.push_back(std::move(row));
   }
+  static obs::Counter& rows_counter =
+      obs::MetricsRegistry::Global().GetCounter("executor.result_rows");
+  rows_counter.Add(result.size());
   return result;
 }
 
 Status PlanExecutor::ExecuteUpdate(const UpdatePlan& plan,
                                    const Params& params) {
+  obs::Span span("executor.update", "executor");
+  static obs::Counter& updates_counter =
+      obs::MetricsRegistry::Global().GetCounter("executor.updates");
+  // Parts per update is the write-amplification numerator: one logical
+  // statement fans out into one physical write sequence per affected
+  // column family.
+  static obs::Counter& parts_counter =
+      obs::MetricsRegistry::Global().GetCounter("executor.update_parts");
+  updates_counter.Increment();
+  parts_counter.Add(plan.parts.size());
   const Update& update = *plan.update;
   const EntityGraph& graph = *update.graph();
   const std::string& target = update.entity();
@@ -322,8 +345,12 @@ Status PlanExecutor::ExecuteUpdate(const UpdatePlan& plan,
     // Gather key attributes through the support plans.
     std::vector<Context> contexts = {base};
     for (const QueryPlan& sp : part.support_plans) {
+      static obs::Counter& support_counter =
+          obs::MetricsRegistry::Global().GetCounter(
+              "executor.support_queries");
       std::vector<Context> merged;
       for (const Context& ctx : contexts) {
+        support_counter.Increment();
         NOSE_ASSIGN_OR_RETURN(std::vector<Context> got,
                               ExecuteContexts(sp, params, ctx));
         for (Context& g : got) merged.push_back(std::move(g));

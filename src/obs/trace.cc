@@ -1,0 +1,224 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace nose {
+namespace obs {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Buffer of the calling thread, shared with the recorder's registry so it
+/// survives the thread (pool workers die with their pool; their spans must
+/// not).
+thread_local std::shared_ptr<void> tls_buffer;
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::CurrentBuffer() {
+  if (tls_buffer == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    buffer->thread_name =
+        buffer->tid == 0 ? "main" : "thread-" + std::to_string(buffer->tid);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      buffers_.push_back(buffer);
+    }
+    tls_buffer = buffer;
+  }
+  return static_cast<ThreadBuffer*>(tls_buffer.get());
+}
+
+void TraceRecorder::Enable() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& buffer : buffers_) buffer->events.clear();
+  }
+  epoch_ns_.store(NowNs(), std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  CurrentBuffer()->events.push_back(std::move(event));
+}
+
+void TraceRecorder::SetCurrentThreadName(std::string name) {
+  CurrentBuffer()->thread_name = std::move(name);
+}
+
+std::string TraceRecorder::ToChromeJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+  char buf[64];
+  for (const auto& buffer : buffers_) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(buffer->tid);
+    out += ",\"args\":{\"name\":";
+    AppendJsonString(&out, buffer->thread_name);
+    out += "}}";
+    for (const TraceEvent& e : buffer->events) {
+      comma();
+      out += "{\"name\":";
+      AppendJsonString(&out, e.name);
+      out += ",\"cat\":";
+      AppendJsonString(&out, e.category);
+      out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+      out += std::to_string(buffer->tid);
+      // Microsecond timestamps with sub-microsecond spans preserved.
+      std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                    std::max<int64_t>(e.start_ns, 0) / 1e3, e.dur_ns / 1e3);
+      out += buf;
+      if (!e.args.empty()) {
+        out += ",\"args\":{";
+        for (size_t i = 0; i < e.args.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          AppendJsonString(&out, e.args[i].first);
+          out.push_back(':');
+          AppendJsonString(&out, e.args[i].second);
+        }
+        out.push_back('}');
+      }
+      out.push_back('}');
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceRecorder::WriteChromeJson(const std::string& path,
+                                    std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << ToChromeJson() << "\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+size_t TraceRecorder::EventCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->events.size();
+  return n;
+}
+
+std::vector<std::string> TraceRecorder::Categories() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<std::string> cats;
+  for (const auto& buffer : buffers_) {
+    for (const TraceEvent& e : buffer->events) cats.insert(e.category);
+  }
+  return std::vector<std::string>(cats.begin(), cats.end());
+}
+
+void SetCurrentThreadName(std::string name) {
+  TraceRecorder::Global().SetCurrentThreadName(std::move(name));
+}
+
+Span::Span(const char* name, const char* category) {
+  if (!TraceRecorder::Global().enabled()) return;
+  static_name_ = name;
+  category_ = category;
+  start_ = std::chrono::steady_clock::now();
+  active_ = true;
+}
+
+Span::Span(std::string name, const char* category) {
+  if (!TraceRecorder::Global().enabled()) return;
+  dynamic_name_ = std::move(name);
+  category_ = category;
+  start_ = std::chrono::steady_clock::now();
+  active_ = true;
+}
+
+void Span::Arg(const char* key, std::string value) {
+  if (!active_) return;
+  args_.emplace_back(key, std::move(value));
+}
+
+void Span::End() {
+  if (!active_) return;
+  active_ = false;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;  // disabled mid-span: drop it
+  const auto end = std::chrono::steady_clock::now();
+  TraceEvent event;
+  event.name = static_name_ != nullptr ? std::string(static_name_)
+                                       : std::move(dynamic_name_);
+  event.category = category_;
+  const int64_t start_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               start_.time_since_epoch())
+                               .count();
+  event.start_ns = start_ns - recorder.epoch_ns();
+  event.dur_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     end - start_)
+                     .count();
+  event.args = std::move(args_);
+  recorder.Append(std::move(event));
+}
+
+}  // namespace obs
+}  // namespace nose

@@ -1,0 +1,155 @@
+#ifndef NOSE_OBS_TRACE_H_
+#define NOSE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nose {
+namespace obs {
+
+/// One completed span, recorded into the owning thread's buffer. `category`
+/// must be a string literal (it is kept by pointer); `name` may be dynamic
+/// (per-statement span names carry the statement).
+struct TraceEvent {
+  std::string name;
+  const char* category = "";
+  int64_t start_ns = 0;  ///< offset from the recorder's Enable() epoch
+  int64_t dur_ns = 0;
+  std::vector<std::pair<const char*, std::string>> args;
+};
+
+/// Process-wide trace sink in the Chrome trace_event model: spans append to
+/// per-thread buffers (no locks, no cross-thread contention on the record
+/// path), and export walks the buffers into a JSON document that opens
+/// directly in chrome://tracing or Perfetto.
+///
+/// Recording is off by default; a disabled Span costs one relaxed atomic
+/// load and nothing else. Enable()/export are meant to bracket a quiescent
+/// region (enable, run the pipeline, let worker pools drain, export) — the
+/// per-thread buffers are unsynchronized by design, so exporting while
+/// spans are still being recorded on other threads is undefined.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Starts recording: clears previously captured events and resets the
+  /// trace epoch (timestamp zero) to now.
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Nanoseconds of the Enable() epoch on the steady clock.
+  int64_t epoch_ns() const { return epoch_ns_.load(std::memory_order_acquire); }
+
+  /// Appends a completed event to the calling thread's buffer.
+  void Append(TraceEvent event);
+
+  /// Names the calling thread's lane in the exported trace (e.g.
+  /// "pool-worker-3"). Safe to call whether or not recording is on.
+  void SetCurrentThreadName(std::string name);
+
+  /// The captured trace as a Chrome trace_event JSON document.
+  std::string ToChromeJson();
+
+  /// Writes ToChromeJson() to `path`. Returns false (and fills *error when
+  /// non-null) on I/O failure.
+  bool WriteChromeJson(const std::string& path, std::string* error = nullptr);
+
+  /// Total events captured across all thread buffers.
+  size_t EventCount();
+  /// Distinct span categories captured so far (sorted).
+  std::vector<std::string> Categories();
+
+ private:
+  struct ThreadBuffer {
+    uint32_t tid = 0;
+    std::string thread_name;
+    std::vector<TraceEvent> events;
+  };
+
+  TraceRecorder() = default;
+  ThreadBuffer* CurrentBuffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> epoch_ns_{0};
+  std::mutex mu_;  ///< guards buffers_ registration/export, not appends
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::atomic<uint32_t> next_tid_{0};
+};
+
+/// Cheap check for "is anyone recording" — use to guard work that only
+/// exists to enrich the trace (building a dynamic span name, say).
+inline bool TracingEnabled() { return TraceRecorder::Global().enabled(); }
+
+/// Names the calling thread's trace lane.
+void SetCurrentThreadName(std::string name);
+
+/// RAII span: records [construction, destruction) into the calling thread's
+/// buffer when tracing is enabled. When disabled at construction the span
+/// is inert — no clock read, no allocation for the const char* overload.
+class Span {
+ public:
+  /// `name` and `category` must be string literals.
+  Span(const char* name, const char* category);
+  /// Dynamic-name overload; the string is consumed only when recording.
+  Span(std::string name, const char* category);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Attaches a key/value argument shown in the trace viewer. No-op when
+  /// the span is inactive. `key` must be a string literal.
+  void Arg(const char* key, std::string value);
+
+  /// Ends the span now (recording it) instead of at destruction.
+  void End();
+
+ private:
+  bool active_ = false;
+  const char* static_name_ = nullptr;  ///< null => dynamic_name_ holds it
+  std::string dynamic_name_;
+  const char* category_ = "";
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<const char*, std::string>> args_;
+};
+
+/// A span that doubles as the phase stopwatch feeding AdvisorTiming: the
+/// phase reads one clock pair whether or not tracing is on, so the Fig. 13
+/// breakdown is byte-identical with tracing enabled, disabled, or absent.
+class PhaseSpan {
+ public:
+  PhaseSpan(const char* name, const char* category)
+      : span_(name, category), start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds since construction; the span keeps running.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Ends the span and returns its duration in seconds.
+  double StopSeconds() {
+    const double elapsed = ElapsedSeconds();
+    span_.End();
+    return elapsed;
+  }
+
+ private:
+  Span span_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace nose
+
+#endif  // NOSE_OBS_TRACE_H_

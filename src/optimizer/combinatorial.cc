@@ -5,6 +5,8 @@
 #include <limits>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace nose {
@@ -40,7 +42,10 @@ class Solver {
       : in_(input), opt_(options) {}
 
   CombinatorialResult Run() {
+    obs::Span span("solver.combinatorial", "solver");
     CombinatorialResult result;
+    uint64_t evaluations = 0;
+    uint64_t incumbents = 0;
     std::vector<Node> stack;
     stack.push_back(Node{});
     double incumbent = kInf;
@@ -69,8 +74,11 @@ class Solver {
         stack.pop_back();
       }
       evals.assign(batch.size(), Evaluation{});
-      util::ParallelFor(opt_.threads, batch.size(),
-                        [&](size_t i) { evals[i] = Evaluate(batch[i]); });
+      evaluations += batch.size();
+      util::ParallelFor(opt_.threads, batch.size(), [&](size_t i) {
+        obs::Span eval_span("solver.comb_evaluate", "solver");
+        evals[i] = Evaluate(batch[i]);
+      });
 
       for (size_t i = 0; i < batch.size(); ++i) {
         if (result.nodes_explored >= opt_.max_nodes) {
@@ -89,6 +97,7 @@ class Solver {
         Evaluation& eval = evals[i];
         if (!eval.feasible) continue;
         if (eval.incumbent_cost < incumbent) {
+          ++incumbents;
           incumbent = eval.incumbent_cost;
           result.selected = std::move(eval.incumbent_selected);
           result.objective = incumbent;
@@ -115,6 +124,15 @@ class Solver {
       }
     }
     result.proven = result.feasible && !budget_hit;
+    static obs::Counter& nodes_counter =
+        obs::MetricsRegistry::Global().GetCounter("solver.comb_nodes");
+    static obs::Counter& evals_counter =
+        obs::MetricsRegistry::Global().GetCounter("solver.comb_evaluations");
+    static obs::Counter& incumbent_counter =
+        obs::MetricsRegistry::Global().GetCounter("solver.comb_incumbents");
+    nodes_counter.Add(static_cast<uint64_t>(result.nodes_explored));
+    evals_counter.Add(evaluations);
+    incumbent_counter.Add(incumbents);
     return result;
   }
 

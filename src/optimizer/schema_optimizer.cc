@@ -4,8 +4,11 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/combinatorial.h"
 #include "solver/lp.h"
 #include "util/stopwatch.h"
@@ -28,9 +31,14 @@ struct SpaceVars {
 
 /// Adds x_e variables for every edge and the path constraints
 /// (paper Fig. 7): Σ root edges = rhs; for every interior state,
-/// Σ outgoing = Σ incoming; x_e ≤ δ_cf.
+/// Σ outgoing = Σ incoming; x_e ≤ δ_cf. `label` names the space in traces;
+/// callers pass an empty string when tracing is off.
 void AddSpaceToBip(SpaceVars* sv, LpProblem* lp,
-                   const std::vector<int>& delta_vars, int* num_constraints) {
+                   const std::vector<int>& delta_vars, int* num_constraints,
+                   std::string label) {
+  obs::Span span("optimizer.add_space", "optimizer");
+  if (span.active()) span.Arg("space", std::move(label));
+  const int rows_before = *num_constraints;
   const PlanSpace& space = sv->space;
   sv->edge_vars.resize(space.states().size());
   for (size_t s = 0; s < space.states().size(); ++s) {
@@ -99,6 +107,9 @@ void AddSpaceToBip(SpaceVars* sv, LpProblem* lp,
       ++*num_constraints;
     }
   }
+  static obs::Counter& rows_generated = obs::MetricsRegistry::Global().GetCounter(
+      "optimizer.bip_rows_generated");
+  rows_generated.Add(static_cast<uint64_t>(*num_constraints - rows_before));
 }
 
 }  // namespace
@@ -107,6 +118,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     const Workload& workload, const std::string& mix,
     const CandidatePool& pool, util::ThreadPool* threads) const {
   OptimizationResult result;
+  obs::Span optimize_span("optimizer.optimize", "optimizer");
   Stopwatch total_watch;
   const std::vector<ColumnFamily>& candidates = pool.candidates();
   if (candidates.empty()) {
@@ -123,7 +135,11 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
   // side-effect-free, so it fans out on `threads` into pre-sized slots and
   // is merged in statement/candidate order, keeping every downstream index
   // (and hence the recommendation) identical at any thread count.
-  Stopwatch phase_watch;
+  // Each phase is one PhaseSpan: the span lands in the trace, and the same
+  // clock pair feeds AdvisorTiming so Fig. 13 output is independent of
+  // whether tracing is on.
+  std::optional<obs::PhaseSpan> phase;
+  phase.emplace("optimizer.cost_calculation", "optimizer");
   QueryPlanner planner(cost_, est_);
 
   std::vector<SpaceVars> query_spaces;  // workload queries
@@ -278,7 +294,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
                                 query_entries[qi]->name);
     }
   }
-  result.timing.cost_calculation_seconds = phase_watch.ElapsedSeconds();
+  result.timing.cost_calculation_seconds = phase->StopSeconds();
 
   // ==== Strategy selection. ====
   SolveStrategy strategy = options_.strategy;
@@ -294,7 +310,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
 
   if (strategy == SolveStrategy::kCombinatorial) {
     // ==== Combinatorial branch and bound (large instances). ====
-    phase_watch.Reset();
+    phase.emplace("optimizer.bip_construction", "optimizer");
     CombinatorialInput input;
     input.num_candidates = candidates.size();
     input.maintenance = delta_cost;
@@ -317,9 +333,9 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
         }
       }
     }
-    result.timing.bip_construction_seconds = phase_watch.ElapsedSeconds();
+    result.timing.bip_construction_seconds = phase->StopSeconds();
 
-    phase_watch.Reset();
+    phase.emplace("optimizer.bip_solve", "optimizer");
     CombinatorialOptions copt;
     copt.relative_gap = options_.bip.relative_gap;
     copt.max_nodes = options_.bip.max_nodes;
@@ -328,7 +344,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
                                   ? options_.bip.time_limit_seconds
                                   : 60.0;
     CombinatorialResult comb = SolveCombinatorial(input, copt);
-    result.timing.bip_solve_seconds = phase_watch.ElapsedSeconds();
+    result.timing.bip_solve_seconds = phase->StopSeconds();
     if (!comb.feasible) {
       return Status::ResourceExhausted(
           "combinatorial solve found no schema within its budget");
@@ -339,7 +355,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     selected = comb.selected;
   } else {
     // ==== BIP construction (paper Figs. 7 and 10). ====
-    phase_watch.Reset();
+    phase.emplace("optimizer.bip_construction", "optimizer");
     LpProblem lp;
     int num_constraints = 0;
 
@@ -348,8 +364,10 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
       delta_vars[c] =
           lp.AddVariable(0.0, allowed[c] ? 1.0 : 0.0, delta_cost[c]);
     }
-    for (SpaceVars& sv : query_spaces) {
-      AddSpaceToBip(&sv, &lp, delta_vars, &num_constraints);
+    const bool tracing = obs::TracingEnabled();
+    for (size_t qi = 0; qi < query_spaces.size(); ++qi) {
+      AddSpaceToBip(&query_spaces[qi], &lp, delta_vars, &num_constraints,
+                    tracing ? query_entries[qi]->name : std::string());
     }
     // Shared support spaces: root flow equals the indicator y_s; selecting
     // a dependent family forces y_s.
@@ -357,7 +375,9 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
       if (shared->sv.space.states().empty()) continue;
       shared->y_var = lp.AddVariable(0.0, 1.0, 0.0);
       shared->sv.root_delta_var = shared->y_var;
-      AddSpaceToBip(&shared->sv, &lp, delta_vars, &num_constraints);
+      AddSpaceToBip(&shared->sv, &lp, delta_vars, &num_constraints,
+                    tracing ? "support:" + shared->query->ToString()
+                            : std::string());
     }
     for (const SupportInfo& info : supports) {
       if (!allowed[info.cf_index]) continue;
@@ -418,10 +438,19 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
 
     result.bip_variables = lp.num_variables();
     result.bip_constraints = num_constraints;
-    result.timing.bip_construction_seconds = phase_watch.ElapsedSeconds();
+    {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      static obs::Gauge& vars_gauge = reg.GetGauge("optimizer.bip_variables");
+      static obs::Gauge& rows_gauge = reg.GetGauge("optimizer.bip_constraints");
+      static obs::Gauge& nnz_gauge = reg.GetGauge("optimizer.bip_nonzeros");
+      vars_gauge.Set(lp.num_variables());
+      rows_gauge.Set(num_constraints);
+      nnz_gauge.Set(static_cast<double>(lp.num_nonzeros()));
+    }
+    result.timing.bip_construction_seconds = phase->StopSeconds();
 
     // ==== BIP solving (two-stage, paper §V). ====
-    phase_watch.Reset();
+    phase.emplace("optimizer.bip_solve", "optimizer");
     BipResult first = SolveBip(lp, binaries, first_options);
     if (first.status == BipStatus::kInfeasible) {
       return Status::Infeasible(
@@ -469,7 +498,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
         chosen = std::move(second);
       }
     }
-    result.timing.bip_solve_seconds = phase_watch.ElapsedSeconds();
+    result.timing.bip_solve_seconds = phase->StopSeconds();
 
     for (size_t c = 0; c < candidates.size(); ++c) {
       selected[c] = chosen.x[static_cast<size_t>(delta_vars[c])] > 0.5;
@@ -477,6 +506,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
   }
 
   // ==== Phase: extraction ("other"). ====
+  obs::Span extraction_span("optimizer.extraction", "optimizer");
   for (size_t qi = 0; qi < query_spaces.size(); ++qi) {
     auto plan = query_spaces[qi].space.BestPlan(candidates, selected);
     if (!plan.ok()) {

@@ -8,6 +8,8 @@
 #include <optional>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace nose {
@@ -325,6 +327,21 @@ std::optional<MatchOutcome> TryMatch(const Query& q, const StateDesc& state,
 
 PlanSpace QueryPlanner::Build(const Query& query,
                               const std::vector<ColumnFamily>& pool) const {
+  // Build runs on pool workers during the cost-calculation phase; the span
+  // puts each query's plan-space construction on its worker's trace lane.
+  obs::Span span("planner.build_space", "planner");
+  static obs::Counter& spaces =
+      obs::MetricsRegistry::Global().GetCounter("planner.spaces_built");
+  static obs::Counter& states_counter =
+      obs::MetricsRegistry::Global().GetCounter("planner.states");
+  static obs::Counter& edges_counter =
+      obs::MetricsRegistry::Global().GetCounter("planner.edges");
+  static obs::Gauge& max_states =
+      obs::MetricsRegistry::Global().GetGauge("planner.max_space_states");
+  static obs::Histogram& state_depth = obs::MetricsRegistry::Global()
+                                           .GetHistogram(
+                                               "planner.space_states");
+
   PlanSpace space;
   space.query_ = &query;
 
@@ -406,6 +423,13 @@ PlanSpace QueryPlanner::Build(const Query& query,
       }
     }
   }
+  spaces.Increment();
+  states_counter.Add(space.states_.size());
+  size_t num_edges = 0;
+  for (const PlanSpaceState& st : space.states_) num_edges += st.edges.size();
+  edges_counter.Add(num_edges);
+  max_states.SetMax(static_cast<double>(space.states_.size()));
+  state_depth.Observe(static_cast<double>(space.states_.size()));
   return space;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <tuple>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace nose {
@@ -61,7 +63,11 @@ int PickBranchVariable(const LpProblem& problem, const std::vector<double>& x,
 
 BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars,
                    const BipOptions& options) {
+  obs::Span span("solver.bip", "solver");
   BipResult result;
+  uint64_t pruned = 0;
+  uint64_t infeasible = 0;
+  uint64_t incumbents = 0;
   double incumbent = LpProblem::kInfinity;
   if (options.warm_start != nullptr &&
       options.warm_start->size() ==
@@ -94,7 +100,10 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
     }
     Node node = std::move(stack.back());
     stack.pop_back();
-    if (node.parent_bound >= prune_threshold()) continue;
+    if (node.parent_bound >= prune_threshold()) {
+      ++pruned;
+      continue;
+    }
 
     ++result.nodes_explored;
     double lp_deadline = 0.0;
@@ -105,13 +114,19 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
     LpResult lp = problem.Solve(node.fixings, /*max_iterations=*/0,
                                 lp_deadline);
     result.lp_iterations += lp.iterations;
-    if (lp.status == LpStatus::kInfeasible) continue;
+    if (lp.status == LpStatus::kInfeasible) {
+      ++infeasible;
+      continue;
+    }
     if (lp.status != LpStatus::kOptimal) {
       // Unbounded or iteration-limited relaxations abort the search; the
       // schema optimizer's models are always bounded, so this is defensive.
       continue;
     }
-    if (lp.objective >= prune_threshold()) continue;
+    if (lp.objective >= prune_threshold()) {
+      ++pruned;
+      continue;
+    }
 
     const int branch_var = PickBranchVariable(problem, lp.x, binary_vars,
                                               options.integrality_tolerance);
@@ -125,6 +140,7 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
       }
       result.objective = incumbent;
       result.status = BipStatus::kOptimal;  // provisional; confirmed below
+      ++incumbents;
       continue;
     }
 
@@ -151,6 +167,18 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
   } else {
     result.status = BipStatus::kOptimal;
   }
+  static obs::Counter& nodes_counter =
+      obs::MetricsRegistry::Global().GetCounter("solver.bb_nodes");
+  static obs::Counter& pruned_counter =
+      obs::MetricsRegistry::Global().GetCounter("solver.bb_pruned");
+  static obs::Counter& infeasible_counter =
+      obs::MetricsRegistry::Global().GetCounter("solver.bb_infeasible");
+  static obs::Counter& incumbent_counter =
+      obs::MetricsRegistry::Global().GetCounter("solver.bb_incumbents");
+  nodes_counter.Add(static_cast<uint64_t>(result.nodes_explored));
+  pruned_counter.Add(pruned);
+  infeasible_counter.Add(infeasible);
+  incumbent_counter.Add(incumbents);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <tuple>
 
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 
 namespace nose {
@@ -46,6 +47,7 @@ void LpProblem::AddRow(RowType type, double rhs,
       merged.emplace_back(var, coeff);
     }
   }
+  num_nonzeros_ += merged.size();
   rows_.push_back(Row{type, rhs, std::move(merged)});
 }
 
@@ -480,7 +482,14 @@ LpResult LpProblem::Solve(
   if (max_iterations <= 0) {
     max_iterations = 20000 + 50 * (num_rows() + num_variables());
   }
-  return tableau.Run(max_iterations, deadline_seconds);
+  LpResult result = tableau.Run(max_iterations, deadline_seconds);
+  static obs::Counter& solves =
+      obs::MetricsRegistry::Global().GetCounter("solver.lp_solves");
+  static obs::Counter& iterations = obs::MetricsRegistry::Global().GetCounter(
+      "solver.simplex_iterations");
+  solves.Increment();
+  iterations.Add(static_cast<uint64_t>(result.iterations));
+  return result;
 }
 
 }  // namespace nose

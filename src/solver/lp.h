@@ -44,6 +44,9 @@ class LpProblem {
 
   int num_variables() const { return static_cast<int>(cost_.size()); }
   int num_rows() const { return static_cast<int>(rows_.size()); }
+  /// Structural nonzero count across all rows (after duplicate merging) —
+  /// the BIP density statistic the optimizer reports.
+  size_t num_nonzeros() const { return num_nonzeros_; }
 
   double cost(int var) const { return cost_[static_cast<size_t>(var)]; }
   double lower_bound(int var) const { return lb_[static_cast<size_t>(var)]; }
@@ -70,6 +73,7 @@ class LpProblem {
   std::vector<double> lb_;
   std::vector<double> ub_;
   std::vector<Row> rows_;
+  size_t num_nonzeros_ = 0;
 };
 
 }  // namespace nose

@@ -1,6 +1,39 @@
 #include "store/record_store.h"
 
+#include "obs/metrics.h"
+
 namespace nose {
+
+namespace {
+
+/// Store request counters live beside StoreStats rather than replacing it:
+/// StoreStats is per-store (and resettable by tests), while these feed the
+/// process-wide metrics snapshot. Counters only — no spans or histograms on
+/// this path, which the store microbenchmarks treat as hot.
+struct StoreCounters {
+  obs::Counter& gets;
+  obs::Counter& partitions_read;
+  obs::Counter& rows_read;
+  obs::Counter& bytes_read;
+  obs::Counter& puts;
+  obs::Counter& deletes;
+  obs::Counter& rows_written;
+
+  static StoreCounters& Get() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    static StoreCounters* c = new StoreCounters{
+        reg.GetCounter("store.gets"),
+        reg.GetCounter("store.partitions_read"),
+        reg.GetCounter("store.rows_read"),
+        reg.GetCounter("store.bytes_read"),
+        reg.GetCounter("store.puts"),
+        reg.GetCounter("store.deletes"),
+        reg.GetCounter("store.rows_written")};
+    return *c;
+  }
+};
+
+}  // namespace
 
 size_t TupleBytes(const ValueTuple& tuple) {
   size_t bytes = 0;
@@ -71,10 +104,12 @@ StatusOr<std::vector<RecordStore::Row>> RecordStore::Get(
 
   ++stats_.gets;
   stats_.simulated_ms += params_.read_request;
+  StoreCounters::Get().gets.Increment();
 
   std::vector<Row> rows;
   auto pit = cf->partitions.find(partition);
   if (pit == cf->partitions.end()) return rows;
+  StoreCounters::Get().partitions_read.Increment();
 
   // Iterate the ordered records of this partition from the prefix onward.
   const std::map<ValueTuple, ValueTuple>& records = pit->second;
@@ -130,6 +165,8 @@ StatusOr<std::vector<RecordStore::Row>> RecordStore::Get(
   size_t bytes = 0;
   for (const Row& r : rows) bytes += TupleBytes(r.clustering) + TupleBytes(r.values);
   stats_.bytes_read += bytes;
+  StoreCounters::Get().rows_read.Add(rows.size());
+  StoreCounters::Get().bytes_read.Add(bytes);
   stats_.simulated_ms += static_cast<double>(rows.size()) * params_.read_row +
                          static_cast<double>(bytes) * params_.read_byte;
   return rows;
@@ -155,6 +192,8 @@ Status RecordStore::Put(const std::string& name, const ValueTuple& partition,
   }
   ++stats_.puts;
   ++stats_.rows_written;
+  StoreCounters::Get().puts.Increment();
+  StoreCounters::Get().rows_written.Increment();
   stats_.simulated_ms +=
       params_.write_request +
       params_.write_row +
@@ -172,11 +211,13 @@ Status RecordStore::Delete(const std::string& name, const ValueTuple& partition,
   }
   ++stats_.deletes;
   stats_.simulated_ms += params_.write_request + params_.write_row;
+  StoreCounters::Get().deletes.Increment();
   auto pit = cf->partitions.find(partition);
   if (pit == cf->partitions.end()) return Status::Ok();
   if (pit->second.erase(clustering) > 0) {
     --cf->total_rows;
     ++stats_.rows_written;
+    StoreCounters::Get().rows_written.Increment();
   }
   if (pit->second.empty()) cf->partitions.erase(pit);
   return Status::Ok();

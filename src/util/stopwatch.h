@@ -6,6 +6,8 @@
 namespace nose {
 
 /// Wall-clock stopwatch used to time advisor phases (Fig. 13 breakdown).
+/// Pinned to steady_clock: phase timings and obs spans must never go
+/// backwards under NTP slew or wall-clock adjustment.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
@@ -21,6 +23,9 @@ class Stopwatch {
 
  private:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "phase timings require a monotonic clock; a non-steady "
+                "clock can run backwards and produce negative durations");
   Clock::time_point start_;
 };
 

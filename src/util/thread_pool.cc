@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/trace.h"
+
 namespace nose {
 namespace util {
 
@@ -105,6 +107,9 @@ void ThreadPool::FinishTask() {
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
   tls_worker_index = static_cast<int>(worker_index);
+  // Name this worker's lane in exported traces: spans recorded inside
+  // pool tasks land on their executing thread's timeline.
+  obs::SetCurrentThreadName("pool-worker-" + std::to_string(worker_index));
   while (true) {
     std::function<void()> task = TryGetTask(worker_index);
     if (task) {
