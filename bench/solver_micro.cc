@@ -1,12 +1,38 @@
-// Microbenchmarks of the LP/BIP solver substrate (google-benchmark):
-// simplex solve time vs problem size, and branch-and-bound on knapsack-like
-// binary programs. These bound the optimizer's per-node cost.
+// Microbenchmarks of the LP/BIP solver substrate.
+//
+// Default mode (google-benchmark): simplex solve time vs problem size, and
+// branch-and-bound on knapsack-like binary programs. These bound the
+// optimizer's per-node cost.
+//
+//   solver_micro [google-benchmark flags]
+//
+// Comparison mode: replays synthetic cover instances and the real
+// RUBiS-derived BIPs (captured from the schema optimizer via
+// OptimizerOptions::capture_bip) against both simplex engines, appending
+// one JSON object per instance to FILE (bench_results/ convention):
+// rows, nnz, per-engine solve time and objective, and speedup. Exits
+// non-zero if any sparse optimum diverges from the dense baseline — CI
+// runs this as a correctness gate.
+//
+//   solver_micro --json FILE
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "rubis/model.h"
+#include "rubis/workload.h"
 #include "solver/bip.h"
 #include "solver/lp.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace nose {
 namespace {
@@ -43,6 +69,18 @@ void BM_SimplexSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexSolve)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
 
+void BM_SimplexSolveDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LpProblem lp = MakeCoverLp(n, n / 2, 42);
+  for (auto _ : state) {
+    LpResult r = lp.Solve({}, 0, 0.0, LpEngine::kDense);
+    benchmark::DoNotOptimize(r.objective);
+  }
+  state.SetLabel("vars=" + std::to_string(n) +
+                 " rows=" + std::to_string(n / 2));
+}
+BENCHMARK(BM_SimplexSolveDense)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
 void BM_BipSolveCover(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   LpProblem lp = MakeCoverLp(n, n / 2, 7);
@@ -74,7 +112,237 @@ void BM_BipKnapsack(benchmark::State& state) {
 }
 BENCHMARK(BM_BipKnapsack)->Arg(20)->Arg(40)->Arg(80);
 
+// ===========================================================================
+// Sparse-vs-dense comparison mode (--json).
+// ===========================================================================
+
+struct Instance {
+  std::string name;
+  LpProblem lp;
+  std::vector<int> binaries;  // empty => compare LP relaxation only
+};
+
+/// Best-of-2 wall time for one LP solve on `engine`.
+double TimeLpMs(const LpProblem& lp, LpEngine engine, LpResult* out) {
+  double best = 0.0;
+  for (int rep = 0; rep < 2; ++rep) {
+    Stopwatch watch;
+    LpResult r = lp.Solve({}, 0, 0.0, engine);
+    const double ms = watch.ElapsedSeconds() * 1000.0;
+    if (rep == 0 || ms < best) {
+      best = ms;
+      *out = std::move(r);
+    }
+  }
+  return best;
+}
+
+double TimeBipMs(const LpProblem& lp, const std::vector<int>& binaries,
+                 LpEngine engine, double time_limit_seconds, BipResult* out) {
+  BipOptions options;
+  options.lp_engine = engine;
+  options.time_limit_seconds = time_limit_seconds;
+  Stopwatch watch;
+  *out = SolveBip(lp, binaries, options);
+  return watch.ElapsedSeconds() * 1000.0;
+}
+
+/// RUBiS workload with every statement cloned `k` times under distinct
+/// names. The advisor treats clones as separate statements, so plan
+/// spaces and the BIP grow ~k-fold while the candidate pool keeps the
+/// RUBiS shape (clones share the same interned column families) — this is
+/// how the comparison table gets a RUBiS-derived instance big enough to
+/// expose the engines' asymptotic gap.
+std::unique_ptr<Workload> ScaleWorkload(const Workload& base, int k) {
+  auto scaled = std::make_unique<Workload>(base.graph());
+  for (int c = 0; c < k; ++c) {
+    for (const WorkloadEntry& entry : base.entries()) {
+      const std::string name = entry.name + "__c" + std::to_string(c);
+      const double weight = entry.WeightIn(Workload::kDefaultMix);
+      if (weight <= 0.0) continue;
+      const Status status =
+          entry.IsQuery() ? scaled->AddQuery(name, entry.query(), weight)
+                          : scaled->AddUpdate(name, entry.update(), weight);
+      if (!status.ok()) {
+        std::fprintf(stderr, "FATAL [scale workload]: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  return scaled;
+}
+
+/// Captures the real RUBiS BIP for `mix` by running the advisor with the
+/// BIP strategy forced and a capture hook installed.
+Instance CaptureRubisBip(const Workload& workload, const std::string& mix) {
+  BipCapture capture;
+  AdvisorOptions options;
+  options.optimizer.strategy = SolveStrategy::kBip;
+  options.optimizer.capture_bip = &capture;
+  Advisor advisor(options);
+  auto rec = advisor.Recommend(workload, mix);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "FATAL [advise %s]: %s\n", mix.c_str(),
+                 rec.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (!capture.captured) {
+    std::fprintf(stderr, "FATAL [advise %s]: BIP was not captured\n",
+                 mix.c_str());
+    std::exit(1);
+  }
+  Instance inst;
+  inst.name = "rubis_" + mix;
+  inst.lp = std::move(capture.lp);
+  inst.binaries = std::move(capture.binary_vars);
+  return inst;
+}
+
+int CompareMain(const std::string& json_path) {
+  // Per-solve ceiling for the dense branch-and-bound replays; the reported
+  // speedup is then a lower bound when the dense engine times out.
+  constexpr double kBipTimeLimitSeconds = 120.0;
+
+  std::vector<Instance> instances;
+  for (int n : {200, 400, 800}) {
+    Instance inst;
+    inst.name = "cover_lp" + std::to_string(n);
+    inst.lp = MakeCoverLp(n, n / 2, 42);
+    instances.push_back(std::move(inst));
+  }
+  {
+    Instance inst;
+    inst.name = "cover_bip160";
+    inst.lp = MakeCoverLp(160, 80, 7);
+    for (int v = 0; v < 160; ++v) inst.binaries.push_back(v);
+    instances.push_back(std::move(inst));
+  }
+  // Real advisor instances: paper-like RUBiS entity counts, one BIP per
+  // mix. browsing drops the write transactions, so its BIP is smaller.
+  auto graph = rubis::MakeGraph();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "FATAL [model]: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  auto workload = rubis::MakeWorkload(**graph);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "FATAL [workload]: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  for (const char* mix :
+       {rubis::kBrowsingMix, rubis::kBiddingMix, rubis::kWrite100xMix}) {
+    instances.push_back(CaptureRubisBip(**workload, mix));
+  }
+  // The largest RUBiS-derived instance: the bidding workload cloned 3x.
+  {
+    std::unique_ptr<Workload> scaled = ScaleWorkload(**workload, 3);
+    Instance inst = CaptureRubisBip(*scaled, Workload::kDefaultMix);
+    inst.name = "rubis_x3";
+    instances.push_back(std::move(inst));
+  }
+
+  std::FILE* json = std::fopen(json_path.c_str(), "a");
+  if (json == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+
+  std::printf("%-18s %7s %7s %9s | %10s %10s %8s | %s\n", "instance", "vars",
+              "rows", "nnz", "sparse", "dense", "speedup", "objectives");
+  bool diverged_any = false;
+  for (Instance& inst : instances) {
+    const bool is_bip = !inst.binaries.empty();
+    LpResult sparse_lp, dense_lp;
+    const double sparse_lp_ms = TimeLpMs(inst.lp, LpEngine::kSparse, &sparse_lp);
+    const double dense_lp_ms = TimeLpMs(inst.lp, LpEngine::kDense, &dense_lp);
+    // The relaxation has one optimal value; both engines must agree on it
+    // to tight tolerance. This is the CI divergence gate.
+    const double lp_scale =
+        std::max({1.0, std::abs(sparse_lp.objective),
+                  std::abs(dense_lp.objective)});
+    bool diverged =
+        sparse_lp.status != dense_lp.status ||
+        std::abs(sparse_lp.objective - dense_lp.objective) > 1e-6 * lp_scale;
+
+    double sparse_bip_ms = 0.0, dense_bip_ms = 0.0;
+    BipResult sparse_bip, dense_bip;
+    if (is_bip) {
+      sparse_bip_ms = TimeBipMs(inst.lp, inst.binaries, LpEngine::kSparse,
+                                kBipTimeLimitSeconds, &sparse_bip);
+      dense_bip_ms = TimeBipMs(inst.lp, inst.binaries, LpEngine::kDense,
+                               kBipTimeLimitSeconds, &dense_bip);
+      // Branch-and-bound stops inside its MIP gap, so two engines may
+      // legitimately return different incumbents within twice the gap;
+      // only a larger disagreement (with both solves proven) is real.
+      if (sparse_bip.status == BipStatus::kOptimal &&
+          dense_bip.status == BipStatus::kOptimal) {
+        const double gap_tol =
+            2.0 * BipOptions().relative_gap *
+                std::max(std::abs(sparse_bip.objective),
+                         std::abs(dense_bip.objective)) +
+            1e-9;
+        if (std::abs(sparse_bip.objective - dense_bip.objective) > gap_tol) {
+          diverged = true;
+        }
+      }
+    }
+    diverged_any = diverged_any || diverged;
+
+    const double sparse_ms = is_bip ? sparse_bip_ms : sparse_lp_ms;
+    const double dense_ms = is_bip ? dense_bip_ms : dense_lp_ms;
+    const double speedup = sparse_ms > 0.0 ? dense_ms / sparse_ms : 0.0;
+    std::printf("%-18s %7d %7d %9zu | %8.2fms %8.2fms %7.2fx | %.6g vs %.6g%s\n",
+                inst.name.c_str(), inst.lp.num_variables(), inst.lp.num_rows(),
+                inst.lp.num_nonzeros(), sparse_ms, dense_ms, speedup,
+                is_bip ? sparse_bip.objective : sparse_lp.objective,
+                is_bip ? dense_bip.objective : dense_lp.objective,
+                diverged ? "  DIVERGED" : "");
+
+    std::fprintf(
+        json,
+        "{\"bench\":\"solver_micro\",\"instance\":\"%s\",\"kind\":\"%s\","
+        "\"vars\":%d,\"rows\":%d,\"nnz\":%zu,"
+        "\"sparse_lp_ms\":%.3f,\"dense_lp_ms\":%.3f,"
+        "\"sparse_lp_objective\":%.17g,\"dense_lp_objective\":%.17g",
+        inst.name.c_str(), is_bip ? "bip" : "lp", inst.lp.num_variables(),
+        inst.lp.num_rows(), inst.lp.num_nonzeros(), sparse_lp_ms, dense_lp_ms,
+        sparse_lp.objective, dense_lp.objective);
+    if (is_bip) {
+      std::fprintf(
+          json,
+          ",\"sparse_bip_ms\":%.3f,\"dense_bip_ms\":%.3f,"
+          "\"sparse_bip_objective\":%.17g,\"dense_bip_objective\":%.17g,"
+          "\"sparse_bip_status\":\"%s\",\"dense_bip_status\":\"%s\"",
+          sparse_bip_ms, dense_bip_ms, sparse_bip.objective,
+          dense_bip.objective, BipStatusName(sparse_bip.status),
+          BipStatusName(dense_bip.status));
+    }
+    std::fprintf(json, ",\"speedup\":%.3f,\"diverged\":%s}\n", speedup,
+                 diverged ? "true" : "false");
+  }
+  std::fclose(json);
+  if (diverged_any) {
+    std::fprintf(stderr,
+                 "error: sparse and dense optima diverged on at least one "
+                 "instance\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace nose
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return nose::CompareMain(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

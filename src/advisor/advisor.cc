@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <utility>
 
 #include "analysis/invariants.h"
 #include "obs/metrics.h"
@@ -15,35 +17,119 @@ namespace nose {
 Advisor::Advisor(AdvisorOptions options)
     : options_(options), cost_model_(options.cost_params) {}
 
+namespace {
+
+/// Builds the advisor's worker pool: num_threads == 1 keeps everything on
+/// the calling thread (no pool at all); the output is the same either way,
+/// only the wall clock differs.
+std::unique_ptr<util::ThreadPool> MakeWorkerPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = util::ThreadPool::DefaultNumThreads();
+  if (num_threads <= 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(num_threads);
+}
+
+}  // namespace
+
 StatusOr<Recommendation> Advisor::Recommend(const Workload& workload,
                                             const std::string& mix) const {
-  obs::PhaseSpan total("advisor.recommend", "advisor");
-  Recommendation rec;
-
-  // Shared worker pool for all pipeline phases. num_threads == 1 keeps
-  // everything on the calling thread (no pool at all); the output is the
-  // same either way, only the wall clock differs.
-  const size_t num_threads = options_.num_threads == 0
-                                 ? util::ThreadPool::DefaultNumThreads()
-                                 : options_.num_threads;
-  std::unique_ptr<util::ThreadPool> pool_threads;
-  if (num_threads > 1) {
-    pool_threads = std::make_unique<util::ThreadPool>(num_threads);
-  }
+  std::unique_ptr<util::ThreadPool> pool_threads =
+      MakeWorkerPool(options_.num_threads);
 
   // 1. Candidate enumeration (paper §IV-A, Algorithm 1).
   obs::PhaseSpan enumeration_phase("advisor.enumeration", "advisor");
   Enumerator enumerator(options_.enumerator);
-  rec.pool = enumerator.EnumerateWorkload(workload, mix, pool_threads.get());
+  CandidatePool pool =
+      enumerator.EnumerateWorkload(workload, mix, pool_threads.get());
+  const double enumeration_seconds = enumeration_phase.StopSeconds();
+
+  return RecommendImpl(workload, mix, std::move(pool), enumeration_seconds,
+                       pool_threads.get(), /*cache=*/nullptr);
+}
+
+StatusOr<std::vector<std::pair<std::string, Recommendation>>>
+Advisor::AdviseAllMixes(const Workload& workload,
+                        std::vector<std::string> mixes) const {
+  obs::Span all_span("advisor.advise_all_mixes", "advisor");
+  if (mixes.empty()) mixes = workload.MixNames();
+  if (mixes.empty()) {
+    return Status::InvalidArgument("workload declares no mixes");
+  }
+  std::unique_ptr<util::ThreadPool> pool_threads =
+      MakeWorkerPool(options_.num_threads);
+
+  // Mixes that weight the same statement set see the same candidates and
+  // the same plan spaces (enumeration and planning are weight-independent),
+  // so they share one pool and one PlanSpaceCache. Mixes that drop
+  // statements to weight zero (e.g. a read-only mix of a read/write
+  // workload) land in their own group — reusing a union pool for them
+  // would change the enumerated candidates and hence the recommendation.
+  struct Group {
+    CandidatePool pool;
+    double enumeration_seconds = 0.0;
+    PlanSpaceCache cache;
+  };
+  std::vector<std::unique_ptr<Group>> groups;
+  std::map<std::string, size_t> group_of_signature;
+  static obs::Counter& reuse_counter =
+      obs::MetricsRegistry::Global().GetCounter("advisor.pool_reuse_hits");
+
+  Enumerator enumerator(options_.enumerator);
+  std::vector<std::pair<std::string, Recommendation>> out;
+  out.reserve(mixes.size());
+  for (const std::string& mix : mixes) {
+    const auto entries = workload.EntriesIn(mix);
+    if (entries.empty()) {
+      return Status::InvalidArgument("workload has no statements in mix " +
+                                     mix);
+    }
+    std::string signature;
+    for (const auto& [entry, weight] : entries) {
+      signature += entry->name;
+      signature += '\n';
+    }
+    const auto [it, inserted] =
+        group_of_signature.emplace(std::move(signature), groups.size());
+    if (inserted) {
+      groups.push_back(std::make_unique<Group>());
+      obs::PhaseSpan enumeration_phase("advisor.enumeration", "advisor");
+      groups.back()->pool =
+          enumerator.EnumerateWorkload(workload, mix, pool_threads.get());
+      groups.back()->enumeration_seconds = enumeration_phase.StopSeconds();
+    } else {
+      reuse_counter.Increment();
+    }
+    Group& group = *groups[it->second];
+    // The pool is copied into each Recommendation (it owns it; plans point
+    // into the copy), and the first mix of the group carries the
+    // enumeration time in its Fig. 13 breakdown.
+    NOSE_ASSIGN_OR_RETURN(
+        Recommendation rec,
+        RecommendImpl(workload, mix, group.pool,
+                      inserted ? group.enumeration_seconds : 0.0,
+                      pool_threads.get(), &group.cache));
+    out.emplace_back(mix, std::move(rec));
+  }
+  return out;
+}
+
+StatusOr<Recommendation> Advisor::RecommendImpl(const Workload& workload,
+                                                const std::string& mix,
+                                                CandidatePool pool,
+                                                double enumeration_seconds,
+                                                util::ThreadPool* pool_threads,
+                                                PlanSpaceCache* cache) const {
+  obs::PhaseSpan total("advisor.recommend", "advisor");
+  Recommendation rec;
+  rec.pool = std::move(pool);
   rec.num_candidates = rec.pool.size();
-  rec.timing.enumeration_seconds = enumeration_phase.StopSeconds();
+  rec.timing.enumeration_seconds = enumeration_seconds;
 
   // 2-4. Query planning, schema optimization, plan recommendation.
   CardinalityEstimator estimator(workload.graph(), &cost_model_.params());
   SchemaOptimizer optimizer(&cost_model_, &estimator, options_.optimizer);
   NOSE_ASSIGN_OR_RETURN(
       OptimizationResult opt,
-      optimizer.Optimize(workload, mix, rec.pool, pool_threads.get()));
+      optimizer.Optimize(workload, mix, rec.pool, pool_threads, cache));
 
   rec.schema = std::move(opt.schema);
   rec.query_plans = std::move(opt.query_plans);
@@ -56,7 +142,9 @@ StatusOr<Recommendation> Advisor::Recommend(const Workload& workload,
   rec.timing.cost_calculation_seconds = opt.timing.cost_calculation_seconds;
   rec.timing.bip_construction_seconds = opt.timing.bip_construction_seconds;
   rec.timing.bip_solve_seconds = opt.timing.bip_solve_seconds;
-  rec.timing.total_seconds = total.ElapsedSeconds();
+  // Enumeration ran before this span started (Recommend times it; the
+  // shared-pool path charges it to the group's first mix).
+  rec.timing.total_seconds = total.ElapsedSeconds() + enumeration_seconds;
   // "Other" is the remainder of the Fig. 13 decomposition. The measured
   // phases use their own stopwatches, so rounding can push the remainder a
   // hair below zero — clamp it, and insist the decomposition still accounts

@@ -78,9 +78,30 @@ class Advisor {
       const Workload& workload,
       const std::string& mix = Workload::kDefaultMix) const;
 
+  /// Recommends a schema for every mix (all of the workload's mixes when
+  /// `mixes` is empty), paying for candidate enumeration and plan-space
+  /// construction once per group of mixes that share a statement set
+  /// instead of once per mix: mixes differing only in weights reuse the
+  /// interned pool and the cached plan spaces (weights enter later, as BIP
+  /// variable costs). Every recommendation is byte-identical to what
+  /// Recommend(workload, mix) returns — including at every thread count.
+  /// Results are in `mixes` order.
+  StatusOr<std::vector<std::pair<std::string, Recommendation>>> AdviseAllMixes(
+      const Workload& workload, std::vector<std::string> mixes = {}) const;
+
   const CostModel& cost_model() const { return cost_model_; }
 
  private:
+  /// Optimization + diagnostics + invariant audit for one mix against an
+  /// already-enumerated pool (moved into the Recommendation first, so plans
+  /// can point into it). Shared by Recommend and AdviseAllMixes.
+  StatusOr<Recommendation> RecommendImpl(const Workload& workload,
+                                         const std::string& mix,
+                                         CandidatePool pool,
+                                         double enumeration_seconds,
+                                         util::ThreadPool* threads,
+                                         PlanSpaceCache* cache) const;
+
   AdvisorOptions options_;
   CostModel cost_model_;
 };

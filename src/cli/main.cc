@@ -42,6 +42,12 @@ int Usage() {
                "options (advise):\n"
                "  --mix NAME            workload mix to advise for "
                "(default: 'default')\n"
+               "  --all-mixes           advise every mix, sharing the "
+               "candidate pool\n"
+               "                        and plan spaces across mixes with "
+               "the same\n"
+               "                        statement set (same output as "
+               "per-mix runs)\n"
                "  --space-limit-mb N    storage budget in megabytes\n"
                "  --format text|cql     output format (default text)\n"
                "  --strategy auto|bip|comb  candidate-selection solver\n"
@@ -133,7 +139,7 @@ int main(int argc, char** argv) {
   if (command == "advise") {
     value_flags.insert({"--mix", "--space-limit-mb", "--format", "--strategy",
                         "--solve-budget", "--threads", "--trace", "--metrics"});
-    bool_flags.insert("--verify");
+    bool_flags.insert({"--verify", "--all-mixes"});
   }
   std::map<std::string, std::string> args;
   if (!ParseArgs(argc, argv, 2, value_flags, bool_flags, &args)) {
@@ -240,11 +246,17 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (args.count("--verify") > 0) options.verify_invariants = true;
+  const bool all_mixes = args.count("--all-mixes") > 0;
+  if (all_mixes && args.count("--mix") > 0) {
+    std::fprintf(stderr, "error: --mix and --all-mixes are exclusive\n");
+    return Usage();
+  }
   const std::string mix = args.count("--mix") > 0
                               ? args["--mix"]
                               : std::string(nose::Workload::kDefaultMix);
   const std::vector<std::string> mixes = (*workload)->MixNames();
-  if (std::find(mixes.begin(), mixes.end(), mix) == mixes.end()) {
+  if (!all_mixes &&
+      std::find(mixes.begin(), mixes.end(), mix) == mixes.end()) {
     std::fprintf(stderr, "error: workload has no mix '%s'; available:",
                  mix.c_str());
     for (const std::string& m : mixes) std::fprintf(stderr, " %s", m.c_str());
@@ -268,10 +280,21 @@ int main(int argc, char** argv) {
   }
 
   nose::Advisor advisor(options);
-  auto rec = advisor.Recommend(**workload, mix);
-  if (!rec.ok()) {
-    std::cerr << "advisor error: " << rec.status() << "\n";
-    return 1;
+  std::vector<std::pair<std::string, nose::Recommendation>> results;
+  if (all_mixes) {
+    auto recs = advisor.AdviseAllMixes(**workload);
+    if (!recs.ok()) {
+      std::cerr << "advisor error: " << recs.status() << "\n";
+      return 1;
+    }
+    results = std::move(*recs);
+  } else {
+    auto rec = advisor.Recommend(**workload, mix);
+    if (!rec.ok()) {
+      std::cerr << "advisor error: " << rec.status() << "\n";
+      return 1;
+    }
+    results.emplace_back(mix, std::move(*rec));
   }
   // The advisor's pool is destroyed inside Recommend, so every worker has
   // drained and the buffers are quiescent — safe to export.
@@ -294,16 +317,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
   }
 
-  if (format == "cql") {
-    std::cout << nose::RecommendationToCql(*rec);
-  } else {
-    std::cout << rec->ToString();
+  for (const auto& [rec_mix, rec] : results) {
+    if (results.size() > 1) {
+      std::cout << "##### mix: " << rec_mix << " #####\n";
+    }
+    if (format == "cql") {
+      std::cout << nose::RecommendationToCql(rec);
+    } else {
+      std::cout << rec.ToString();
+    }
+    std::fprintf(stderr,
+                 "advised '%s' in %.2fs: %zu candidates -> %zu column "
+                 "families (workload cost %.4f%s)\n",
+                 rec_mix.c_str(), rec.timing.total_seconds,
+                 rec.num_candidates, rec.schema.size(), rec.objective,
+                 rec.solve_proven ? "" : ", budget-bound");
   }
-  std::fprintf(stderr,
-               "advised '%s' in %.2fs: %zu candidates -> %zu column "
-               "families (workload cost %.4f%s)\n",
-               mix.c_str(), rec->timing.total_seconds, rec->num_candidates,
-               rec->schema.size(), rec->objective,
-               rec->solve_proven ? "" : ", budget-bound");
   return 0;
 }

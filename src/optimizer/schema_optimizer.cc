@@ -29,16 +29,12 @@ struct SpaceVars {
   int root_delta_var = -1;  // -1 => constant 1
 };
 
-/// Adds x_e variables for every edge and the path constraints
-/// (paper Fig. 7): Σ root edges = rhs; for every interior state,
-/// Σ outgoing = Σ incoming; x_e ≤ δ_cf. `label` names the space in traces;
-/// callers pass an empty string when tracing is off.
-void AddSpaceToBip(SpaceVars* sv, LpProblem* lp,
-                   const std::vector<int>& delta_vars, int* num_constraints,
-                   std::string label) {
-  obs::Span span("optimizer.add_space", "optimizer");
-  if (span.active()) span.Arg("space", std::move(label));
-  const int rows_before = *num_constraints;
+/// Allocates the x_e variable for every edge of the space, with cost
+/// weight · edge.cost. Serial and cheap; runs before row assembly so the
+/// variable numbering matches what the original interleaved build produced
+/// (deltas, then per-query edges, then per-support y/edges) and
+/// recommendations are unchanged.
+void AssignSpaceVariables(SpaceVars* sv, LpProblem* lp) {
   const PlanSpace& space = sv->space;
   sv->edge_vars.resize(space.states().size());
   for (size_t s = 0; s < space.states().size(); ++s) {
@@ -49,14 +45,26 @@ void AddSpaceToBip(SpaceVars* sv, LpProblem* lp,
       sv->edge_vars[s][e] = lp->AddVariable(0.0, 1.0, cost);
     }
   }
+}
+
+/// Builds the path constraints for one space (paper Fig. 7) into `buf`:
+/// Σ root edges = rhs; for every interior state, Σ outgoing = Σ incoming;
+/// x_e ≤ δ_cf. Reads the pre-assigned edge variables and never touches the
+/// LpProblem, so spaces fan out on the thread pool and the buffers are
+/// appended in statement order afterwards. `label` names the space in
+/// traces; callers pass an empty string when tracing is off.
+void BuildSpaceRows(const SpaceVars& sv, const std::vector<int>& delta_vars,
+                    LpRowBuffer* buf, std::string label) {
+  obs::Span span("optimizer.add_space", "optimizer");
+  if (span.active()) span.Arg("space", std::move(label));
+  const PlanSpace& space = sv.space;
   // Linking constraints x_e <= delta_j.
   for (size_t s = 0; s < space.states().size(); ++s) {
     const PlanSpaceState& state = space.states()[s];
     for (size_t e = 0; e < state.edges.size(); ++e) {
-      lp->AddRow(RowType::kLe, 0.0,
-                 {{sv->edge_vars[s][e], 1.0},
-                  {delta_vars[state.edges[e].cf_index], -1.0}});
-      ++*num_constraints;
+      buf->Add(RowType::kLe, 0.0,
+               {{sv.edge_vars[s][e], 1.0},
+                {delta_vars[state.edges[e].cf_index], -1.0}});
     }
   }
   // Flow conservation. Incoming edges per state:
@@ -66,36 +74,34 @@ void AddSpaceToBip(SpaceVars* sv, LpProblem* lp,
     for (size_t e = 0; e < state.edges.size(); ++e) {
       const int t = state.edges[e].target_state;
       if (t != PlanSpaceEdge::kDone) {
-        incoming[static_cast<size_t>(t)].push_back(sv->edge_vars[s][e]);
+        incoming[static_cast<size_t>(t)].push_back(sv.edge_vars[s][e]);
       }
     }
   }
   // Root: sum of outgoing = 1 (query) or = y (support query).
   {
     std::vector<std::pair<int, double>> coeffs;
-    for (int v : sv->edge_vars[0]) coeffs.emplace_back(v, 1.0);
-    if (sv->root_delta_var >= 0) {
-      coeffs.emplace_back(sv->root_delta_var, -1.0);
-      lp->AddRow(RowType::kEq, 0.0, std::move(coeffs));
+    for (int v : sv.edge_vars[0]) coeffs.emplace_back(v, 1.0);
+    if (sv.root_delta_var >= 0) {
+      coeffs.emplace_back(sv.root_delta_var, -1.0);
+      buf->Add(RowType::kEq, 0.0, std::move(coeffs));
     } else {
-      lp->AddRow(RowType::kEq, 1.0, std::move(coeffs));
+      buf->Add(RowType::kEq, 1.0, std::move(coeffs));
     }
-    ++*num_constraints;
   }
   // Interior states: outgoing - incoming = 0.
   for (size_t s = 1; s < space.states().size(); ++s) {
     std::vector<std::pair<int, double>> coeffs;
-    for (int v : sv->edge_vars[s]) coeffs.emplace_back(v, 1.0);
+    for (int v : sv.edge_vars[s]) coeffs.emplace_back(v, 1.0);
     for (int v : incoming[s]) coeffs.emplace_back(v, -1.0);
     if (coeffs.empty()) continue;
-    lp->AddRow(RowType::kEq, 0.0, std::move(coeffs));
-    ++*num_constraints;
+    buf->Add(RowType::kEq, 0.0, std::move(coeffs));
   }
   // Cover cut (workload queries only): every plan opens with some
   // first-step column family, so at least one of them must be selected
   // outright. Redundant for integer solutions but tightens the LP bound,
   // which otherwise pays maintenance costs fractionally.
-  if (sv->root_delta_var < 0) {
+  if (sv.root_delta_var < 0) {
     std::set<int> root_cfs;
     for (const PlanSpaceEdge& e : space.states()[0].edges) {
       root_cfs.insert(delta_vars[e.cf_index]);
@@ -103,20 +109,20 @@ void AddSpaceToBip(SpaceVars* sv, LpProblem* lp,
     std::vector<std::pair<int, double>> coeffs;
     for (int dv : root_cfs) coeffs.emplace_back(dv, 1.0);
     if (!coeffs.empty()) {
-      lp->AddRow(RowType::kGe, 1.0, std::move(coeffs));
-      ++*num_constraints;
+      buf->Add(RowType::kGe, 1.0, std::move(coeffs));
     }
   }
   static obs::Counter& rows_generated = obs::MetricsRegistry::Global().GetCounter(
       "optimizer.bip_rows_generated");
-  rows_generated.Add(static_cast<uint64_t>(*num_constraints - rows_before));
+  rows_generated.Add(static_cast<uint64_t>(buf->size()));
 }
 
 }  // namespace
 
 StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     const Workload& workload, const std::string& mix,
-    const CandidatePool& pool, util::ThreadPool* threads) const {
+    const CandidatePool& pool, util::ThreadPool* threads,
+    PlanSpaceCache* cache) const {
   OptimizationResult result;
   obs::Span optimize_span("optimizer.optimize", "optimizer");
   Stopwatch total_watch;
@@ -151,11 +157,38 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     query_weights.push_back(weight);
   }
   query_spaces.resize(query_entries.size());
+  // Cache probe runs serially (the map is not synchronized); only the
+  // misses fan out to the planner.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  std::vector<char> query_cached(query_entries.size(), 0);
+  if (cache != nullptr) {
+    for (size_t qi = 0; qi < query_entries.size(); ++qi) {
+      auto it = cache->query_spaces.find(query_entries[qi]->name);
+      if (it != cache->query_spaces.end()) {
+        query_spaces[qi].space = it->second;
+        query_cached[qi] = 1;
+        ++cache_hits;
+      } else {
+        ++cache_misses;
+      }
+    }
+  }
   util::ParallelFor(threads, query_entries.size(), [&](size_t qi) {
-    query_spaces[qi].space =
-        planner.Build(query_entries[qi]->query(), candidates);
+    if (!query_cached[qi]) {
+      query_spaces[qi].space =
+          planner.Build(query_entries[qi]->query(), candidates);
+    }
     query_spaces[qi].weight = query_weights[qi];
   });
+  if (cache != nullptr) {
+    for (size_t qi = 0; qi < query_entries.size(); ++qi) {
+      if (!query_cached[qi]) {
+        cache->query_spaces.emplace(query_entries[qi]->name,
+                                    query_spaces[qi].space);
+      }
+    }
+  }
   for (size_t qi = 0; qi < query_spaces.size(); ++qi) {
     if (!query_spaces[qi].space.HasPlan()) {
       return Status::Infeasible("no candidate plan covers query " +
@@ -172,6 +205,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     std::shared_ptr<const Query> query;  // owns the synthesized query
     SpaceVars sv;
     int y_var = -1;
+    bool from_cache = false;  // space copied from the PlanSpaceCache
   };
   std::vector<std::unique_ptr<SharedSupport>> shared_supports;
   std::map<std::pair<const WorkloadEntry*, std::string>, size_t> shared_index;
@@ -202,8 +236,20 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     update_entries.push_back(entry);
     update_weights.push_back(weight);
   }
+  std::vector<char> update_cached(update_entries.size(), 0);
+  if (cache != nullptr) {
+    for (size_t u = 0; u < update_entries.size(); ++u) {
+      if (cache->update_supports.count(update_entries[u]->name) != 0) {
+        update_cached[u] = 1;
+        ++cache_hits;
+      } else {
+        ++cache_misses;
+      }
+    }
+  }
   std::vector<std::vector<RawSupport>> raw_supports(update_entries.size());
   util::ParallelFor(threads, update_entries.size(), [&](size_t u) {
+    if (update_cached[u]) return;
     const Update& update = update_entries[u]->update();
     for (size_t c = 0; c < candidates.size(); ++c) {
       if (!Modifies(update, candidates[c])) continue;
@@ -216,41 +262,109 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
   });
 
   // Pass 2 (serial, deterministic order): dedup shared support queries.
+  // Cached updates replay the recorded (cf, write cost, support text)
+  // tuples — same iteration order as a fresh compute, so every downstream
+  // index is identical with and without a cache.
   for (size_t u = 0; u < update_entries.size(); ++u) {
+    const WorkloadEntry* uentry = update_entries[u];
+    auto intern_support = [&](const std::string& text,
+                              SupportInfo* info) {
+      const auto key = std::make_pair(uentry, text);
+      auto it = shared_index.find(key);
+      size_t idx;
+      if (it == shared_index.end()) {
+        auto shared = std::make_unique<SharedSupport>();
+        if (cache != nullptr) {
+          auto cit = cache->support_spaces.find(uentry->name + "\n" + text);
+          if (cit != cache->support_spaces.end()) {
+            shared->query = cit->second.query;
+            shared->sv.space = cit->second.space;
+            shared->from_cache = true;
+          }
+        }
+        shared->sv.weight = update_weights[u];
+        idx = shared_supports.size();
+        shared_index.emplace(key, idx);
+        shared_supports.push_back(std::move(shared));
+      } else {
+        idx = it->second;
+      }
+      info->shared_ids.push_back(idx);
+    };
+    if (update_cached[u]) {
+      for (const PlanSpaceCache::UpdateSupport& us :
+           cache->update_supports.at(uentry->name)) {
+        SupportInfo info;
+        info.entry = uentry;
+        info.weight = update_weights[u];
+        info.cf_index = us.cf_index;
+        info.write_cost = us.write_cost;
+        for (const std::string& text : us.support_texts) {
+          intern_support(text, &info);
+        }
+        supports.push_back(std::move(info));
+      }
+      continue;
+    }
+    std::vector<PlanSpaceCache::UpdateSupport> cache_entry;
     for (RawSupport& raw : raw_supports[u]) {
       SupportInfo info;
-      info.entry = update_entries[u];
+      info.entry = uentry;
       info.weight = update_weights[u];
       info.cf_index = raw.cf_index;
       info.write_cost = raw.write_cost;
+      PlanSpaceCache::UpdateSupport us;
+      us.cf_index = raw.cf_index;
+      us.write_cost = raw.write_cost;
       for (Query& sq : raw.support_queries) {
-        const auto key = std::make_pair(update_entries[u], sq.ToString());
-        auto it = shared_index.find(key);
-        size_t idx;
-        if (it == shared_index.end()) {
+        std::string text = sq.ToString();
+        const auto key = std::make_pair(uentry, text);
+        if (shared_index.find(key) == shared_index.end()) {
+          // First sighting: take ownership of the synthesized query.
           auto shared = std::make_unique<SharedSupport>();
           shared->query = std::make_shared<Query>(std::move(sq));
           shared->sv.weight = update_weights[u];
-          idx = shared_supports.size();
-          shared_index.emplace(key, idx);
+          shared_index.emplace(key, shared_supports.size());
           shared_supports.push_back(std::move(shared));
-        } else {
-          idx = it->second;
         }
-        info.shared_ids.push_back(idx);
+        info.shared_ids.push_back(shared_index.at(key));
+        us.support_texts.push_back(std::move(text));
       }
       supports.push_back(std::move(info));
+      if (cache != nullptr) cache_entry.push_back(std::move(us));
+    }
+    if (cache != nullptr) {
+      cache->update_supports.emplace(uentry->name, std::move(cache_entry));
     }
   }
 
-  // Pass 3 (parallel): build the deduplicated support plan spaces.
+  // Pass 3 (parallel): build the deduplicated support plan spaces that the
+  // cache did not already hold.
   util::ParallelFor(threads, shared_supports.size(), [&](size_t i) {
     SharedSupport& shared = *shared_supports[i];
+    if (shared.from_cache) return;
     shared.sv.space = planner.Build(*shared.query, candidates);
     if (!shared.sv.space.HasPlan()) {
       shared.sv.space = PlanSpace();  // unanswerable marker
     }
   });
+  if (cache != nullptr) {
+    for (const auto& [key, idx] : shared_index) {
+      const SharedSupport& shared = *shared_supports[idx];
+      if (shared.from_cache) continue;
+      PlanSpaceCache::SupportSpace entry;
+      entry.query = shared.query;
+      entry.space = shared.sv.space;
+      cache->support_spaces.emplace(key.first->name + "\n" + key.second,
+                                    std::move(entry));
+    }
+    static obs::Counter& hits_counter = obs::MetricsRegistry::Global().GetCounter(
+        "optimizer.plan_space_cache_hits");
+    static obs::Counter& miss_counter = obs::MetricsRegistry::Global().GetCounter(
+        "optimizer.plan_space_cache_misses");
+    hits_counter.Add(cache_hits);
+    miss_counter.Add(cache_misses);
+  }
   for (SupportInfo& info : supports) {
     for (size_t idx : info.shared_ids) {
       if (shared_supports[idx]->sv.space.states().empty()) {
@@ -365,19 +479,41 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
           lp.AddVariable(0.0, allowed[c] ? 1.0 : 0.0, delta_cost[c]);
     }
     const bool tracing = obs::TracingEnabled();
-    for (size_t qi = 0; qi < query_spaces.size(); ++qi) {
-      AddSpaceToBip(&query_spaces[qi], &lp, delta_vars, &num_constraints,
-                    tracing ? query_entries[qi]->name : std::string());
-    }
+    Stopwatch assembly_watch;
+    // Variable assignment stays serial: it is cheap, and running it first
+    // reproduces the exact numbering of the original interleaved build.
     // Shared support spaces: root flow equals the indicator y_s; selecting
     // a dependent family forces y_s.
+    for (SpaceVars& sv : query_spaces) AssignSpaceVariables(&sv, &lp);
+    std::vector<SharedSupport*> active_supports;
     for (auto& shared : shared_supports) {
       if (shared->sv.space.states().empty()) continue;
       shared->y_var = lp.AddVariable(0.0, 1.0, 0.0);
       shared->sv.root_delta_var = shared->y_var;
-      AddSpaceToBip(&shared->sv, &lp, delta_vars, &num_constraints,
-                    tracing ? "support:" + shared->query->ToString()
-                            : std::string());
+      AssignSpaceVariables(&shared->sv, &lp);
+      active_supports.push_back(shared.get());
+    }
+    // Row generation per space is independent of the LpProblem, so it fans
+    // out on the pool into per-space buffers, appended in statement order
+    // (PR 2's deterministic-merge rule) — the assembled rows match the
+    // serial build exactly at any thread count.
+    const size_t total_spaces = query_spaces.size() + active_supports.size();
+    std::vector<LpRowBuffer> row_buffers(total_spaces);
+    util::ParallelFor(threads, total_spaces, [&](size_t i) {
+      if (i < query_spaces.size()) {
+        BuildSpaceRows(query_spaces[i], delta_vars, &row_buffers[i],
+                       tracing ? query_entries[i]->name : std::string());
+      } else {
+        const SharedSupport& shared =
+            *active_supports[i - query_spaces.size()];
+        BuildSpaceRows(shared.sv, delta_vars, &row_buffers[i],
+                       tracing ? "support:" + shared.query->ToString()
+                               : std::string());
+      }
+    });
+    for (LpRowBuffer& buf : row_buffers) {
+      num_constraints += static_cast<int>(buf.size());
+      lp.AppendRows(std::move(buf));
     }
     for (const SupportInfo& info : supports) {
       if (!allowed[info.cf_index]) continue;
@@ -435,6 +571,31 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
       }
       if (warm_ok) first_options.warm_start = &warm;
     }
+    // Shared-pool advising: the previous mix's optimum is feasible here
+    // (same variables and rows, different weights); start from it when it
+    // undercuts the greedy incumbent.
+    if (cache != nullptr &&
+        cache->last_bip_solution.size() ==
+            static_cast<size_t>(lp.num_variables())) {
+      auto objective_of = [&lp](const std::vector<double>& x) {
+        double obj = 0.0;
+        for (int v = 0; v < lp.num_variables(); ++v) {
+          obj += lp.cost(v) * x[static_cast<size_t>(v)];
+        }
+        return obj;
+      };
+      if (first_options.warm_start == nullptr ||
+          objective_of(cache->last_bip_solution) <
+              objective_of(*first_options.warm_start)) {
+        first_options.warm_start = &cache->last_bip_solution;
+      }
+    }
+
+    if (options_.capture_bip != nullptr) {
+      options_.capture_bip->lp = lp;
+      options_.capture_bip->binary_vars = binaries;
+      options_.capture_bip->captured = true;
+    }
 
     result.bip_variables = lp.num_variables();
     result.bip_constraints = num_constraints;
@@ -443,9 +604,14 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
       static obs::Gauge& vars_gauge = reg.GetGauge("optimizer.bip_variables");
       static obs::Gauge& rows_gauge = reg.GetGauge("optimizer.bip_constraints");
       static obs::Gauge& nnz_gauge = reg.GetGauge("optimizer.bip_nonzeros");
+      // A gauge, not a counter: wall time varies run to run, and the
+      // counter determinism tests compare complete counter maps.
+      static obs::Gauge& assembly_gauge =
+          reg.GetGauge("optimizer.bip_assembly_ms");
       vars_gauge.Set(lp.num_variables());
       rows_gauge.Set(num_constraints);
       nnz_gauge.Set(static_cast<double>(lp.num_nonzeros()));
+      assembly_gauge.Set(assembly_watch.ElapsedSeconds() * 1000.0);
     }
     result.timing.bip_construction_seconds = phase->StopSeconds();
 
@@ -503,6 +669,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     for (size_t c = 0; c < candidates.size(); ++c) {
       selected[c] = chosen.x[static_cast<size_t>(delta_vars[c])] > 0.5;
     }
+    if (cache != nullptr) cache->last_bip_solution = chosen.x;
   }
 
   // ==== Phase: extraction ("other"). ====

@@ -1,6 +1,8 @@
 #ifndef NOSE_OPTIMIZER_SCHEMA_OPTIMIZER_H_
 #define NOSE_OPTIMIZER_SCHEMA_OPTIMIZER_H_
 
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +35,16 @@ enum class SolveStrategy {
   kAuto,
 };
 
+/// Snapshot of the assembled BIP, filled when
+/// OptimizerOptions::capture_bip is set. Benchmarks (solver_micro --json)
+/// use it to extract real advisor instances and replay them against both
+/// simplex engines.
+struct BipCapture {
+  LpProblem lp;
+  std::vector<int> binary_vars;
+  bool captured = false;
+};
+
 struct OptimizerOptions {
   /// Optional storage budget in bytes (paper: "an optional space
   /// constraint").
@@ -43,6 +55,42 @@ struct OptimizerOptions {
   SolveStrategy strategy = SolveStrategy::kAuto;
   size_t auto_bip_threshold = 120;
   BipOptions bip;
+  /// When non-null and the BIP strategy runs, receives a copy of the
+  /// assembled problem before solving.
+  BipCapture* capture_bip = nullptr;
+};
+
+/// Mix-independent artifacts reused across Optimize() calls on the SAME
+/// (workload, candidate pool, cost model): a plan space depends only on the
+/// statement, the candidates, and the cost model — mix weights enter later,
+/// as BIP variable costs. Advisor::AdviseAllMixes keeps one cache per group
+/// of mixes sharing a statement set, so Fig. 12-style re-advising pays for
+/// planning once per group instead of once per mix.
+struct PlanSpaceCache {
+  /// Workload-query plan spaces keyed by statement name.
+  std::map<std::string, PlanSpace> query_spaces;
+
+  struct SupportSpace {
+    std::shared_ptr<const Query> query;  ///< owns the synthesized query
+    PlanSpace space;  ///< empty states() marks an unanswerable support query
+  };
+  /// Keyed by update statement name + '\n' + support-query text.
+  std::map<std::string, SupportSpace> support_spaces;
+
+  struct UpdateSupport {
+    size_t cf_index;
+    double write_cost;
+    std::vector<std::string> support_texts;
+  };
+  /// Per update statement name: the candidates it modifies, priced, with
+  /// the texts of their support queries.
+  std::map<std::string, std::vector<UpdateSupport>> update_supports;
+
+  /// The previous mix's optimal BIP solution. Mixes sharing a cache build
+  /// BIPs with identical variables and rows (only objective weights
+  /// differ), so this point stays feasible and seeds branch-and-bound
+  /// with a tight incumbent when it beats the greedy warm start.
+  std::vector<double> last_bip_solution;
 };
 
 /// Phase timing for the Fig. 13 runtime breakdown.
@@ -85,15 +133,18 @@ class SchemaOptimizer {
 
   /// `pool` must outlive the result (recommended plans point into it).
   /// When `threads` is non-null the independent per-statement stages —
-  /// plan-space construction, support costing, and (for the combinatorial
-  /// strategy) branch-and-bound node evaluation — run on it; results are
-  /// merged in deterministic statement/candidate order, so the
-  /// recommendation is identical at every thread count.
+  /// plan-space construction, support costing, BIP row assembly, and (for
+  /// the combinatorial strategy) branch-and-bound node evaluation — run on
+  /// it; results are merged in deterministic statement/candidate order, so
+  /// the recommendation is identical at every thread count.
+  /// When `cache` is non-null, plan spaces and priced supports are read
+  /// from / written into it; the caller must pass the same workload, pool,
+  /// and cost model for every call sharing a cache.
   StatusOr<OptimizationResult> Optimize(const Workload& workload,
                                         const std::string& mix,
                                         const CandidatePool& pool,
-                                        util::ThreadPool* threads =
-                                            nullptr) const;
+                                        util::ThreadPool* threads = nullptr,
+                                        PlanSpaceCache* cache = nullptr) const;
 
  private:
   const CostModel* cost_;

@@ -112,7 +112,7 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
           1.0, options.time_limit_seconds - watch.ElapsedSeconds());
     }
     LpResult lp = problem.Solve(node.fixings, /*max_iterations=*/0,
-                                lp_deadline);
+                                lp_deadline, options.lp_engine);
     result.lp_iterations += lp.iterations;
     if (lp.status == LpStatus::kInfeasible) {
       ++infeasible;
@@ -131,12 +131,19 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
     const int branch_var = PickBranchVariable(problem, lp.x, binary_vars,
                                               options.integrality_tolerance);
     if (branch_var == -1) {
-      // Integral: new incumbent. Snap binaries exactly.
-      incumbent = lp.objective;
+      // Integral: new incumbent. Snap binaries exactly, then recompute the
+      // objective from the snapped point in index order — this makes the
+      // reported optimum independent of the simplex engine's floating-point
+      // path (sparse and dense agree bitwise on instances whose costs and
+      // solution values are exactly representable).
       result.x = std::move(lp.x);
       for (int var : binary_vars) {
         result.x[static_cast<size_t>(var)] =
             std::round(result.x[static_cast<size_t>(var)]);
+      }
+      incumbent = 0.0;
+      for (int v = 0; v < problem.num_variables(); ++v) {
+        incumbent += problem.cost(v) * result.x[static_cast<size_t>(v)];
       }
       result.objective = incumbent;
       result.status = BipStatus::kOptimal;  // provisional; confirmed below

@@ -36,6 +36,8 @@ struct BipOptions {
   /// phase); used as the initial incumbent so pruning bites immediately.
   /// Feasibility is the caller's responsibility.
   const std::vector<double>* warm_start = nullptr;
+  /// Simplex core used for every node relaxation.
+  LpEngine lp_engine = LpEngine::kSparse;
 };
 
 struct BipResult {

@@ -26,6 +26,41 @@ const char* LpStatusName(LpStatus status) {
   return "?";
 }
 
+const char* LpEngineName(LpEngine engine) {
+  switch (engine) {
+    case LpEngine::kSparse:
+      return "sparse";
+    case LpEngine::kDense:
+      return "dense";
+  }
+  return "?";
+}
+
+LpRow MakeLpRow(RowType type, double rhs,
+                std::vector<std::pair<int, double>> coeffs) {
+  std::sort(coeffs.begin(), coeffs.end());
+  LpRow row;
+  row.type = type;
+  row.rhs = rhs;
+  row.indices.reserve(coeffs.size());
+  row.values.reserve(coeffs.size());
+  for (const auto& [var, coeff] : coeffs) {
+    if (!row.indices.empty() && row.indices.back() == var) {
+      row.values.back() += coeff;
+    } else {
+      row.indices.push_back(var);
+      row.values.push_back(coeff);
+    }
+  }
+  return row;
+}
+
+void LpRowBuffer::Add(RowType type, double rhs,
+                      std::vector<std::pair<int, double>> coeffs) {
+  rows_.push_back(MakeLpRow(type, rhs, std::move(coeffs)));
+  num_nonzeros_ += rows_.back().indices.size();
+}
+
 int LpProblem::AddVariable(double lb, double ub, double cost) {
   assert(lb <= ub);
   cost_.push_back(cost);
@@ -37,18 +72,29 @@ int LpProblem::AddVariable(double lb, double ub, double cost) {
 void LpProblem::AddRow(RowType type, double rhs,
                        std::vector<std::pair<int, double>> coeffs) {
   // Sum duplicate entries so callers can emit terms naively.
-  std::sort(coeffs.begin(), coeffs.end());
-  std::vector<std::pair<int, double>> merged;
-  for (const auto& [var, coeff] : coeffs) {
-    assert(var >= 0 && var < num_variables());
-    if (!merged.empty() && merged.back().first == var) {
-      merged.back().second += coeff;
-    } else {
-      merged.emplace_back(var, coeff);
-    }
+  LpRow row = MakeLpRow(type, rhs, std::move(coeffs));
+#ifndef NDEBUG
+  for (int var : row.indices) assert(var >= 0 && var < num_variables());
+#endif
+  num_nonzeros_ += row.indices.size();
+  rows_.push_back(std::move(row));
+}
+
+void LpProblem::AppendRows(LpRowBuffer&& buffer) {
+#ifndef NDEBUG
+  for (const LpRow& row : buffer.rows_) {
+    for (int var : row.indices) assert(var >= 0 && var < num_variables());
   }
-  num_nonzeros_ += merged.size();
-  rows_.push_back(Row{type, rhs, std::move(merged)});
+#endif
+  num_nonzeros_ += buffer.num_nonzeros_;
+  if (rows_.empty()) {
+    rows_ = std::move(buffer.rows_);
+  } else {
+    rows_.reserve(rows_.size() + buffer.rows_.size());
+    for (LpRow& row : buffer.rows_) rows_.push_back(std::move(row));
+  }
+  buffer.rows_.clear();
+  buffer.num_nonzeros_ = 0;
 }
 
 void LpProblem::SetBounds(int var, double lb, double ub) {
@@ -71,12 +117,560 @@ constexpr int kBlandTrigger = 60;  // degenerate iterations before Bland's rule
 
 enum class VarStatus : uint8_t { kAtLower, kAtUpper, kBasic };
 
+// ===========================================================================
+// Sparse core (default engine).
+// ===========================================================================
+
+/// A CSR row upgrades to dense storage once its fill passes 1/kDensifyDiv
+/// of the column count: below that the two-pointer merge beats the
+/// vectorized dense update, above it the merge is pure overhead (simplex
+/// fill-in densifies pivot-heavy rows, and NoSE's storage-constraint rows
+/// start half-dense already).
+constexpr int kDensifyDiv = 5;  // densify a row above 20% fill
+
+/// One working-tableau row: CSR while sparse, a plain dense vector after
+/// fill-in crosses the threshold. Only exact zeros are elided from the CSR
+/// form: a magnitude-based drop tolerance would perturb the tableau (a
+/// dropped 1e-12 entry hit by a 1/kPivotTol pivot inverse reappears as
+/// 1e-3), and the perturbations compound until the engine terminates
+/// "optimally" at a point the exact LP rejects. Eliding only exact zeros —
+/// and materializing them on densify — keeps every floating-point
+/// operation identical to the dense tableau's, so both engines follow the
+/// same pivot sequence and return bitwise-equal optima.
+struct TabRow {
+  std::vector<int> idx;      // CSR, valid when !is_dense
+  std::vector<double> val;   // CSR, valid when !is_dense
+  std::vector<double> full;  // valid when is_dense, sized to the column count
+  bool is_dense = false;
+
+  double Coeff(int j) const {
+    if (is_dense) return full[static_cast<size_t>(j)];
+    auto it = std::lower_bound(idx.begin(), idx.end(), j);
+    return (it != idx.end() && *it == j)
+               ? val[static_cast<size_t>(it - idx.begin())]
+               : 0.0;
+  }
+
+  size_t NumStored() const { return is_dense ? full.size() : idx.size(); }
+
+  void Densify(int ncols) {
+    if (is_dense) return;
+    full.assign(static_cast<size_t>(ncols), 0.0);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      full[static_cast<size_t>(idx[k])] = val[k];
+    }
+    idx.clear();
+    idx.shrink_to_fit();
+    val.clear();
+    val.shrink_to_fit();
+    is_dense = true;
+  }
+};
+
+/// target += factor * src, removing the `skip` column (the entering
+/// column, whose cancellation is exact by construction). Sparse/sparse
+/// runs a two-pointer merge eliding exactly-zero results; once either side
+/// is dense the target is materialized and updated with the dense
+/// engine's element-wise expression. `scratch` avoids per-call allocation.
+void RowAxpy(TabRow* target, double factor, const TabRow& src, int skip,
+             int ncols, TabRow* scratch) {
+  if (!target->is_dense && !src.is_dense &&
+      (target->idx.size() + src.idx.size()) * kDensifyDiv <=
+          static_cast<size_t>(ncols)) {
+    scratch->idx.clear();
+    scratch->val.clear();
+    scratch->idx.reserve(target->idx.size() + src.idx.size());
+    scratch->val.reserve(target->idx.size() + src.idx.size());
+    size_t a = 0, b = 0;
+    const size_t an = target->idx.size();
+    const size_t bn = src.idx.size();
+    while (a < an || b < bn) {
+      int j;
+      double v;
+      if (b == bn || (a < an && target->idx[a] < src.idx[b])) {
+        j = target->idx[a];
+        v = target->val[a];
+        ++a;
+      } else if (a == an || src.idx[b] < target->idx[a]) {
+        j = src.idx[b];
+        v = factor * src.val[b];
+        ++b;
+      } else {
+        j = target->idx[a];
+        v = target->val[a] + factor * src.val[b];
+        ++a;
+        ++b;
+      }
+      if (j == skip || v == 0.0) continue;
+      scratch->idx.push_back(j);
+      scratch->val.push_back(v);
+    }
+    std::swap(target->idx, scratch->idx);
+    std::swap(target->val, scratch->val);
+    return;
+  }
+  target->Densify(ncols);
+  double* t = target->full.data();
+  if (src.is_dense) {
+    const double* s = src.full.data();
+    for (int j = 0; j < ncols; ++j) {
+      t[j] += factor * s[j];
+    }
+  } else {
+    for (size_t k = 0; k < src.idx.size(); ++k) {
+      t[src.idx[k]] += factor * src.val[k];
+    }
+  }
+  t[skip] = 0.0;  // exact cancellation, as in the dense engine
+}
+
+/// Bounded-variable two-phase primal simplex over CSR rows. The constraint
+/// rows hold B⁻¹A explicitly but sparsely, so one pivot costs
+/// O(nnz(column) · nnz(pivot row)) instead of the dense tableau's O(m·n);
+/// reduced costs and devex weights stay dense and are updated incrementally
+/// against the pivot row's nonzeros only (revised-simplex-style pricing).
+/// One instance per Solve() call; not reused.
+class SparseSimplex {
+ public:
+  SparseSimplex(int num_structural, std::vector<double> lb,
+                std::vector<double> ub, std::vector<double> cost)
+      : n_(num_structural),
+        lb_(std::move(lb)),
+        ub_(std::move(ub)),
+        cost_(std::move(cost)) {}
+
+  /// Appends an equality row a·x = rhs over all currently known columns
+  /// (slack columns must have been added as variables by the caller).
+  /// `slack_col` is the row's own slack column, or -1 for an original
+  /// equality row — it seeds the crash basis.
+  void AddEqualityRow(TabRow row, double rhs, int slack_col) {
+    rows_.push_back(std::move(row));
+    rhs_.push_back(rhs);
+    slack_col_.push_back(slack_col);
+  }
+
+  int AddColumn(double lb, double ub, double cost) {
+    lb_.push_back(lb);
+    ub_.push_back(ub);
+    cost_.push_back(cost);
+    return static_cast<int>(cost_.size()) - 1;
+  }
+
+  LpResult Run(int max_iterations, double deadline_seconds);
+
+ private:
+  int NumCols() const { return static_cast<int>(cost_.size()); }
+  int NumRows() const { return static_cast<int>(rows_.size()); }
+
+  double BoundValue(int j) const {
+    return status_[static_cast<size_t>(j)] == VarStatus::kAtUpper
+               ? ub_[static_cast<size_t>(j)]
+               : lb_[static_cast<size_t>(j)];
+  }
+
+  bool IsFixed(int j) const {
+    return ub_[static_cast<size_t>(j)] - lb_[static_cast<size_t>(j)] < 1e-12;
+  }
+
+  void ComputeReducedCosts(const std::vector<double>& phase_cost) {
+    d_ = phase_cost;
+    for (int i = 0; i < NumRows(); ++i) {
+      const double cb =
+          phase_cost[static_cast<size_t>(basis_[static_cast<size_t>(i)])];
+      if (cb == 0.0) continue;
+      const TabRow& row = rows_[static_cast<size_t>(i)];
+      if (row.is_dense) {
+        for (size_t j = 0; j < row.full.size(); ++j) {
+          d_[j] -= cb * row.full[j];
+        }
+      } else {
+        for (size_t k = 0; k < row.idx.size(); ++k) {
+          d_[static_cast<size_t>(row.idx[k])] -= cb * row.val[k];
+        }
+      }
+    }
+  }
+
+  /// Runs simplex iterations until optimality/unboundedness/limit for the
+  /// current phase. Returns the LP status for this phase.
+  LpStatus Iterate(int max_iterations, int* iterations_used);
+
+  double deadline_seconds_ = 0.0;
+  Stopwatch watch_;
+
+  int n_;  // structural variable count (prefix of the columns)
+  std::vector<double> lb_, ub_, cost_;
+  std::vector<TabRow> rows_;  // m hybrid rows over NumCols() columns
+  std::vector<double> rhs_;
+  std::vector<int> slack_col_;  // per row: its slack column or -1
+  std::vector<VarStatus> status_;
+  std::vector<int> basis_;    // per row: basic column
+  std::vector<double> xb_;    // per row: value of the basic variable
+  std::vector<double> d_;     // reduced costs for the active phase
+  std::vector<double> devex_;  // devex reference weights (pricing)
+  int degenerate_streak_ = 0;
+};
+
+LpStatus SparseSimplex::Iterate(int max_iterations, int* iterations_used) {
+  const int m = NumRows();
+  const int ncols = NumCols();
+  int iter = 0;
+  degenerate_streak_ = 0;
+  devex_.assign(static_cast<size_t>(ncols), 1.0);
+  // Entering-column scratch: (row, coefficient) pairs gathered per
+  // iteration from the row-wise storage.
+  std::vector<int> col_rows;
+  std::vector<double> col_vals;
+  TabRow scratch;
+  for (; iter < max_iterations; ++iter) {
+    if (deadline_seconds_ > 0.0 && (iter & 31) == 0 &&
+        watch_.ElapsedSeconds() > deadline_seconds_) {
+      *iterations_used += iter;
+      return LpStatus::kIterationLimit;
+    }
+    const bool bland = degenerate_streak_ >= kBlandTrigger;
+    // --- Pricing: devex (d_j^2 / w_j) cuts iteration counts on the highly
+    // degenerate flow-structured LPs the schema optimizer emits; Bland's
+    // rule takes over under prolonged stalling to guarantee termination.
+    int enter = -1;
+    double best_score = 0.0;
+    for (int j = 0; j < ncols; ++j) {
+      const VarStatus st = status_[static_cast<size_t>(j)];
+      if (st == VarStatus::kBasic || IsFixed(j)) continue;
+      const double dj = d_[static_cast<size_t>(j)];
+      const bool eligible = (st == VarStatus::kAtLower && dj < -kDualTol) ||
+                            (st == VarStatus::kAtUpper && dj > kDualTol);
+      if (!eligible) continue;
+      if (bland) {  // first eligible column
+        enter = j;
+        break;
+      }
+      const double score = dj * dj / devex_[static_cast<size_t>(j)];
+      if (score > best_score) {
+        best_score = score;
+        enter = j;
+      }
+    }
+    if (enter == -1) {
+      *iterations_used += iter;
+      return LpStatus::kOptimal;
+    }
+
+    const double dir =
+        status_[static_cast<size_t>(enter)] == VarStatus::kAtLower ? 1.0 : -1.0;
+
+    // --- Gather the entering column (one binary search per row). ---
+    col_rows.clear();
+    col_vals.clear();
+    for (int i = 0; i < m; ++i) {
+      const double alpha = rows_[static_cast<size_t>(i)].Coeff(enter);
+      if (alpha != 0.0) {
+        col_rows.push_back(i);
+        col_vals.push_back(alpha);
+      }
+    }
+
+    // --- Ratio test over the column's nonzeros only. ---
+    double t_best = ub_[static_cast<size_t>(enter)] - lb_[static_cast<size_t>(enter)];
+    int leave_pos = -1;   // position in col_rows; -1 => bound flip
+    bool leave_at_upper = false;
+    double best_pivot_mag = 0.0;
+    for (size_t p = 0; p < col_rows.size(); ++p) {
+      const int i = col_rows[p];
+      const double alpha = col_vals[p];
+      const double rate = dir * alpha;  // xb_i decreases at this rate
+      if (std::abs(rate) <= kPivotTol) continue;
+      const int k = basis_[static_cast<size_t>(i)];
+      double limit;
+      bool at_upper;
+      if (rate > 0.0) {
+        const double lbk = lb_[static_cast<size_t>(k)];
+        if (lbk == -LpProblem::kInfinity) continue;
+        limit = (xb_[static_cast<size_t>(i)] - lbk) / rate;
+        at_upper = false;
+      } else {
+        const double ubk = ub_[static_cast<size_t>(k)];
+        if (ubk == LpProblem::kInfinity) continue;
+        limit = (xb_[static_cast<size_t>(i)] - ubk) / rate;
+        at_upper = true;
+      }
+      if (limit < 0.0) limit = 0.0;  // guard tiny negative residuals
+      const double mag = std::abs(alpha);
+      const bool better =
+          limit < t_best - 1e-10 ||
+          (limit < t_best + 1e-10 && leave_pos >= 0 &&
+           (bland ? basis_[static_cast<size_t>(i)] <
+                        basis_[static_cast<size_t>(col_rows[static_cast<size_t>(
+                            leave_pos)])]
+                  : mag > best_pivot_mag));
+      if (better) {
+        t_best = limit;
+        leave_pos = static_cast<int>(p);
+        leave_at_upper = at_upper;
+        best_pivot_mag = mag;
+      }
+    }
+
+    if (t_best == LpProblem::kInfinity) {
+      *iterations_used += iter;
+      return LpStatus::kUnbounded;
+    }
+    degenerate_streak_ =
+        (t_best <= kDegenerateStep) ? degenerate_streak_ + 1 : 0;
+
+    // --- Apply the step to the affected basic values. ---
+    if (t_best != 0.0) {
+      for (size_t p = 0; p < col_rows.size(); ++p) {
+        xb_[static_cast<size_t>(col_rows[p])] -= dir * col_vals[p] * t_best;
+      }
+    }
+
+    if (leave_pos == -1) {
+      // Bound flip: the entering variable runs to its opposite bound.
+      status_[static_cast<size_t>(enter)] =
+          status_[static_cast<size_t>(enter)] == VarStatus::kAtLower
+              ? VarStatus::kAtUpper
+              : VarStatus::kAtLower;
+      continue;
+    }
+
+    // --- Pivot: entering becomes basic in leave_row. ---
+    const int leave_row = col_rows[static_cast<size_t>(leave_pos)];
+    const int leave_col = basis_[static_cast<size_t>(leave_row)];
+    status_[static_cast<size_t>(leave_col)] =
+        leave_at_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+    const double enter_from =
+        dir > 0 ? lb_[static_cast<size_t>(enter)] : ub_[static_cast<size_t>(enter)];
+    basis_[static_cast<size_t>(leave_row)] = enter;
+    status_[static_cast<size_t>(enter)] = VarStatus::kBasic;
+    xb_[static_cast<size_t>(leave_row)] = enter_from + dir * t_best;
+
+    // Normalize the pivot row, making its entering coefficient exactly 1.
+    TabRow& prow = rows_[static_cast<size_t>(leave_row)];
+    const double pivot = col_vals[static_cast<size_t>(leave_pos)];
+    assert(std::abs(pivot) > kPivotTol);
+    const double inv = 1.0 / pivot;
+    if (prow.is_dense) {
+      for (double& v : prow.full) v *= inv;
+      prow.full[static_cast<size_t>(enter)] = 1.0;  // exact
+    } else {
+      size_t w = 0;
+      for (size_t k = 0; k < prow.idx.size(); ++k) {
+        const int j = prow.idx[k];
+        const double v = j == enter ? 1.0 : prow.val[k] * inv;
+        if (j != enter && v == 0.0) continue;
+        prow.idx[w] = j;
+        prow.val[w] = v;
+        ++w;
+      }
+      prow.idx.resize(w);
+      prow.val.resize(w);
+    }
+
+    // Eliminate the entering column from the other rows that carry it —
+    // the sparse analogue of Gauss-Jordan, skipping every zero row.
+    for (size_t p = 0; p < col_rows.size(); ++p) {
+      const int i = col_rows[p];
+      if (i == leave_row) continue;
+      RowAxpy(&rows_[static_cast<size_t>(i)], -col_vals[p], prow, enter,
+              ncols, &scratch);
+      // Re-inserting the exact zero the merge removed is unnecessary: the
+      // entering column is basic in leave_row only.
+    }
+    const double dfactor = d_[static_cast<size_t>(enter)];
+    if (dfactor != 0.0) {
+      if (prow.is_dense) {
+        for (int j = 0; j < ncols; ++j) {
+          d_[static_cast<size_t>(j)] -= dfactor * prow.full[static_cast<size_t>(j)];
+        }
+      } else {
+        for (size_t k = 0; k < prow.idx.size(); ++k) {
+          d_[static_cast<size_t>(prow.idx[k])] -= dfactor * prow.val[k];
+        }
+      }
+      d_[static_cast<size_t>(enter)] = 0.0;
+    }
+    // Devex weight update against the (normalized) pivot row.
+    const double w_enter = devex_[static_cast<size_t>(enter)];
+    if (prow.is_dense) {
+      for (int j = 0; j < ncols; ++j) {
+        const double a = prow.full[static_cast<size_t>(j)];
+        if (a == 0.0) continue;
+        double& w = devex_[static_cast<size_t>(j)];
+        const double candidate = a * a * w_enter;
+        if (candidate > w) w = candidate;
+      }
+    } else {
+      for (size_t k = 0; k < prow.idx.size(); ++k) {
+        const double a = prow.val[k];
+        double& w = devex_[static_cast<size_t>(prow.idx[k])];
+        const double candidate = a * a * w_enter;
+        if (candidate > w) w = candidate;
+      }
+    }
+    devex_[static_cast<size_t>(leave_col)] =
+        std::max(1.0, w_enter / std::max(pivot * pivot, 1e-12));
+  }
+  *iterations_used += iter;
+  return LpStatus::kIterationLimit;
+}
+
+LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds) {
+  deadline_seconds_ = deadline_seconds;
+  watch_.Reset();
+  const int m = NumRows();
+  LpResult result;
+
+  // Initial point: every column rests at a finite bound.
+  status_.assign(static_cast<size_t>(NumCols()), VarStatus::kAtLower);
+  for (int j = 0; j < NumCols(); ++j) {
+    if (lb_[static_cast<size_t>(j)] == -LpProblem::kInfinity) {
+      assert(ub_[static_cast<size_t>(j)] != LpProblem::kInfinity &&
+             "free variables are not supported");
+      status_[static_cast<size_t>(j)] = VarStatus::kAtUpper;
+    }
+  }
+
+  // Residual per row given the initial nonbasic values; artificial columns
+  // absorb it so the artificial basis starts feasible.
+  std::vector<double> residual(static_cast<size_t>(m), 0.0);
+  for (int i = 0; i < m; ++i) {
+    double r = rhs_[static_cast<size_t>(i)];
+    // Rows are still CSR here: densification only happens during Iterate.
+    const TabRow& row = rows_[static_cast<size_t>(i)];
+    for (size_t k = 0; k < row.idx.size(); ++k) {
+      const double v = BoundValue(row.idx[k]);
+      if (v != 0.0) r -= row.val[k] * v;
+    }
+    residual[static_cast<size_t>(i)] = r;
+  }
+
+  // Negate rows with negative residual so that every artificial can enter
+  // with coefficient +1 and the initial basis matrix is the identity
+  // (tableau rows must equal B⁻¹A for the reduced-cost formula).
+  for (int i = 0; i < m; ++i) {
+    if (residual[static_cast<size_t>(i)] < 0.0) {
+      for (double& v : rows_[static_cast<size_t>(i)].val) v = -v;
+      rhs_[static_cast<size_t>(i)] = -rhs_[static_cast<size_t>(i)];
+      residual[static_cast<size_t>(i)] = -residual[static_cast<size_t>(i)];
+    }
+  }
+
+  // Crash basis: a row whose own slack carries coefficient +1 after the
+  // sign normalization can start with that slack basic at the residual
+  // (slacks live in [0, ∞), and the residual is now nonnegative) — no
+  // artificial, no phase-1 work. NoSE's BIPs are dominated by ≤ linking
+  // rows (x_e ≤ δ) whose residual at the all-lower starting point is zero,
+  // so this removes the bulk of phase 1; artificials remain only for
+  // equality rows and for inequalities pointing away from their slack.
+  const int first_artificial = NumCols();
+  basis_.resize(static_cast<size_t>(m));
+  xb_.resize(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const int slack = slack_col_[static_cast<size_t>(i)];
+    if (slack >= 0 &&
+        rows_[static_cast<size_t>(i)].Coeff(slack) == 1.0) {
+      status_[static_cast<size_t>(slack)] = VarStatus::kBasic;
+      basis_[static_cast<size_t>(i)] = slack;
+      xb_[static_cast<size_t>(i)] = residual[static_cast<size_t>(i)];
+    } else {
+      basis_[static_cast<size_t>(i)] = -1;  // artificial assigned below
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    if (basis_[static_cast<size_t>(i)] != -1) continue;
+    const int art = AddColumn(0.0, LpProblem::kInfinity, 0.0);
+    status_.push_back(VarStatus::kBasic);
+    // Artificial indices exceed every structural/slack index, so appending
+    // keeps the row sorted.
+    rows_[static_cast<size_t>(i)].idx.push_back(art);
+    rows_[static_cast<size_t>(i)].val.push_back(1.0);
+    basis_[static_cast<size_t>(i)] = art;
+    xb_[static_cast<size_t>(i)] = residual[static_cast<size_t>(i)];
+  }
+
+  // --- Phase 1: minimize the sum of artificials. ---
+  std::vector<double> phase1_cost(static_cast<size_t>(NumCols()), 0.0);
+  for (int j = first_artificial; j < NumCols(); ++j) {
+    phase1_cost[static_cast<size_t>(j)] = 1.0;
+  }
+  ComputeReducedCosts(phase1_cost);
+  result.iterations = 0;
+  LpStatus phase1 = Iterate(max_iterations, &result.iterations);
+  if (phase1 == LpStatus::kIterationLimit) {
+    result.status = LpStatus::kIterationLimit;
+    return result;
+  }
+  double infeasibility = 0.0;
+  for (int i = 0; i < m; ++i) {
+    if (basis_[static_cast<size_t>(i)] >= first_artificial) {
+      infeasibility += xb_[static_cast<size_t>(i)];
+    }
+  }
+  for (int j = first_artificial; j < NumCols(); ++j) {
+    if (status_[static_cast<size_t>(j)] == VarStatus::kAtUpper) {
+      infeasibility += std::abs(ub_[static_cast<size_t>(j)]);
+    }
+  }
+  if (infeasibility > kPhase1Tol) {
+    if (std::getenv("NOSE_LP_DEBUG") != nullptr) {
+      std::fprintf(stderr, "[lp] phase-1 infeasibility %.3e (rows=%d)\n",
+                   infeasibility, m);
+    }
+    result.status = LpStatus::kInfeasible;
+    return result;
+  }
+
+  // Freeze artificials at zero for phase 2. Any still basic sit at 0 and
+  // can only leave the basis degenerately, which is fine.
+  for (int j = first_artificial; j < NumCols(); ++j) {
+    ub_[static_cast<size_t>(j)] = 0.0;
+    if (status_[static_cast<size_t>(j)] == VarStatus::kAtUpper) {
+      status_[static_cast<size_t>(j)] = VarStatus::kAtLower;
+    }
+  }
+
+  // --- Phase 2: original objective. ---
+  std::vector<double> phase2_cost = cost_;
+  phase2_cost.resize(static_cast<size_t>(NumCols()), 0.0);
+  ComputeReducedCosts(phase2_cost);
+  LpStatus phase2 = Iterate(max_iterations, &result.iterations);
+  if (phase2 == LpStatus::kIterationLimit ||
+      phase2 == LpStatus::kUnbounded) {
+    result.status = phase2;
+    return result;
+  }
+
+  // Extract structural values and the objective.
+  result.x.assign(static_cast<size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    if (status_[static_cast<size_t>(j)] != VarStatus::kBasic) {
+      result.x[static_cast<size_t>(j)] = BoundValue(j);
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    const int k = basis_[static_cast<size_t>(i)];
+    if (k < n_) result.x[static_cast<size_t>(k)] = xb_[static_cast<size_t>(i)];
+  }
+  result.objective = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    result.objective += cost_[static_cast<size_t>(j)] * result.x[static_cast<size_t>(j)];
+  }
+  result.status = LpStatus::kOptimal;
+  return result;
+}
+
+// ===========================================================================
+// Dense baseline engine (the original full-tableau implementation), kept
+// for benchmark comparisons and CI divergence checks.
+// ===========================================================================
+
 /// Dense full-tableau bounded-variable primal simplex. One instance per
 /// Solve() call; not reused.
-class SimplexTableau {
+class DenseTableau {
  public:
-  SimplexTableau(int num_structural, std::vector<double> lb,
-                 std::vector<double> ub, std::vector<double> cost)
+  DenseTableau(int num_structural, std::vector<double> lb,
+               std::vector<double> ub, std::vector<double> cost)
       : n_(num_structural),
         lb_(std::move(lb)),
         ub_(std::move(ub)),
@@ -146,7 +740,7 @@ class SimplexTableau {
   int degenerate_streak_ = 0;
 };
 
-LpStatus SimplexTableau::Iterate(int max_iterations, int* iterations_used) {
+LpStatus DenseTableau::Iterate(int max_iterations, int* iterations_used) {
   const int m = NumRows();
   const int ncols = NumCols();
   int iter = 0;
@@ -159,9 +753,7 @@ LpStatus SimplexTableau::Iterate(int max_iterations, int* iterations_used) {
       return LpStatus::kIterationLimit;
     }
     const bool bland = degenerate_streak_ >= kBlandTrigger;
-    // --- Pricing: devex (d_j^2 / w_j) cuts iteration counts on the highly
-    // degenerate flow-structured LPs the schema optimizer emits; Bland's
-    // rule takes over under prolonged stalling to guarantee termination.
+    // --- Pricing: devex (d_j^2 / w_j); Bland's rule under stalling. ---
     int enter = -1;
     double best_score = 0.0;
     for (int j = 0; j < ncols; ++j) {
@@ -303,7 +895,7 @@ LpStatus SimplexTableau::Iterate(int max_iterations, int* iterations_used) {
   return LpStatus::kIterationLimit;
 }
 
-LpResult SimplexTableau::Run(int max_iterations, double deadline_seconds) {
+LpResult DenseTableau::Run(int max_iterations, double deadline_seconds) {
   deadline_seconds_ = deadline_seconds;
   watch_.Reset();
   const int m = NumRows();
@@ -333,8 +925,7 @@ LpResult SimplexTableau::Run(int max_iterations, double deadline_seconds) {
   }
 
   // Negate rows with negative residual so that every artificial can enter
-  // with coefficient +1 and the initial basis matrix is the identity
-  // (tableau rows must equal B⁻¹A for the reduced-cost formula).
+  // with coefficient +1 and the initial basis matrix is the identity.
   for (int i = 0; i < m; ++i) {
     if (residual[static_cast<size_t>(i)] < 0.0) {
       for (double& v : matrix_[static_cast<size_t>(i)]) v = -v;
@@ -431,7 +1022,7 @@ LpResult SimplexTableau::Run(int max_iterations, double deadline_seconds) {
 
 LpResult LpProblem::Solve(
     const std::vector<std::tuple<int, double, double>>& bound_overrides,
-    int max_iterations, double deadline_seconds) const {
+    int max_iterations, double deadline_seconds, LpEngine engine) const {
   std::vector<double> lb = lb_;
   std::vector<double> ub = ub_;
   for (const auto& [var, olb, oub] : bound_overrides) {
@@ -440,55 +1031,89 @@ LpResult LpProblem::Solve(
   }
 
   const int n = num_variables();
-  SimplexTableau tableau(n, std::move(lb), std::move(ub), cost_);
-
-  // Slack columns: one per inequality row, so every row becomes equality.
-  std::vector<int> slack_col(rows_.size(), -1);
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (rows_[i].type != RowType::kEq) {
-      slack_col[i] = tableau.AddColumn(0.0, kInfinity, 0.0);
-    }
-  }
-  // Dense rows sized to structural + slack columns (artificials appended by
-  // the tableau itself).
-  int total_cols = n;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (slack_col[i] >= 0) total_cols = std::max(total_cols, slack_col[i] + 1);
-  }
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    std::vector<double> dense(static_cast<size_t>(total_cols), 0.0);
-    double max_mag = 0.0;
-    for (const auto& [var, coeff] : rows_[i].coeffs) {
-      dense[static_cast<size_t>(var)] += coeff;
-    }
-    for (const auto& [var, coeff] : rows_[i].coeffs) {
-      max_mag = std::max(max_mag, std::abs(dense[static_cast<size_t>(var)]));
-    }
-    // Row equilibration: scale each row to unit magnitude so rows mixing
-    // byte-scale and unit-scale coefficients (e.g. storage constraints)
-    // stay within the solver's absolute tolerances.
-    const double scale = max_mag > 1e-12 ? 1.0 / max_mag : 1.0;
-    if (scale != 1.0) {
-      for (double& v : dense) v *= scale;
-    }
-    if (rows_[i].type == RowType::kLe) {
-      dense[static_cast<size_t>(slack_col[i])] = 1.0;
-    } else if (rows_[i].type == RowType::kGe) {
-      dense[static_cast<size_t>(slack_col[i])] = -1.0;
-    }
-    tableau.AddEqualityRow(std::move(dense), rows_[i].rhs * scale);
-  }
-
   if (max_iterations <= 0) {
     max_iterations = 20000 + 50 * (num_rows() + num_variables());
   }
-  LpResult result = tableau.Run(max_iterations, deadline_seconds);
+
+  // Slack columns: one per inequality row, so every row becomes equality.
+  // Row equilibration: scale each row to unit magnitude so rows mixing
+  // byte-scale and unit-scale coefficients (e.g. storage constraints)
+  // stay within the solver's absolute tolerances.
+  std::vector<int> slack_col(rows_.size(), -1);
+  LpResult result;
+  if (engine == LpEngine::kSparse) {
+    SparseSimplex simplex(n, std::move(lb), std::move(ub), cost_);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (rows_[i].type != RowType::kEq) {
+        slack_col[i] = simplex.AddColumn(0.0, kInfinity, 0.0);
+      }
+    }
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const LpRow& src = rows_[i];
+      double max_mag = 0.0;
+      for (double v : src.values) max_mag = std::max(max_mag, std::abs(v));
+      const double scale = max_mag > 1e-12 ? 1.0 / max_mag : 1.0;
+      TabRow row;
+      row.idx = src.indices;
+      row.val = src.values;
+      if (scale != 1.0) {
+        for (double& v : row.val) v *= scale;
+      }
+      if (src.type == RowType::kLe) {
+        row.idx.push_back(slack_col[i]);
+        row.val.push_back(1.0);
+      } else if (src.type == RowType::kGe) {
+        row.idx.push_back(slack_col[i]);
+        row.val.push_back(-1.0);
+      }
+      simplex.AddEqualityRow(std::move(row), src.rhs * scale,
+                             slack_col[i]);
+    }
+    result = simplex.Run(max_iterations, deadline_seconds);
+  } else {
+    DenseTableau tableau(n, std::move(lb), std::move(ub), cost_);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (rows_[i].type != RowType::kEq) {
+        slack_col[i] = tableau.AddColumn(0.0, kInfinity, 0.0);
+      }
+    }
+    // Dense rows sized to structural + slack columns (artificials appended
+    // by the tableau itself).
+    int total_cols = n;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (slack_col[i] >= 0) total_cols = std::max(total_cols, slack_col[i] + 1);
+    }
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const LpRow& src = rows_[i];
+      std::vector<double> dense(static_cast<size_t>(total_cols), 0.0);
+      double max_mag = 0.0;
+      for (size_t k = 0; k < src.indices.size(); ++k) {
+        dense[static_cast<size_t>(src.indices[k])] = src.values[k];
+        max_mag = std::max(max_mag, std::abs(src.values[k]));
+      }
+      const double scale = max_mag > 1e-12 ? 1.0 / max_mag : 1.0;
+      if (scale != 1.0) {
+        for (double& v : dense) v *= scale;
+      }
+      if (src.type == RowType::kLe) {
+        dense[static_cast<size_t>(slack_col[i])] = 1.0;
+      } else if (src.type == RowType::kGe) {
+        dense[static_cast<size_t>(slack_col[i])] = -1.0;
+      }
+      tableau.AddEqualityRow(std::move(dense), src.rhs * scale);
+    }
+    result = tableau.Run(max_iterations, deadline_seconds);
+  }
+
   static obs::Counter& solves =
       obs::MetricsRegistry::Global().GetCounter("solver.lp_solves");
   static obs::Counter& iterations = obs::MetricsRegistry::Global().GetCounter(
       "solver.simplex_iterations");
+  static obs::Counter& nonzeros =
+      obs::MetricsRegistry::Global().GetCounter("solver.lp_nonzeros");
   solves.Increment();
   iterations.Add(static_cast<uint64_t>(result.iterations));
+  nonzeros.Add(num_nonzeros_);
   return result;
 }
 

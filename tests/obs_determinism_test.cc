@@ -85,6 +85,50 @@ TEST(ObsDeterminismTest, BipCountersAreThreadCountInvariant) {
   EXPECT_GT(values.at("solver.simplex_iterations"), 0u);
 }
 
+TEST(ObsDeterminismTest, AdviseAllMixesCountersAreThreadCountInvariant) {
+  auto graph = rubis::MakeGraph();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  auto workload = rubis::MakeWorkload(**graph);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  AdvisorOptions base;
+  base.optimizer.strategy = SolveStrategy::kBip;
+  base.optimizer.bip.max_nodes = 20000;
+  base.optimizer.bip.time_limit_seconds = 1e9;
+  // Bidding and 10x share a statement set, so the second of the pair rides
+  // the interned pool (advisor.pool_reuse_hits) — that reuse must also be
+  // invisible in the counter deltas.
+  const std::vector<std::string> mixes = {
+      rubis::kBrowsingMix, rubis::kBiddingMix, rubis::kWrite10xMix};
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  std::map<std::string, uint64_t> serial_delta;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    AdvisorOptions options = base;
+    options.num_threads = threads;
+    const auto before = reg.CounterValues();
+    Advisor advisor(options);
+    auto all = advisor.AdviseAllMixes(**workload, mixes);
+    ASSERT_TRUE(all.ok()) << "threads=" << threads << ": " << all.status();
+    const auto delta = Delta(before, reg.CounterValues());
+
+    // Rows are assembled per plan space on worker threads and appended in
+    // statement order; the generated-row count must not depend on how the
+    // assembly work was scheduled.
+    ASSERT_GT(delta.count("optimizer.bip_rows_generated"), 0u)
+        << "threads=" << threads;
+    if (threads == 1) {
+      serial_delta = delta;
+    } else {
+      EXPECT_EQ(serial_delta, delta) << "threads=" << threads;
+    }
+  }
+  const auto values = reg.CounterValues();
+  EXPECT_GT(values.at("optimizer.bip_rows_generated"), 0u);
+  EXPECT_GT(values.at("solver.lp_nonzeros"), 0u);
+  EXPECT_GT(values.at("advisor.pool_reuse_hits"), 0u);
+}
+
 TEST(ObsDeterminismTest, CombinatorialCountersAreThreadCountInvariant) {
   AdvisorOptions options;
   options.optimizer.strategy = SolveStrategy::kCombinatorial;

@@ -2,7 +2,9 @@
 // AdvisorOptions::num_threads is set to, the recommendation — schema,
 // plans, objective, even the interned candidate ids — must be byte-for-byte
 // identical. These tests pin that contract on the real RUBiS workload and
-// on random workloads of both solver strategies' sizes.
+// on random workloads of both solver strategies' sizes, and extend it to
+// the shared-pool path: AdviseAllMixes must reproduce the per-mix
+// Recommend output exactly, at every thread count.
 
 #include <string>
 #include <vector>
@@ -84,6 +86,51 @@ TEST(ParallelDeterminismTest, RubisBiddingMixIsThreadCountInvariant) {
   AdvisorOptions options;
   options.verify_invariants = true;
   CheckThreadCounts(**workload, rubis::kBiddingMix, options);
+}
+
+TEST(ParallelDeterminismTest, AdviseAllMixesMatchesPerMixAtEveryThreadCount) {
+  auto graph = rubis::MakeGraph();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  auto workload = rubis::MakeWorkload(**graph);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  // Browsing sits in its own statement-set group; Bidding and 10x share a
+  // group, exercising pool reuse and the cross-mix warm start.
+  const std::vector<std::string> mixes = {
+      rubis::kBrowsingMix, rubis::kBiddingMix, rubis::kWrite10xMix};
+  AdvisorOptions base;
+  base.optimizer.strategy = SolveStrategy::kBip;
+  // Deterministic stopping: bound the search by nodes, not wall clock.
+  base.optimizer.bip.max_nodes = 20000;
+  base.optimizer.bip.time_limit_seconds = 1e9;
+  base.verify_invariants = true;
+
+  // Per-mix path at one thread: the reference the shared-pool path must
+  // reproduce byte-for-byte.
+  std::vector<Fingerprint> reference;
+  {
+    AdvisorOptions options = base;
+    options.num_threads = 1;
+    Advisor advisor(options);
+    for (const std::string& mix : mixes) {
+      auto rec = advisor.Recommend(**workload, mix);
+      ASSERT_TRUE(rec.ok()) << mix << ": " << rec.status();
+      reference.push_back(FingerprintOf(*rec));
+    }
+  }
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    AdvisorOptions options = base;
+    options.num_threads = threads;
+    Advisor advisor(options);
+    auto all = advisor.AdviseAllMixes(**workload, mixes);
+    ASSERT_TRUE(all.ok()) << "threads=" << threads << ": " << all.status();
+    ASSERT_EQ(all->size(), mixes.size()) << "threads=" << threads;
+    for (size_t k = 0; k < mixes.size(); ++k) {
+      EXPECT_EQ((*all)[k].first, mixes[k]);
+      ExpectIdentical(reference[k], FingerprintOf((*all)[k].second),
+                      mixes[k] + " threads=" + std::to_string(threads));
+    }
+  }
 }
 
 TEST(ParallelDeterminismTest, RandomWorkloadBipStrategy) {

@@ -2,6 +2,8 @@
 #define NOSE_TESTS_REFERENCE_EVALUATOR_H_
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
@@ -10,6 +12,7 @@
 
 #include "executor/dataset.h"
 #include "executor/plan_executor.h"
+#include "solver/lp.h"
 #include "workload/query.h"
 
 namespace nose {
@@ -86,6 +89,66 @@ inline std::vector<std::string> CanonicalRows(
   for (const ValueTuple& r : rows) out.push_back(ValueTupleToString(r));
   std::sort(out.begin(), out.end());
   return out;
+}
+
+struct ReferenceBipResult {
+  bool feasible = false;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Brute-force reference for small all-binary integer programs: enumerates
+/// every 0/1 assignment respecting the variable bounds, checks each
+/// constraint row, and keeps the assignment with the smallest objective.
+/// The objective is accumulated in variable-index order, exactly as the
+/// branch-and-bound incumbent recompute does — with integer costs both
+/// sums are exact, so the solver must match this value bitwise.
+inline ReferenceBipResult ReferenceBipMinimize(const LpProblem& lp) {
+  const int n = lp.num_variables();
+  ReferenceBipResult best;
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    bool in_bounds = true;
+    for (int v = 0; v < n; ++v) {
+      x[static_cast<size_t>(v)] = (mask >> v) & 1 ? 1.0 : 0.0;
+      if (x[static_cast<size_t>(v)] < lp.lower_bound(v) ||
+          x[static_cast<size_t>(v)] > lp.upper_bound(v)) {
+        in_bounds = false;
+        break;
+      }
+    }
+    if (!in_bounds) continue;
+    bool feasible = true;
+    for (int r = 0; r < lp.num_rows() && feasible; ++r) {
+      const LpRow& row = lp.row(r);
+      double sum = 0.0;
+      for (size_t k = 0; k < row.indices.size(); ++k) {
+        sum += row.values[k] * x[static_cast<size_t>(row.indices[k])];
+      }
+      switch (row.type) {
+        case RowType::kLe:
+          feasible = sum <= row.rhs + 1e-9;
+          break;
+        case RowType::kGe:
+          feasible = sum >= row.rhs - 1e-9;
+          break;
+        case RowType::kEq:
+          feasible = std::abs(sum - row.rhs) <= 1e-9;
+          break;
+      }
+    }
+    if (!feasible) continue;
+    double objective = 0.0;
+    for (int v = 0; v < n; ++v) {
+      objective += lp.cost(v) * x[static_cast<size_t>(v)];
+    }
+    if (!best.feasible || objective < best.objective) {
+      best.feasible = true;
+      best.objective = objective;
+      best.x = x;
+    }
+  }
+  return best;
 }
 
 }  // namespace nose
