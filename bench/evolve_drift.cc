@@ -1,0 +1,106 @@
+// Drift-and-migration benchmark for the online evolution loop.
+//
+// Part 1 measures re-advise latency, incremental vs. cold, on the RUBiS
+// workload: after a first advise on the bidding mix, re-advising a drifted
+// mix over the same statement set reuses the interned candidate pool, the
+// cached plan spaces, the previous incumbent, and the root-LP basis —
+// against a cold Advisor::Recommend on the same mix. Both paths must
+// produce byte-identical recommendations; the benchmark aborts otherwise.
+//
+// Part 2 replays the bundled Bidding -> Browsing drift scenario through the
+// EvolveController and reports re-advise latency and migration cost
+// (backfilled rows, catch-up updates, simulated milliseconds) per
+// migration.
+//
+//   evolve_drift [scenario-file]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/rubis_driver.h"
+#include "evolve/driver.h"
+#include "evolve/incremental_advisor.h"
+#include "evolve/scenario.h"
+#include "util/stopwatch.h"
+
+namespace nose {
+namespace {
+
+int Main(int argc, char** argv) {
+  // ---- Part 1: incremental vs. cold re-advise at equal recommendations.
+  bench::RubisBench env;
+  Workload& workload = const_cast<Workload&>(env.workload());
+  // A drifted mix over the full bidding statement set: halfway between
+  // bidding and browsing weights, so every statement keeps nonzero weight
+  // (same signature => the fully incremental path) while the optimum moves.
+  for (const WorkloadEntry& entry : workload.entries()) {
+    const double w = 0.5 * entry.WeightIn(rubis::kBiddingMix) +
+                     0.5 * entry.WeightIn(rubis::kBrowsingMix);
+    if (w <= 0.0) continue;
+    Status s = workload.SetWeight(entry.name, "drift50", w);
+    if (!s.ok()) bench::RubisBench::Die("drift50", s);
+  }
+
+  evolve::IncrementalAdvisor incremental;
+  auto first = incremental.Advise(workload, rubis::kBiddingMix);
+  if (!first.ok()) bench::RubisBench::Die("advise bidding", first.status());
+
+  Stopwatch watch;
+  auto warm = incremental.Advise(workload, "drift50");
+  if (!warm.ok()) bench::RubisBench::Die("advise drift50 warm", warm.status());
+  const double warm_ms = watch.ElapsedMillis();
+
+  watch.Reset();
+  Advisor cold_advisor;
+  auto cold = cold_advisor.Recommend(workload, "drift50");
+  if (!cold.ok()) bench::RubisBench::Die("advise drift50 cold", cold.status());
+  const double cold_ms = watch.ElapsedMillis();
+
+  if (!warm->incremental) {
+    std::fprintf(stderr, "FATAL: drift50 re-advise was not incremental\n");
+    return 1;
+  }
+  if (warm->rec.ToString() != cold->ToString()) {
+    std::fprintf(stderr,
+                 "FATAL: incremental and cold recommendations differ\n");
+    return 1;
+  }
+  std::printf("re-advise drift50 (equal recommendations):\n");
+  std::printf("  incremental: %8.1f ms (pool+spaces+incumbent+basis reused)\n",
+              warm_ms);
+  std::printf("  cold:        %8.1f ms\n", cold_ms);
+  std::printf("  speedup:     %8.2fx\n", warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+
+  // ---- Part 2: the bundled drift scenario through the controller.
+  const std::string scenario_path =
+      argc > 1 ? argv[1] : "workloads/rubis_drift.scenario";
+  auto scenario = evolve::LoadScenarioFile(scenario_path);
+  if (!scenario.ok()) bench::RubisBench::Die("scenario", scenario.status());
+  auto runner = evolve::DriftRunner::Create(*scenario);
+  if (!runner.ok()) bench::RubisBench::Die("runner", runner.status());
+  watch.Reset();
+  Status run = (*runner)->Run();
+  if (!run.ok()) bench::RubisBench::Die("run", run);
+  const double run_ms = watch.ElapsedMillis();
+
+  const evolve::EvolveReport& report = (*runner)->report();
+  std::printf("\ndrift scenario %s (%.1f ms wall):\n%s", scenario_path.c_str(),
+              run_ms, report.ToString().c_str());
+  if (report.invariant_violations > 0) {
+    std::fprintf(stderr, "FATAL: invariant violations during migration\n");
+    return 1;
+  }
+  for (const evolve::MigrationRecord& m : report.migrations) {
+    if (m.verify_mismatches > 0 || m.aborted) {
+      std::fprintf(stderr, "FATAL: migration failed verification\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nose
+
+int main(int argc, char** argv) { return nose::Main(argc, argv); }

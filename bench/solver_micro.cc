@@ -268,6 +268,7 @@ int CompareMain(const std::string& json_path) {
         std::abs(sparse_lp.objective - dense_lp.objective) > 1e-6 * lp_scale;
 
     double sparse_bip_ms = 0.0, dense_bip_ms = 0.0;
+    bool presolve_diverged = false;
     BipResult sparse_bip, dense_bip;
     if (is_bip) {
       sparse_bip_ms = TimeBipMs(inst.lp, inst.binaries, LpEngine::kSparse,
@@ -288,6 +289,25 @@ int CompareMain(const std::string& json_path) {
           diverged = true;
         }
       }
+      // Presolve gate: the reductions are exact and cost-independent, so
+      // branch-and-bound must select the same binary assignment with
+      // presolve disabled — not merely the same objective.
+      BipOptions no_presolve;
+      no_presolve.lp_engine = LpEngine::kSparse;
+      no_presolve.time_limit_seconds = kBipTimeLimitSeconds;
+      no_presolve.presolve = false;
+      BipResult raw = SolveBip(inst.lp, inst.binaries, no_presolve);
+      presolve_diverged = raw.status != sparse_bip.status;
+      if (!presolve_diverged && sparse_bip.status == BipStatus::kOptimal) {
+        for (int v : inst.binaries) {
+          if (std::lround(sparse_bip.x[static_cast<size_t>(v)]) !=
+              std::lround(raw.x[static_cast<size_t>(v)])) {
+            presolve_diverged = true;
+            break;
+          }
+        }
+      }
+      diverged = diverged || presolve_diverged;
     }
     diverged_any = diverged_any || diverged;
 
@@ -319,6 +339,8 @@ int CompareMain(const std::string& json_path) {
           sparse_bip_ms, dense_bip_ms, sparse_bip.objective,
           dense_bip.objective, BipStatusName(sparse_bip.status),
           BipStatusName(dense_bip.status));
+      std::fprintf(json, ",\"presolve_diverged\":%s",
+                   presolve_diverged ? "true" : "false");
     }
     std::fprintf(json, ",\"speedup\":%.3f,\"diverged\":%s}\n", speedup,
                  diverged ? "true" : "false");

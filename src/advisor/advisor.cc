@@ -5,11 +5,14 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <set>
+#include <unordered_map>
 #include <utility>
 
 #include "analysis/invariants.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "planner/plan_space.h"
 #include "util/thread_pool.h"
 
 namespace nose {
@@ -67,11 +70,14 @@ Advisor::AdviseAllMixes(const Workload& workload,
     CandidatePool pool;
     double enumeration_seconds = 0.0;
     PlanSpaceCache cache;
+    std::set<std::string> names;  ///< statement names, for subset checks
   };
   std::vector<std::unique_ptr<Group>> groups;
   std::map<std::string, size_t> group_of_signature;
   static obs::Counter& reuse_counter =
       obs::MetricsRegistry::Global().GetCounter("advisor.pool_reuse_hits");
+  static obs::Counter& cross_counter = obs::MetricsRegistry::Global()
+      .GetCounter("advisor.cross_group_seeds");
 
   Enumerator enumerator(options_.enumerator);
   std::vector<std::pair<std::string, Recommendation>> out;
@@ -91,10 +97,30 @@ Advisor::AdviseAllMixes(const Workload& workload,
         group_of_signature.emplace(std::move(signature), groups.size());
     if (inserted) {
       groups.push_back(std::make_unique<Group>());
+      Group& fresh = *groups.back();
+      for (const auto& [entry, weight] : entries) fresh.names.insert(entry->name);
       obs::PhaseSpan enumeration_phase("advisor.enumeration", "advisor");
-      groups.back()->pool =
+      fresh.pool =
           enumerator.EnumerateWorkload(workload, mix, pool_threads.get());
-      groups.back()->enumeration_seconds = enumeration_phase.StopSeconds();
+      fresh.enumeration_seconds = enumeration_phase.StopSeconds();
+      // Cross-group sharing: when an earlier group's statement set contains
+      // this one's (Browsing ⊆ Bidding), its pool contains this pool and
+      // its plan spaces project exactly — seed the new cache instead of
+      // rebuilding. The projection is byte-exact, so recommendations stay
+      // identical to per-mix Recommend either way.
+      for (size_t g = 0; g + 1 < groups.size(); ++g) {
+        const Group& prior = *groups[g];
+        if (prior.names.size() < fresh.names.size()) continue;
+        if (!std::includes(prior.names.begin(), prior.names.end(),
+                           fresh.names.begin(), fresh.names.end())) {
+          continue;
+        }
+        if (SeedCacheFromSuperset(prior.cache, prior.pool, fresh.pool, entries,
+                                  &fresh.cache)) {
+          cross_counter.Increment();
+          break;
+        }
+      }
     } else {
       reuse_counter.Increment();
     }
@@ -110,6 +136,85 @@ Advisor::AdviseAllMixes(const Workload& workload,
     out.emplace_back(mix, std::move(rec));
   }
   return out;
+}
+
+StatusOr<Recommendation> Advisor::RecommendWithPool(
+    const Workload& workload, const std::string& mix,
+    const CandidatePool& pool, PlanSpaceCache* cache) const {
+  std::unique_ptr<util::ThreadPool> pool_threads =
+      MakeWorkerPool(options_.num_threads);
+  // Enumeration already happened (the pool is the caller's); its time is
+  // charged wherever the caller measured it.
+  return RecommendImpl(workload, mix, pool, /*enumeration_seconds=*/0.0,
+                       pool_threads.get(), cache);
+}
+
+bool SeedCacheFromSuperset(
+    const PlanSpaceCache& super_cache, const CandidatePool& super_pool,
+    const CandidatePool& sub_pool,
+    const std::vector<std::pair<const WorkloadEntry*, double>>& entries,
+    PlanSpaceCache* out) {
+  std::vector<CfId> sub_to_super(sub_pool.size());
+  std::unordered_map<CfId, CfId> super_to_sub;
+  super_to_sub.reserve(sub_pool.size());
+  for (size_t c = 0; c < sub_pool.size(); ++c) {
+    const CfId id = super_pool.Find(sub_pool[c]);
+    if (id == kInvalidCfId) return false;
+    sub_to_super[c] = id;
+    super_to_sub.emplace(id, static_cast<CfId>(c));
+  }
+  static obs::Counter& seeded_counter = obs::MetricsRegistry::Global()
+      .GetCounter("advisor.cross_group_spaces_seeded");
+
+  for (const auto& [entry, weight] : entries) {
+    if (entry->IsQuery()) {
+      auto it = super_cache.query_spaces.find(entry->name);
+      if (it == super_cache.query_spaces.end()) continue;
+      out->query_spaces.emplace(
+          entry->name, QueryPlanner::RestrictToPool(it->second, sub_to_super,
+                                                    super_pool.size()));
+      seeded_counter.Increment();
+      continue;
+    }
+    auto it = super_cache.update_supports.find(entry->name);
+    if (it == super_cache.update_supports.end()) continue;
+    // Keep the supports whose candidate survives in the sub pool, renumber
+    // them, and restore ascending sub-id order — the order a fresh costing
+    // pass over the sub pool emits.
+    std::vector<PlanSpaceCache::UpdateSupport> supports;
+    for (const PlanSpaceCache::UpdateSupport& sup : it->second) {
+      auto sit = super_to_sub.find(static_cast<CfId>(sup.cf_index));
+      if (sit == super_to_sub.end()) continue;
+      PlanSpaceCache::UpdateSupport mapped = sup;
+      mapped.cf_index = sit->second;
+      supports.push_back(std::move(mapped));
+    }
+    std::sort(supports.begin(), supports.end(),
+              [](const PlanSpaceCache::UpdateSupport& a,
+                 const PlanSpaceCache::UpdateSupport& b) {
+                return a.cf_index < b.cf_index;
+              });
+    for (const PlanSpaceCache::UpdateSupport& sup : supports) {
+      for (const std::string& text : sup.support_texts) {
+        const std::string key = entry->name + '\n' + text;
+        if (out->support_spaces.count(key) != 0) continue;
+        auto sp = super_cache.support_spaces.find(key);
+        if (sp == super_cache.support_spaces.end()) continue;
+        PlanSpaceCache::SupportSpace seeded;
+        seeded.query = sp->second.query;
+        seeded.space = QueryPlanner::RestrictToPool(
+            sp->second.space, sub_to_super, super_pool.size());
+        // Fresh builds store the empty marker for support queries the pool
+        // cannot answer; apply the same rule to a projection that lost all
+        // of its complete plans.
+        if (!seeded.space.HasPlan()) seeded.space = PlanSpace();
+        out->support_spaces.emplace(key, std::move(seeded));
+        seeded_counter.Increment();
+      }
+    }
+    out->update_supports.emplace(entry->name, std::move(supports));
+  }
+  return true;
 }
 
 StatusOr<Recommendation> Advisor::RecommendImpl(const Workload& workload,

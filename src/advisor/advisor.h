@@ -89,6 +89,17 @@ class Advisor {
   StatusOr<std::vector<std::pair<std::string, Recommendation>>> AdviseAllMixes(
       const Workload& workload, std::vector<std::string> mixes = {}) const;
 
+  /// Re-advises `mix` against an already-enumerated candidate pool and a
+  /// shared PlanSpaceCache — the incremental-advising entry point
+  /// (src/evolve). Produces exactly what Recommend(workload, mix) would
+  /// whenever `pool` matches what enumeration of that mix yields; the
+  /// cache supplies reusable plan spaces plus the previous optimum
+  /// (incumbent warm start and root-LP basis hot start).
+  StatusOr<Recommendation> RecommendWithPool(const Workload& workload,
+                                             const std::string& mix,
+                                             const CandidatePool& pool,
+                                             PlanSpaceCache* cache) const;
+
   const CostModel& cost_model() const { return cost_model_; }
 
  private:
@@ -105,6 +116,21 @@ class Advisor {
   AdvisorOptions options_;
   CostModel cost_model_;
 };
+
+/// Seeds `out` with exact projections of `super_cache`'s plan spaces onto
+/// `sub_pool`, for the statements in `entries` — the cross-group sharing
+/// path of AdviseAllMixes (Browsing ⊆ Bidding) and of incremental
+/// re-advising after a statement set shrinks. Every seeded space is
+/// byte-identical to what a fresh build over `sub_pool` would produce.
+/// Returns false without touching `out` when some sub-pool candidate is
+/// absent from `super_pool` (the pools do not nest, so projection would be
+/// lossy). Statements missing from `super_cache` are skipped — the
+/// optimizer simply rebuilds those.
+bool SeedCacheFromSuperset(
+    const PlanSpaceCache& super_cache, const CandidatePool& super_pool,
+    const CandidatePool& sub_pool,
+    const std::vector<std::pair<const WorkloadEntry*, double>>& entries,
+    PlanSpaceCache* out);
 
 }  // namespace nose
 

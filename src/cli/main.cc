@@ -25,6 +25,8 @@
 
 #include "advisor/advisor.h"
 #include "analysis/lint.h"
+#include "evolve/driver.h"
+#include "evolve/scenario.h"
 #include "export/cql.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -39,6 +41,11 @@ int Usage() {
                "  nose advise --model FILE --workload FILE [options]\n"
                "  nose check  --model FILE --workload FILE\n"
                "  nose lint   --model FILE --workload FILE\n"
+               "  nose evolve --scenario FILE [--report FILE]\n"
+               "options (evolve):\n"
+               "  --scenario FILE       drift scenario (see "
+               "workloads/rubis_drift.scenario)\n"
+               "  --report FILE         write a JSON migration report\n"
                "options (advise):\n"
                "  --mix NAME            workload mix to advise for "
                "(default: 'default')\n"
@@ -125,13 +132,138 @@ bool ParsePositiveDouble(const std::string& flag, const std::string& text,
   return true;
 }
 
+/// Writes the evolve report as JSON (hand-rolled like the metrics export;
+/// all fields are counts or finite doubles).
+bool WriteEvolveReport(const std::string& path,
+                       const nose::evolve::EvolveReport& report) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n"
+      << "  \"transactions\": " << report.transactions << ",\n"
+      << "  \"statements\": " << report.statements << ",\n"
+      << "  \"re_advises_incremental\": " << report.re_advises_incremental
+      << ",\n"
+      << "  \"re_advises_cold\": " << report.re_advises_cold << ",\n"
+      << "  \"no_op_readvises\": " << report.no_op_readvises << ",\n"
+      << "  \"last_drift\": " << report.last_drift << ",\n"
+      << "  \"invariant_violations\": " << report.invariant_violations << ",\n"
+      << "  \"migrations\": [\n";
+  for (size_t i = 0; i < report.migrations.size(); ++i) {
+    const nose::evolve::MigrationRecord& m = report.migrations[i];
+    out << "    {\"started_at\": " << m.started_at_transaction
+        << ", \"finished_at\": " << m.finished_at_transaction
+        << ", \"builds\": " << m.builds << ", \"keeps\": " << m.keeps
+        << ", \"drops\": " << m.drops
+        << ", \"rows_backfilled\": " << m.rows_backfilled
+        << ", \"catchup_updates\": " << m.catchup_updates
+        << ", \"dual_writes\": " << m.dual_writes
+        << ", \"verify_queries\": " << m.verify_queries
+        << ", \"verify_mismatches\": " << m.verify_mismatches
+        << ", \"est_build_cost_ms\": " << m.est_build_cost_ms
+        << ", \"actual_ms\": " << m.actual_ms
+        << ", \"advise_incremental\": "
+        << (m.advise_incremental ? "true" : "false")
+        << ", \"advise_seconds\": " << m.advise_seconds
+        << ", \"drift_at_trigger\": " << m.drift_at_trigger
+        << ", \"aborted\": " << (m.aborted ? "true" : "false") << "}"
+        << (i + 1 < report.migrations.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+int RunEvolve(std::map<std::string, std::string>& args) {
+  if (args.count("--scenario") == 0) return Usage();
+  std::string trace_path;
+  if (args.count("--trace") > 0) {
+    trace_path = args["--trace"];
+  } else if (const char* env = std::getenv("NOSE_TRACE")) {
+    trace_path = env;
+  }
+  if (!trace_path.empty()) {
+    nose::obs::TraceRecorder::Global().Enable();
+    nose::obs::SetCurrentThreadName("main");
+  }
+
+  auto scenario = nose::evolve::LoadScenarioFile(args["--scenario"]);
+  if (!scenario.ok()) {
+    std::cerr << "scenario error: " << scenario.status() << "\n";
+    return 1;
+  }
+  auto runner = nose::evolve::DriftRunner::Create(*scenario);
+  if (!runner.ok()) {
+    std::cerr << "evolve error: " << runner.status() << "\n";
+    return 1;
+  }
+  nose::Status run = (*runner)->Run();
+  const nose::evolve::EvolveReport& report = (*runner)->report();
+  std::cout << report.ToString();
+  if (!run.ok()) {
+    std::cerr << "evolve error: " << run << "\n";
+  }
+
+  if (!trace_path.empty()) {
+    nose::obs::TraceRecorder::Global().Disable();
+    std::string error;
+    if (!nose::obs::TraceRecorder::Global().WriteChromeJson(trace_path,
+                                                            &error)) {
+      std::fprintf(stderr, "error: cannot write trace: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+  }
+  if (args.count("--metrics") > 0) {
+    std::string error;
+    if (!nose::obs::MetricsRegistry::Global().WriteJson(args["--metrics"],
+                                                        &error)) {
+      std::fprintf(stderr, "error: cannot write metrics: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote metrics to %s\n", args["--metrics"].c_str());
+  }
+  if (args.count("--report") > 0) {
+    if (!WriteEvolveReport(args["--report"], report)) {
+      std::fprintf(stderr, "error: cannot write report to %s\n",
+                   args["--report"].c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote report to %s\n", args["--report"].c_str());
+  }
+
+  size_t mismatches = 0, aborted = 0;
+  for (const auto& m : report.migrations) {
+    mismatches += m.verify_mismatches;
+    if (m.aborted) ++aborted;
+  }
+  if (!run.ok() || report.invariant_violations > 0 || mismatches > 0 ||
+      aborted > 0) {
+    std::fprintf(stderr,
+                 "evolve FAILED: %zu invariant violation(s), %zu verify "
+                 "mismatch(es), %zu aborted migration(s)\n",
+                 report.invariant_violations, mismatches, aborted);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  if (command != "advise" && command != "check" && command != "lint") {
+  if (command != "advise" && command != "check" && command != "lint" &&
+      command != "evolve") {
     return Usage();
+  }
+
+  if (command == "evolve") {
+    std::map<std::string, std::string> args;
+    if (!ParseArgs(argc, argv, 2,
+                   {"--scenario", "--report", "--trace", "--metrics"}, {},
+                   &args)) {
+      return Usage();
+    }
+    return RunEvolve(args);
   }
 
   std::set<std::string> value_flags = {"--model", "--workload"};

@@ -1,0 +1,106 @@
+#include "evolve/driver.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "rubis/workload.h"
+
+namespace nose::evolve {
+
+namespace {
+
+rubis::ModelScale ScaleFor(double factor) {
+  rubis::ModelScale scale;
+  scale.regions = std::max<size_t>(2, static_cast<size_t>(10 * factor));
+  scale.categories = std::max<size_t>(2, static_cast<size_t>(20 * factor));
+  scale.users = std::max<size_t>(20, static_cast<size_t>(2000 * factor));
+  scale.items = std::max<size_t>(40, static_cast<size_t>(4000 * factor));
+  scale.old_items = std::max<size_t>(20, static_cast<size_t>(2000 * factor));
+  scale.bids = std::max<size_t>(200, static_cast<size_t>(20000 * factor));
+  scale.buynows = std::max<size_t>(20, static_cast<size_t>(1000 * factor));
+  scale.comments = std::max<size_t>(40, static_cast<size_t>(4000 * factor));
+  return scale;
+}
+
+double MixWeight(const rubis::Transaction& tx, const std::string& mix) {
+  if (mix == rubis::kBrowsingMix) return tx.browsing_weight;
+  return tx.bidding_weight;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DriftRunner>> DriftRunner::Create(
+    const DriftScenario& scenario) {
+  if (scenario.workload != "rubis") {
+    return Status::Unimplemented("unknown scenario workload " +
+                                 scenario.workload);
+  }
+  std::unique_ptr<DriftRunner> runner(new DriftRunner(scenario));
+  auto graph = rubis::MakeGraph(ScaleFor(scenario.scale));
+  if (!graph.ok()) return graph.status();
+  runner->graph_ = std::move(graph).value();
+  runner->data_ = std::make_unique<Dataset>(rubis::GenerateData(
+      runner->graph_.get(), ScaleFor(scenario.scale), scenario.seed));
+  auto workload = rubis::MakeWorkload(*runner->graph_);
+  if (!workload.ok()) return workload.status();
+  runner->workload_ = std::move(workload).value();
+  runner->params_ = std::make_unique<rubis::ParamGenerator>(
+      runner->data_.get(), scenario.seed);
+  runner->controller_ = std::make_unique<EvolveController>(
+      runner->workload_.get(), runner->data_.get(), scenario.options);
+  runner->rng_ = Rng(scenario.seed);
+  return runner;
+}
+
+Status DriftRunner::RunPhase(const DriftPhase& phase) {
+  const std::vector<rubis::Transaction>& txs = rubis::Transactions();
+  std::vector<double> cumulative;
+  cumulative.reserve(txs.size());
+  double total = 0.0;
+  for (const rubis::Transaction& tx : txs) {
+    total += MixWeight(tx, phase.mix);
+    cumulative.push_back(total);
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("mix " + phase.mix +
+                                   " weights no transaction");
+  }
+
+  for (size_t t = 0; t < phase.transactions; ++t) {
+    const double pick = rng_.NextDouble() * total;
+    size_t chosen = std::lower_bound(cumulative.begin(), cumulative.end(),
+                                     pick) -
+                    cumulative.begin();
+    if (chosen >= txs.size()) chosen = txs.size() - 1;
+    const rubis::Transaction& tx = txs[chosen];
+
+    PlanExecutor::Params params;
+    for (const std::string& stmt : tx.statements) {
+      params_->AddStatementParams(*workload_->FindEntry(stmt), &params);
+    }
+    for (const std::string& stmt : tx.statements) {
+      const WorkloadEntry* entry = workload_->FindEntry(stmt);
+      if (entry->IsQuery()) {
+        auto rows = controller_->ExecuteQuery(stmt, params);
+        if (!rows.ok()) return rows.status();
+      } else {
+        NOSE_RETURN_IF_ERROR(controller_->ExecuteUpdate(stmt, params));
+      }
+    }
+    NOSE_RETURN_IF_ERROR(controller_->EndTransaction());
+  }
+  return Status::Ok();
+}
+
+Status DriftRunner::Run() {
+  if (scenario_.phases.empty()) {
+    return Status::InvalidArgument("scenario has no phases");
+  }
+  NOSE_RETURN_IF_ERROR(controller_->Init(scenario_.phases.front().mix));
+  for (const DriftPhase& phase : scenario_.phases) {
+    NOSE_RETURN_IF_ERROR(RunPhase(phase));
+  }
+  return controller_->Finish();
+}
+
+}  // namespace nose::evolve

@@ -1,0 +1,53 @@
+#ifndef NOSE_EVOLVE_DRIVER_H_
+#define NOSE_EVOLVE_DRIVER_H_
+
+#include <memory>
+#include <string>
+
+#include "evolve/evolve.h"
+#include "evolve/scenario.h"
+#include "rubis/datagen.h"
+#include "rubis/model.h"
+#include "util/statusor.h"
+
+namespace nose::evolve {
+
+/// Owns a drift-scenario run end to end: builds the scenario's environment
+/// (currently the RUBiS model, dataset, and workload), drives the
+/// controller through each phase by sampling transactions from the phase's
+/// mix, and leaves its state (controller, logs, store) open for
+/// inspection — the e2e drift test replays the logs against a control
+/// store, and the drift bench reads the migration records.
+class DriftRunner {
+ public:
+  static StatusOr<std::unique_ptr<DriftRunner>> Create(
+      const DriftScenario& scenario);
+
+  /// Runs every phase, then drives any in-flight migration to completion.
+  Status Run();
+
+  EvolveController& controller() { return *controller_; }
+  const EvolveReport& report() const { return controller_->report(); }
+  Workload& workload() { return *workload_; }
+  const Dataset& data() const { return *data_; }
+  const EntityGraph& graph() const { return *graph_; }
+  const DriftScenario& scenario() const { return scenario_; }
+
+ private:
+  explicit DriftRunner(DriftScenario scenario)
+      : scenario_(std::move(scenario)) {}
+
+  Status RunPhase(const DriftPhase& phase);
+
+  DriftScenario scenario_;
+  std::unique_ptr<EntityGraph> graph_;
+  std::unique_ptr<Dataset> data_;
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<rubis::ParamGenerator> params_;
+  std::unique_ptr<EvolveController> controller_;
+  Rng rng_{0};
+};
+
+}  // namespace nose::evolve
+
+#endif  // NOSE_EVOLVE_DRIVER_H_

@@ -1,0 +1,71 @@
+#include "evolve/incremental_advisor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "enumerator/enumerator.h"
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace nose::evolve {
+
+IncrementalAdvisor::IncrementalAdvisor(AdvisorOptions options)
+    : options_(options), advisor_(options) {}
+
+void IncrementalAdvisor::Reset() {
+  pool_ = CandidatePool();
+  cache_ = PlanSpaceCache();
+  names_.clear();
+  has_state_ = false;
+}
+
+StatusOr<ReadviseResult> IncrementalAdvisor::Advise(const Workload& workload,
+                                                    const std::string& mix) {
+  Stopwatch watch;
+  const auto entries = workload.EntriesIn(mix);
+  if (entries.empty()) {
+    return Status::InvalidArgument("mix " + mix + " has no weighted statements");
+  }
+  std::set<std::string> names;
+  for (const auto& [entry, weight] : entries) names.insert(entry->name);
+
+  bool incremental = false;
+  bool seeded = false;
+  if (has_state_ && names == names_) {
+    // Same statement set: weights enter only as BIP costs, so the pool and
+    // every cached plan space (plus the previous optimum) apply verbatim.
+    incremental = true;
+  } else {
+    Enumerator enumerator(options_.enumerator);
+    CandidatePool fresh = enumerator.EnumerateWorkload(workload, mix);
+    PlanSpaceCache fresh_cache;
+    if (has_state_ &&
+        std::includes(names_.begin(), names_.end(), names.begin(),
+                      names.end()) &&
+        SeedCacheFromSuperset(cache_, pool_, fresh, entries, &fresh_cache)) {
+      incremental = true;
+      seeded = true;
+    }
+    pool_ = std::move(fresh);
+    cache_ = std::move(fresh_cache);
+    names_ = std::move(names);
+    has_state_ = true;
+  }
+
+  auto rec = advisor_.RecommendWithPool(workload, mix, pool_, &cache_);
+  if (!rec.ok()) return rec.status();
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter(incremental ? "evolve.readvise_incremental"
+                             : "evolve.readvise_cold")
+      .Increment();
+  ReadviseResult out;
+  out.rec = std::move(rec).value();
+  out.incremental = incremental;
+  out.seeded_from_superset = seeded;
+  out.seconds = watch.ElapsedSeconds();
+  reg.GetGauge("evolve.readvise_ms").Set(out.seconds * 1e3);
+  return out;
+}
+
+}  // namespace nose::evolve

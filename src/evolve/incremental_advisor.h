@@ -1,0 +1,52 @@
+#ifndef NOSE_EVOLVE_INCREMENTAL_ADVISOR_H_
+#define NOSE_EVOLVE_INCREMENTAL_ADVISOR_H_
+
+#include <set>
+#include <string>
+
+#include "advisor/advisor.h"
+
+namespace nose::evolve {
+
+/// One re-advise outcome: a full Recommendation plus how it was obtained.
+struct ReadviseResult {
+  Recommendation rec;
+  /// True when the interned candidate pool and plan-space cache of the
+  /// previous advise were reused (same statement set, or a subset whose
+  /// spaces were projected from the superset's).
+  bool incremental = false;
+  /// True when the statement set shrank and the new cache was seeded by
+  /// projecting the previous pool's plan spaces.
+  bool seeded_from_superset = false;
+  double seconds = 0.0;
+};
+
+/// Stateful advisor for the online loop: successive Advise calls against
+/// evolving weights reuse the interned candidate pool, the cached
+/// per-statement plan spaces, and the previous optimum (incumbent warm
+/// start plus root-LP basis hot start via PlanSpaceCache). Every result is
+/// byte-identical to a cold Advisor::Recommend on the same workload/mix.
+class IncrementalAdvisor {
+ public:
+  explicit IncrementalAdvisor(AdvisorOptions options = AdvisorOptions());
+
+  StatusOr<ReadviseResult> Advise(const Workload& workload,
+                                  const std::string& mix);
+
+  /// Drops all reusable state; the next Advise is cold.
+  void Reset();
+
+  const CandidatePool& pool() const { return pool_; }
+
+ private:
+  AdvisorOptions options_;
+  Advisor advisor_;
+  CandidatePool pool_;
+  PlanSpaceCache cache_;
+  std::set<std::string> names_;
+  bool has_state_ = false;
+};
+
+}  // namespace nose::evolve
+
+#endif  // NOSE_EVOLVE_INCREMENTAL_ADVISOR_H_

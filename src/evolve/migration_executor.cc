@@ -1,0 +1,198 @@
+#include "evolve/migration_executor.h"
+
+#include <algorithm>
+
+#include "executor/loader.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace nose::evolve {
+
+MigrationExecutor::MigrationExecutor(
+    const Dataset* data, RecordStore* store, const Schema* new_schema,
+    PlanExecutor* old_executor, PlanExecutor* new_executor,
+    const std::map<std::string, QueryPlan>* old_query_plans,
+    const std::map<std::string, QueryPlan>* new_query_plans,
+    const std::map<std::string, UpdatePlan>* new_update_plans,
+    const MigrationPlan* plan, Options options)
+    : data_(data),
+      store_(store),
+      new_schema_(new_schema),
+      old_executor_(old_executor),
+      new_executor_(new_executor),
+      old_query_plans_(old_query_plans),
+      new_query_plans_(new_query_plans),
+      new_update_plans_(new_update_plans),
+      plan_(plan),
+      options_(options) {
+  if (options_.chunk_rows == 0) options_.chunk_rows = 1;
+  if (options_.catchup_batch == 0) options_.catchup_batch = 1;
+}
+
+Status MigrationExecutor::Prepare() {
+  for (size_t i : plan_->build_indices) {
+    const ColumnFamily& cf = new_schema_->column_families()[i];
+    const std::string& name = new_schema_->names()[i];
+    NOSE_RETURN_IF_ERROR(store_->CreateColumnFamily(
+        name, cf.partition_key().size(), cf.clustering_key().size(),
+        cf.values().size()));
+  }
+  if (plan_->build_indices.empty()) phase_ = MigrationPhase::kCatchUp;
+  return Status::Ok();
+}
+
+Status MigrationExecutor::Step(const std::vector<LoggedStatement>& update_log,
+                               const std::vector<LoggedStatement>& query_log) {
+  switch (phase_) {
+    case MigrationPhase::kBackfill:
+      return BackfillStep();
+    case MigrationPhase::kCatchUp:
+      return CatchUpStep(update_log);
+    case MigrationPhase::kDualWrite:
+      if (++dual_write_steps_ >= options_.min_dual_write_steps) {
+        phase_ = MigrationPhase::kVerify;
+      }
+      return Status::Ok();
+    case MigrationPhase::kVerify:
+      return VerifyStep(query_log);
+    case MigrationPhase::kReadyForCutover:
+    case MigrationPhase::kDone:
+    case MigrationPhase::kFailed:
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status MigrationExecutor::BackfillStep() {
+  obs::Span span("evolve.backfill_chunk", "evolve");
+  const size_t i = plan_->build_indices[build_pos_];
+  const ColumnFamily& cf = new_schema_->column_families()[i];
+  const std::string& name = new_schema_->names()[i];
+  const size_t total_roots = data_->RowCount(cf.path().EntityAt(0));
+
+  const double before_ms = store_->stats().simulated_ms;
+  auto written = LoadColumnFamilyChunk(*data_, cf, name, store_, root_cursor_,
+                                       root_cursor_ + options_.chunk_rows);
+  if (!written.ok()) {
+    phase_ = MigrationPhase::kFailed;
+    return written.status();
+  }
+  progress_.simulated_ms += store_->stats().simulated_ms - before_ms;
+  progress_.rows_backfilled += written.value();
+  ++progress_.chunks;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("evolve.backfill_rows").Add(written.value());
+  reg.GetCounter("evolve.backfill_chunks").Increment();
+
+  root_cursor_ += options_.chunk_rows;
+  if (root_cursor_ >= total_roots) {
+    root_cursor_ = 0;
+    if (++build_pos_ >= plan_->build_indices.size()) {
+      phase_ = MigrationPhase::kCatchUp;
+    }
+  }
+  return Status::Ok();
+}
+
+Status MigrationExecutor::ReplayUpdate(const LoggedStatement& entry) {
+  auto it = new_update_plans_->find(entry.statement);
+  // An update without a plan in the new generation modifies no new-
+  // generation column family; nothing to maintain.
+  if (it == new_update_plans_->end()) return Status::Ok();
+  return new_executor_->ExecuteUpdate(it->second, entry.params);
+}
+
+Status MigrationExecutor::CatchUpStep(
+    const std::vector<LoggedStatement>& update_log) {
+  const double before_ms = store_->stats().simulated_ms;
+  size_t replayed = 0;
+  while (replay_pos_ < update_log.size() && replayed < options_.catchup_batch) {
+    Status s = ReplayUpdate(update_log[replay_pos_]);
+    if (!s.ok()) {
+      phase_ = MigrationPhase::kFailed;
+      return s;
+    }
+    ++replay_pos_;
+    ++replayed;
+  }
+  progress_.catchup_updates += replayed;
+  progress_.simulated_ms += store_->stats().simulated_ms - before_ms;
+  obs::MetricsRegistry::Global()
+      .GetCounter("evolve.catchup_updates")
+      .Add(replayed);
+  if (replay_pos_ == update_log.size()) {
+    // Every update executed so far has been replayed in order; from here
+    // the controller's OnUpdate calls keep the new generation in sync.
+    phase_ = MigrationPhase::kDualWrite;
+  }
+  return Status::Ok();
+}
+
+Status MigrationExecutor::VerifyStep(
+    const std::vector<LoggedStatement>& query_log) {
+  obs::Span span("evolve.verify", "evolve");
+  const double before_ms = store_->stats().simulated_ms;
+  size_t compared = 0;
+  for (size_t i = query_log.size();
+       i-- > 0 && compared < options_.verify_samples;) {
+    const LoggedStatement& entry = query_log[i];
+    auto nit = new_query_plans_->find(entry.statement);
+    auto oit = old_query_plans_->find(entry.statement);
+    if (nit == new_query_plans_->end() || oit == old_query_plans_->end()) {
+      ++progress_.verify_skipped;
+      continue;
+    }
+    auto old_rows = old_executor_->ExecuteQuery(oit->second, entry.params);
+    if (!old_rows.ok()) {
+      phase_ = MigrationPhase::kFailed;
+      return old_rows.status();
+    }
+    auto new_rows = new_executor_->ExecuteQuery(nit->second, entry.params);
+    if (!new_rows.ok()) {
+      phase_ = MigrationPhase::kFailed;
+      return new_rows.status();
+    }
+    std::vector<ValueTuple> a = std::move(old_rows).value();
+    std::vector<ValueTuple> b = std::move(new_rows).value();
+    // Both plans honour the query's ORDER BY, but rows tied on the sort key
+    // may interleave differently; compare as sets.
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ++progress_.verify_queries;
+    ++compared;
+    if (a != b) {
+      ++progress_.verify_mismatches;
+      obs::MetricsRegistry::Global()
+          .GetCounter("evolve.verify_mismatches")
+          .Increment();
+      phase_ = MigrationPhase::kFailed;
+      progress_.simulated_ms += store_->stats().simulated_ms - before_ms;
+      return Status::Internal("migration verification mismatch on " +
+                              entry.statement);
+    }
+  }
+  obs::MetricsRegistry::Global().GetCounter("evolve.verify_queries").Add(compared);
+  progress_.simulated_ms += store_->stats().simulated_ms - before_ms;
+  phase_ = MigrationPhase::kReadyForCutover;
+  return Status::Ok();
+}
+
+Status MigrationExecutor::OnUpdate(const LoggedStatement& entry) {
+  if (phase_ != MigrationPhase::kDualWrite &&
+      phase_ != MigrationPhase::kVerify &&
+      phase_ != MigrationPhase::kReadyForCutover) {
+    return Status::Ok();
+  }
+  const double before_ms = store_->stats().simulated_ms;
+  Status s = ReplayUpdate(entry);
+  if (!s.ok()) {
+    phase_ = MigrationPhase::kFailed;
+    return s;
+  }
+  ++progress_.dual_writes;
+  progress_.simulated_ms += store_->stats().simulated_ms - before_ms;
+  obs::MetricsRegistry::Global().GetCounter("evolve.dual_writes").Increment();
+  return Status::Ok();
+}
+
+}  // namespace nose::evolve

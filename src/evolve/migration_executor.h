@@ -1,0 +1,127 @@
+#ifndef NOSE_EVOLVE_MIGRATION_EXECUTOR_H_
+#define NOSE_EVOLVE_MIGRATION_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "evolve/migration_planner.h"
+#include "executor/dataset.h"
+#include "executor/plan_executor.h"
+#include "store/record_store.h"
+
+namespace nose::evolve {
+
+/// One executed statement with its bound parameters, as logged by the
+/// controller. The update log is the full history since the initial load
+/// (catch-up replays it to rebuild logical state the dataset does not
+/// contain); the query log is a bounded sample used by verification.
+struct LoggedStatement {
+  std::string statement;
+  PlanExecutor::Params params;
+};
+
+enum class MigrationPhase {
+  kBackfill,         ///< chunked loads of the new column families
+  kCatchUp,          ///< replaying the update log into the new generation
+  kDualWrite,        ///< soak: updates applied to both generations
+  kVerify,           ///< sampled queries compared old vs. new
+  kReadyForCutover,  ///< verified; controller may cut over
+  kDone,
+  kFailed,
+};
+
+struct MigrationProgress {
+  uint64_t rows_backfilled = 0;
+  uint64_t chunks = 0;
+  uint64_t catchup_updates = 0;
+  uint64_t dual_writes = 0;
+  uint64_t verify_queries = 0;
+  uint64_t verify_mismatches = 0;
+  uint64_t verify_skipped = 0;
+  /// Simulated store milliseconds charged by migration work (backfill +
+  /// catch-up + dual writes + verification reads).
+  double simulated_ms = 0.0;
+};
+
+/// Executes one migration plan against the live store in bounded steps.
+/// The controller calls Step() between transactions (one backfill chunk /
+/// catch-up batch / verify pass per call) and OnUpdate() after every
+/// executed update so the new generation stays in sync once dual-writing
+/// starts. Safety: backfill and catch-up write only new-generation column
+/// families, so queries served from the old generation are untouched until
+/// the controller cuts over — and cutover is only offered after every
+/// sampled query returned identical rows from both generations.
+class MigrationExecutor {
+ public:
+  struct Options {
+    size_t chunk_rows = 256;       ///< root rows per backfill chunk
+    size_t catchup_batch = 64;     ///< log entries replayed per Step
+    size_t min_dual_write_steps = 2;
+    size_t verify_samples = 16;    ///< logged queries compared at verify
+  };
+
+  /// All pointers are borrowed and must outlive the executor. `new_schema`
+  /// maps the new generation's column families to store names; build-set
+  /// column families are created here.
+  MigrationExecutor(const Dataset* data, RecordStore* store,
+                    const Schema* new_schema, PlanExecutor* old_executor,
+                    PlanExecutor* new_executor,
+                    const std::map<std::string, QueryPlan>* old_query_plans,
+                    const std::map<std::string, QueryPlan>* new_query_plans,
+                    const std::map<std::string, UpdatePlan>* new_update_plans,
+                    const MigrationPlan* plan, Options options);
+
+  /// Creates the build-set column families. Must be called once before
+  /// Step; separate from the constructor so creation errors surface.
+  Status Prepare();
+
+  /// Advances one bounded unit of work. `update_log` is the controller's
+  /// full update history (append-only); `query_log` the recent-query
+  /// sample. Returns an error (and enters kFailed) on verification
+  /// mismatch or store failure.
+  Status Step(const std::vector<LoggedStatement>& update_log,
+              const std::vector<LoggedStatement>& query_log);
+
+  /// Applies one just-executed update to the new generation when the
+  /// migration has passed catch-up (phases kDualWrite and later). Earlier
+  /// phases rely on the update log instead, so nothing is double-applied:
+  /// catch-up replays exactly the entries executed before dual-writing
+  /// began.
+  Status OnUpdate(const LoggedStatement& entry);
+
+  /// Marks the cutover done (controller has swapped generations).
+  void FinishCutover() { phase_ = MigrationPhase::kDone; }
+
+  MigrationPhase phase() const { return phase_; }
+  const MigrationProgress& progress() const { return progress_; }
+
+ private:
+  Status BackfillStep();
+  Status CatchUpStep(const std::vector<LoggedStatement>& update_log);
+  Status VerifyStep(const std::vector<LoggedStatement>& query_log);
+  Status ReplayUpdate(const LoggedStatement& entry);
+
+  const Dataset* data_;
+  RecordStore* store_;
+  const Schema* new_schema_;
+  PlanExecutor* old_executor_;
+  PlanExecutor* new_executor_;
+  const std::map<std::string, QueryPlan>* old_query_plans_;
+  const std::map<std::string, QueryPlan>* new_query_plans_;
+  const std::map<std::string, UpdatePlan>* new_update_plans_;
+  const MigrationPlan* plan_;
+  Options options_;
+
+  MigrationPhase phase_ = MigrationPhase::kBackfill;
+  MigrationProgress progress_;
+  size_t build_pos_ = 0;    ///< index into plan_->build_indices
+  size_t root_cursor_ = 0;  ///< next root row of the current build CF
+  size_t replay_pos_ = 0;   ///< next update-log entry to replay
+  size_t dual_write_steps_ = 0;
+};
+
+}  // namespace nose::evolve
+
+#endif  // NOSE_EVOLVE_MIGRATION_EXECUTOR_H_

@@ -1,0 +1,98 @@
+#include "evolve/migration_planner.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nose::evolve {
+
+MigrationPlan PlanMigration(const Schema& old_schema, const Schema& new_schema,
+                            const CostModel& cost) {
+  MigrationPlan plan;
+
+  for (size_t i = 0; i < new_schema.size(); ++i) {
+    const ColumnFamily& cf = new_schema.column_families()[i];
+    if (old_schema.FindByKey(cf.key()) != nullptr) {
+      plan.keep_names.push_back(new_schema.names()[i]);
+    } else {
+      plan.build_indices.push_back(i);
+    }
+  }
+  for (size_t i = 0; i < old_schema.size(); ++i) {
+    const ColumnFamily& cf = old_schema.column_families()[i];
+    if (new_schema.FindByKey(cf.key()) == nullptr) {
+      plan.drop_names.push_back(old_schema.names()[i]);
+    }
+  }
+
+  // Build smallest-first; ties break on store name for determinism.
+  std::sort(plan.build_indices.begin(), plan.build_indices.end(),
+            [&](size_t a, size_t b) {
+              const double sa = new_schema.column_families()[a].SizeBytes();
+              const double sb = new_schema.column_families()[b].SizeBytes();
+              if (sa != sb) return sa < sb;
+              return new_schema.names()[a] < new_schema.names()[b];
+            });
+  std::sort(plan.drop_names.begin(), plan.drop_names.end());
+
+  for (size_t i : plan.build_indices) {
+    const ColumnFamily& cf = new_schema.column_families()[i];
+    MigrationStep step;
+    step.kind = MigrationStepKind::kBuild;
+    step.cf_name = new_schema.names()[i];
+    step.schema_index = i;
+    step.est_rows = cf.EntryCount();
+    step.est_bytes = cf.SizeBytes();
+    const double bytes_per_row =
+        step.est_rows > 0.0 ? step.est_bytes / step.est_rows : 0.0;
+    step.est_cost_ms = cost.PutCost(step.est_rows, step.est_rows, bytes_per_row);
+    plan.est_build_rows += step.est_rows;
+    plan.est_build_bytes += step.est_bytes;
+    plan.est_build_cost_ms += step.est_cost_ms;
+    plan.steps.push_back(std::move(step));
+  }
+  if (!plan.empty()) {
+    plan.steps.push_back({MigrationStepKind::kCatchUp, "", 0, 0, 0, 0});
+    plan.steps.push_back({MigrationStepKind::kDualWrite, "", 0, 0, 0, 0});
+    plan.steps.push_back({MigrationStepKind::kVerify, "", 0, 0, 0, 0});
+    plan.steps.push_back({MigrationStepKind::kCutover, "", 0, 0, 0, 0});
+    for (const std::string& name : plan.drop_names) {
+      plan.steps.push_back({MigrationStepKind::kDrop, name, 0, 0, 0, 0});
+    }
+  }
+  return plan;
+}
+
+std::string MigrationPlan::ToString() const {
+  std::ostringstream out;
+  out << "migration: " << build_indices.size() << " build, "
+      << keep_names.size() << " keep, " << drop_names.size() << " drop; est "
+      << est_build_rows << " rows / " << est_build_bytes << " bytes / "
+      << est_build_cost_ms << " ms\n";
+  for (const MigrationStep& step : steps) {
+    switch (step.kind) {
+      case MigrationStepKind::kBuild:
+        out << "  build " << step.cf_name << " (" << step.est_rows
+            << " rows, " << step.est_bytes << " bytes, " << step.est_cost_ms
+            << " ms)\n";
+        break;
+      case MigrationStepKind::kCatchUp:
+        out << "  catch-up\n";
+        break;
+      case MigrationStepKind::kDualWrite:
+        out << "  dual-write\n";
+        break;
+      case MigrationStepKind::kVerify:
+        out << "  verify\n";
+        break;
+      case MigrationStepKind::kCutover:
+        out << "  cutover\n";
+        break;
+      case MigrationStepKind::kDrop:
+        out << "  drop " << step.cf_name << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace nose::evolve

@@ -1,0 +1,66 @@
+#ifndef NOSE_EVOLVE_MIGRATION_PLANNER_H_
+#define NOSE_EVOLVE_MIGRATION_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "schema/schema.h"
+
+namespace nose::evolve {
+
+enum class MigrationStepKind {
+  kBuild,     ///< backfill one new column family
+  kCatchUp,   ///< replay the update log into the new column families
+  kDualWrite, ///< apply updates to both generations
+  kVerify,    ///< compare sampled query results old vs. new
+  kCutover,   ///< switch the active generation
+  kDrop,      ///< drop one superseded column family
+};
+
+struct MigrationStep {
+  MigrationStepKind kind = MigrationStepKind::kBuild;
+  /// Store name of the column family (kBuild/kDrop steps only).
+  std::string cf_name;
+  /// Index into the new schema (kBuild steps only).
+  size_t schema_index = 0;
+  double est_rows = 0.0;
+  double est_bytes = 0.0;
+  double est_cost_ms = 0.0;
+};
+
+/// Diff of two named schemas turned into an ordered migration: build every
+/// new-only column family (smallest first, so early steps finish fast and
+/// a failed migration wastes the least data movement), catch up from the
+/// update log, dual-write, verify, cut over, then drop old-only column
+/// families. Statement availability holds at every step by construction:
+/// the old generation's column families are untouched until the
+/// post-cutover drops, and the new generation only becomes active once all
+/// builds completed and verified.
+struct MigrationPlan {
+  std::vector<MigrationStep> steps;
+  /// Store names of column families present in both schemas, as named by
+  /// the NEW schema. The controller names kept families after their live
+  /// store column family, so these are also the old names.
+  std::vector<std::string> keep_names;
+  /// Indices into the new schema that must be built, in build order.
+  std::vector<size_t> build_indices;
+  /// Old store names to drop after cutover.
+  std::vector<std::string> drop_names;
+  double est_build_rows = 0.0;
+  double est_build_bytes = 0.0;
+  double est_build_cost_ms = 0.0;
+
+  bool empty() const { return build_indices.empty() && drop_names.empty(); }
+  std::string ToString() const;
+};
+
+/// Diffs `old_schema` against `new_schema` (both carrying store names) by
+/// canonical column-family key and prices the data movement with the
+/// store's latency model (one write request per materialized row).
+MigrationPlan PlanMigration(const Schema& old_schema, const Schema& new_schema,
+                            const CostModel& cost);
+
+}  // namespace nose::evolve
+
+#endif  // NOSE_EVOLVE_MIGRATION_PLANNER_H_

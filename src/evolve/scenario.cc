@@ -1,0 +1,102 @@
+#include "evolve/scenario.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace nose::evolve {
+
+namespace {
+
+Status Malformed(int line, const std::string& what) {
+  return Status::InvalidArgument("scenario line " + std::to_string(line) +
+                                 ": " + what);
+}
+
+}  // namespace
+
+StatusOr<DriftScenario> ParseScenario(const std::string& text) {
+  DriftScenario scenario;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string key;
+    if (!(tokens >> key)) continue;
+
+    auto number = [&](double* out) -> Status {
+      double v;
+      if (!(tokens >> v)) return Malformed(lineno, "expected a number");
+      *out = v;
+      return Status::Ok();
+    };
+    auto count = [&](size_t* out) -> Status {
+      double v = 0.0;
+      NOSE_RETURN_IF_ERROR(number(&v));
+      if (v < 0.0) return Malformed(lineno, "expected a non-negative count");
+      *out = static_cast<size_t>(v);
+      return Status::Ok();
+    };
+
+    if (key == "workload") {
+      if (!(tokens >> scenario.workload)) {
+        return Malformed(lineno, "expected a workload name");
+      }
+    } else if (key == "scale") {
+      NOSE_RETURN_IF_ERROR(number(&scenario.scale));
+      if (scenario.scale <= 0.0) return Malformed(lineno, "scale must be > 0");
+    } else if (key == "seed") {
+      size_t seed = 0;
+      NOSE_RETURN_IF_ERROR(count(&seed));
+      scenario.seed = seed;
+    } else if (key == "window") {
+      NOSE_RETURN_IF_ERROR(count(&scenario.options.tracker.window));
+    } else if (key == "alpha") {
+      NOSE_RETURN_IF_ERROR(number(&scenario.options.tracker.alpha));
+    } else if (key == "threshold") {
+      NOSE_RETURN_IF_ERROR(number(&scenario.options.tracker.threshold));
+    } else if (key == "trigger-windows") {
+      size_t n = 0;
+      NOSE_RETURN_IF_ERROR(count(&n));
+      scenario.options.tracker.trigger_windows = static_cast<int>(n);
+    } else if (key == "cooldown-windows") {
+      NOSE_RETURN_IF_ERROR(count(&scenario.options.tracker.cooldown_windows));
+    } else if (key == "chunk-rows") {
+      NOSE_RETURN_IF_ERROR(count(&scenario.options.migration.chunk_rows));
+    } else if (key == "catchup-batch") {
+      NOSE_RETURN_IF_ERROR(count(&scenario.options.migration.catchup_batch));
+    } else if (key == "verify-samples") {
+      NOSE_RETURN_IF_ERROR(count(&scenario.options.migration.verify_samples));
+    } else if (key == "query-log") {
+      NOSE_RETURN_IF_ERROR(count(&scenario.options.query_log_capacity));
+    } else if (key == "phase") {
+      DriftPhase phase;
+      if (!(tokens >> phase.mix)) return Malformed(lineno, "expected a mix");
+      NOSE_RETURN_IF_ERROR(count(&phase.transactions));
+      if (phase.transactions == 0) {
+        return Malformed(lineno, "phase must run at least one transaction");
+      }
+      scenario.phases.push_back(std::move(phase));
+    } else {
+      return Malformed(lineno, "unknown directive '" + key + "'");
+    }
+  }
+  if (scenario.phases.empty()) {
+    return Status::InvalidArgument("scenario has no phases");
+  }
+  return scenario;
+}
+
+StatusOr<DriftScenario> LoadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open scenario file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseScenario(text.str());
+}
+
+}  // namespace nose::evolve

@@ -1,0 +1,47 @@
+#ifndef NOSE_EVOLVE_SCENARIO_H_
+#define NOSE_EVOLVE_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "evolve/evolve.h"
+#include "util/statusor.h"
+
+namespace nose::evolve {
+
+/// One phase of a drift scenario: sample transactions from `mix` for
+/// `transactions` transactions.
+struct DriftPhase {
+  std::string mix;
+  size_t transactions = 0;
+};
+
+/// A parsed drift scenario file. Line-based format, `#` comments:
+///   workload rubis
+///   scale 0.05
+///   seed 42
+///   window 32
+///   alpha 0.3
+///   threshold 0.08
+///   trigger-windows 2
+///   cooldown-windows 2
+///   chunk-rows 256
+///   catchup-batch 64
+///   verify-samples 8
+///   query-log 128
+///   phase default 300
+///   phase browsing 600
+struct DriftScenario {
+  std::string workload = "rubis";
+  double scale = 0.05;
+  uint64_t seed = 42;
+  EvolveOptions options;
+  std::vector<DriftPhase> phases;
+};
+
+StatusOr<DriftScenario> ParseScenario(const std::string& text);
+StatusOr<DriftScenario> LoadScenarioFile(const std::string& path);
+
+}  // namespace nose::evolve
+
+#endif  // NOSE_EVOLVE_SCENARIO_H_

@@ -1,5 +1,6 @@
 #include "executor/loader.h"
 
+#include <algorithm>
 #include <functional>
 
 namespace nose {
@@ -25,12 +26,59 @@ std::vector<FieldSlot> SlotsFor(const KeyPath& path,
 
 }  // namespace
 
+StatusOr<size_t> LoadColumnFamilyChunk(const Dataset& data,
+                                       const ColumnFamily& cf,
+                                       const std::string& name,
+                                       RecordStore* store, size_t root_begin,
+                                       size_t root_end) {
+  const KeyPath& path = cf.path();
+  const std::vector<FieldSlot> pk = SlotsFor(path, cf.partition_key());
+  const std::vector<FieldSlot> ck = SlotsFor(path, cf.clustering_key());
+  const std::vector<FieldSlot> vals = SlotsFor(path, cf.values());
+
+  // DFS over path instances; rows[i] is the dataset row of path entity i.
+  std::vector<size_t> rows(path.NumEntities());
+  size_t written = 0;
+  Status status;
+  std::function<void(size_t)> walk = [&](size_t depth) {
+    if (!status.ok()) return;
+    if (depth == path.NumEntities()) {
+      auto tuple = [&](const std::vector<FieldSlot>& slots) {
+        ValueTuple out;
+        out.reserve(slots.size());
+        for (const FieldSlot& slot : slots) {
+          out.push_back(data.FieldValue(path.EntityAt(slot.entity_index),
+                                        rows[slot.entity_index], slot.field));
+        }
+        return out;
+      };
+      std::vector<std::optional<Value>> values;
+      for (const Value& v : tuple(vals)) values.emplace_back(v);
+      Status s = store->Put(name, tuple(pk), tuple(ck), values);
+      if (!s.ok()) status = s;
+      ++written;
+      return;
+    }
+    const PathStep& step = path.steps()[depth - 1];
+    for (uint32_t next : data.Neighbors(step, rows[depth - 1])) {
+      rows[depth] = next;
+      walk(depth + 1);
+    }
+  };
+  const size_t end = std::min(root_end, data.RowCount(path.EntityAt(0)));
+  for (size_t r0 = root_begin; r0 < end; ++r0) {
+    rows[0] = r0;
+    walk(1);
+    if (!status.ok()) return status;
+  }
+  return written;
+}
+
 Status LoadSchema(const Dataset& data, const Schema& schema,
                   RecordStore* store) {
   for (size_t c = 0; c < schema.column_families().size(); ++c) {
     const ColumnFamily& cf = schema.column_families()[c];
     const std::string& name = schema.names()[c];
-    const KeyPath& path = cf.path();
 
     if (!store->HasColumnFamily(name)) {
       NOSE_RETURN_IF_ERROR(store->CreateColumnFamily(
@@ -38,47 +86,13 @@ Status LoadSchema(const Dataset& data, const Schema& schema,
           cf.values().size()));
     }
 
-    const std::vector<FieldSlot> pk = SlotsFor(path, cf.partition_key());
-    const std::vector<FieldSlot> ck = SlotsFor(path, cf.clustering_key());
-    const std::vector<FieldSlot> vals = SlotsFor(path, cf.values());
-
-    // DFS over path instances; rows[i] is the dataset row of path entity i.
-    std::vector<size_t> rows(path.NumEntities());
-    Status status;
-    std::function<void(size_t)> walk = [&](size_t depth) {
-      if (!status.ok()) return;
-      if (depth == path.NumEntities()) {
-        auto tuple = [&](const std::vector<FieldSlot>& slots) {
-          ValueTuple out;
-          out.reserve(slots.size());
-          for (const FieldSlot& slot : slots) {
-            out.push_back(data.FieldValue(path.EntityAt(slot.entity_index),
-                                          rows[slot.entity_index],
-                                          slot.field));
-          }
-          return out;
-        };
-        std::vector<std::optional<Value>> values;
-        for (const Value& v : tuple(vals)) values.emplace_back(v);
-        Status s = store->Put(name, tuple(pk), tuple(ck), values);
-        if (!s.ok()) status = s;
-        return;
-      }
-      const PathStep& step = path.steps()[depth - 1];
-      for (uint32_t next : data.Neighbors(step, rows[depth - 1])) {
-        rows[depth] = next;
-        walk(depth + 1);
-      }
-    };
     // Loading is a bulk operation; do not charge it to the simulation.
     const double before_ms = store->stats().simulated_ms;
     const uint64_t before_puts = store->stats().puts;
     const uint64_t before_rows = store->stats().rows_written;
-    for (size_t r0 = 0; r0 < data.RowCount(path.EntityAt(0)); ++r0) {
-      rows[0] = r0;
-      walk(1);
-      if (!status.ok()) return status;
-    }
+    StatusOr<size_t> loaded = LoadColumnFamilyChunk(
+        data, cf, name, store, 0, data.RowCount(cf.path().EntityAt(0)));
+    if (!loaded.ok()) return loaded.status();
     store->stats().simulated_ms = before_ms;
     store->stats().puts = before_puts;
     store->stats().rows_written = before_rows;

@@ -1,10 +1,12 @@
 #ifndef NOSE_EXECUTOR_LOADER_H_
 #define NOSE_EXECUTOR_LOADER_H_
 
+#include <string>
+
 #include "executor/dataset.h"
 #include "schema/schema.h"
 #include "store/record_store.h"
-#include "util/status.h"
+#include "util/statusor.h"
 
 namespace nose {
 
@@ -14,6 +16,19 @@ namespace nose {
 /// per instance. Loading is not charged to the store's latency simulation.
 Status LoadSchema(const Dataset& data, const Schema& schema,
                   RecordStore* store);
+
+/// Materializes one slice of `cf` as column family `name`: enumerates the
+/// path instances rooted at dataset rows [root_begin, root_end) of the
+/// path's first entity and writes one record per instance. The column
+/// family must already exist in `store`. Unlike LoadSchema, the writes ARE
+/// charged to the store's latency simulation — this is the unit of work of
+/// a migration backfill, which pays for its data movement. Returns the
+/// number of records written.
+StatusOr<size_t> LoadColumnFamilyChunk(const Dataset& data,
+                                       const ColumnFamily& cf,
+                                       const std::string& name,
+                                       RecordStore* store, size_t root_begin,
+                                       size_t root_end);
 
 }  // namespace nose
 

@@ -572,11 +572,18 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
       if (warm_ok) first_options.warm_start = &warm;
     }
     // Shared-pool advising: the previous mix's optimum is feasible here
-    // (same variables and rows, different weights); start from it when it
-    // undercuts the greedy incumbent.
-    if (cache != nullptr &&
+    // only when the assembled BIP has the exact same structure (same
+    // variables AND rows — weights alone may differ). The fingerprint
+    // check discards stale state when the workload or pool changed under
+    // the cache instead of applying it to a mismatched variable space.
+    LpBasis captured_root_basis;
+    const bool cache_matches =
+        cache != nullptr && cache->last_bip_variables == lp.num_variables() &&
+        cache->last_bip_rows == lp.num_rows() &&
+        cache->last_bip_nonzeros == lp.num_nonzeros() &&
         cache->last_bip_solution.size() ==
-            static_cast<size_t>(lp.num_variables())) {
+            static_cast<size_t>(lp.num_variables());
+    if (cache_matches) {
       auto objective_of = [&lp](const std::vector<double>& x) {
         double obj = 0.0;
         for (int v = 0; v < lp.num_variables(); ++v) {
@@ -589,6 +596,15 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
               objective_of(*first_options.warm_start)) {
         first_options.warm_start = &cache->last_bip_solution;
       }
+      // Hot-start the root LP from the previous optimal basis: identical
+      // rows keep that basis primal feasible under the new costs, so the
+      // root solve skips phase 1.
+      if (!cache->last_root_basis.empty()) {
+        first_options.root_basis = &cache->last_root_basis;
+      }
+    }
+    if (cache != nullptr) {
+      first_options.capture_root_basis = &captured_root_basis;
     }
 
     if (options_.capture_bip != nullptr) {
@@ -669,7 +685,16 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     for (size_t c = 0; c < candidates.size(); ++c) {
       selected[c] = chosen.x[static_cast<size_t>(delta_vars[c])] > 0.5;
     }
-    if (cache != nullptr) cache->last_bip_solution = chosen.x;
+    if (cache != nullptr) {
+      cache->last_bip_solution = chosen.x;
+      cache->last_bip_variables = lp.num_variables();
+      cache->last_bip_rows = lp.num_rows();
+      cache->last_bip_nonzeros = lp.num_nonzeros();
+      // Captured from the FIRST solve's root: the second (schema-size)
+      // stage appends a budget row, so its bases live in a different
+      // geometry and are never exchanged with this cache.
+      cache->last_root_basis = std::move(captured_root_basis);
+    }
   }
 
   // ==== Phase: extraction ("other"). ====
@@ -779,9 +804,14 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
       result.update_plans.emplace_back(entry->name, std::move(empty));
     }
   }
-  result.timing.other_seconds =
+  // Clamped at the source: when a shared cache satisfies whole phases the
+  // recorded phase stopwatches can exceed the (tiny) total, and the
+  // residual would otherwise go negative here rather than in the advisor.
+  result.timing.other_seconds = std::max(
+      0.0,
       total_watch.ElapsedSeconds() - result.timing.cost_calculation_seconds -
-      result.timing.bip_construction_seconds - result.timing.bip_solve_seconds;
+          result.timing.bip_construction_seconds -
+          result.timing.bip_solve_seconds);
   return result;
 }
 

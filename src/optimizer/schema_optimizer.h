@@ -91,6 +91,17 @@ struct PlanSpaceCache {
   /// differ), so this point stays feasible and seeds branch-and-bound
   /// with a tight incumbent when it beats the greedy warm start.
   std::vector<double> last_bip_solution;
+  /// Structural fingerprint of the BIP that produced last_bip_solution /
+  /// last_root_basis. A solve whose assembled BIP does not match discards
+  /// both instead of applying them to a mismatched variable space (the
+  /// workload or pool changed under the cache).
+  int last_bip_variables = -1;
+  int last_bip_rows = -1;
+  size_t last_bip_nonzeros = 0;
+  /// The previous mix's optimal root-LP basis: with identical rows the old
+  /// optimum stays primal feasible under new costs, so the next root solve
+  /// skips phase 1 entirely (the ROADMAP "hot-start the root LP" item).
+  LpBasis last_root_basis;
 };
 
 /// Phase timing for the Fig. 13 runtime breakdown.

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "solver/presolve.h"
 #include "util/stopwatch.h"
 
 namespace nose {
@@ -65,6 +66,25 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
                    const BipOptions& options) {
   obs::Span span("solver.bip", "solver");
   BipResult result;
+  if (options.capture_root_basis != nullptr) {
+    options.capture_root_basis->clear();
+  }
+
+  // Exact reductions once, up front; every node then relaxes the smaller
+  // instance. Variables keep their indices, so fixings, warm starts, and
+  // the extracted solution are unaffected.
+  PresolveSummary presolve_summary;
+  LpProblem reduced;
+  const LpProblem* relax = &problem;
+  if (options.presolve) {
+    reduced = PresolveForBip(problem, binary_vars, &presolve_summary);
+    if (presolve_summary.infeasible) {
+      result.status = BipStatus::kInfeasible;
+      return result;
+    }
+    relax = &reduced;
+  }
+
   uint64_t pruned = 0;
   uint64_t infeasible = 0;
   uint64_t incumbents = 0;
@@ -84,6 +104,7 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
 
   std::vector<Node> stack;
   stack.push_back(Node{{}, -LpProblem::kInfinity});
+  bool root_pending = true;
 
   auto prune_threshold = [&]() {
     const double rel = std::isfinite(incumbent)
@@ -111,8 +132,17 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
       lp_deadline = std::max(
           1.0, options.time_limit_seconds - watch.ElapsedSeconds());
     }
-    LpResult lp = problem.Solve(node.fixings, /*max_iterations=*/0,
-                                lp_deadline, options.lp_engine);
+    // The first node popped with no fixings is the root (it is seeded that
+    // way and never pruned: its parent bound is -inf). Only the root uses
+    // the caller's starting basis and exports its optimal one — child
+    // relaxations differ by branch fixings, where the root basis is often
+    // primal infeasible anyway.
+    const bool is_root = root_pending && node.fixings.empty();
+    if (is_root) root_pending = false;
+    LpResult lp = relax->Solve(node.fixings, /*max_iterations=*/0,
+                               lp_deadline, options.lp_engine,
+                               is_root ? options.root_basis : nullptr,
+                               is_root ? options.capture_root_basis : nullptr);
     result.lp_iterations += lp.iterations;
     if (lp.status == LpStatus::kInfeasible) {
       ++infeasible;

@@ -38,6 +38,19 @@ struct BipOptions {
   const std::vector<double>* warm_start = nullptr;
   /// Simplex core used for every node relaxation.
   LpEngine lp_engine = LpEngine::kSparse;
+  /// Apply exact presolve reductions (singleton rows → bounds, duplicate
+  /// inequality dedup) once, before the search; every node then solves the
+  /// reduced relaxation. The reductions are cost-independent, so captured
+  /// root bases stay valid across re-solves with different objectives.
+  bool presolve = true;
+  /// Optional starting basis for the ROOT relaxation, captured from a
+  /// previous solve of the same (presolved) instance — the incremental
+  /// advisor's hot start. Sparse engine only; an unusable basis falls back
+  /// to a cold start.
+  const LpBasis* root_basis = nullptr;
+  /// If set, receives the root relaxation's optimal basis (cleared when the
+  /// root solve is not cleanly optimal).
+  LpBasis* capture_root_basis = nullptr;
 };
 
 struct BipResult {

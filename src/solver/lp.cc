@@ -256,11 +256,18 @@ class SparseSimplex {
     return static_cast<int>(cost_.size()) - 1;
   }
 
-  LpResult Run(int max_iterations, double deadline_seconds);
+  LpResult Run(int max_iterations, double deadline_seconds,
+               const LpBasis* start_basis, LpBasis* final_basis);
 
  private:
   int NumCols() const { return static_cast<int>(cost_.size()); }
   int NumRows() const { return static_cast<int>(rows_.size()); }
+
+  /// Re-pivots the tableau onto `basis` (Gauss-Jordan over the stated basic
+  /// columns) and checks primal feasibility under the current bounds.
+  /// Returns false — with rows_/rhs_ restored — when the basis does not
+  /// fit, so the caller falls back to the cold crash start.
+  bool TryLoadBasis(const LpBasis& basis);
 
   double BoundValue(int j) const {
     return status_[static_cast<size_t>(j)] == VarStatus::kAtUpper
@@ -515,118 +522,251 @@ LpStatus SparseSimplex::Iterate(int max_iterations, int* iterations_used) {
   return LpStatus::kIterationLimit;
 }
 
-LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds) {
+bool SparseSimplex::TryLoadBasis(const LpBasis& basis) {
+  const int m = NumRows();
+  const int ncols = NumCols();
+  if (static_cast<int>(basis.status.size()) != ncols) return false;
+  std::vector<int> basic_cols;
+  basic_cols.reserve(static_cast<size_t>(m));
+  for (int j = 0; j < ncols; ++j) {
+    const uint8_t st = basis.status[static_cast<size_t>(j)];
+    if (st == static_cast<uint8_t>(VarStatus::kBasic)) {
+      basic_cols.push_back(j);
+    } else if (st == static_cast<uint8_t>(VarStatus::kAtLower)) {
+      if (lb_[static_cast<size_t>(j)] == -LpProblem::kInfinity) return false;
+    } else if (st == static_cast<uint8_t>(VarStatus::kAtUpper)) {
+      if (ub_[static_cast<size_t>(j)] == LpProblem::kInfinity) return false;
+    } else {
+      return false;
+    }
+  }
+  if (static_cast<int>(basic_cols.size()) != m) return false;
+
+  // The load pivots rows_/rhs_ in place; keep a copy to restore on failure.
+  std::vector<TabRow> rows_backup = rows_;
+  std::vector<double> rhs_backup = rhs_;
+
+  status_.assign(static_cast<size_t>(ncols), VarStatus::kAtLower);
+  for (int j = 0; j < ncols; ++j) {
+    status_[static_cast<size_t>(j)] =
+        static_cast<VarStatus>(basis.status[static_cast<size_t>(j)]);
+  }
+
+  // Gauss-Jordan: pivot each stated basic column into its own row so the
+  // tableau again equals B⁻¹A. Deterministic: columns ascend, each picks
+  // the unused row with the largest pivot magnitude.
+  basis_.assign(static_cast<size_t>(m), -1);
+  std::vector<char> row_used(static_cast<size_t>(m), 0);
+  TabRow scratch;
+  bool ok = true;
+  for (const int col : basic_cols) {
+    int best_row = -1;
+    double best_mag = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (row_used[static_cast<size_t>(i)]) continue;
+      const double a = std::abs(rows_[static_cast<size_t>(i)].Coeff(col));
+      if (a > best_mag) {
+        best_mag = a;
+        best_row = i;
+      }
+    }
+    if (best_mag <= kPivotTol) {  // singular under this basis
+      ok = false;
+      break;
+    }
+    TabRow& prow = rows_[static_cast<size_t>(best_row)];
+    const double inv = 1.0 / prow.Coeff(col);
+    if (prow.is_dense) {
+      for (double& v : prow.full) v *= inv;
+      prow.full[static_cast<size_t>(col)] = 1.0;  // exact
+    } else {
+      size_t w = 0;
+      for (size_t k = 0; k < prow.idx.size(); ++k) {
+        const int j = prow.idx[k];
+        const double v = j == col ? 1.0 : prow.val[k] * inv;
+        if (j != col && v == 0.0) continue;
+        prow.idx[w] = j;
+        prow.val[w] = v;
+        ++w;
+      }
+      prow.idx.resize(w);
+      prow.val.resize(w);
+    }
+    rhs_[static_cast<size_t>(best_row)] *= inv;
+    for (int i = 0; i < m; ++i) {
+      if (i == best_row) continue;
+      const double factor = rows_[static_cast<size_t>(i)].Coeff(col);
+      if (factor == 0.0) continue;
+      RowAxpy(&rows_[static_cast<size_t>(i)], -factor, prow, col, NumCols(),
+              &scratch);
+      rhs_[static_cast<size_t>(i)] -= factor * rhs_[static_cast<size_t>(best_row)];
+    }
+    row_used[static_cast<size_t>(best_row)] = 1;
+    basis_[static_cast<size_t>(best_row)] = col;
+  }
+
+  if (ok) {
+    // Basic values from the transformed system: xb_i = rhs_i minus the
+    // nonbasic columns resting at their bounds. Earlier basic columns are
+    // exactly zero in other rows (RowAxpy cancels the skip column exactly),
+    // but skip any basic entry defensively.
+    xb_.assign(static_cast<size_t>(m), 0.0);
+    for (int i = 0; i < m && ok; ++i) {
+      const TabRow& row = rows_[static_cast<size_t>(i)];
+      double v = rhs_[static_cast<size_t>(i)];
+      auto subtract = [&](int j, double a) {
+        if (status_[static_cast<size_t>(j)] == VarStatus::kBasic) return;
+        const double bv = BoundValue(j);
+        if (bv != 0.0) v -= a * bv;
+      };
+      if (row.is_dense) {
+        for (size_t j = 0; j < row.full.size(); ++j) {
+          if (row.full[j] != 0.0) subtract(static_cast<int>(j), row.full[j]);
+        }
+      } else {
+        for (size_t k = 0; k < row.idx.size(); ++k) {
+          subtract(row.idx[k], row.val[k]);
+        }
+      }
+      const size_t k = static_cast<size_t>(basis_[static_cast<size_t>(i)]);
+      if (v < lb_[k] - kPhase1Tol || v > ub_[k] + kPhase1Tol) {
+        ok = false;  // primal infeasible under the current bounds
+        break;
+      }
+      xb_[static_cast<size_t>(i)] = std::min(std::max(v, lb_[k]), ub_[k]);
+    }
+  }
+
+  if (!ok) {
+    rows_ = std::move(rows_backup);
+    rhs_ = std::move(rhs_backup);
+    return false;
+  }
+  return true;
+}
+
+LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds,
+                            const LpBasis* start_basis,
+                            LpBasis* final_basis) {
   deadline_seconds_ = deadline_seconds;
   watch_.Reset();
   const int m = NumRows();
   LpResult result;
-
-  // Initial point: every column rests at a finite bound.
-  status_.assign(static_cast<size_t>(NumCols()), VarStatus::kAtLower);
-  for (int j = 0; j < NumCols(); ++j) {
-    if (lb_[static_cast<size_t>(j)] == -LpProblem::kInfinity) {
-      assert(ub_[static_cast<size_t>(j)] != LpProblem::kInfinity &&
-             "free variables are not supported");
-      status_[static_cast<size_t>(j)] = VarStatus::kAtUpper;
-    }
-  }
-
-  // Residual per row given the initial nonbasic values; artificial columns
-  // absorb it so the artificial basis starts feasible.
-  std::vector<double> residual(static_cast<size_t>(m), 0.0);
-  for (int i = 0; i < m; ++i) {
-    double r = rhs_[static_cast<size_t>(i)];
-    // Rows are still CSR here: densification only happens during Iterate.
-    const TabRow& row = rows_[static_cast<size_t>(i)];
-    for (size_t k = 0; k < row.idx.size(); ++k) {
-      const double v = BoundValue(row.idx[k]);
-      if (v != 0.0) r -= row.val[k] * v;
-    }
-    residual[static_cast<size_t>(i)] = r;
-  }
-
-  // Negate rows with negative residual so that every artificial can enter
-  // with coefficient +1 and the initial basis matrix is the identity
-  // (tableau rows must equal B⁻¹A for the reduced-cost formula).
-  for (int i = 0; i < m; ++i) {
-    if (residual[static_cast<size_t>(i)] < 0.0) {
-      for (double& v : rows_[static_cast<size_t>(i)].val) v = -v;
-      rhs_[static_cast<size_t>(i)] = -rhs_[static_cast<size_t>(i)];
-      residual[static_cast<size_t>(i)] = -residual[static_cast<size_t>(i)];
-    }
-  }
-
-  // Crash basis: a row whose own slack carries coefficient +1 after the
-  // sign normalization can start with that slack basic at the residual
-  // (slacks live in [0, ∞), and the residual is now nonnegative) — no
-  // artificial, no phase-1 work. NoSE's BIPs are dominated by ≤ linking
-  // rows (x_e ≤ δ) whose residual at the all-lower starting point is zero,
-  // so this removes the bulk of phase 1; artificials remain only for
-  // equality rows and for inequalities pointing away from their slack.
-  const int first_artificial = NumCols();
-  basis_.resize(static_cast<size_t>(m));
-  xb_.resize(static_cast<size_t>(m));
-  for (int i = 0; i < m; ++i) {
-    const int slack = slack_col_[static_cast<size_t>(i)];
-    if (slack >= 0 &&
-        rows_[static_cast<size_t>(i)].Coeff(slack) == 1.0) {
-      status_[static_cast<size_t>(slack)] = VarStatus::kBasic;
-      basis_[static_cast<size_t>(i)] = slack;
-      xb_[static_cast<size_t>(i)] = residual[static_cast<size_t>(i)];
-    } else {
-      basis_[static_cast<size_t>(i)] = -1;  // artificial assigned below
-    }
-  }
-  for (int i = 0; i < m; ++i) {
-    if (basis_[static_cast<size_t>(i)] != -1) continue;
-    const int art = AddColumn(0.0, LpProblem::kInfinity, 0.0);
-    status_.push_back(VarStatus::kBasic);
-    // Artificial indices exceed every structural/slack index, so appending
-    // keeps the row sorted.
-    rows_[static_cast<size_t>(i)].idx.push_back(art);
-    rows_[static_cast<size_t>(i)].val.push_back(1.0);
-    basis_[static_cast<size_t>(i)] = art;
-    xb_[static_cast<size_t>(i)] = residual[static_cast<size_t>(i)];
-  }
-
-  // --- Phase 1: minimize the sum of artificials. ---
-  std::vector<double> phase1_cost(static_cast<size_t>(NumCols()), 0.0);
-  for (int j = first_artificial; j < NumCols(); ++j) {
-    phase1_cost[static_cast<size_t>(j)] = 1.0;
-  }
-  ComputeReducedCosts(phase1_cost);
+  if (final_basis != nullptr) final_basis->clear();
   result.iterations = 0;
-  LpStatus phase1 = Iterate(max_iterations, &result.iterations);
-  if (phase1 == LpStatus::kIterationLimit) {
-    result.status = LpStatus::kIterationLimit;
-    return result;
-  }
-  double infeasibility = 0.0;
-  for (int i = 0; i < m; ++i) {
-    if (basis_[static_cast<size_t>(i)] >= first_artificial) {
-      infeasibility += xb_[static_cast<size_t>(i)];
-    }
-  }
-  for (int j = first_artificial; j < NumCols(); ++j) {
-    if (status_[static_cast<size_t>(j)] == VarStatus::kAtUpper) {
-      infeasibility += std::abs(ub_[static_cast<size_t>(j)]);
-    }
-  }
-  if (infeasibility > kPhase1Tol) {
-    if (std::getenv("NOSE_LP_DEBUG") != nullptr) {
-      std::fprintf(stderr, "[lp] phase-1 infeasibility %.3e (rows=%d)\n",
-                   infeasibility, m);
-    }
-    result.status = LpStatus::kInfeasible;
-    return result;
-  }
 
-  // Freeze artificials at zero for phase 2. Any still basic sit at 0 and
-  // can only leave the basis degenerately, which is fine.
-  for (int j = first_artificial; j < NumCols(); ++j) {
-    ub_[static_cast<size_t>(j)] = 0.0;
-    if (status_[static_cast<size_t>(j)] == VarStatus::kAtUpper) {
-      status_[static_cast<size_t>(j)] = VarStatus::kAtLower;
+  int first_artificial = NumCols();
+  const bool hot = start_basis != nullptr && !start_basis->empty() &&
+                   TryLoadBasis(*start_basis);
+  result.hot_started = hot;
+
+  if (!hot) {
+    // Initial point: every column rests at a finite bound.
+    status_.assign(static_cast<size_t>(NumCols()), VarStatus::kAtLower);
+    for (int j = 0; j < NumCols(); ++j) {
+      if (lb_[static_cast<size_t>(j)] == -LpProblem::kInfinity) {
+        assert(ub_[static_cast<size_t>(j)] != LpProblem::kInfinity &&
+               "free variables are not supported");
+        status_[static_cast<size_t>(j)] = VarStatus::kAtUpper;
+      }
+    }
+
+    // Residual per row given the initial nonbasic values; artificial columns
+    // absorb it so the artificial basis starts feasible.
+    std::vector<double> residual(static_cast<size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      double r = rhs_[static_cast<size_t>(i)];
+      // Rows are still CSR here: densification only happens during Iterate.
+      const TabRow& row = rows_[static_cast<size_t>(i)];
+      for (size_t k = 0; k < row.idx.size(); ++k) {
+        const double v = BoundValue(row.idx[k]);
+        if (v != 0.0) r -= row.val[k] * v;
+      }
+      residual[static_cast<size_t>(i)] = r;
+    }
+
+    // Negate rows with negative residual so that every artificial can enter
+    // with coefficient +1 and the initial basis matrix is the identity
+    // (tableau rows must equal B⁻¹A for the reduced-cost formula).
+    for (int i = 0; i < m; ++i) {
+      if (residual[static_cast<size_t>(i)] < 0.0) {
+        for (double& v : rows_[static_cast<size_t>(i)].val) v = -v;
+        rhs_[static_cast<size_t>(i)] = -rhs_[static_cast<size_t>(i)];
+        residual[static_cast<size_t>(i)] = -residual[static_cast<size_t>(i)];
+      }
+    }
+
+    // Crash basis: a row whose own slack carries coefficient +1 after the
+    // sign normalization can start with that slack basic at the residual
+    // (slacks live in [0, ∞), and the residual is now nonnegative) — no
+    // artificial, no phase-1 work. NoSE's BIPs are dominated by ≤ linking
+    // rows (x_e ≤ δ) whose residual at the all-lower starting point is zero,
+    // so this removes the bulk of phase 1; artificials remain only for
+    // equality rows and for inequalities pointing away from their slack.
+    first_artificial = NumCols();
+    basis_.resize(static_cast<size_t>(m));
+    xb_.resize(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      const int slack = slack_col_[static_cast<size_t>(i)];
+      if (slack >= 0 &&
+          rows_[static_cast<size_t>(i)].Coeff(slack) == 1.0) {
+        status_[static_cast<size_t>(slack)] = VarStatus::kBasic;
+        basis_[static_cast<size_t>(i)] = slack;
+        xb_[static_cast<size_t>(i)] = residual[static_cast<size_t>(i)];
+      } else {
+        basis_[static_cast<size_t>(i)] = -1;  // artificial assigned below
+      }
+    }
+    for (int i = 0; i < m; ++i) {
+      if (basis_[static_cast<size_t>(i)] != -1) continue;
+      const int art = AddColumn(0.0, LpProblem::kInfinity, 0.0);
+      status_.push_back(VarStatus::kBasic);
+      // Artificial indices exceed every structural/slack index, so appending
+      // keeps the row sorted.
+      rows_[static_cast<size_t>(i)].idx.push_back(art);
+      rows_[static_cast<size_t>(i)].val.push_back(1.0);
+      basis_[static_cast<size_t>(i)] = art;
+      xb_[static_cast<size_t>(i)] = residual[static_cast<size_t>(i)];
+    }
+
+    // --- Phase 1: minimize the sum of artificials. ---
+    std::vector<double> phase1_cost(static_cast<size_t>(NumCols()), 0.0);
+    for (int j = first_artificial; j < NumCols(); ++j) {
+      phase1_cost[static_cast<size_t>(j)] = 1.0;
+    }
+    ComputeReducedCosts(phase1_cost);
+    LpStatus phase1 = Iterate(max_iterations, &result.iterations);
+    if (phase1 == LpStatus::kIterationLimit) {
+      result.status = LpStatus::kIterationLimit;
+      return result;
+    }
+    double infeasibility = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (basis_[static_cast<size_t>(i)] >= first_artificial) {
+        infeasibility += xb_[static_cast<size_t>(i)];
+      }
+    }
+    for (int j = first_artificial; j < NumCols(); ++j) {
+      if (status_[static_cast<size_t>(j)] == VarStatus::kAtUpper) {
+        infeasibility += std::abs(ub_[static_cast<size_t>(j)]);
+      }
+    }
+    if (infeasibility > kPhase1Tol) {
+      if (std::getenv("NOSE_LP_DEBUG") != nullptr) {
+        std::fprintf(stderr, "[lp] phase-1 infeasibility %.3e (rows=%d)\n",
+                     infeasibility, m);
+      }
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+
+    // Freeze artificials at zero for phase 2. Any still basic sit at 0 and
+    // can only leave the basis degenerately, which is fine.
+    for (int j = first_artificial; j < NumCols(); ++j) {
+      ub_[static_cast<size_t>(j)] = 0.0;
+      if (status_[static_cast<size_t>(j)] == VarStatus::kAtUpper) {
+        status_[static_cast<size_t>(j)] = VarStatus::kAtLower;
+      }
     }
   }
 
@@ -657,6 +797,26 @@ LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds) {
     result.objective += cost_[static_cast<size_t>(j)] * result.x[static_cast<size_t>(j)];
   }
   result.status = LpStatus::kOptimal;
+
+  // Export the optimal basis over structural + slack columns only. A basis
+  // with an artificial still in it (degenerate, at value 0) cannot be
+  // replayed against a fresh tableau, so it is simply not captured.
+  if (final_basis != nullptr) {
+    bool exportable = true;
+    for (int i = 0; i < m; ++i) {
+      if (basis_[static_cast<size_t>(i)] >= first_artificial) {
+        exportable = false;
+        break;
+      }
+    }
+    if (exportable) {
+      final_basis->status.resize(static_cast<size_t>(first_artificial));
+      for (int j = 0; j < first_artificial; ++j) {
+        final_basis->status[static_cast<size_t>(j)] =
+            static_cast<uint8_t>(status_[static_cast<size_t>(j)]);
+      }
+    }
+  }
   return result;
 }
 
@@ -1022,7 +1182,8 @@ LpResult DenseTableau::Run(int max_iterations, double deadline_seconds) {
 
 LpResult LpProblem::Solve(
     const std::vector<std::tuple<int, double, double>>& bound_overrides,
-    int max_iterations, double deadline_seconds, LpEngine engine) const {
+    int max_iterations, double deadline_seconds, LpEngine engine,
+    const LpBasis* start_basis, LpBasis* final_basis) const {
   std::vector<double> lb = lb_;
   std::vector<double> ub = ub_;
   for (const auto& [var, olb, oub] : bound_overrides) {
@@ -1069,8 +1230,10 @@ LpResult LpProblem::Solve(
       simplex.AddEqualityRow(std::move(row), src.rhs * scale,
                              slack_col[i]);
     }
-    result = simplex.Run(max_iterations, deadline_seconds);
+    result = simplex.Run(max_iterations, deadline_seconds, start_basis,
+                         final_basis);
   } else {
+    if (final_basis != nullptr) final_basis->clear();
     DenseTableau tableau(n, std::move(lb), std::move(ub), cost_);
     for (size_t i = 0; i < rows_.size(); ++i) {
       if (rows_[i].type != RowType::kEq) {
@@ -1114,6 +1277,17 @@ LpResult LpProblem::Solve(
   solves.Increment();
   iterations.Add(static_cast<uint64_t>(result.iterations));
   nonzeros.Add(num_nonzeros_);
+  if (start_basis != nullptr && !start_basis->empty() &&
+      engine == LpEngine::kSparse) {
+    static obs::Counter& hot_attempts = obs::MetricsRegistry::Global()
+        .GetCounter("solver.lp_hot_start_attempts");
+    hot_attempts.Increment();
+    if (result.hot_started) {
+      static obs::Counter& hot_starts =
+          obs::MetricsRegistry::Global().GetCounter("solver.lp_hot_starts");
+      hot_starts.Increment();
+    }
+  }
   return result;
 }
 

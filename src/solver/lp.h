@@ -30,6 +30,22 @@ struct LpResult {
   double objective = 0.0;
   std::vector<double> x;  ///< variable values at the optimum (if kOptimal)
   int iterations = 0;
+  bool hot_started = false;  ///< true if a starting basis was loaded
+};
+
+/// A simplex basis snapshot: one status per column (structural variables
+/// first, then one slack per inequality row in row order). 0 = at lower
+/// bound, 1 = at upper bound, 2 = basic. Captured from an optimal solve and
+/// fed back to a later solve of a problem with the SAME rows (only costs
+/// and bounds may differ) to skip phase 1 entirely. A basis that does not
+/// fit — wrong size, wrong basic count, singular, or primal infeasible
+/// under the new bounds — is rejected and the solve falls back to the cold
+/// crash start, so stale bases cost a failed load, never a wrong answer.
+struct LpBasis {
+  std::vector<uint8_t> status;
+
+  bool empty() const { return status.empty(); }
+  void clear() { status.clear(); }
 };
 
 /// One constraint row in CSR style: parallel index/value arrays with
@@ -120,10 +136,19 @@ class LpProblem {
   /// (within tolerances). kSparse is several-fold faster on the
   /// optimizer's instances, widening with workload size (solver_micro
   /// --json measures the gap and gates CI on agreement).
+  ///
+  /// `start_basis` (sparse engine only) hot-starts the solve from a basis
+  /// captured by an earlier solve of the same constraint rows; on a
+  /// successful load phase 1 is skipped. `final_basis` (sparse engine
+  /// only) receives the optimal basis of this solve, or is cleared when
+  /// none is available (non-optimal exit, artificial still basic, or the
+  /// dense engine).
   LpResult Solve(
       const std::vector<std::tuple<int, double, double>>& bound_overrides = {},
       int max_iterations = 0, double deadline_seconds = 0.0,
-      LpEngine engine = LpEngine::kSparse) const;
+      LpEngine engine = LpEngine::kSparse,
+      const LpBasis* start_basis = nullptr,
+      LpBasis* final_basis = nullptr) const;
 
  private:
   std::vector<double> cost_;

@@ -1,0 +1,144 @@
+#include "solver/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace nose {
+
+namespace {
+
+constexpr double kBoundTol = 1e-9;
+
+/// Byte-exact row fingerprint: sense, rhs, and the CSR arrays. Two rows
+/// collide only when every coefficient matches bitwise, so dropping the
+/// duplicate cannot perturb the LP relaxation at all.
+std::string RowKey(const LpRow& row) {
+  std::string key;
+  key.reserve(1 + sizeof(double) +
+              row.indices.size() * (sizeof(int) + sizeof(double)));
+  key.push_back(static_cast<char>(row.type));
+  key.append(reinterpret_cast<const char*>(&row.rhs), sizeof(double));
+  key.append(reinterpret_cast<const char*>(row.indices.data()),
+             row.indices.size() * sizeof(int));
+  key.append(reinterpret_cast<const char*>(row.values.data()),
+             row.values.size() * sizeof(double));
+  return key;
+}
+
+}  // namespace
+
+LpProblem PresolveForBip(const LpProblem& problem,
+                         const std::vector<int>& binary_vars,
+                         PresolveSummary* summary) {
+  const int n = problem.num_variables();
+  const int m = problem.num_rows();
+  std::vector<double> lb(static_cast<size_t>(n));
+  std::vector<double> ub(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    lb[static_cast<size_t>(v)] = problem.lower_bound(v);
+    ub[static_cast<size_t>(v)] = problem.upper_bound(v);
+  }
+
+  // Pass 1: turn singleton rows into bounds.
+  std::vector<char> drop(static_cast<size_t>(m), 0);
+  for (int i = 0; i < m; ++i) {
+    const LpRow& row = problem.row(i);
+    if (row.indices.size() > 1) continue;
+    if (row.indices.empty() ||
+        (row.indices.size() == 1 && row.values[0] == 0.0)) {
+      // 0 (≤|≥|=) rhs: either trivially true or the whole problem is empty.
+      const bool satisfied = row.type == RowType::kLe   ? 0.0 <= row.rhs
+                             : row.type == RowType::kGe ? 0.0 >= row.rhs
+                                                        : row.rhs == 0.0;
+      if (satisfied) {
+        drop[static_cast<size_t>(i)] = 1;
+        ++summary->singleton_rows_dropped;
+      } else {
+        summary->infeasible = true;
+      }
+      continue;
+    }
+    const int v = row.indices[0];
+    const double a = row.values[0];
+    const double b = row.rhs / a;
+    // a·x ≤ rhs bounds x above when a > 0, below when a < 0 (and the
+    // mirror for ≥); equality pins both sides.
+    const bool bounds_above =
+        row.type == RowType::kEq || ((row.type == RowType::kLe) == (a > 0.0));
+    const bool bounds_below =
+        row.type == RowType::kEq || ((row.type == RowType::kGe) == (a > 0.0));
+    if (bounds_above && b < ub[static_cast<size_t>(v)]) {
+      ub[static_cast<size_t>(v)] = b;
+      ++summary->bounds_tightened;
+    }
+    if (bounds_below && b > lb[static_cast<size_t>(v)]) {
+      lb[static_cast<size_t>(v)] = b;
+      ++summary->bounds_tightened;
+    }
+    drop[static_cast<size_t>(i)] = 1;
+    ++summary->singleton_rows_dropped;
+  }
+
+  // Integrality: tightened bounds on branchable variables must stay
+  // integral (branch fixings replace bounds wholesale).
+  for (int v : binary_vars) {
+    double& l = lb[static_cast<size_t>(v)];
+    double& u = ub[static_cast<size_t>(v)];
+    const double lr = std::ceil(l - kBoundTol);
+    const double ur = std::floor(u + kBoundTol);
+    l = lr;
+    u = ur;
+  }
+  for (int v = 0; v < n; ++v) {
+    double& l = lb[static_cast<size_t>(v)];
+    double& u = ub[static_cast<size_t>(v)];
+    if (l > u + kBoundTol) summary->infeasible = true;
+    // Collapse any inversion so the reduced problem stays constructible;
+    // callers must check `infeasible` before solving it.
+    if (l > u) l = u;
+  }
+
+  // Pass 2: drop exact-duplicate inequality rows among the survivors.
+  std::unordered_set<std::string> seen;
+  for (int i = 0; i < m; ++i) {
+    if (drop[static_cast<size_t>(i)]) continue;
+    const LpRow& row = problem.row(i);
+    if (row.type == RowType::kEq) continue;
+    if (!seen.insert(RowKey(row)).second) {
+      drop[static_cast<size_t>(i)] = 1;
+      ++summary->duplicate_rows_dropped;
+    }
+  }
+
+  LpProblem reduced;
+  for (int v = 0; v < n; ++v) {
+    reduced.AddVariable(lb[static_cast<size_t>(v)], ub[static_cast<size_t>(v)],
+                        problem.cost(v));
+  }
+  for (int i = 0; i < m; ++i) {
+    if (drop[static_cast<size_t>(i)]) continue;
+    const LpRow& row = problem.row(i);
+    std::vector<std::pair<int, double>> coeffs;
+    coeffs.reserve(row.indices.size());
+    for (size_t k = 0; k < row.indices.size(); ++k) {
+      coeffs.emplace_back(row.indices[k], row.values[k]);
+    }
+    reduced.AddRow(row.type, row.rhs, std::move(coeffs));
+  }
+
+  static obs::Counter& singleton = obs::MetricsRegistry::Global().GetCounter(
+      "solver.presolve_singleton_rows");
+  static obs::Counter& duplicate = obs::MetricsRegistry::Global().GetCounter(
+      "solver.presolve_duplicate_rows");
+  singleton.Add(static_cast<uint64_t>(summary->singleton_rows_dropped));
+  duplicate.Add(static_cast<uint64_t>(summary->duplicate_rows_dropped));
+  return reduced;
+}
+
+}  // namespace nose

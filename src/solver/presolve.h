@@ -1,0 +1,42 @@
+#ifndef NOSE_SOLVER_PRESOLVE_H_
+#define NOSE_SOLVER_PRESOLVE_H_
+
+#include <vector>
+
+#include "solver/lp.h"
+
+namespace nose {
+
+/// What PresolveForBip did to an instance.
+struct PresolveSummary {
+  int singleton_rows_dropped = 0;
+  int duplicate_rows_dropped = 0;
+  int bounds_tightened = 0;
+  bool infeasible = false;  ///< a tightening emptied some variable's range
+};
+
+/// Reductions applied before branch-and-bound:
+///
+///  1. Singleton rows (one structural nonzero) become variable bounds and
+///     are dropped. Bounds derived for `binary_vars` are rounded to the
+///     nearest integer in range — branch fixings REPLACE bounds, so a
+///     fractional tightening on a branchable variable could otherwise
+///     silently re-violate the dropped row.
+///  2. Exact-duplicate inequality rows (same sense, indices, coefficients,
+///     and rhs — common across per-query subtrees sharing a candidate) keep
+///     only their first occurrence.
+///
+/// The reduced problem has the SAME variables at the same indices (warm
+/// starts and branch decisions carry over unchanged) and the surviving rows
+/// in their original order. Both reductions are exact: the feasible set
+/// restricted to integral `binary_vars` is unchanged, so the optimal BIP
+/// objective is identical. The reductions depend only on the constraint
+/// rows, never on the objective — re-advising with new costs yields the
+/// same reduced geometry, which keeps captured root bases replayable.
+LpProblem PresolveForBip(const LpProblem& problem,
+                         const std::vector<int>& binary_vars,
+                         PresolveSummary* summary);
+
+}  // namespace nose
+
+#endif  // NOSE_SOLVER_PRESOLVE_H_

@@ -77,6 +77,15 @@ Status RecordStore::CreateColumnFamily(const std::string& name,
   return Status::Ok();
 }
 
+Status RecordStore::DropColumnFamily(const std::string& name) {
+  auto it = cfs_.find(name);
+  if (it == cfs_.end()) {
+    return Status::NotFound("unknown column family " + name);
+  }
+  cfs_.erase(it);
+  return Status::Ok();
+}
+
 StatusOr<RecordStore::ColumnFamilyData*> RecordStore::FindCf(
     const std::string& name) {
   auto it = cfs_.find(name);

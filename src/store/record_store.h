@@ -55,6 +55,11 @@ class RecordStore {
     return cfs_.count(name) > 0;
   }
 
+  /// Removes a column family and all its records (live migration drops the
+  /// superseded generation after cutover). Not charged to the simulation —
+  /// drops are metadata operations in the target stores.
+  Status DropColumnFamily(const std::string& name);
+
   struct Row {
     ValueTuple clustering;
     ValueTuple values;

@@ -190,5 +190,54 @@ TEST(AdvisorTest, SecondPhaseMinimizesSchemaSize) {
               1e-5 * std::max(1.0, rec_plain->objective));
 }
 
+TEST(AdvisorTest, AdviseAllMixesSharesAcrossSubsetGroups) {
+  // "small" weights a strict subset of the default mix's statements, so
+  // AdviseAllMixes serves it by projecting the default group's plan spaces
+  // (the cross-group sharing path) — which must not change the output.
+  auto graph = MakeHotelGraph();
+  Workload workload(graph.get());
+  ASSERT_TRUE(workload.AddQuery("guests_by_city", MakeFig3Query(*graph), 2.0)
+                  .ok());
+  ASSERT_TRUE(workload.AddQuery("guest_pois", MakeGuestPoiQuery(*graph), 1.0)
+                  .ok());
+  ASSERT_TRUE(workload.SetWeight("guests_by_city", "small", 1.0).ok());
+
+  Advisor advisor(Verified());
+  auto all = advisor.AdviseAllMixes(workload, {"default", "small"});
+  ASSERT_TRUE(all.ok()) << all.status();
+  ASSERT_EQ(all->size(), 2u);
+  for (const auto& [mix, rec] : *all) {
+    auto solo = advisor.Recommend(workload, mix);
+    ASSERT_TRUE(solo.ok()) << mix << ": " << solo.status();
+    EXPECT_EQ(rec.ToString(), solo->ToString()) << mix;
+  }
+}
+
+TEST(AdvisorTest, TimingBreakdownStaysNonNegative) {
+  // Shared-pool advising hands later mixes cached plan spaces, which once
+  // drove the residual "other" bucket (total minus attributed phases)
+  // negative. Every bucket must be clamped to a physical value.
+  auto graph = MakeHotelGraph();
+  Workload workload(graph.get());
+  ASSERT_TRUE(workload.AddQuery("guests_by_city", MakeFig3Query(*graph), 2.0)
+                  .ok());
+  ASSERT_TRUE(workload.AddQuery("guest_pois", MakeGuestPoiQuery(*graph), 1.0)
+                  .ok());
+  ASSERT_TRUE(workload.SetWeight("guests_by_city", "shift", 1.0).ok());
+  ASSERT_TRUE(workload.SetWeight("guest_pois", "shift", 5.0).ok());
+
+  Advisor advisor(Verified());
+  auto all = advisor.AdviseAllMixes(workload, {"default", "shift"});
+  ASSERT_TRUE(all.ok()) << all.status();
+  for (const auto& [mix, rec] : *all) {
+    EXPECT_GE(rec.timing.enumeration_seconds, 0.0) << mix;
+    EXPECT_GE(rec.timing.cost_calculation_seconds, 0.0) << mix;
+    EXPECT_GE(rec.timing.bip_construction_seconds, 0.0) << mix;
+    EXPECT_GE(rec.timing.bip_solve_seconds, 0.0) << mix;
+    EXPECT_GE(rec.timing.other_seconds, 0.0) << mix;
+    EXPECT_GE(rec.timing.total_seconds, 0.0) << mix;
+  }
+}
+
 }  // namespace
 }  // namespace nose

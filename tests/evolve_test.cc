@@ -1,0 +1,383 @@
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "evolve/driver.h"
+#include "evolve/evolve.h"
+#include "evolve/incremental_advisor.h"
+#include "evolve/migration_planner.h"
+#include "evolve/scenario.h"
+#include "evolve/workload_tracker.h"
+#include "executor/loader.h"
+#include "rubis/workload.h"
+#include "tests/hotel_fixture.h"
+
+namespace nose::evolve {
+namespace {
+
+// ===========================================================================
+// WorkloadTracker
+// ===========================================================================
+
+TEST(EvolveTrackerTest, TriggersAfterSustainedDrift) {
+  TrackerOptions opts;
+  opts.window = 10;
+  opts.alpha = 0.5;
+  opts.threshold = 0.2;
+  opts.trigger_windows = 2;
+  opts.cooldown_windows = 0;
+  WorkloadTracker tracker(opts);
+  tracker.SetAdvised({{"a", 0.5}, {"b", 0.5}});
+
+  // First all-"a" window: drift 0.25 > threshold, but one window is not
+  // enough for the two-window trigger.
+  for (int i = 0; i < 10; ++i) tracker.Record("a");
+  EXPECT_EQ(tracker.windows_closed(), 1u);
+  EXPECT_GT(tracker.drift(), opts.threshold);
+  EXPECT_FALSE(tracker.ShouldReadvise());
+
+  // Second consecutive over-threshold window trips the trigger.
+  for (int i = 0; i < 10; ++i) tracker.Record("a");
+  EXPECT_TRUE(tracker.ShouldReadvise());
+  // Consuming the trigger resets it.
+  EXPECT_FALSE(tracker.ShouldReadvise());
+
+  // The estimate decays "b" geometrically but never to exact zero: the
+  // observed mix keeps the full statement set, which is what keeps
+  // re-advising on the fully incremental path.
+  ASSERT_TRUE(tracker.estimate().count("b"));
+  EXPECT_GT(tracker.estimate().at("b"), 0.0);
+  EXPECT_LT(tracker.estimate().at("b"), 0.5);
+}
+
+TEST(EvolveTrackerTest, StableWorkloadNeverTriggers) {
+  TrackerOptions opts;
+  opts.window = 10;
+  opts.threshold = 0.2;
+  opts.trigger_windows = 2;
+  opts.cooldown_windows = 0;
+  WorkloadTracker tracker(opts);
+  tracker.SetAdvised({{"a", 0.5}, {"b", 0.5}});
+  for (int i = 0; i < 100; ++i) {
+    tracker.Record(i % 2 == 0 ? "a" : "b");
+    EXPECT_FALSE(tracker.ShouldReadvise());
+  }
+  EXPECT_EQ(tracker.windows_closed(), 10u);
+  EXPECT_LT(tracker.drift(), opts.threshold);
+}
+
+TEST(EvolveTrackerTest, CooldownSuppressesRetrigger) {
+  TrackerOptions opts;
+  opts.window = 4;
+  opts.alpha = 1.0;  // estimate snaps to the window frequency
+  opts.threshold = 0.2;
+  opts.trigger_windows = 1;
+  opts.cooldown_windows = 3;
+  WorkloadTracker tracker(opts);
+  tracker.SetAdvised({{"a", 0.5}, {"b", 0.5}});
+  // SetAdvised starts a cooldown: the first drifting windows are ignored.
+  for (int w = 0; w < 3; ++w) {
+    for (int i = 0; i < 4; ++i) tracker.Record("a");
+    EXPECT_FALSE(tracker.ShouldReadvise()) << "cooldown window " << w;
+  }
+  for (int i = 0; i < 4; ++i) tracker.Record("a");
+  EXPECT_TRUE(tracker.ShouldReadvise());
+}
+
+// ===========================================================================
+// Scenario parsing
+// ===========================================================================
+
+TEST(EvolveScenarioTest, ParsesDirectivesAndPhases) {
+  auto scenario = ParseScenario(
+      "# comment\n"
+      "workload rubis\n"
+      "scale 0.1\n"
+      "seed 7\n"
+      "window 16\n"
+      "alpha 0.4\n"
+      "threshold 0.12\n"
+      "trigger-windows 3\n"
+      "cooldown-windows 1\n"
+      "chunk-rows 99\n"
+      "catchup-batch 17\n"
+      "verify-samples 5\n"
+      "query-log 64\n"
+      "phase default 100\n"
+      "phase browsing 200\n");
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  EXPECT_EQ(scenario->workload, "rubis");
+  EXPECT_DOUBLE_EQ(scenario->scale, 0.1);
+  EXPECT_EQ(scenario->seed, 7u);
+  EXPECT_EQ(scenario->options.tracker.window, 16u);
+  EXPECT_DOUBLE_EQ(scenario->options.tracker.alpha, 0.4);
+  EXPECT_DOUBLE_EQ(scenario->options.tracker.threshold, 0.12);
+  EXPECT_EQ(scenario->options.tracker.trigger_windows, 3);
+  EXPECT_EQ(scenario->options.tracker.cooldown_windows, 1u);
+  EXPECT_EQ(scenario->options.migration.chunk_rows, 99u);
+  EXPECT_EQ(scenario->options.migration.catchup_batch, 17u);
+  EXPECT_EQ(scenario->options.migration.verify_samples, 5u);
+  EXPECT_EQ(scenario->options.query_log_capacity, 64u);
+  ASSERT_EQ(scenario->phases.size(), 2u);
+  EXPECT_EQ(scenario->phases[0].mix, "default");
+  EXPECT_EQ(scenario->phases[0].transactions, 100u);
+  EXPECT_EQ(scenario->phases[1].mix, "browsing");
+  EXPECT_EQ(scenario->phases[1].transactions, 200u);
+}
+
+TEST(EvolveScenarioTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseScenario("bogus-directive 1\nphase default 10\n").ok());
+  EXPECT_FALSE(ParseScenario("scale nope\nphase default 10\n").ok());
+  EXPECT_FALSE(ParseScenario("phase default 0\n").ok());
+  EXPECT_FALSE(ParseScenario("phase default\n").ok());
+  // No phases: nothing to run.
+  EXPECT_FALSE(ParseScenario("workload rubis\n").ok());
+}
+
+// ===========================================================================
+// MigrationPlanner
+// ===========================================================================
+
+/// Distinct candidate column families from the hotel workload. The graph
+/// is carried along because column-family paths reference it by pointer.
+struct HotelPool {
+  std::unique_ptr<EntityGraph> graph;
+  std::vector<ColumnFamily> cfs;
+};
+
+HotelPool MakeHotelPool() {
+  HotelPool out;
+  out.graph = MakeHotelGraph();
+  Workload workload(out.graph.get());
+  (void)workload.AddQuery("q", MakeFig3Query(*out.graph));
+  out.cfs = Enumerator()
+                .EnumerateWorkload(workload, Workload::kDefaultMix)
+                .candidates();
+  return out;
+}
+
+TEST(EvolveMigrationPlannerTest, DiffsByDefinitionAndOrdersBuildsBySize) {
+  HotelPool pool = MakeHotelPool();
+  const std::vector<ColumnFamily>& cfs = pool.cfs;
+  ASSERT_GE(cfs.size(), 4u);
+
+  Schema old_schema;
+  old_schema.Add(cfs[0], "dropped_cf");
+  old_schema.Add(cfs[1], "kept_cf");
+
+  Schema new_schema;
+  // Kept families carry their live store name into the new generation (the
+  // controller's MakeGeneration guarantees this); only new-only families
+  // get generation-prefixed names.
+  new_schema.Add(cfs[1], "kept_cf");
+  new_schema.Add(cfs[2], "g1_new_a");
+  new_schema.Add(cfs[3], "g1_new_b");
+
+  CostModel cost;
+  MigrationPlan plan = PlanMigration(old_schema, new_schema, cost);
+  EXPECT_FALSE(plan.empty());
+  // The kept family is identified by canonical key and keeps serving from
+  // the live store without any data movement.
+  ASSERT_EQ(plan.keep_names.size(), 1u);
+  EXPECT_EQ(plan.keep_names[0], "kept_cf");
+  ASSERT_EQ(plan.drop_names.size(), 1u);
+  EXPECT_EQ(plan.drop_names[0], "dropped_cf");
+  ASSERT_EQ(plan.build_indices.size(), 2u);
+  // Builds come smallest-first so a failed migration wastes the least
+  // data movement.
+  const auto& ncfs = new_schema.column_families();
+  EXPECT_LE(ncfs[plan.build_indices[0]].SizeBytes(),
+            ncfs[plan.build_indices[1]].SizeBytes());
+
+  // Step order: all builds, then catch-up / dual-write / verify / cutover,
+  // then drops.
+  std::vector<MigrationStepKind> kinds;
+  for (const MigrationStep& step : plan.steps) kinds.push_back(step.kind);
+  std::vector<MigrationStepKind> expected = {
+      MigrationStepKind::kBuild,    MigrationStepKind::kBuild,
+      MigrationStepKind::kCatchUp,  MigrationStepKind::kDualWrite,
+      MigrationStepKind::kVerify,   MigrationStepKind::kCutover,
+      MigrationStepKind::kDrop};
+  EXPECT_EQ(kinds, expected);
+  EXPECT_GT(plan.est_build_rows, 0.0);
+  EXPECT_GT(plan.est_build_cost_ms, 0.0);
+}
+
+TEST(EvolveMigrationPlannerTest, IdenticalSchemasYieldEmptyPlan) {
+  HotelPool pool = MakeHotelPool();
+  const std::vector<ColumnFamily>& cfs = pool.cfs;
+  ASSERT_GE(cfs.size(), 2u);
+  Schema a;
+  a.Add(cfs[0], "one");
+  a.Add(cfs[1], "two");
+  Schema b;
+  b.Add(cfs[1], "renamed_two");  // order and names differ; definitions match
+  b.Add(cfs[0], "renamed_one");
+  CostModel cost;
+  MigrationPlan plan = PlanMigration(a, b, cost);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.steps.empty());
+  EXPECT_EQ(plan.keep_names.size(), 2u);
+}
+
+// ===========================================================================
+// IncrementalAdvisor
+// ===========================================================================
+
+/// Hotel workload with two queries and an update; mixes "default", a
+/// reweighted "shift" over the same statements, and a one-query "sub".
+std::unique_ptr<Workload> MakeEvolvingWorkload(const EntityGraph& graph) {
+  auto workload = std::make_unique<Workload>(&graph);
+  (void)workload->AddQuery("guests_by_city", MakeFig3Query(graph), 3.0);
+  auto poi_path = graph.SingleEntityPath("POI");
+  auto update = Update::MakeUpdate(
+      *poi_path, {{"POIDescription", std::nullopt, "d"}},
+      {{{"POI", "POIID"}, PredicateOp::kEq, std::nullopt, "p"}});
+  (void)workload->AddUpdate("upd_poi", std::move(update).value(), 1.0);
+  (void)workload->SetWeight("guests_by_city", "shift", 0.5);
+  (void)workload->SetWeight("upd_poi", "shift", 4.0);
+  (void)workload->SetWeight("guests_by_city", "sub", 1.0);
+  return workload;
+}
+
+TEST(EvolveIncrementalAdvisorTest, SameSignatureReadviseMatchesColdExactly) {
+  auto graph = MakeHotelGraph();
+  auto workload = MakeEvolvingWorkload(*graph);
+
+  IncrementalAdvisor incremental;
+  auto first = incremental.Advise(*workload, Workload::kDefaultMix);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->incremental);
+
+  auto warm = incremental.Advise(*workload, "shift");
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->incremental);
+  EXPECT_FALSE(warm->seeded_from_superset);
+
+  auto cold = Advisor().Recommend(*workload, "shift");
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(warm->rec.ToString(), cold->ToString());
+  EXPECT_NEAR(warm->rec.objective, cold->objective,
+              1e-9 * std::max(1.0, cold->objective));
+}
+
+TEST(EvolveIncrementalAdvisorTest, SubsetReadviseSeedsFromSuperset) {
+  auto graph = MakeHotelGraph();
+  auto workload = MakeEvolvingWorkload(*graph);
+
+  IncrementalAdvisor incremental;
+  ASSERT_TRUE(incremental.Advise(*workload, Workload::kDefaultMix).ok());
+  auto sub = incremental.Advise(*workload, "sub");
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  EXPECT_TRUE(sub->incremental);
+  EXPECT_TRUE(sub->seeded_from_superset);
+
+  auto cold = Advisor().Recommend(*workload, "sub");
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(sub->rec.ToString(), cold->ToString());
+}
+
+TEST(EvolveIncrementalAdvisorTest, SupersetGrowthFallsBackToColdButMatches) {
+  auto graph = MakeHotelGraph();
+  auto workload = MakeEvolvingWorkload(*graph);
+
+  IncrementalAdvisor incremental;
+  ASSERT_TRUE(incremental.Advise(*workload, "sub").ok());
+  // The statement set grew: the sub pool cannot answer the update, so this
+  // re-advise re-enumerates — but still matches cold output exactly.
+  auto grown = incremental.Advise(*workload, Workload::kDefaultMix);
+  ASSERT_TRUE(grown.ok()) << grown.status();
+  EXPECT_FALSE(grown->incremental);
+
+  auto cold = Advisor().Recommend(*workload, Workload::kDefaultMix);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(grown->rec.ToString(), cold->ToString());
+}
+
+// ===========================================================================
+// End-to-end drift: live migration keeps query results identical to a
+// control store, and the final schema matches a cold advise at the final
+// observed weights.
+// ===========================================================================
+
+TEST(EvolveE2ETest, RubisDriftMigratesLiveAndStaysConsistent) {
+  auto scenario = ParseScenario(
+      "workload rubis\n"
+      "scale 0.05\n"
+      "seed 42\n"
+      "window 32\n"
+      "alpha 0.3\n"
+      "threshold 0.08\n"
+      "trigger-windows 2\n"
+      "cooldown-windows 2\n"
+      "chunk-rows 256\n"
+      "catchup-batch 64\n"
+      "verify-samples 8\n"
+      "query-log 128\n"
+      "phase default 150\n"
+      "phase browsing 250\n");
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  auto runner = DriftRunner::Create(*scenario);
+  ASSERT_TRUE(runner.ok()) << runner.status();
+  ASSERT_TRUE((*runner)->Run().ok());
+
+  const EvolveReport& report = (*runner)->report();
+  EXPECT_EQ(report.transactions, 400u);
+  EXPECT_EQ(report.invariant_violations, 0u);
+  ASSERT_GE(report.migrations.size(), 1u);
+  EXPECT_EQ(report.re_advises_cold, 0u);  // the EWMA keeps the full set
+  for (const MigrationRecord& m : report.migrations) {
+    EXPECT_FALSE(m.aborted);
+    EXPECT_EQ(m.verify_mismatches, 0u);
+    EXPECT_GT(m.verify_queries, 0u);
+    EXPECT_TRUE(m.advise_incremental);
+    if (m.builds > 0) EXPECT_GT(m.rows_backfilled, 0u);
+  }
+
+  EvolveController& controller = (*runner)->controller();
+  ASSERT_FALSE(controller.migration_in_progress());
+
+  // Final-schema parity: re-advising cold at the final observed weights
+  // (the "__observed" mix the controller wrote into the workload) must
+  // reproduce the active recommendation byte for byte.
+  auto cold = Advisor().Recommend((*runner)->workload(), "__observed");
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(controller.active_rec().ToString(), cold->ToString());
+
+  // Control-store equivalence: a fresh store built on the FINAL schema from
+  // the immutable dataset, with the full update log replayed through the
+  // final generation's plans, must answer every logged query with exactly
+  // the rows the live (migrated-in-place) store returns.
+  const Schema& schema = controller.active_schema();
+  RecordStore control;
+  ASSERT_TRUE(LoadSchema((*runner)->data(), schema, &control).ok());
+  PlanExecutor control_exec(&control, &schema);
+  for (const LoggedStatement& entry : controller.update_log()) {
+    auto it = controller.active_update_plans().find(entry.statement);
+    if (it == controller.active_update_plans().end()) continue;
+    ASSERT_TRUE(control_exec.ExecuteUpdate(it->second, entry.params).ok())
+        << entry.statement;
+  }
+  PlanExecutor live_exec(controller.store(), &schema);
+  size_t compared = 0;
+  for (const LoggedStatement& entry : controller.query_log()) {
+    auto it = controller.active_query_plans().find(entry.statement);
+    ASSERT_NE(it, controller.active_query_plans().end()) << entry.statement;
+    auto live = live_exec.ExecuteQuery(it->second, entry.params);
+    auto expected = control_exec.ExecuteQuery(it->second, entry.params);
+    ASSERT_TRUE(live.ok()) << entry.statement << ": " << live.status();
+    ASSERT_TRUE(expected.ok()) << entry.statement << ": " << expected.status();
+    std::sort(live->begin(), live->end());
+    std::sort(expected->begin(), expected->end());
+    EXPECT_EQ(*live, *expected) << entry.statement;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+}  // namespace
+}  // namespace nose::evolve

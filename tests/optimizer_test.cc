@@ -135,6 +135,76 @@ TEST(OptimizerStrategyTest, SpaceLimitForcesBip) {
   EXPECT_GT(rec->bip_variables, 0);  // BIP path was taken
 }
 
+TEST(OptimizerCacheTest, StructuralChangeDiscardsWarmStart) {
+  auto graph = MakeHotelGraph();
+  auto workload = MakeMixedWorkload(*graph, 0.5);
+
+  CostModel cost;
+  CardinalityEstimator est(graph.get(), &cost.params());
+  CandidatePool pool =
+      Enumerator().EnumerateWorkload(*workload, Workload::kDefaultMix);
+
+  OptimizerOptions opts;
+  opts.strategy = SolveStrategy::kBip;
+  SchemaOptimizer optimizer(&cost, &est, opts);
+
+  PlanSpaceCache cache;
+  auto full = optimizer.Optimize(*workload, Workload::kDefaultMix, pool,
+                                 nullptr, &cache);
+  ASSERT_TRUE(full.ok()) << full.status();
+  // The solve deposits its optimum plus the BIP's structural fingerprint.
+  ASSERT_FALSE(cache.last_bip_solution.empty());
+  ASSERT_GT(cache.last_bip_variables, 0);
+  const int full_vars = cache.last_bip_variables;
+  const int full_rows = cache.last_bip_rows;
+
+  // Mutate the workload between mixes: a new mix spanning only one query
+  // assembles a structurally different BIP. The fingerprint guard must
+  // discard the stale warm start and root basis instead of applying them
+  // to a mismatched variable space — and the cached-path result must match
+  // a cache-free solve exactly.
+  ASSERT_TRUE(workload->SetWeight("guests_by_city", "small", 1.0).ok());
+  auto cached = optimizer.Optimize(*workload, "small", pool, nullptr, &cache);
+  ASSERT_TRUE(cached.ok()) << cached.status();
+  EXPECT_TRUE(cache.last_bip_variables != full_vars ||
+              cache.last_bip_rows != full_rows)
+      << "the smaller mix should assemble a different BIP";
+
+  auto fresh = optimizer.Optimize(*workload, "small", pool, nullptr, nullptr);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_DOUBLE_EQ(cached->objective, fresh->objective);
+  EXPECT_EQ(cached->schema.ToString(), fresh->schema.ToString());
+}
+
+TEST(OptimizerCacheTest, CorruptStaleSolutionIsIgnoredSafely) {
+  auto graph = MakeHotelGraph();
+  auto workload = MakeMixedWorkload(*graph, 0.5);
+  CostModel cost;
+  CardinalityEstimator est(graph.get(), &cost.params());
+  CandidatePool pool =
+      Enumerator().EnumerateWorkload(*workload, Workload::kDefaultMix);
+  OptimizerOptions opts;
+  opts.strategy = SolveStrategy::kBip;
+  SchemaOptimizer optimizer(&cost, &est, opts);
+
+  // A cache carrying garbage with a non-matching fingerprint: the solve
+  // must ignore it entirely (a matching one is never fabricated here).
+  PlanSpaceCache cache;
+  cache.last_bip_solution = {1.0, 0.0, 1.0};
+  cache.last_bip_variables = 3;
+  cache.last_bip_rows = 1;
+  cache.last_bip_nonzeros = 3;
+  cache.last_root_basis.status = {2, 0, 1, 2};
+  auto guarded = optimizer.Optimize(*workload, Workload::kDefaultMix, pool,
+                                    nullptr, &cache);
+  ASSERT_TRUE(guarded.ok()) << guarded.status();
+  auto plain = optimizer.Optimize(*workload, Workload::kDefaultMix, pool,
+                                  nullptr, nullptr);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(guarded->objective, plain->objective);
+  EXPECT_EQ(guarded->schema.ToString(), plain->schema.ToString());
+}
+
 TEST(OptimizerStrategyTest, CombinatorialHandlesLargerRandomInstances) {
   randwl::GeneratorOptions gen;
   gen.num_entities = 18;
