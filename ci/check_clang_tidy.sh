@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# clang-tidy warning-count ratchet.
+#
+# Runs clang-tidy (config: .clang-tidy) over every first-party translation
+# unit in the compilation database and compares the number of distinct
+# warnings against the checked-in budget (ci/clang_tidy_budget.txt). The
+# build fails when the count EXCEEDS the budget — new warnings cannot land —
+# and prints a reminder to lower the budget when the count drops, so the
+# ceiling only ever moves down.
+#
+# Usage: ci/check_clang_tidy.sh <build-dir>
+# The build dir must have been configured with
+#   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+set -euo pipefail
+
+build_dir=${1:-build}
+budget_file="$(dirname "$0")/clang_tidy_budget.txt"
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "error: $build_dir/compile_commands.json not found" >&2
+  echo "       configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+budget=$(tr -d '[:space:]' < "$budget_file")
+
+# First-party sources only: third-party code in the database (gtest,
+# benchmark) is not ours to lint.
+mapfile -t sources < <(python3 - "$build_dir/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if "/src/" in f or "/tests/" in f or "/bench/" in f:
+        print(f)
+EOF
+)
+
+runner=$(command -v run-clang-tidy || command -v run-clang-tidy-18 || true)
+log=$(mktemp)
+if [[ -n "$runner" ]]; then
+  "$runner" -p "$build_dir" -quiet "${sources[@]}" > "$log" 2>/dev/null || true
+else
+  for f in "${sources[@]}"; do
+    clang-tidy -p "$build_dir" --quiet "$f" >> "$log" 2>/dev/null || true
+  done
+fi
+
+# One line per distinct warning site; parallel runners may duplicate
+# header-attributed findings across TUs.
+count=$(grep -E '^[^ ]+:[0-9]+:[0-9]+: warning:' "$log" | sort -u | wc -l)
+
+echo "clang-tidy: $count warning(s), budget $budget"
+if (( count > budget )); then
+  echo "FAIL: warning count exceeds the ratchet budget." >&2
+  echo "Fix the new warnings (never raise $budget_file):" >&2
+  grep -E '^[^ ]+:[0-9]+:[0-9]+: warning:' "$log" | sort -u | tail -n 20 >&2
+  exit 1
+fi
+if (( count < budget )); then
+  echo "NOTE: count is below budget; ratchet it down in $budget_file."
+fi

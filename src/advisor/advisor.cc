@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <set>
@@ -271,10 +272,17 @@ StatusOr<Recommendation> Advisor::RecommendImpl(const Workload& workload,
       "advisor.timing_residual_seconds");
   residual_gauge.Set(residual);
   if (residual >= 1e-3 + 1e-3 * rec.timing.total_seconds) {
-    std::fprintf(stderr,
-                 "advisor: warning: phase breakdown misses the measured total "
-                 "by %.6fs (total %.6fs) [NOSE-W006]\n",
-                 residual, rec.timing.total_seconds);
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "phase breakdown misses the measured total by %.6fs "
+                  "(total %.6fs)",
+                  residual, rec.timing.total_seconds);
+    Diagnostic d;
+    d.code = "NOSE-W006";
+    d.severity = Severity::kWarning;
+    d.message = msg;
+    d.note = "a phase stopwatch is missing or double-counting time";
+    rec.diagnostics.push_back(std::move(d));
   }
 
   if (options_.verify_invariants) {
@@ -282,6 +290,16 @@ StatusOr<Recommendation> Advisor::RecommendImpl(const Workload& workload,
     RecommendationView view{&rec.schema, &rec.query_plans, &rec.update_plans,
                             rec.objective, rec.solve_proven};
     NOSE_RETURN_IF_ERROR(VerifyRecommendation(workload, mix, view));
+  }
+  if (options_.analyze_antipatterns) {
+    obs::Span analyze_span("advisor.analyze_antipatterns", "advisor");
+    RecommendationView view{&rec.schema, &rec.query_plans, &rec.update_plans,
+                            rec.objective, rec.solve_proven};
+    std::vector<Diagnostic> findings = AnalyzeRecommendation(
+        workload, mix, view, rec.num_candidates, options_.antipatterns);
+    rec.diagnostics.insert(rec.diagnostics.end(),
+                           std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
   }
   return rec;
 }

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/antipatterns.h"
+#include "analysis/diagnostic.h"
 #include "cost/cardinality.h"
 #include "cost/cost_model.h"
 #include "enumerator/enumerator.h"
@@ -32,6 +34,12 @@ struct AdvisorOptions {
 #else
   bool verify_invariants = true;
 #endif
+  /// Run the NOSE-S schema anti-pattern analyses (analysis/antipatterns.h)
+  /// on every recommendation and append the findings to
+  /// Recommendation::diagnostics. Warnings only — they never fail the call.
+  bool analyze_antipatterns = false;
+  /// Thresholds for the anti-pattern analyses.
+  AntipatternOptions antipatterns;
 };
 
 /// Full advisor timing breakdown (Fig. 13's categories).
@@ -62,6 +70,12 @@ struct Recommendation {
   int bip_constraints = 0;
   int bb_nodes = 0;
   AdvisorTiming timing;
+
+  /// Findings attached while advising: the NOSE-W006 timing-residual check,
+  /// plus the NOSE-S anti-pattern analyses when
+  /// AdvisorOptions::analyze_antipatterns is on. Never error severity (an
+  /// invariant violation fails the call instead of landing here).
+  std::vector<Diagnostic> diagnostics;
 
   /// Human-readable report: schema + plans.
   std::string ToString() const;

@@ -1,0 +1,152 @@
+#include "analysis/antipatterns.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "schema/column_family.h"
+#include "schema/schema.h"
+
+namespace nose {
+
+namespace {
+
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return std::string(buf);
+}
+
+void Warn(std::vector<Diagnostic>* out, const char* code, SourceLocation loc,
+          std::string message, std::string note = "") {
+  Diagnostic d;
+  d.code = code;
+  d.severity = Severity::kWarning;
+  d.location = std::move(loc);
+  d.message = std::move(message);
+  d.note = std::move(note);
+  out->push_back(std::move(d));
+}
+
+/// Name of a column family in the recommended schema, falling back to its
+/// canonical key for plan targets outside the schema.
+std::string CfName(const Schema& schema, const ColumnFamily& cf) {
+  const std::string* name = schema.NameOf(cf);
+  return name != nullptr ? *name : cf.key();
+}
+
+/// True if `a` is answerable entirely by `b` at no extra cost: same path
+/// and partition key (so the same get reaches both), `a`'s clustering key a
+/// prefix of `b`'s (so `b` returns records in an order `a`'s consumers
+/// accept), every field `a` stores present in `b`, and `b` carrying no
+/// payload beyond `a`'s fields (a wider payload would make reads of `b`
+/// more expensive, so keeping the narrow `a` is a legitimate cost
+/// trade-off, not redundancy). Such an `a` adds storage and maintenance
+/// cost without adding any access capability.
+bool SubsumedBy(const ColumnFamily& a, const ColumnFamily& b) {
+  if (a.key() == b.key()) return false;
+  if (!(a.path() == b.path())) return false;
+  if (a.partition_key() != b.partition_key()) return false;
+  const auto& ac = a.clustering_key();
+  const auto& bc = b.clustering_key();
+  if (ac.size() > bc.size()) return false;
+  if (!std::equal(ac.begin(), ac.end(), bc.begin())) return false;
+  for (const FieldRef& f : a.values()) {
+    if (!b.ContainsField(f)) return false;
+  }
+  for (const FieldRef& f : b.values()) {
+    if (!a.ContainsField(f)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> AnalyzeRecommendation(
+    const Workload& workload, const std::string& mix,
+    const RecommendationView& view, size_t candidate_pool_size,
+    const AntipatternOptions& options) {
+  std::vector<Diagnostic> diags;
+  if (view.schema == nullptr) return diags;
+  const Schema& schema = *view.schema;
+
+  // S001 / S005: per-column-family growth and skew from the model's
+  // cardinality estimates.
+  for (const ColumnFamily& cf : schema.column_families()) {
+    const double entries = cf.EntryCount();
+    const double partitions = std::max(1.0, cf.PartitionCount());
+    const double per_partition = entries / partitions;
+    if (per_partition > options.max_partition_entries) {
+      Warn(&diags, "NOSE-S001", {},
+           "column family " + CfName(schema, cf) + " expects ~" +
+               Fmt(per_partition) + " records per partition (limit " +
+               Fmt(options.max_partition_entries) + ")",
+           "partitions grow with the data set; add a partition-key "
+           "attribute or bucket the clustering key");
+    }
+    if (partitions < options.hot_partition_max_partitions &&
+        entries >= options.hot_partition_min_entries) {
+      Warn(&diags, "NOSE-S005", {},
+           "column family " + CfName(schema, cf) + " hashes ~" +
+               Fmt(entries) + " records onto only " + Fmt(partitions) +
+               " partition(s)",
+           "all traffic lands on a few nodes; widen the partition key");
+    }
+  }
+
+  // S002: write amplification per logical update under this mix.
+  if (view.update_plans != nullptr) {
+    for (const auto& [name, plan] : *view.update_plans) {
+      if (plan.parts.size() < options.write_fanout_threshold) continue;
+      SourceLocation loc;
+      const WorkloadEntry* entry = workload.FindEntry(name);
+      if (entry != nullptr && entry->def_line > 0) {
+        loc.line = entry->def_line;
+      }
+      Warn(&diags, "NOSE-S002", std::move(loc),
+           "update " + name + " (mix " + mix + ") fans out into " +
+               std::to_string(plan.parts.size()) + " column families",
+           "every execution rewrites all of them; consider consolidating "
+           "the column families it maintains");
+    }
+  }
+
+  // S003: a chosen column family fully answerable by another chosen one.
+  {
+    const auto& cfs = schema.column_families();
+    for (size_t i = 0; i < cfs.size(); ++i) {
+      for (size_t j = 0; j < cfs.size(); ++j) {
+        if (i == j) continue;
+        if (SubsumedBy(cfs[i], cfs[j])) {
+          Warn(&diags, "NOSE-S003", {},
+               "column family " + CfName(schema, cfs[i]) +
+                   " is subsumed by " + CfName(schema, cfs[j]),
+               "same partition key, path and stored fields, with a "
+               "clustering prefix — it adds cost but no capability");
+          break;  // one finding per subsumed family is enough
+        }
+      }
+    }
+  }
+
+  // S004: enumeration produced far more candidates than the solve chose.
+  if (candidate_pool_size >= options.pool_bloat_min && !schema.empty()) {
+    const double ratio =
+        static_cast<double>(candidate_pool_size) /
+        static_cast<double>(schema.size());
+    if (ratio > options.pool_bloat_ratio) {
+      Warn(&diags, "NOSE-S004", {},
+           "candidate pool holds " + std::to_string(candidate_pool_size) +
+               " column families but the recommendation uses " +
+               std::to_string(schema.size()) + " (" + Fmt(ratio) + "x)",
+           "enumeration breadth is driving solve time; consider tightening "
+           "enumeration limits");
+    }
+  }
+
+  SortDiagnostics(&diags);
+  return diags;
+}
+
+}  // namespace nose

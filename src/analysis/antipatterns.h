@@ -1,0 +1,64 @@
+#ifndef NOSE_ANALYSIS_ANTIPATTERNS_H_
+#define NOSE_ANALYSIS_ANTIPATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/invariants.h"
+#include "workload/workload.h"
+
+namespace nose {
+
+/// Thresholds for the NOSE-S anti-pattern analyses. Defaults are tuned so
+/// the bundled workloads (RUBiS, hotel) come out clean while the seeded
+/// fixtures in workloads/antipattern.* fire every code; deployments with
+/// different scale expectations override them.
+struct AntipatternOptions {
+  /// S001: a partition expected to hold more than this many records keeps
+  /// growing with the data set — wide-partition risk.
+  double max_partition_entries = 100000.0;
+  /// S002: one logical update that rewrites at least this many column
+  /// families amplifies every write by that factor. RUBiS's registration
+  /// updates legitimately maintain 8-9 families, so the default sits just
+  /// above that.
+  size_t write_fanout_threshold = 10;
+  /// S004: candidate pool is "bloated" when it holds more than
+  /// pool_bloat_ratio × (chosen column families), with at least
+  /// pool_bloat_min candidates (small pools are never flagged).
+  double pool_bloat_ratio = 50.0;
+  size_t pool_bloat_min = 500;
+  /// S005: fewer distinct partitions than this concentrates all traffic on
+  /// a handful of nodes — hot-partition risk — provided the column family
+  /// is big enough to matter (hot_partition_min_entries).
+  double hot_partition_max_partitions = 4.0;
+  double hot_partition_min_entries = 1000.0;
+};
+
+/// Schema anti-pattern analyses over an advisor recommendation (the
+/// NoSQL-production failure modes catalogued by Scherzinger et al. —
+/// unbounded partitions, write fan-out — plus advisor-specific hygiene).
+/// All findings are warnings: the recommendation is correct, but deploying
+/// it as-is carries operational risk. Codes:
+///   NOSE-S001 unbounded-partition   expected records per partition exceed
+///                                   max_partition_entries
+///   NOSE-S002 write-amplification   one update maintains ≥ threshold
+///                                   column families
+///   NOSE-S003 subsumed-cf           a chosen column family is answerable
+///                                   entirely by another chosen one
+///   NOSE-S004 candidate-pool-bloat  enumeration produced far more
+///                                   candidates than the solve used
+///   NOSE-S005 hot-partition-skew    a large column family hashes to only
+///                                   a few partitions
+///
+/// `candidate_pool_size` is the enumerated pool size behind the solve
+/// (0 = unknown, disables S004). Statement-level findings (S002) carry the
+/// statement's source location when the workload records one.
+std::vector<Diagnostic> AnalyzeRecommendation(
+    const Workload& workload, const std::string& mix,
+    const RecommendationView& view, size_t candidate_pool_size,
+    const AntipatternOptions& options = AntipatternOptions());
+
+}  // namespace nose
+
+#endif  // NOSE_ANALYSIS_ANTIPATTERNS_H_

@@ -1,0 +1,276 @@
+#include "analysis/certify.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace nose {
+
+namespace {
+
+using util::Dyadic;
+
+/// Explicit formulation slack for rows with non-integer coefficients (the
+/// storage constraint's fractional byte estimates): 1e-9 × the row's
+/// largest coefficient magnitude. Integer-coefficient rows get zero.
+constexpr double kFractionalRowSlack = 1e-9;
+/// Accumulation slack for comparing the claimed objective (a sequential
+/// double summation) against the exact value.
+constexpr double kObjectiveSlack = 1e-9;
+/// Slack for comparing the solver's claimed root bound against the bound
+/// the duals certify: the duals themselves are floating-point, so the
+/// certified bound legitimately sits slightly below the root LP optimum.
+constexpr double kBoundSlack = 1e-6;
+
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return std::string(buf);
+}
+
+void Emit(std::vector<Diagnostic>* out, const char* code,
+          std::string message, std::string note = "") {
+  Diagnostic d;
+  d.code = code;
+  d.severity = Severity::kError;
+  d.message = std::move(message);
+  d.note = std::move(note);
+  out->push_back(std::move(d));
+}
+
+bool IsIntegral(double v) { return std::isfinite(v) && v == std::floor(v); }
+
+}  // namespace
+
+CertificateReport CheckCertificate(const SolveCertificate& cert) {
+  CertificateReport report;
+  std::vector<Diagnostic>& diags = report.diagnostics;
+  const LpProblem& p = cert.problem;
+  const int n = p.num_variables();
+  const int m = p.num_rows();
+
+  // --- Structure: every claim must have the shape the instance demands. ---
+  if (cert.x.size() != static_cast<size_t>(n)) {
+    Emit(&diags, "NOSE-C001",
+         "solution vector has " + std::to_string(cert.x.size()) +
+             " entries for an instance with " + std::to_string(n) +
+             " variables");
+    return report;
+  }
+  for (int var : cert.binary_vars) {
+    if (var < 0 || var >= n) {
+      Emit(&diags, "NOSE-C001",
+           "binary variable index " + std::to_string(var) + " out of range");
+      return report;
+    }
+  }
+  if (cert.root_available &&
+      cert.root_duals.size() != static_cast<size_t>(m)) {
+    Emit(&diags, "NOSE-C001",
+         "dual vector has " + std::to_string(cert.root_duals.size()) +
+             " entries for an instance with " + std::to_string(m) + " rows");
+    return report;
+  }
+
+  bool overflowed = false;
+  auto note_overflow = [&diags, &overflowed](const std::string& where) {
+    if (overflowed) return;
+    overflowed = true;
+    Emit(&diags, "NOSE-C005",
+         "exact arithmetic overflowed a 128-bit mantissa while " + where,
+         "the certificate is unverifiable, not wrong");
+  };
+
+  // --- Variable bounds and integrality (doubles compare exactly). ---
+  int bound_violations = 0;
+  for (int j = 0; j < n; ++j) {
+    const double v = cert.x[static_cast<size_t>(j)];
+    if (!std::isfinite(v) || v < p.lower_bound(j) || v > p.upper_bound(j)) {
+      if (++bound_violations <= 5) {
+        Emit(&diags, "NOSE-C002",
+             "x[" + std::to_string(j) + "] = " + Fmt(v) +
+                 " violates its bounds [" + Fmt(p.lower_bound(j)) + ", " +
+                 Fmt(p.upper_bound(j)) + "]");
+      }
+    }
+  }
+  int integrality_violations = 0;
+  for (int var : cert.binary_vars) {
+    const double v = cert.x[static_cast<size_t>(var)];
+    if (v != 0.0 && v != 1.0) {
+      if (++integrality_violations <= 5) {
+        Emit(&diags, "NOSE-C002",
+             "binary x[" + std::to_string(var) + "] = " + Fmt(v) +
+                 " is not exactly 0 or 1");
+      }
+    }
+  }
+  const int suppressed = (bound_violations > 5 ? bound_violations - 5 : 0) +
+                         (integrality_violations > 5
+                              ? integrality_violations - 5
+                              : 0);
+  if (suppressed > 0) {
+    Emit(&diags, "NOSE-C002",
+         std::to_string(suppressed) + " further bound/integrality violations");
+  }
+
+  // --- Row feasibility, exact. ---
+  int row_violations = 0;
+  for (int i = 0; i < m; ++i) {
+    const LpRow& row = p.row(i);
+    Dyadic lhs;
+    double max_mag = 0.0;
+    bool integral_row = IsIntegral(row.rhs);
+    for (size_t k = 0; k < row.indices.size(); ++k) {
+      const double a = row.values[k];
+      const double v = cert.x[static_cast<size_t>(row.indices[k])];
+      max_mag = std::max(max_mag, std::abs(a));
+      if (!IsIntegral(a) || !IsIntegral(v)) integral_row = false;
+      lhs = lhs + Dyadic::FromDouble(a) * Dyadic::FromDouble(v);
+    }
+    if (lhs.overflow()) {
+      note_overflow("evaluating row " + std::to_string(i));
+      continue;
+    }
+    // viol > 0 means the row is violated by that exact amount.
+    Dyadic viol;
+    if (row.type == RowType::kLe) {
+      viol = lhs - Dyadic::FromDouble(row.rhs);
+    } else if (row.type == RowType::kGe) {
+      viol = Dyadic::FromDouble(row.rhs) - lhs;
+    } else {
+      const Dyadic d = lhs - Dyadic::FromDouble(row.rhs);
+      viol = d.Sign() < 0 ? -d : d;
+    }
+    if (viol.overflow()) {
+      note_overflow("evaluating row " + std::to_string(i));
+      continue;
+    }
+    const double slack = integral_row ? 0.0 : kFractionalRowSlack * max_mag;
+    if (viol.Compare(Dyadic::FromDouble(slack)) > 0) {
+      if (++row_violations <= 5) {
+        Emit(&diags, "NOSE-C002",
+             "row " + std::to_string(i) + " violated by " +
+                 Fmt(viol.ToDouble()) + " (exact)",
+             integral_row ? "integer-coefficient row; zero slack applies"
+                          : "fractional-coefficient row; slack " + Fmt(slack));
+      }
+    }
+  }
+  if (row_violations > 5) {
+    Emit(&diags, "NOSE-C002",
+         std::to_string(row_violations - 5) + " further violated rows");
+  }
+
+  // --- Objective, exact. ---
+  Dyadic obj;
+  for (int j = 0; j < n; ++j) {
+    obj = obj + Dyadic::FromDouble(p.cost(j)) *
+                    Dyadic::FromDouble(cert.x[static_cast<size_t>(j)]);
+  }
+  if (obj.overflow()) {
+    note_overflow("recomputing the objective");
+  } else {
+    report.exact_objective = obj.ToDouble();
+    const double tol =
+        kObjectiveSlack * std::max(1.0, std::abs(cert.objective));
+    const Dyadic diff = obj - Dyadic::FromDouble(cert.objective);
+    const Dyadic mag = diff.Sign() < 0 ? -diff : diff;
+    if (mag.overflow()) {
+      note_overflow("recomputing the objective");
+    } else if (mag.Compare(Dyadic::FromDouble(tol)) > 0) {
+      Emit(&diags, "NOSE-C003",
+           "claimed objective " + Fmt(cert.objective) +
+               " differs from the exact recomputation " +
+               Fmt(report.exact_objective) + " by " + Fmt(mag.ToDouble()));
+    }
+  }
+
+  // --- Dual bound (Neumaier–Shcherbina): for any y with y ≤ 0 on ≤ rows,
+  // y ≥ 0 on ≥ rows, and any feasible x,
+  //   cᵀx = yᵀb + yᵀ(Ax − b) + (c − Aᵀy)ᵀx ≥ yᵀb + Σ_j min(r_j·l_j, r_j·u_j)
+  // because the middle term is nonnegative under that sign cone. Clamping
+  // wrong-signed duals to 0 keeps y in the cone, so even a tampered
+  // certificate can only certify a WEAKER bound — never an invalid one. ---
+  if (cert.root_available && !overflowed) {
+    std::vector<Dyadic> r(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      r[static_cast<size_t>(j)] = Dyadic::FromDouble(p.cost(j));
+    }
+    Dyadic yb;
+    for (int i = 0; i < m; ++i) {
+      double y = cert.root_duals[static_cast<size_t>(i)];
+      const LpRow& row = p.row(i);
+      if (row.type == RowType::kLe && y > 0.0) y = 0.0;
+      if (row.type == RowType::kGe && y < 0.0) y = 0.0;
+      if (!std::isfinite(y)) y = 0.0;
+      if (y == 0.0) continue;
+      const Dyadic yd = Dyadic::FromDouble(y);
+      yb = yb + yd * Dyadic::FromDouble(row.rhs);
+      for (size_t k = 0; k < row.indices.size(); ++k) {
+        Dyadic& rj = r[static_cast<size_t>(row.indices[k])];
+        rj = rj - yd * Dyadic::FromDouble(row.values[k]);
+      }
+    }
+    Dyadic bound = yb;
+    bool finite_bound = !yb.overflow();
+    for (int j = 0; j < n && finite_bound && !bound.overflow(); ++j) {
+      const Dyadic& rj = r[static_cast<size_t>(j)];
+      if (rj.overflow()) {
+        finite_bound = false;
+        note_overflow("assembling the dual bound");
+        break;
+      }
+      const int sign = rj.Sign();
+      if (sign == 0) continue;
+      const double b = sign > 0 ? p.lower_bound(j) : p.upper_bound(j);
+      if (!std::isfinite(b)) {
+        // An unbounded direction with nonzero reduced cost: no finite
+        // certified bound exists from these duals.
+        finite_bound = false;
+        Diagnostic d;
+        d.code = "NOSE-C004";
+        d.severity = Severity::kNote;
+        d.message = "no finite dual bound: variable " + std::to_string(j) +
+                    " has an infinite bound with nonzero reduced cost";
+        diags.push_back(std::move(d));
+        break;
+      }
+      bound = bound + rj * Dyadic::FromDouble(b);
+    }
+    if (bound.overflow()) {
+      note_overflow("assembling the dual bound");
+    } else if (finite_bound) {
+      report.bound_available = true;
+      report.dual_bound = bound.ToDouble();
+      const double tol =
+          kBoundSlack * std::max(1.0, std::abs(cert.root_objective));
+      const Dyadic claimed = Dyadic::FromDouble(cert.root_objective);
+      const Dyadic excess = claimed - bound;
+      if (excess.overflow()) {
+        note_overflow("assembling the dual bound");
+      } else if (excess.Compare(Dyadic::FromDouble(tol)) > 0) {
+        Emit(&diags, "NOSE-C004",
+             "claimed root bound " + Fmt(cert.root_objective) +
+                 " exceeds the bound the duals certify (" +
+                 Fmt(report.dual_bound) + ")",
+             "the duals do not support the claimed lower bound");
+        report.bound_available = false;
+      }
+    }
+  }
+
+  report.verified = !HasErrors(diags);
+  if (report.verified && report.bound_available) {
+    // Weak duality guarantees gap ≥ 0 for a feasible x; the max() only
+    // absorbs the final double rounding of two exact values.
+    report.certified_gap =
+        std::max(0.0, report.exact_objective - report.dual_bound);
+  }
+  return report;
+}
+
+}  // namespace nose

@@ -42,8 +42,10 @@ std::vector<Diagnostic> LintModel(const EntityGraph& graph,
 ///   NOSE-W003 dead-write              UPDATE sets only fields no query reads
 ///   NOSE-W004 mix-gap                 statement has no weight entry in some
 ///                                     named mix (note severity)
-/// NOSE-W006 (timing-residual) is reserved: the advisor emits it directly on
-/// stderr when its phase breakdown fails to account for the measured total.
+/// NOSE-W006 (timing-residual) is emitted by the advisor — as a Diagnostic
+/// in Recommendation::diagnostics — when its phase breakdown fails to
+/// account for the measured total; `nose check`/`nose advise` print it with
+/// the findings from these passes.
 std::vector<Diagnostic> LintWorkload(const Workload& workload,
                                      const LintSources& sources = {});
 

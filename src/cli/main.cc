@@ -7,6 +7,9 @@
 //        [--strategy auto|bip|comb] [--solve-budget SECONDS] [--verify]
 //        [--threads N] [--trace FILE] [--metrics FILE]
 //   nose check  --model hotel.model --workload hotel.workload
+//        [--mix NAME] [--certificate FILE] [--solve-budget SECONDS]
+//        [--threads N]
+//   nose check  --verify-certificate FILE
 //   nose lint   --model hotel.model --workload hotel.workload
 //
 // File formats: the entity-graph DSL (see ParseModel) and the ';'-separated
@@ -24,8 +27,11 @@
 #include <string>
 
 #include "advisor/advisor.h"
+#include "analysis/certify.h"
+#include "analysis/invariants.h"
 #include "analysis/lint.h"
 #include "evolve/driver.h"
+#include "solver/certificate.h"
 #include "evolve/scenario.h"
 #include "export/cql.h"
 #include "obs/metrics.h"
@@ -39,9 +45,21 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  nose advise --model FILE --workload FILE [options]\n"
-               "  nose check  --model FILE --workload FILE\n"
+               "  nose check  --model FILE --workload FILE [options]\n"
+               "  nose check  --verify-certificate FILE\n"
                "  nose lint   --model FILE --workload FILE\n"
                "  nose evolve --scenario FILE [--report FILE]\n"
+               "options (check):\n"
+               "  --mix NAME            workload mix to check "
+               "(default: 'default')\n"
+               "  --certificate FILE    write the solve certificate for an\n"
+               "                        independent re-verification\n"
+               "  --verify-certificate FILE  re-verify a written certificate "
+               "in exact\n"
+               "                        arithmetic (no model/workload needed)\n"
+               "  --solve-budget SECS   time budget for the solver\n"
+               "  --threads N           worker threads for the advisor "
+               "pipeline\n"
                "options (evolve):\n"
                "  --scenario FILE       drift scenario (see "
                "workloads/rubis_drift.scenario)\n"
@@ -246,6 +264,125 @@ int RunEvolve(std::map<std::string, std::string>& args) {
   return 0;
 }
 
+/// Prints the checker's verdict on one certificate.
+void PrintCertificateReport(const std::string& label,
+                            const nose::CertificateReport& report) {
+  std::cout << nose::FormatDiagnostics(report.diagnostics);
+  if (!report.verified) {
+    std::printf("certificate %s: REJECTED\n", label.c_str());
+    return;
+  }
+  std::printf("certificate %s: VERIFIED (exact objective %.10g", label.c_str(),
+              report.exact_objective);
+  if (report.bound_available) {
+    std::printf(", certified bound %.10g, gap %.3g", report.dual_bound,
+                report.certified_gap);
+  }
+  std::printf(")\n");
+}
+
+/// `nose check --verify-certificate FILE`: re-verify a serialized
+/// certificate in exact arithmetic with no model or workload in sight —
+/// the CI gate for solver changes.
+int VerifyCertificateFile(const std::string& path) {
+  auto cert = nose::ReadCertificate(path);
+  if (!cert.ok()) {
+    std::fprintf(stderr, "%s: error: %s [NOSE-C001]\n", path.c_str(),
+                 cert.status().message().c_str());
+    return 1;
+  }
+  nose::CertificateReport report = nose::CheckCertificate(*cert);
+  PrintCertificateReport(
+      cert->instance.empty() ? path : path + " (" + cert->instance + ")",
+      report);
+  return report.verified ? 0 : 1;
+}
+
+/// `nose check --model --workload`: the full static gate. Lint has already
+/// run (error findings refuse earlier); this advises with the BIP strategy
+/// under certificate capture, audits the recommendation invariants, runs
+/// the NOSE-S anti-pattern analyses, and verifies the certificate with
+/// exact arithmetic. Exit 1 on any error-severity finding or an unverified
+/// certificate.
+int RunCheck(std::map<std::string, std::string>& args,
+             const nose::Workload& workload,
+             std::vector<nose::Diagnostic> diags) {
+  nose::AdvisorOptions options;
+  // Certificates describe a BIP solve; force that strategy so every check
+  // produces one.
+  options.optimizer.strategy = nose::SolveStrategy::kBip;
+  options.analyze_antipatterns = true;
+  options.verify_invariants = false;  // audited below without aborting
+  if (args.count("--solve-budget") > 0) {
+    double secs = 0.0;
+    if (!ParsePositiveDouble("--solve-budget", args["--solve-budget"],
+                             &secs)) {
+      return Usage();
+    }
+    options.optimizer.bip.time_limit_seconds = secs;
+  }
+  if (args.count("--threads") > 0) {
+    double n = 0.0;
+    if (!ParsePositiveDouble("--threads", args["--threads"], &n) ||
+        n != static_cast<size_t>(n)) {
+      std::fprintf(stderr, "error: --threads wants a positive integer\n");
+      return Usage();
+    }
+    options.num_threads = static_cast<size_t>(n);
+  }
+  const std::string mix = args.count("--mix") > 0
+                              ? args["--mix"]
+                              : std::string(nose::Workload::kDefaultMix);
+  const std::vector<std::string> mixes = workload.MixNames();
+  if (std::find(mixes.begin(), mixes.end(), mix) == mixes.end()) {
+    std::fprintf(stderr, "error: workload has no mix '%s'\n", mix.c_str());
+    return 1;
+  }
+
+  nose::SolveCertificate cert;
+  cert.instance = args["--workload"] + ":" + mix;
+  options.optimizer.capture_certificate = &cert;
+  nose::Advisor advisor(options);
+  auto rec = advisor.Recommend(workload, mix);
+  if (!rec.ok()) {
+    std::cerr << "advisor error: " << rec.status() << "\n";
+    return 1;
+  }
+
+  // Advisor findings (NOSE-W006, NOSE-S001..S005) and the invariant audit
+  // (NOSE-I001..) join the lint findings in one report.
+  diags.insert(diags.end(), rec->diagnostics.begin(), rec->diagnostics.end());
+  nose::RecommendationView view{&rec->schema, &rec->query_plans,
+                                &rec->update_plans, rec->objective,
+                                rec->solve_proven};
+  std::vector<nose::Diagnostic> audit =
+      nose::AuditRecommendation(workload, mix, view);
+  diags.insert(diags.end(), audit.begin(), audit.end());
+  std::cout << nose::FormatDiagnostics(diags);
+
+  nose::CertificateReport report = nose::CheckCertificate(cert);
+  PrintCertificateReport(cert.instance, report);
+  if (args.count("--certificate") > 0) {
+    nose::Status written = nose::WriteCertificate(cert, args["--certificate"]);
+    if (!written.ok()) {
+      std::cerr << "certificate error: " << written << "\n";
+      return 1;
+    }
+    std::fprintf(stderr, "wrote certificate to %s\n",
+                 args["--certificate"].c_str());
+  }
+
+  const size_t errors = nose::CountSeverity(diags, nose::Severity::kError);
+  std::printf(
+      "check %s: %zu error(s), %zu warning(s), %zu note(s); schema %zu "
+      "column families, cost %.6g\n",
+      cert.instance.c_str(), errors,
+      nose::CountSeverity(diags, nose::Severity::kWarning),
+      nose::CountSeverity(diags, nose::Severity::kNote), rec->schema.size(),
+      rec->objective);
+  return (errors > 0 || !report.verified) ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -273,9 +410,22 @@ int main(int argc, char** argv) {
                         "--solve-budget", "--threads", "--trace", "--metrics"});
     bool_flags.insert({"--verify", "--all-mixes"});
   }
+  if (command == "check") {
+    value_flags.insert({"--mix", "--certificate", "--verify-certificate",
+                        "--solve-budget", "--threads"});
+  }
   std::map<std::string, std::string> args;
   if (!ParseArgs(argc, argv, 2, value_flags, bool_flags, &args)) {
     return Usage();
+  }
+  // Standalone certificate verification needs no model or workload.
+  if (command == "check" && args.count("--verify-certificate") > 0) {
+    if (args.count("--model") > 0 || args.count("--workload") > 0) {
+      std::fprintf(stderr,
+                   "error: --verify-certificate excludes --model/--workload\n");
+      return Usage();
+    }
+    return VerifyCertificateFile(args["--verify-certificate"]);
   }
   if (args.count("--model") == 0 || args.count("--workload") == 0) {
     return Usage();
@@ -329,11 +479,7 @@ int main(int argc, char** argv) {
   }
 
   if (command == "check") {
-    std::printf("ok: %zu entities, %zu relationships, %zu statements\n",
-                (*graph)->entity_order().size(),
-                (*graph)->relationships().size(),
-                (*workload)->entries().size());
-    return 0;
+    return RunCheck(args, **workload, std::move(diags));
   }
 
   nose::AdvisorOptions options;
@@ -458,6 +604,9 @@ int main(int argc, char** argv) {
     } else {
       std::cout << rec.ToString();
     }
+    // Advisor findings (e.g. NOSE-W006) go to stderr so text/cql output
+    // stays machine-consumable.
+    std::cerr << nose::FormatDiagnostics(rec.diagnostics);
     std::fprintf(stderr,
                  "advised '%s' in %.2fs: %zu candidates -> %zu column "
                  "families (workload cost %.4f%s)\n",

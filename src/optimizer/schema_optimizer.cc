@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/combinatorial.h"
+#include "solver/certificate.h"
 #include "solver/lp.h"
 #include "util/stopwatch.h"
 
@@ -612,6 +613,12 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
       options_.capture_bip->binary_vars = binaries;
       options_.capture_bip->captured = true;
     }
+    // Certify the FIRST (cost-minimizing) solve only: the schema-size stage
+    // re-solves a different instance (extra budget row, count objective)
+    // whose optimum says nothing about workload cost.
+    if (options_.capture_certificate != nullptr) {
+      first_options.capture_certificate = options_.capture_certificate;
+    }
 
     result.bip_variables = lp.num_variables();
     result.bip_constraints = num_constraints;
@@ -646,6 +653,56 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     result.bb_nodes = first.nodes_explored;
     result.objective = first.objective;
     result.solve_proven = first.status == BipStatus::kOptimal;
+
+    // Replace the certificate's solution with an exactly-integral point:
+    // deltas snapped from the solve, each support indicator the OR of its
+    // dependent deltas, and every flow re-routed along the best path over
+    // the selected candidates (one exists — the BIP solution proves
+    // coverage). Integer-coefficient rows then verify with zero violation
+    // in exact arithmetic; the incumbent's raw LP vector would not.
+    if (options_.capture_certificate != nullptr) {
+      SolveCertificate& cert = *options_.capture_certificate;
+      std::vector<double> xhat(static_cast<size_t>(lp.num_variables()), 0.0);
+      std::vector<bool> cert_selected(candidates.size(), false);
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        const bool on =
+            first.x[static_cast<size_t>(delta_vars[c])] > 0.5 && allowed[c];
+        cert_selected[c] = on;
+        xhat[static_cast<size_t>(delta_vars[c])] = on ? 1.0 : 0.0;
+      }
+      std::vector<char> y_on(shared_supports.size(), 0);
+      for (const SupportInfo& info : supports) {
+        if (!cert_selected[info.cf_index]) continue;
+        for (size_t idx : info.shared_ids) y_on[idx] = 1;
+      }
+      bool cert_ok = true;
+      auto route_cert = [&](const SpaceVars& sv) {
+        auto path = sv.space.BestPath(cert_selected);
+        if (!path.ok()) {
+          cert_ok = false;
+          return;
+        }
+        for (const auto& [state, edge] : *path) {
+          xhat[static_cast<size_t>(sv.edge_vars[state][edge])] = 1.0;
+        }
+      };
+      for (const SpaceVars& sv : query_spaces) route_cert(sv);
+      for (size_t idx = 0; idx < shared_supports.size(); ++idx) {
+        const SharedSupport& shared = *shared_supports[idx];
+        if (shared.y_var < 0 || shared.sv.space.states().empty()) continue;
+        if (!y_on[idx]) continue;
+        xhat[static_cast<size_t>(shared.y_var)] = 1.0;
+        route_cert(shared.sv);
+      }
+      if (cert_ok) {
+        cert.x = std::move(xhat);
+        double obj = 0.0;
+        for (int v = 0; v < lp.num_variables(); ++v) {
+          obj += lp.cost(v) * cert.x[static_cast<size_t>(v)];
+        }
+        cert.objective = obj;
+      }
+    }
 
     BipResult chosen = std::move(first);
     if (options_.minimize_schema_size) {

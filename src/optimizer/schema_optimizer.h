@@ -58,6 +58,14 @@ struct OptimizerOptions {
   /// When non-null and the BIP strategy runs, receives a copy of the
   /// assembled problem before solving.
   BipCapture* capture_bip = nullptr;
+  /// When non-null and the BIP strategy runs, receives a machine-checkable
+  /// certificate of the FIRST (cost-minimizing) solve — see
+  /// solver/certificate.h. The certified solution is re-derived as an
+  /// exactly-integral point (binaries snapped, support indicators implied,
+  /// flows re-routed along best paths over the selected candidates), so the
+  /// exact-arithmetic checker verifies it with zero tolerance on
+  /// integer-coefficient rows. Not filled by the combinatorial strategy.
+  SolveCertificate* capture_certificate = nullptr;
 };
 
 /// Mix-independent artifacts reused across Optimize() calls on the SAME

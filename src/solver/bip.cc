@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "solver/certificate.h"
 #include "solver/presolve.h"
 #include "util/stopwatch.h"
 
@@ -68,6 +69,28 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
   BipResult result;
   if (options.capture_root_basis != nullptr) {
     options.capture_root_basis->clear();
+  }
+  SolveCertificate* cert = options.capture_certificate;
+  if (cert != nullptr) {
+    const std::string instance = std::move(cert->instance);
+    *cert = SolveCertificate();
+    cert->instance = instance;
+    cert->problem = problem;
+    cert->binary_vars = binary_vars;
+    // Harvest duals from one cold solve of the ORIGINAL root relaxation
+    // (not the presolved one, whose rows the checker never sees). The
+    // solution path below is untouched: this solve exists only to certify.
+    std::vector<double> duals;
+    LpResult root = problem.Solve({}, /*max_iterations=*/0,
+                                  /*deadline_seconds=*/0.0, options.lp_engine,
+                                  /*start_basis=*/nullptr,
+                                  /*final_basis=*/nullptr, &duals);
+    if (root.status == LpStatus::kOptimal &&
+        duals.size() == static_cast<size_t>(problem.num_rows())) {
+      cert->root_available = true;
+      cert->root_objective = root.objective;
+      cert->root_duals = std::move(duals);
+    }
   }
 
   // Exact reductions once, up front; every node then relaxes the smaller
@@ -203,6 +226,11 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
     result.status = BipStatus::kInfeasible;
   } else {
     result.status = BipStatus::kOptimal;
+  }
+  if (cert != nullptr) {
+    cert->status = BipStatusName(result.status);
+    cert->objective = result.objective;
+    cert->x = result.x;
   }
   static obs::Counter& nodes_counter =
       obs::MetricsRegistry::Global().GetCounter("solver.bb_nodes");

@@ -7,6 +7,8 @@
 
 namespace nose {
 
+struct SolveCertificate;
+
 /// Termination status of a branch-and-bound solve.
 enum class BipStatus {
   kOptimal,
@@ -51,6 +53,12 @@ struct BipOptions {
   /// If set, receives the root relaxation's optimal basis (cleared when the
   /// root solve is not cleanly optimal).
   LpBasis* capture_root_basis = nullptr;
+  /// If set, receives a machine-checkable record of this solve (see
+  /// solver/certificate.h): a copy of the instance, the final solution and
+  /// objective, and dual multipliers harvested from one extra cold solve of
+  /// the ORIGINAL (un-presolved) root relaxation so the checker can certify
+  /// a lower bound without trusting presolve. Costs one LP solve.
+  SolveCertificate* capture_certificate = nullptr;
 };
 
 struct BipResult {

@@ -1,0 +1,76 @@
+#ifndef NOSE_SOLVER_CERTIFICATE_H_
+#define NOSE_SOLVER_CERTIFICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "solver/lp.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace nose {
+
+/// A machine-checkable record of one branch-and-bound solve: the exact BIP
+/// instance plus the solver's claims about it. The certificate is
+/// self-contained — it embeds a full copy of the LpProblem — so an
+/// independent checker (analysis/certify.h) can re-verify every claim with
+/// exact rational arithmetic, without trusting the advisor, the optimizer,
+/// or the floating-point simplex that produced it. This is the gate the
+/// solver rewrite work runs behind: engine agreement can go blind to a
+/// shared bug, a checked certificate cannot.
+///
+/// Claims, in checker order:
+///   1. `x` is primally feasible for every row and bound of `problem`, and
+///      integral on `binary_vars` (exact arithmetic; the only tolerance is
+///      an explicit, documented slack for rows with non-integer
+///      coefficients such as the storage constraint).
+///   2. `objective` equals cᵀx recomputed exactly.
+///   3. When `root_available`, `root_duals` assembles a valid lower bound
+///      on ANY feasible solution via weak duality (wrong-signed entries are
+///      clamped, so even corrupted duals can only weaken the bound), and
+///      `objective` − bound is the certified optimality gap.
+struct SolveCertificate {
+  /// Free-form label, e.g. "rubis:default" (reporting only).
+  std::string instance;
+  /// The exact instance the claims refer to.
+  LpProblem problem;
+  /// Variables the solver was required to make integral.
+  std::vector<int> binary_vars;
+
+  /// BipStatusName() of the solve that produced `x`.
+  std::string status;
+  /// Solver-claimed optimal objective.
+  double objective = 0.0;
+  /// Solver-claimed solution, one value per variable of `problem`.
+  std::vector<double> x;
+
+  /// True when a cold root-relaxation solve yielded dual multipliers.
+  bool root_available = false;
+  /// Root LP optimum as the solver saw it (reporting only; the checker
+  /// derives its own bound from the duals).
+  double root_objective = 0.0;
+  /// One multiplier per row of `problem`. Sign convention: y ≥ 0 for ≥
+  /// rows, y ≤ 0 for ≤ rows, free for =.
+  std::vector<double> root_duals;
+};
+
+/// Renders the certificate in a line-oriented text format. Doubles are
+/// written as C hexfloats (%a), which round-trip exactly through strtod —
+/// the serialized form carries the same bits the solver produced, so the
+/// exact-arithmetic checker verifies the real solve, not a decimal
+/// approximation of it.
+std::string CertificateToString(const SolveCertificate& cert);
+
+/// Writes CertificateToString(cert) to `path`.
+Status WriteCertificate(const SolveCertificate& cert, const std::string& path);
+
+/// Inverse of CertificateToString. Malformed input yields InvalidArgument
+/// with a line-anchored message (the checker maps this to NOSE-C001).
+StatusOr<SolveCertificate> ParseCertificate(const std::string& text);
+
+/// Reads and parses `path`.
+StatusOr<SolveCertificate> ReadCertificate(const std::string& path);
+
+}  // namespace nose
+
+#endif  // NOSE_SOLVER_CERTIFICATE_H_

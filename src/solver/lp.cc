@@ -257,7 +257,8 @@ class SparseSimplex {
   }
 
   LpResult Run(int max_iterations, double deadline_seconds,
-               const LpBasis* start_basis, LpBasis* final_basis);
+               const LpBasis* start_basis, LpBasis* final_basis,
+               bool want_duals);
 
  private:
   int NumCols() const { return static_cast<int>(cost_.size()); }
@@ -310,6 +311,11 @@ class SparseSimplex {
   std::vector<TabRow> rows_;  // m hybrid rows over NumCols() columns
   std::vector<double> rhs_;
   std::vector<int> slack_col_;  // per row: its slack column or -1
+  /// Cold-start bookkeeping for dual extraction: the phase-1 sign
+  /// normalization applied to each row (+1/-1), and the row's artificial
+  /// column (-1 when its own slack seeded the crash basis).
+  std::vector<double> row_sign_;
+  std::vector<int> artificial_of_row_;
   std::vector<VarStatus> status_;
   std::vector<int> basis_;    // per row: basic column
   std::vector<double> xb_;    // per row: value of the basic variable
@@ -646,8 +652,8 @@ bool SparseSimplex::TryLoadBasis(const LpBasis& basis) {
 }
 
 LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds,
-                            const LpBasis* start_basis,
-                            LpBasis* final_basis) {
+                            const LpBasis* start_basis, LpBasis* final_basis,
+                            bool want_duals) {
   deadline_seconds_ = deadline_seconds;
   watch_.Reset();
   const int m = NumRows();
@@ -656,6 +662,8 @@ LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds,
   result.iterations = 0;
 
   int first_artificial = NumCols();
+  row_sign_.assign(static_cast<size_t>(m), 1.0);
+  artificial_of_row_.assign(static_cast<size_t>(m), -1);
   const bool hot = start_basis != nullptr && !start_basis->empty() &&
                    TryLoadBasis(*start_basis);
   result.hot_started = hot;
@@ -693,6 +701,7 @@ LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds,
         for (double& v : rows_[static_cast<size_t>(i)].val) v = -v;
         rhs_[static_cast<size_t>(i)] = -rhs_[static_cast<size_t>(i)];
         residual[static_cast<size_t>(i)] = -residual[static_cast<size_t>(i)];
+        row_sign_[static_cast<size_t>(i)] = -1.0;
       }
     }
 
@@ -727,6 +736,7 @@ LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds,
       rows_[static_cast<size_t>(i)].val.push_back(1.0);
       basis_[static_cast<size_t>(i)] = art;
       xb_[static_cast<size_t>(i)] = residual[static_cast<size_t>(i)];
+      artificial_of_row_[static_cast<size_t>(i)] = art;
     }
 
     // --- Phase 1: minimize the sum of artificials. ---
@@ -798,6 +808,27 @@ LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds,
   }
   result.status = LpStatus::kOptimal;
 
+  // Dual extraction (cold solves only): at the phase-2 optimum the reduced
+  // cost of a column with identity structure in row i reads off −y_i. A
+  // row's artificial is exactly such a column; a row whose crash slack
+  // seeded the basis has that slack at coefficient +1 after sign
+  // normalization, so its reduced cost d = c_slack − y_i = −y_i as well.
+  // Undo the phase-1 row negation via row_sign_. Basic columns carry d = 0,
+  // giving y_i = 0 there — possibly weaker than the true dual, never wrong
+  // for the checker, which only uses duals to assemble a safe bound. Hot
+  // starts skip the crash entirely, so no identity columns are guaranteed
+  // and duals stay empty.
+  if (want_duals && !hot) {
+    result.duals.assign(static_cast<size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      const int art = artificial_of_row_[static_cast<size_t>(i)];
+      const int col = art >= 0 ? art : slack_col_[static_cast<size_t>(i)];
+      const double yhat = -d_[static_cast<size_t>(col)];
+      result.duals[static_cast<size_t>(i)] =
+          row_sign_[static_cast<size_t>(i)] * yhat;
+    }
+  }
+
   // Export the optimal basis over structural + slack columns only. A basis
   // with an artificial still in it (degenerate, at value 0) cannot be
   // replayed against a fresh tableau, so it is simply not captured.
@@ -850,7 +881,8 @@ class DenseTableau {
     return static_cast<int>(cost_.size()) - 1;
   }
 
-  LpResult Run(int max_iterations, double deadline_seconds);
+  LpResult Run(int max_iterations, double deadline_seconds,
+               bool want_duals = false);
 
  private:
   int NumCols() const { return static_cast<int>(cost_.size()); }
@@ -1055,7 +1087,8 @@ LpStatus DenseTableau::Iterate(int max_iterations, int* iterations_used) {
   return LpStatus::kIterationLimit;
 }
 
-LpResult DenseTableau::Run(int max_iterations, double deadline_seconds) {
+LpResult DenseTableau::Run(int max_iterations, double deadline_seconds,
+                           bool want_duals) {
   deadline_seconds_ = deadline_seconds;
   watch_.Reset();
   const int m = NumRows();
@@ -1086,11 +1119,13 @@ LpResult DenseTableau::Run(int max_iterations, double deadline_seconds) {
 
   // Negate rows with negative residual so that every artificial can enter
   // with coefficient +1 and the initial basis matrix is the identity.
+  std::vector<double> row_sign(static_cast<size_t>(m), 1.0);
   for (int i = 0; i < m; ++i) {
     if (residual[static_cast<size_t>(i)] < 0.0) {
       for (double& v : matrix_[static_cast<size_t>(i)]) v = -v;
       rhs_[static_cast<size_t>(i)] = -rhs_[static_cast<size_t>(i)];
       residual[static_cast<size_t>(i)] = -residual[static_cast<size_t>(i)];
+      row_sign[static_cast<size_t>(i)] = -1.0;
     }
   }
 
@@ -1175,6 +1210,18 @@ LpResult DenseTableau::Run(int max_iterations, double deadline_seconds) {
     result.objective += cost_[static_cast<size_t>(j)] * result.x[static_cast<size_t>(j)];
   }
   result.status = LpStatus::kOptimal;
+
+  // Dual extraction: row i's artificial is the identity column of row i, so
+  // its phase-2 reduced cost is −y_i (the artificial has zero objective
+  // cost). Undo the phase-1 row negation via row_sign.
+  if (want_duals) {
+    result.duals.assign(static_cast<size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      const int art = first_artificial + i;
+      result.duals[static_cast<size_t>(i)] =
+          row_sign[static_cast<size_t>(i)] * -d_[static_cast<size_t>(art)];
+    }
+  }
   return result;
 }
 
@@ -1183,7 +1230,8 @@ LpResult DenseTableau::Run(int max_iterations, double deadline_seconds) {
 LpResult LpProblem::Solve(
     const std::vector<std::tuple<int, double, double>>& bound_overrides,
     int max_iterations, double deadline_seconds, LpEngine engine,
-    const LpBasis* start_basis, LpBasis* final_basis) const {
+    const LpBasis* start_basis, LpBasis* final_basis,
+    std::vector<double>* duals) const {
   std::vector<double> lb = lb_;
   std::vector<double> ub = ub_;
   for (const auto& [var, olb, oub] : bound_overrides) {
@@ -1201,7 +1249,9 @@ LpResult LpProblem::Solve(
   // byte-scale and unit-scale coefficients (e.g. storage constraints)
   // stay within the solver's absolute tolerances.
   std::vector<int> slack_col(rows_.size(), -1);
+  std::vector<double> row_scale(rows_.size(), 1.0);
   LpResult result;
+  const bool want_duals = duals != nullptr;
   if (engine == LpEngine::kSparse) {
     SparseSimplex simplex(n, std::move(lb), std::move(ub), cost_);
     for (size_t i = 0; i < rows_.size(); ++i) {
@@ -1214,6 +1264,7 @@ LpResult LpProblem::Solve(
       double max_mag = 0.0;
       for (double v : src.values) max_mag = std::max(max_mag, std::abs(v));
       const double scale = max_mag > 1e-12 ? 1.0 / max_mag : 1.0;
+      row_scale[i] = scale;
       TabRow row;
       row.idx = src.indices;
       row.val = src.values;
@@ -1231,7 +1282,7 @@ LpResult LpProblem::Solve(
                              slack_col[i]);
     }
     result = simplex.Run(max_iterations, deadline_seconds, start_basis,
-                         final_basis);
+                         final_basis, want_duals);
   } else {
     if (final_basis != nullptr) final_basis->clear();
     DenseTableau tableau(n, std::move(lb), std::move(ub), cost_);
@@ -1255,6 +1306,7 @@ LpResult LpProblem::Solve(
         max_mag = std::max(max_mag, std::abs(src.values[k]));
       }
       const double scale = max_mag > 1e-12 ? 1.0 / max_mag : 1.0;
+      row_scale[i] = scale;
       if (scale != 1.0) {
         for (double& v : dense) v *= scale;
       }
@@ -1265,7 +1317,23 @@ LpResult LpProblem::Solve(
       }
       tableau.AddEqualityRow(std::move(dense), src.rhs * scale);
     }
-    result = tableau.Run(max_iterations, deadline_seconds);
+    result = tableau.Run(max_iterations, deadline_seconds, want_duals);
+  }
+
+  // Undo row equilibration on the duals: the engine solved
+  // scale_i·(a_i·x) = scale_i·b_i, so the multiplier of the original row is
+  // scale_i times the engine's.
+  if (duals != nullptr) {
+    if (result.status == LpStatus::kOptimal &&
+        result.duals.size() == rows_.size()) {
+      for (size_t i = 0; i < rows_.size(); ++i) {
+        result.duals[i] *= row_scale[i];
+      }
+      *duals = result.duals;
+    } else {
+      duals->clear();
+      result.duals.clear();
+    }
   }
 
   static obs::Counter& solves =

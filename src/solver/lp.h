@@ -31,6 +31,16 @@ struct LpResult {
   std::vector<double> x;  ///< variable values at the optimum (if kOptimal)
   int iterations = 0;
   bool hot_started = false;  ///< true if a starting basis was loaded
+  /// Dual value per original constraint row, filled only when the caller
+  /// asked for duals (Solve's `duals` out-parameter), the solve ended
+  /// kOptimal, and the engine started cold (a hot-started tableau carries
+  /// no identity columns for equality rows, so their multipliers are not
+  /// recoverable from reduced costs). Sign convention: y_i ≥ 0 certifies a
+  /// binding ≥ row, y_i ≤ 0 a binding ≤ row, free for =. The values are
+  /// floating-point candidates — the certificate checker (analysis/
+  /// certify.h) re-derives an exact safe bound from them rather than
+  /// trusting their feasibility.
+  std::vector<double> duals;
 };
 
 /// A simplex basis snapshot: one status per column (structural variables
@@ -143,12 +153,17 @@ class LpProblem {
   /// only) receives the optimal basis of this solve, or is cleared when
   /// none is available (non-optimal exit, artificial still basic, or the
   /// dense engine).
+  ///
+  /// `duals`, when non-null, receives one multiplier per constraint row at
+  /// the optimum (see LpResult::duals); cleared when the solve was not
+  /// cleanly optimal or was hot-started.
   LpResult Solve(
       const std::vector<std::tuple<int, double, double>>& bound_overrides = {},
       int max_iterations = 0, double deadline_seconds = 0.0,
       LpEngine engine = LpEngine::kSparse,
       const LpBasis* start_basis = nullptr,
-      LpBasis* final_basis = nullptr) const;
+      LpBasis* final_basis = nullptr,
+      std::vector<double>* duals = nullptr) const;
 
  private:
   std::vector<double> cost_;

@@ -1,0 +1,154 @@
+#ifndef NOSE_UTIL_RATIONAL_H_
+#define NOSE_UTIL_RATIONAL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace nose::util {
+
+/// Exact dyadic rational m · 2^e with a 128-bit signed mantissa and
+/// overflow checking — the arithmetic core of the solver-certificate
+/// checker (analysis/certify.h).
+///
+/// Every finite double is a dyadic rational with a 53-bit mantissa, so the
+/// set {m · 2^e} is closed under the three operations the checker needs
+/// (+, −, ×): a product of two doubles has a ≤106-bit mantissa, and sums
+/// only grow the mantissa by the exponent span of the addends. Division is
+/// never required — feasibility residuals, objective values, and the
+/// dual-feasibility bound are all polynomial in the certificate's doubles —
+/// which is what keeps the representation exact.
+///
+/// Overflow is *sticky*: any operation whose exact result needs more than
+/// 127 mantissa bits (or a non-finite input) poisons the value, and every
+/// value derived from it. The checker maps a poisoned result to
+/// "unverifiable" (NOSE-C005), never to a wrong verdict.
+class Dyadic {
+ public:
+  Dyadic() = default;
+
+  /// Exact conversion; NaN/±inf poison the value.
+  static Dyadic FromDouble(double v) {
+    Dyadic out;
+    if (!std::isfinite(v)) {
+      out.overflow_ = true;
+      return out;
+    }
+    if (v == 0.0) return out;
+    int exp = 0;
+    const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, |frac| in [0.5, 1)
+    out.m_ = static_cast<__int128>(static_cast<int64_t>(std::ldexp(frac, 53)));
+    out.e_ = exp - 53;
+    out.Normalize();
+    return out;
+  }
+
+  static Dyadic Zero() { return Dyadic(); }
+
+  bool overflow() const { return overflow_; }
+  bool IsZero() const { return !overflow_ && m_ == 0; }
+  /// Sign of the exact value: -1, 0, +1. Meaningless when overflow().
+  int Sign() const { return m_ == 0 ? 0 : (m_ < 0 ? -1 : 1); }
+
+  Dyadic operator-() const {
+    Dyadic out = *this;
+    out.m_ = -out.m_;
+    return out;
+  }
+
+  Dyadic operator+(const Dyadic& b) const {
+    if (overflow_ || b.overflow_) return Poisoned();
+    if (m_ == 0) return b;
+    if (b.m_ == 0) return *this;
+    // Align the larger exponent down to the smaller.
+    const Dyadic& lo = e_ <= b.e_ ? *this : b;
+    const Dyadic& hi = e_ <= b.e_ ? b : *this;
+    __int128 shifted = hi.m_;
+    if (!ShiftLeft(&shifted, hi.e_ - lo.e_)) return Poisoned();
+    Dyadic out;
+    if (__builtin_add_overflow(shifted, lo.m_, &out.m_)) return Poisoned();
+    out.e_ = lo.e_;
+    out.Normalize();
+    return out;
+  }
+
+  Dyadic operator-(const Dyadic& b) const { return *this + (-b); }
+
+  Dyadic operator*(const Dyadic& b) const {
+    if (overflow_ || b.overflow_) return Poisoned();
+    Dyadic out;
+    if (m_ == 0 || b.m_ == 0) return out;
+    if (__builtin_mul_overflow(m_, b.m_, &out.m_)) return Poisoned();
+    // The exponent range of certificate data is tiny next to int, but keep
+    // the check so poisoning is total.
+    const int64_t e = static_cast<int64_t>(e_) + b.e_;
+    if (e < kMinExp || e > kMaxExp) return Poisoned();
+    out.e_ = static_cast<int>(e);
+    out.Normalize();
+    return out;
+  }
+
+  /// Three-way exact comparison: -1 (a < b), 0, +1. Poisoned on overflow —
+  /// call overflow() on (a - b) when the distinction matters; here a
+  /// poisoned difference compares as "greater" so callers that treat
+  /// compare(x, limit) > 0 as failure stay conservative.
+  int Compare(const Dyadic& b) const {
+    const Dyadic diff = *this - b;
+    if (diff.overflow_) return 1;
+    return diff.Sign();
+  }
+
+  /// Nearest-double approximation, for reporting only (never for verdicts).
+  double ToDouble() const {
+    if (overflow_) return std::nan("");
+    bool negative = m_ < 0;
+    unsigned __int128 mag =
+        negative ? -static_cast<unsigned __int128>(m_)
+                 : static_cast<unsigned __int128>(m_);
+    double v = 0.0;
+    // Horner over the two 64-bit halves; inexact past 53 bits, as expected.
+    v = std::ldexp(static_cast<double>(static_cast<uint64_t>(mag >> 64)), 64) +
+        static_cast<double>(static_cast<uint64_t>(mag));
+    v = std::ldexp(v, e_);
+    return negative ? -v : v;
+  }
+
+ private:
+  static constexpr int64_t kMinExp = -(1 << 24);
+  static constexpr int64_t kMaxExp = 1 << 24;
+
+  static Dyadic Poisoned() {
+    Dyadic out;
+    out.overflow_ = true;
+    return out;
+  }
+
+  /// m <<= k with overflow detection (k >= 0).
+  static bool ShiftLeft(__int128* m, int k) {
+    for (; k > 0; --k) {
+      if (__builtin_mul_overflow(*m, static_cast<__int128>(2), m)) return false;
+    }
+    return true;
+  }
+
+  /// Strips trailing zero bits so repeated sums do not inflate the
+  /// mantissa beyond what the value requires.
+  void Normalize() {
+    if (m_ == 0) {
+      e_ = 0;
+      return;
+    }
+    while ((m_ & 1) == 0) {
+      m_ /= 2;
+      ++e_;
+    }
+  }
+
+  __int128 m_ = 0;
+  int e_ = 0;
+  bool overflow_ = false;
+};
+
+}  // namespace nose::util
+
+#endif  // NOSE_UTIL_RATIONAL_H_

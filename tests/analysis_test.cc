@@ -12,10 +12,13 @@
 #include <gtest/gtest.h>
 
 #include "advisor/advisor.h"
+#include "analysis/antipatterns.h"
 #include "analysis/invariants.h"
 #include "analysis/lint.h"
 #include "parser/model_parser.h"
 #include "parser/workload_parser.h"
+#include "randwl/random_workload.h"
+#include "schema/column_family.h"
 #include "tests/hotel_fixture.h"
 
 namespace nose {
@@ -350,6 +353,207 @@ TEST(InvariantsTest, MissingMaintenancePartIsI005) {
   const std::vector<Diagnostic> diags =
       AuditRecommendation(*f.workload, "default", view);
   ASSERT_NE(FindCode(diags, "NOSE-I005"), nullptr) << FormatDiagnostics(diags);
+}
+
+// ---------------------------------------------------------------------------
+// Lint: random workloads (fuzz the passes, no false errors)
+// ---------------------------------------------------------------------------
+
+TEST(LintTest, RandomWorkloadsLintWithoutFalseErrors) {
+  // The generator only emits well-formed statements, so any NOSE-E finding
+  // over its output is a false positive (and any crash a lint bug).
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    randwl::GeneratorOptions options;
+    options.seed = seed;
+    auto generated = randwl::Generate(options);
+    ASSERT_TRUE(generated.ok()) << "seed " << seed << ": "
+                                << generated.status();
+    const std::vector<Diagnostic> diags = LintAll(*generated->workload);
+    for (const Diagnostic& d : diags) {
+      EXPECT_NE(d.severity, Severity::kError)
+          << "seed " << seed << ": " << d.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Anti-pattern analyses (NOSE-S001..S005)
+// ---------------------------------------------------------------------------
+
+ColumnFamily MakeCf(const EntityGraph* graph, const std::string& entity,
+                    std::vector<FieldRef> pk, std::vector<FieldRef> ck,
+                    std::vector<FieldRef> values) {
+  auto cf = ColumnFamily::Create(KeyPath(graph, entity, {}), std::move(pk),
+                                 std::move(ck), std::move(values));
+  EXPECT_TRUE(cf.ok()) << cf.status();
+  return std::move(cf).value();
+}
+
+struct HandBuiltView {
+  Schema schema;
+  std::vector<std::pair<std::string, UpdatePlan>> update_plans;
+
+  RecommendationView View() const {
+    RecommendationView v;
+    v.schema = &schema;
+    v.update_plans = &update_plans;
+    return v;
+  }
+};
+
+TEST(AntipatternTest, UnboundedPartitionIsS001) {
+  auto graph = MakeHotelGraph();
+  HandBuiltView hb;
+  // 10000 rooms over 20 floors: 500 records per partition.
+  hb.schema.Add(MakeCf(graph.get(), "Room", {{"Room", "RoomFloor"}},
+                       {{"Room", "RoomID"}}, {{"Room", "RoomRate"}}));
+  Workload workload(graph.get());
+  AntipatternOptions options;
+  options.max_partition_entries = 100.0;
+  const std::vector<Diagnostic> diags = AnalyzeRecommendation(
+      workload, "default", hb.View(), /*candidate_pool_size=*/0, options);
+  const Diagnostic* d = FindCode(diags, "NOSE-S001");
+  ASSERT_NE(d, nullptr) << FormatDiagnostics(diags);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  // Raising the limit past 500 clears it.
+  options.max_partition_entries = 1000.0;
+  EXPECT_EQ(FindCode(AnalyzeRecommendation(workload, "default", hb.View(), 0,
+                                           options),
+                     "NOSE-S001"),
+            nullptr);
+}
+
+TEST(AntipatternTest, WriteFanoutIsS002) {
+  auto graph = MakeHotelGraph();
+  HandBuiltView hb;
+  UpdatePlan plan;
+  plan.parts.resize(3);
+  hb.update_plans.emplace_back("update_room", plan);
+  Workload workload(graph.get());
+  AntipatternOptions options;
+  options.write_fanout_threshold = 3;
+  const std::vector<Diagnostic> diags = AnalyzeRecommendation(
+      workload, "default", hb.View(), 0, options);
+  const Diagnostic* d = FindCode(diags, "NOSE-S002");
+  ASSERT_NE(d, nullptr) << FormatDiagnostics(diags);
+  EXPECT_NE(d->message.find("update_room"), std::string::npos);
+  options.write_fanout_threshold = 4;
+  EXPECT_EQ(FindCode(AnalyzeRecommendation(workload, "default", hb.View(), 0,
+                                           options),
+                     "NOSE-S002"),
+            nullptr);
+}
+
+TEST(AntipatternTest, SubsumedColumnFamilyIsS003) {
+  auto graph = MakeHotelGraph();
+  HandBuiltView hb;
+  // Same partition key, same stored fields; the second merely extends the
+  // clustering key, so the first is pure redundancy.
+  hb.schema.Add(MakeCf(graph.get(), "Room", {{"Room", "RoomFloor"}},
+                       {{"Room", "RoomNumber"}}, {{"Room", "RoomRate"}}));
+  hb.schema.Add(MakeCf(graph.get(), "Room", {{"Room", "RoomFloor"}},
+                       {{"Room", "RoomNumber"}, {"Room", "RoomID"}},
+                       {{"Room", "RoomRate"}}));
+  Workload workload(graph.get());
+  const std::vector<Diagnostic> diags =
+      AnalyzeRecommendation(workload, "default", hb.View(), 0);
+  const Diagnostic* d = FindCode(diags, "NOSE-S003");
+  ASSERT_NE(d, nullptr) << FormatDiagnostics(diags);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(AntipatternTest, NarrowerCoveringIndexIsNotS003) {
+  auto graph = MakeHotelGraph();
+  HandBuiltView hb;
+  // The wider family stores an extra value, so reading it in the narrow
+  // one's stead costs more — keeping both is a legitimate trade-off
+  // (hotel's cf4/cf6 pattern), not redundancy.
+  hb.schema.Add(MakeCf(graph.get(), "Room", {{"Room", "RoomFloor"}},
+                       {{"Room", "RoomNumber"}}, {}));
+  hb.schema.Add(MakeCf(graph.get(), "Room", {{"Room", "RoomFloor"}},
+                       {{"Room", "RoomNumber"}, {"Room", "RoomID"}},
+                       {{"Room", "RoomRate"}}));
+  Workload workload(graph.get());
+  const std::vector<Diagnostic> diags =
+      AnalyzeRecommendation(workload, "default", hb.View(), 0);
+  EXPECT_EQ(FindCode(diags, "NOSE-S003"), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(AntipatternTest, CandidatePoolBloatIsS004) {
+  auto graph = MakeHotelGraph();
+  HandBuiltView hb;
+  hb.schema.Add(MakeCf(graph.get(), "Room", {{"Room", "RoomID"}}, {},
+                       {{"Room", "RoomRate"}}));
+  Workload workload(graph.get());
+  const std::vector<Diagnostic> bloated = AnalyzeRecommendation(
+      workload, "default", hb.View(), /*candidate_pool_size=*/1000);
+  ASSERT_NE(FindCode(bloated, "NOSE-S004"), nullptr)
+      << FormatDiagnostics(bloated);
+  // Below the absolute floor the ratio is irrelevant.
+  const std::vector<Diagnostic> small = AnalyzeRecommendation(
+      workload, "default", hb.View(), /*candidate_pool_size=*/400);
+  EXPECT_EQ(FindCode(small, "NOSE-S004"), nullptr);
+}
+
+TEST(AntipatternTest, HotPartitionIsS005) {
+  auto graph = MakeHotelGraph();
+  HandBuiltView hb;
+  // 100000 reservations on a 365-partition key: fine by default, hot when
+  // the deployment expects more spread.
+  hb.schema.Add(MakeCf(graph.get(), "Reservation",
+                       {{"Reservation", "ResStartDate"}},
+                       {{"Reservation", "ResID"}},
+                       {{"Reservation", "ResEndDate"}}));
+  Workload workload(graph.get());
+  EXPECT_EQ(FindCode(AnalyzeRecommendation(workload, "default", hb.View(), 0),
+                     "NOSE-S005"),
+            nullptr);
+  AntipatternOptions options;
+  options.hot_partition_max_partitions = 500.0;
+  const std::vector<Diagnostic> diags = AnalyzeRecommendation(
+      workload, "default", hb.View(), 0, options);
+  ASSERT_NE(FindCode(diags, "NOSE-S005"), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+std::set<std::string> AntipatternCodes(const Recommendation& rec) {
+  std::set<std::string> out;
+  for (const Diagnostic& d : rec.diagnostics) {
+    if (d.code.rfind("NOSE-S", 0) == 0) out.insert(d.code);
+  }
+  return out;
+}
+
+TEST(AntipatternTest, SeededFixtureFiresThroughAdvisor) {
+  // workloads/antipattern.* is built so the optimal schema itself carries
+  // the anti-patterns: a 5-way partition key over 1M records (S001) and a
+  // 2-way key over 150k (S005).
+  ParsedFixture f = LoadFixture("antipattern");
+  AdvisorOptions options;
+  options.analyze_antipatterns = true;
+  Advisor advisor(options);
+  auto rec = advisor.Recommend(*f.workload);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  const std::set<std::string> codes = AntipatternCodes(*rec);
+  EXPECT_TRUE(codes.count("NOSE-S001")) << FormatDiagnostics(rec->diagnostics);
+  EXPECT_TRUE(codes.count("NOSE-S005")) << FormatDiagnostics(rec->diagnostics);
+  for (const Diagnostic& d : rec->diagnostics) {
+    EXPECT_NE(d.severity, Severity::kError) << d.ToString();
+  }
+}
+
+TEST(AntipatternTest, BundledWorkloadsAreCleanAtDefaults) {
+  for (const char* stem : {"hotel", "rubis"}) {
+    ParsedFixture f = LoadFixture(stem);
+    AdvisorOptions options;
+    options.analyze_antipatterns = true;
+    Advisor advisor(options);
+    auto rec = advisor.Recommend(*f.workload);
+    ASSERT_TRUE(rec.ok()) << stem << ": " << rec.status();
+    EXPECT_TRUE(AntipatternCodes(*rec).empty())
+        << stem << ":\n" << FormatDiagnostics(rec->diagnostics);
+  }
 }
 
 TEST(InvariantsTest, AdvisorOptionRunsVerification) {
