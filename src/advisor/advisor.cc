@@ -139,6 +139,119 @@ Advisor::AdviseAllMixes(const Workload& workload,
   return out;
 }
 
+StatusOr<HorizonPlan> Advisor::PlanHorizon(
+    const Workload& workload, const WorkloadHorizon& horizon,
+    const HorizonPlanOptions& horizon_options) const {
+  obs::Span plan_span("advisor.plan_horizon", "advisor");
+  if (horizon.empty()) {
+    return Status::InvalidArgument("horizon has no windows");
+  }
+  std::unique_ptr<util::ThreadPool> pool_threads =
+      MakeWorkerPool(options_.num_threads);
+
+  // ONE union pool across the horizon: enumerate each distinct mix once,
+  // in first-appearance window order, and merge — interning keeps shared
+  // candidates at one CfId, which is what lets the per-window activation
+  // binaries and the transition variables talk about the same candidate.
+  HorizonPlan plan;
+  {
+    obs::PhaseSpan enumeration_phase("advisor.enumeration", "advisor");
+    Enumerator enumerator(options_.enumerator);
+    std::set<std::string> seen_mixes;
+    for (const HorizonWindow& win : horizon.windows) {
+      if (!seen_mixes.insert(win.mix).second) continue;
+      if (workload.EntriesIn(win.mix).empty()) {
+        return Status::InvalidArgument("workload has no statements in mix " +
+                                       win.mix);
+      }
+      plan.pool.MergeFrom(
+          enumerator.EnumerateWorkload(workload, win.mix, pool_threads.get()));
+    }
+  }
+
+  CardinalityEstimator estimator(workload.graph(), &cost_model_.params());
+  HorizonOptions hopts;
+  hopts.optimizer = options_.optimizer;
+  hopts.migration_cost_weight = horizon_options.migration_cost_weight;
+  hopts.initial_schema = horizon_options.initial_schema;
+  hopts.capture_bip = horizon_options.capture_bip;
+  HorizonOptimizer optimizer(&cost_model_, &estimator, hopts);
+  PlanSpaceCache cache;
+  NOSE_ASSIGN_OR_RETURN(HorizonResult solved,
+                        optimizer.Optimize(workload, horizon, plan.pool,
+                                           pool_threads.get(), &cache));
+
+  plan.transitions = std::move(solved.transitions);
+  plan.execution_objective = solved.execution_objective;
+  plan.migration_objective = solved.migration_objective;
+  plan.total_objective = solved.total_objective;
+  plan.collapsed = solved.collapsed;
+  plan.windows.reserve(horizon.size());
+  for (size_t w = 0; w < horizon.size(); ++w) {
+    OptimizationResult& opt = solved.windows[w];
+    HorizonPlan::Window window;
+    window.label = horizon.windows[w].label;
+    window.mix = horizon.windows[w].mix;
+    window.duration = horizon.windows[w].duration;
+    Recommendation& rec = window.rec;
+    // The union pool stays on the HorizonPlan — see the struct comment.
+    rec.num_candidates = plan.pool.size();
+    rec.schema = std::move(opt.schema);
+    rec.query_plans = std::move(opt.query_plans);
+    rec.update_plans = std::move(opt.update_plans);
+    rec.objective = opt.objective;
+    rec.solve_proven = opt.solve_proven;
+    rec.bip_variables = opt.bip_variables;
+    rec.bip_constraints = opt.bip_constraints;
+    rec.bb_nodes = opt.bb_nodes;
+    rec.timing.cost_calculation_seconds = opt.timing.cost_calculation_seconds;
+    rec.timing.bip_construction_seconds = opt.timing.bip_construction_seconds;
+    rec.timing.bip_solve_seconds = opt.timing.bip_solve_seconds;
+    rec.timing.other_seconds = opt.timing.other_seconds;
+    if (options_.verify_invariants) {
+      obs::Span verify_span("advisor.verify_invariants", "advisor");
+      RecommendationView view{&rec.schema, &rec.query_plans, &rec.update_plans,
+                              rec.objective, rec.solve_proven};
+      NOSE_RETURN_IF_ERROR(VerifyRecommendation(workload, window.mix, view));
+    }
+    plan.windows.push_back(std::move(window));
+  }
+  return plan;
+}
+
+std::string HorizonPlan::ToString() const {
+  std::string out = "=== Horizon plan (" + std::to_string(windows.size()) +
+                    " windows, " + std::to_string(transitions.size()) +
+                    " migrations" + (collapsed ? ", collapsed" : "") +
+                    ") ===\n";
+  for (size_t w = 0; w < windows.size(); ++w) {
+    const Window& win = windows[w];
+    out += "-- window " + std::to_string(w) +
+           (win.label.empty() ? "" : " (" + win.label + ")") + ": mix " +
+           win.mix + ", duration " + std::to_string(win.duration) + ", " +
+           std::to_string(win.rec.schema.size()) +
+           " column families, objective " + std::to_string(win.rec.objective) +
+           " ms/stmt\n";
+  }
+  for (const HorizonTransition& t : transitions) {
+    out += "-- migrate at start of window " + std::to_string(t.at_window) +
+           " (est " + std::to_string(t.build_cost_ms) + " ms):\n";
+    const Schema& to_schema = windows[t.at_window].rec.schema;
+    for (CfId id : t.builds) {
+      const std::string* name = to_schema.NameOfId(id);
+      out += "   build " + (name != nullptr ? *name : "cf#" + std::to_string(id)) +
+             ": " + pool[id].ToString() + "\n";
+    }
+    for (CfId id : t.drops) {
+      out += "   drop " + pool[id].ToString() + "\n";
+    }
+  }
+  out += "objective: execution " + std::to_string(execution_objective) +
+         " + migration " + std::to_string(migration_objective) + " = " +
+         std::to_string(total_objective) + "\n";
+  return out;
+}
+
 StatusOr<Recommendation> Advisor::RecommendWithPool(
     const Workload& workload, const std::string& mix,
     const CandidatePool& pool, PlanSpaceCache* cache) const {

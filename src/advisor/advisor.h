@@ -9,6 +9,7 @@
 #include "cost/cardinality.h"
 #include "cost/cost_model.h"
 #include "enumerator/enumerator.h"
+#include "optimizer/horizon.h"
 #include "optimizer/schema_optimizer.h"
 #include "util/statusor.h"
 #include "workload/workload.h"
@@ -81,6 +82,48 @@ struct Recommendation {
   std::string ToString() const;
 };
 
+/// Advisor-level knobs for multi-period planning; the per-window solve
+/// inherits AdvisorOptions::optimizer.
+struct HorizonPlanOptions {
+  /// Multiplier on build costs in the objective (see HorizonOptions).
+  double migration_cost_weight = 1.0;
+  /// Schema deployed before window 0; null means window 0 is the initial
+  /// deployment and its builds are sunk cost.
+  const Schema* initial_schema = nullptr;
+  /// Receives the joint multi-period BIP when one is assembled
+  /// (solver_micro's multi-period instance class).
+  BipCapture* capture_bip = nullptr;
+};
+
+/// PlanHorizon's output: one Recommendation per window plus the migration
+/// schedule. The UNION candidate pool lives here; per-window plans point
+/// into it and every windows[w].rec.pool is EMPTY — keep the HorizonPlan
+/// alive while using any window's plans (copying a Recommendation out
+/// does not carry the pool with it).
+struct HorizonPlan {
+  struct Window {
+    std::string label;
+    std::string mix;
+    double duration = 1.0;
+    Recommendation rec;
+  };
+
+  CandidatePool pool;
+  std::vector<Window> windows;
+  /// Non-empty migrations only, in window order; CfIds index `pool`.
+  std::vector<HorizonTransition> transitions;
+  /// Σ_w duration_w × windows[w].rec.objective.
+  double execution_objective = 0.0;
+  /// migration_cost_weight × Σ transition build costs.
+  double migration_objective = 0.0;
+  double total_objective = 0.0;
+  /// True when the horizon collapsed to one single-window solve (all
+  /// windows one mix, no initial schema): zero migrations by construction.
+  bool collapsed = false;
+
+  std::string ToString() const;
+};
+
 /// NoSE end-to-end (paper Fig. 4): candidate enumeration → query planning →
 /// schema optimization → plan recommendation.
 class Advisor {
@@ -113,6 +156,19 @@ class Advisor {
                                              const std::string& mix,
                                              const CandidatePool& pool,
                                              PlanSpaceCache* cache) const;
+
+  /// Multi-period, migration-aware planning: enumerates ONE union pool
+  /// over the horizon's distinct mixes, then solves the joint BIP
+  /// (optimizer/horizon.h) that picks a schema per window and schedules a
+  /// migration only where it pays for itself over the remaining windows.
+  /// Plan spaces are shared across windows through one PlanSpaceCache and
+  /// successive window solves hot-start from each other's root basis. On a
+  /// horizon of identical windows this collapses to exactly one
+  /// single-window solve — each window's recommendation is then
+  /// byte-identical to Recommend(workload, mix) with zero migrations.
+  StatusOr<HorizonPlan> PlanHorizon(
+      const Workload& workload, const WorkloadHorizon& horizon,
+      const HorizonPlanOptions& horizon_options = HorizonPlanOptions()) const;
 
   const CostModel& cost_model() const { return cost_model_; }
 

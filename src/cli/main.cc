@@ -48,7 +48,7 @@ int Usage() {
                "  nose check  --model FILE --workload FILE [options]\n"
                "  nose check  --verify-certificate FILE\n"
                "  nose lint   --model FILE --workload FILE\n"
-               "  nose evolve --scenario FILE [--report FILE]\n"
+               "  nose evolve --scenario FILE [--horizon] [--report FILE]\n"
                "options (check):\n"
                "  --mix NAME            workload mix to check "
                "(default: 'default')\n"
@@ -63,6 +63,12 @@ int Usage() {
                "options (evolve):\n"
                "  --scenario FILE       drift scenario (see "
                "workloads/rubis_drift.scenario)\n"
+               "  --horizon             plan the whole horizon up front "
+               "(multi-period\n"
+               "                        BIP; migrate at planned phase "
+               "boundaries instead\n"
+               "                        of on drift triggers; same as "
+               "'mode planned')\n"
                "  --report FILE         write a JSON migration report\n"
                "options (advise):\n"
                "  --mix NAME            workload mix to advise for "
@@ -151,12 +157,18 @@ bool ParsePositiveDouble(const std::string& flag, const std::string& text,
 }
 
 /// Writes the evolve report as JSON (hand-rolled like the metrics export;
-/// all fields are counts or finite doubles).
+/// all fields are counts or finite doubles). In planned mode the report
+/// carries the horizon schedule's objectives next to the realized store
+/// cost so the planned-vs-reactive comparison reads straight off the file.
 bool WriteEvolveReport(const std::string& path,
-                       const nose::evolve::EvolveReport& report) {
+                       nose::evolve::DriftRunner& runner) {
+  const nose::evolve::EvolveReport& report = runner.report();
+  const nose::HorizonPlan* plan = runner.horizon_plan();
   std::ofstream out(path);
   if (!out) return false;
   out << "{\n"
+      << "  \"mode\": \"" << (plan != nullptr ? "planned" : "reactive")
+      << "\",\n"
       << "  \"transactions\": " << report.transactions << ",\n"
       << "  \"statements\": " << report.statements << ",\n"
       << "  \"re_advises_incremental\": " << report.re_advises_incremental
@@ -165,7 +177,26 @@ bool WriteEvolveReport(const std::string& path,
       << "  \"no_op_readvises\": " << report.no_op_readvises << ",\n"
       << "  \"last_drift\": " << report.last_drift << ",\n"
       << "  \"invariant_violations\": " << report.invariant_violations << ",\n"
-      << "  \"migrations\": [\n";
+      << "  \"realized_store_ms\": "
+      << runner.controller().store()->stats().simulated_ms << ",\n";
+  if (plan != nullptr) {
+    out << "  \"planned_execution_objective\": " << plan->execution_objective
+        << ",\n"
+        << "  \"planned_migration_objective\": " << plan->migration_objective
+        << ",\n"
+        << "  \"planned_total_objective\": " << plan->total_objective << ",\n"
+        << "  \"planned_windows\": " << plan->windows.size() << ",\n"
+        << "  \"planned_transitions\": [";
+    for (size_t i = 0; i < plan->transitions.size(); ++i) {
+      const nose::HorizonTransition& t = plan->transitions[i];
+      out << (i > 0 ? ", " : "") << "{\"at_window\": " << t.at_window
+          << ", \"builds\": " << t.builds.size()
+          << ", \"drops\": " << t.drops.size()
+          << ", \"build_cost_ms\": " << t.build_cost_ms << "}";
+    }
+    out << "],\n";
+  }
+  out << "  \"migrations\": [\n";
   for (size_t i = 0; i < report.migrations.size(); ++i) {
     const nose::evolve::MigrationRecord& m = report.migrations[i];
     out << "    {\"started_at\": " << m.started_at_transaction
@@ -183,6 +214,8 @@ bool WriteEvolveReport(const std::string& path,
         << (m.advise_incremental ? "true" : "false")
         << ", \"advise_seconds\": " << m.advise_seconds
         << ", \"drift_at_trigger\": " << m.drift_at_trigger
+        << ", \"planned\": " << (m.planned ? "true" : "false")
+        << ", \"to_window\": " << m.to_window
         << ", \"aborted\": " << (m.aborted ? "true" : "false") << "}"
         << (i + 1 < report.migrations.size() ? "," : "") << "\n";
   }
@@ -208,6 +241,7 @@ int RunEvolve(std::map<std::string, std::string>& args) {
     std::cerr << "scenario error: " << scenario.status() << "\n";
     return 1;
   }
+  if (args.count("--horizon") > 0) scenario->planned = true;
   auto runner = nose::evolve::DriftRunner::Create(*scenario);
   if (!runner.ok()) {
     std::cerr << "evolve error: " << runner.status() << "\n";
@@ -215,6 +249,11 @@ int RunEvolve(std::map<std::string, std::string>& args) {
   }
   nose::Status run = (*runner)->Run();
   const nose::evolve::EvolveReport& report = (*runner)->report();
+  if ((*runner)->horizon_plan() != nullptr) {
+    // The planned schedule first: which boundaries the optimizer chose to
+    // migrate at, and what it expects that to cost.
+    std::cout << (*runner)->horizon_plan()->ToString();
+  }
   std::cout << report.ToString();
   if (!run.ok()) {
     std::cerr << "evolve error: " << run << "\n";
@@ -240,7 +279,7 @@ int RunEvolve(std::map<std::string, std::string>& args) {
     std::fprintf(stderr, "wrote metrics to %s\n", args["--metrics"].c_str());
   }
   if (args.count("--report") > 0) {
-    if (!WriteEvolveReport(args["--report"], report)) {
+    if (!WriteEvolveReport(args["--report"], **runner)) {
       std::fprintf(stderr, "error: cannot write report to %s\n",
                    args["--report"].c_str());
       return 1;
@@ -396,8 +435,8 @@ int main(int argc, char** argv) {
   if (command == "evolve") {
     std::map<std::string, std::string> args;
     if (!ParseArgs(argc, argv, 2,
-                   {"--scenario", "--report", "--trace", "--metrics"}, {},
-                   &args)) {
+                   {"--scenario", "--report", "--trace", "--metrics"},
+                   {"--horizon"}, &args)) {
       return Usage();
     }
     return RunEvolve(args);

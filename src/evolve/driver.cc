@@ -92,11 +92,66 @@ Status DriftRunner::RunPhase(const DriftPhase& phase) {
   return Status::Ok();
 }
 
+Status DriftRunner::PlanAndInit() {
+  const std::vector<rubis::Transaction>& txs = rubis::Transactions();
+  WorkloadHorizon horizon;
+  std::vector<size_t> starts;
+  size_t cumulative = 0;
+  for (const DriftPhase& phase : scenario_.phases) {
+    double mix_weight = 0.0;
+    for (const rubis::Transaction& tx : txs) {
+      mix_weight += MixWeight(tx, phase.mix);
+    }
+    if (mix_weight <= 0.0) {
+      return Status::InvalidArgument("mix " + phase.mix +
+                                     " weights no transaction");
+    }
+    HorizonWindow window;
+    window.label = phase.mix;
+    window.mix = phase.mix;
+    // One unit of window objective is one pass over the mix's weighted
+    // statements, and a sampled transaction costs objective / Σ_tx w_tx in
+    // expectation (statement weights are sums of the transaction weights
+    // using them). Scaling by transactions / Σ_tx w_tx makes
+    // Σ duration·objective the expected total execution milliseconds —
+    // commensurable with the migration build costs in the same objective.
+    window.duration = static_cast<double>(phase.transactions) / mix_weight;
+    horizon.windows.push_back(std::move(window));
+    starts.push_back(cumulative);
+    cumulative += phase.transactions;
+  }
+
+  Advisor advisor(scenario_.options.advisor);
+  HorizonPlanOptions horizon_options;
+  horizon_options.migration_cost_weight = scenario_.migration_cost_weight;
+  auto plan = advisor.PlanHorizon(*workload_, horizon, horizon_options);
+  if (!plan.ok()) return plan.status();
+  horizon_plan_ = std::make_unique<HorizonPlan>(std::move(*plan));
+
+  std::vector<PlannedWindow> windows;
+  windows.reserve(horizon_plan_->windows.size());
+  for (size_t w = 0; w < horizon_plan_->windows.size(); ++w) {
+    PlannedWindow planned;
+    planned.label = horizon_plan_->windows[w].label;
+    planned.mix = horizon_plan_->windows[w].mix;
+    planned.start_transaction = starts[w];
+    // The copied plans point into horizon_plan_->pool, which this runner
+    // keeps alive for the controller's lifetime.
+    planned.rec = horizon_plan_->windows[w].rec;
+    windows.push_back(std::move(planned));
+  }
+  return controller_->InitPlanned(std::move(windows));
+}
+
 Status DriftRunner::Run() {
   if (scenario_.phases.empty()) {
     return Status::InvalidArgument("scenario has no phases");
   }
-  NOSE_RETURN_IF_ERROR(controller_->Init(scenario_.phases.front().mix));
+  if (scenario_.planned) {
+    NOSE_RETURN_IF_ERROR(PlanAndInit());
+  } else {
+    NOSE_RETURN_IF_ERROR(controller_->Init(scenario_.phases.front().mix));
+  }
   for (const DriftPhase& phase : scenario_.phases) {
     NOSE_RETURN_IF_ERROR(RunPhase(phase));
   }

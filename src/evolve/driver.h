@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "advisor/advisor.h"
 #include "evolve/evolve.h"
 #include "evolve/scenario.h"
 #include "rubis/datagen.h"
@@ -18,6 +19,12 @@ namespace nose::evolve {
 /// mix, and leaves its state (controller, logs, store) open for
 /// inspection — the e2e drift test replays the logs against a control
 /// store, and the drift bench reads the migration records.
+///
+/// With DriftScenario::planned set, the runner first solves the
+/// multi-period horizon BIP (one window per phase, windows weighted by
+/// their expected transaction volume) and drives the controller through
+/// the planned schedule: migrations start at phase boundaries the
+/// optimizer chose, not on drift triggers.
 class DriftRunner {
  public:
   static StatusOr<std::unique_ptr<DriftRunner>> Create(
@@ -32,12 +39,19 @@ class DriftRunner {
   const Dataset& data() const { return *data_; }
   const EntityGraph& graph() const { return *graph_; }
   const DriftScenario& scenario() const { return scenario_; }
+  /// The horizon schedule solved up front in planned mode; null in
+  /// reactive mode (or before Run). Owns the pool every planned window's
+  /// plans point into.
+  const HorizonPlan* horizon_plan() const { return horizon_plan_.get(); }
 
  private:
   explicit DriftRunner(DriftScenario scenario)
       : scenario_(std::move(scenario)) {}
 
   Status RunPhase(const DriftPhase& phase);
+  /// Planned mode: builds the WorkloadHorizon from the phases, solves it,
+  /// and hands the schedule to the controller.
+  Status PlanAndInit();
 
   DriftScenario scenario_;
   std::unique_ptr<EntityGraph> graph_;
@@ -45,6 +59,7 @@ class DriftRunner {
   std::unique_ptr<Workload> workload_;
   std::unique_ptr<rubis::ParamGenerator> params_;
   std::unique_ptr<EvolveController> controller_;
+  std::unique_ptr<HorizonPlan> horizon_plan_;
   Rng rng_{0};
 };
 

@@ -67,6 +67,21 @@ Status EvolveController::Init(const std::string& initial_mix) {
   return Status::Ok();
 }
 
+Status EvolveController::InitPlanned(std::vector<PlannedWindow> windows) {
+  if (windows.empty()) {
+    return Status::InvalidArgument("planned horizon has no windows");
+  }
+  planned_mode_ = true;
+  planned_ = std::move(windows);
+  current_window_ = 0;
+  active_mix_ = planned_[0].mix;
+  active_ = MakeGeneration(planned_[0].rec, nullptr);
+  NOSE_RETURN_IF_ERROR(LoadSchema(*data_, *active_->named, &store_));
+  tracker_.SetAdvised(ActiveWeights());
+  obs::MetricsRegistry::Global().GetGauge("evolve.generation").Set(0.0);
+  return Status::Ok();
+}
+
 StatusOr<std::vector<ValueTuple>> EvolveController::ExecuteQuery(
     const std::string& statement, const PlanExecutor::Params& params) {
   auto it = active_->query_plans.find(statement);
@@ -109,7 +124,61 @@ Status EvolveController::EndTransaction() {
   report_.last_drift = tracker_.drift();
   CheckInvariants();
   if (migration_ != nullptr) return AdvanceMigration();
+  if (planned_mode_) {
+    // Planned mode ignores drift triggers: migrations start at the
+    // horizon-planned boundaries.
+    if (current_window_ + 1 < planned_.size() &&
+        report_.transactions >= planned_[current_window_ + 1].start_transaction) {
+      return StartPlannedMigration(current_window_ + 1);
+    }
+    return Status::Ok();
+  }
   if (tracker_.ShouldReadvise()) return StartReadvise();
+  return Status::Ok();
+}
+
+Status EvolveController::StartPlannedMigration(size_t target) {
+  obs::Span span("evolve.planned_migration", "evolve");
+  pending_record_ = MigrationRecord();
+  pending_record_.started_at_transaction = report_.transactions;
+  pending_record_.planned = true;
+  pending_record_.to_window = target;
+  pending_record_.drift_at_trigger = tracker_.drift();
+
+  auto next = MakeGeneration(planned_[target].rec, active_->named.get());
+  CostModel cost(options_.advisor.cost_params);
+  auto plan = std::make_unique<MigrationPlan>(
+      PlanMigration(*active_->named, *next->named, cost));
+
+  if (plan->empty()) {
+    // The horizon planner kept the schema across this boundary; adopt the
+    // window's plans in place — no data movement, no availability gap.
+    active_ = std::move(next);
+    current_window_ = target;
+    active_mix_ = planned_[target].mix;
+    tracker_.SetAdvised(ActiveWeights());
+    ++report_.no_op_readvises;
+    return Status::Ok();
+  }
+
+  pending_record_.builds = plan->build_indices.size();
+  pending_record_.keeps = plan->keep_names.size();
+  pending_record_.drops = plan->drop_names.size();
+  pending_record_.est_build_cost_ms = plan->est_build_cost_ms;
+  pending_ = std::move(next);
+  mig_plan_ = std::move(plan);
+  migration_ = std::make_unique<MigrationExecutor>(
+      data_, &store_, pending_->named.get(), active_->executor.get(),
+      pending_->executor.get(), &active_->query_plans, &pending_->query_plans,
+      &pending_->update_plans, mig_plan_.get(), options_.migration);
+  Status prepared = migration_->Prepare();
+  if (!prepared.ok()) {
+    AbortMigration();
+    return prepared;
+  }
+  obs::MetricsRegistry::Global()
+      .GetCounter("evolve.migrations_started")
+      .Increment();
   return Status::Ok();
 }
 
@@ -194,7 +263,12 @@ Status EvolveController::Cutover() {
 
   std::unique_ptr<Generation> old = std::move(active_);
   active_ = std::move(pending_);
-  active_mix_ = options_.observed_mix;
+  if (pending_record_.planned) {
+    current_window_ = pending_record_.to_window;
+    active_mix_ = planned_[current_window_].mix;
+  } else {
+    active_mix_ = options_.observed_mix;
+  }
   for (const std::string& name : mig_plan_->drop_names) {
     NOSE_RETURN_IF_ERROR(store_.DropColumnFamily(name));
   }
@@ -318,10 +392,15 @@ std::string EvolveReport::ToString() const {
         << m.catchup_updates << " updates, " << m.dual_writes
         << " dual writes, verified " << m.verify_queries << " queries ("
         << m.verify_mismatches << " mismatches), est "
-        << m.est_build_cost_ms << " ms, actual " << m.actual_ms
-        << " ms, advise " << (m.advise_incremental ? "incremental" : "cold")
-        << " in " << m.advise_seconds * 1e3 << " ms, drift "
-        << m.drift_at_trigger << "\n";
+        << m.est_build_cost_ms << " ms, actual " << m.actual_ms << " ms, ";
+    if (m.planned) {
+      out << "planned -> window " << m.to_window;
+    } else {
+      out << "advise " << (m.advise_incremental ? "incremental" : "cold")
+          << " in " << m.advise_seconds * 1e3 << " ms, drift "
+          << m.drift_at_trigger;
+    }
+    out << "\n";
   }
   return out.str();
 }

@@ -46,6 +46,23 @@ struct MigrationRecord {
   double advise_seconds = 0.0;
   double drift_at_trigger = 0.0;
   bool aborted = false;
+  /// True when the migration was scheduled by the horizon planner (planned
+  /// mode) rather than raised by a drift trigger.
+  bool planned = false;
+  /// Planned mode: index of the horizon window this migration deploys.
+  size_t to_window = 0;
+};
+
+/// One window of a precomputed horizon schedule handed to InitPlanned. The
+/// recommendation's plans may point into a pool owned elsewhere (the
+/// advisor's HorizonPlan) — that owner must outlive the controller.
+struct PlannedWindow {
+  std::string label;
+  std::string mix;
+  /// Transaction count at which this window's schema should be live; the
+  /// migration toward it starts at this boundary.
+  size_t start_transaction = 0;
+  Recommendation rec;
 };
 
 struct EvolveReport {
@@ -82,6 +99,12 @@ class EvolveController {
   /// tracking against its weights.
   Status Init(const std::string& initial_mix);
 
+  /// Planned (horizon) mode: deploys windows[0] as the initial schema and
+  /// migrates at each window's start_transaction boundary instead of on
+  /// drift triggers. The windows' plans may point into a caller-owned pool
+  /// that must outlive the controller (see PlannedWindow).
+  Status InitPlanned(std::vector<PlannedWindow> windows);
+
   /// Executes one statement of the application workload through the active
   /// generation.
   StatusOr<std::vector<ValueTuple>> ExecuteQuery(
@@ -117,6 +140,9 @@ class EvolveController {
   }
   const std::vector<LoggedStatement>& query_log() const { return query_log_; }
   const std::string& active_mix() const { return active_mix_; }
+  bool planned_mode() const { return planned_mode_; }
+  /// Planned mode: index of the horizon window currently deployed.
+  size_t current_window() const { return current_window_; }
 
  private:
   /// One schema generation: recommendation, store-named schema, plans
@@ -133,6 +159,7 @@ class EvolveController {
   std::unique_ptr<Generation> MakeGeneration(Recommendation rec,
                                              const Schema* reuse_names_from);
   Status StartReadvise();
+  Status StartPlannedMigration(size_t target);
   Status AdvanceMigration();
   Status Cutover();
   void AbortMigration();
@@ -150,6 +177,12 @@ class EvolveController {
   std::unique_ptr<Generation> active_;
   std::string active_mix_;
   size_t generation_ = 0;
+
+  /// Planned (horizon) mode state: the precomputed schedule and the index
+  /// of the window whose schema is currently deployed.
+  bool planned_mode_ = false;
+  std::vector<PlannedWindow> planned_;
+  size_t current_window_ = 0;
 
   std::unique_ptr<Generation> pending_;
   std::unique_ptr<MigrationPlan> mig_plan_;

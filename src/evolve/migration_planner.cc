@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "optimizer/horizon.h"
+
 namespace nose::evolve {
 
 MigrationPlan PlanMigration(const Schema& old_schema, const Schema& new_schema,
@@ -42,9 +44,10 @@ MigrationPlan PlanMigration(const Schema& old_schema, const Schema& new_schema,
     step.schema_index = i;
     step.est_rows = cf.EntryCount();
     step.est_bytes = cf.SizeBytes();
-    const double bytes_per_row =
-        step.est_rows > 0.0 ? step.est_bytes / step.est_rows : 0.0;
-    step.est_cost_ms = cost.PutCost(step.est_rows, step.est_rows, bytes_per_row);
+    // Shared pricing with the horizon optimizer's transition variables: a
+    // planned schedule's migration charges match what executing this plan
+    // will actually cost.
+    step.est_cost_ms = BuildCostMs(cf, cost);
     plan.est_build_rows += step.est_rows;
     plan.est_build_bytes += step.est_bytes;
     plan.est_build_cost_ms += step.est_cost_ms;

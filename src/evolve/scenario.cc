@@ -6,20 +6,20 @@
 
 namespace nose::evolve {
 
-namespace {
-
-Status Malformed(int line, const std::string& what) {
-  return Status::InvalidArgument("scenario line " + std::to_string(line) +
-                                 ": " + what);
-}
-
-}  // namespace
-
-StatusOr<DriftScenario> ParseScenario(const std::string& text) {
+StatusOr<DriftScenario> ParseScenario(const std::string& text,
+                                      const std::string& source) {
   DriftScenario scenario;
   std::istringstream in(text);
   std::string line;
   int lineno = 0;
+
+  // Same "file:12: message" shape as SourceLocation::ToString, so scenario
+  // errors read like the rest of the toolchain's diagnostics.
+  auto malformed = [&](const std::string& what) {
+    return Status::InvalidArgument(source + ":" + std::to_string(lineno) +
+                                   ": " + what);
+  };
+
   while (std::getline(in, line)) {
     ++lineno;
     const size_t hash = line.find('#');
@@ -30,29 +30,47 @@ StatusOr<DriftScenario> ParseScenario(const std::string& text) {
 
     auto number = [&](double* out) -> Status {
       double v;
-      if (!(tokens >> v)) return Malformed(lineno, "expected a number");
+      if (!(tokens >> v)) return malformed("expected a number");
       *out = v;
       return Status::Ok();
     };
     auto count = [&](size_t* out) -> Status {
       double v = 0.0;
       NOSE_RETURN_IF_ERROR(number(&v));
-      if (v < 0.0) return Malformed(lineno, "expected a non-negative count");
+      if (v < 0.0) return malformed("expected a non-negative count");
       *out = static_cast<size_t>(v);
       return Status::Ok();
     };
 
     if (key == "workload") {
       if (!(tokens >> scenario.workload)) {
-        return Malformed(lineno, "expected a workload name");
+        return malformed("expected a workload name");
       }
     } else if (key == "scale") {
       NOSE_RETURN_IF_ERROR(number(&scenario.scale));
-      if (scenario.scale <= 0.0) return Malformed(lineno, "scale must be > 0");
+      if (scenario.scale <= 0.0) return malformed("scale must be > 0");
     } else if (key == "seed") {
       size_t seed = 0;
       NOSE_RETURN_IF_ERROR(count(&seed));
       scenario.seed = seed;
+    } else if (key == "mode") {
+      std::string mode;
+      if (!(tokens >> mode)) {
+        return malformed("expected 'planned' or 'reactive'");
+      }
+      if (mode == "planned") {
+        scenario.planned = true;
+      } else if (mode == "reactive") {
+        scenario.planned = false;
+      } else {
+        return malformed("unknown mode '" + mode +
+                         "' (want 'planned' or 'reactive')");
+      }
+    } else if (key == "migration-weight") {
+      NOSE_RETURN_IF_ERROR(number(&scenario.migration_cost_weight));
+      if (scenario.migration_cost_weight < 0.0) {
+        return malformed("migration-weight must be >= 0");
+      }
     } else if (key == "window") {
       NOSE_RETURN_IF_ERROR(count(&scenario.options.tracker.window));
     } else if (key == "alpha") {
@@ -75,18 +93,24 @@ StatusOr<DriftScenario> ParseScenario(const std::string& text) {
       NOSE_RETURN_IF_ERROR(count(&scenario.options.query_log_capacity));
     } else if (key == "phase") {
       DriftPhase phase;
-      if (!(tokens >> phase.mix)) return Malformed(lineno, "expected a mix");
+      if (!(tokens >> phase.mix)) return malformed("expected a mix");
       NOSE_RETURN_IF_ERROR(count(&phase.transactions));
       if (phase.transactions == 0) {
-        return Malformed(lineno, "phase must run at least one transaction");
+        return malformed("phase must run at least one transaction");
       }
       scenario.phases.push_back(std::move(phase));
     } else {
-      return Malformed(lineno, "unknown directive '" + key + "'");
+      return malformed("unknown directive '" + key + "'");
+    }
+
+    std::string extra;
+    if (tokens >> extra) {
+      return malformed("unexpected trailing token '" + extra + "' after '" +
+                       key + "'");
     }
   }
   if (scenario.phases.empty()) {
-    return Status::InvalidArgument("scenario has no phases");
+    return Status::InvalidArgument(source + ": scenario has no phases");
   }
   return scenario;
 }
@@ -96,7 +120,7 @@ StatusOr<DriftScenario> LoadScenarioFile(const std::string& path) {
   if (!in) return Status::NotFound("cannot open scenario file " + path);
   std::ostringstream text;
   text << in.rdbuf();
-  return ParseScenario(text.str());
+  return ParseScenario(text.str(), path);
 }
 
 }  // namespace nose::evolve

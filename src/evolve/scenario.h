@@ -16,10 +16,13 @@ struct DriftPhase {
   size_t transactions = 0;
 };
 
-/// A parsed drift scenario file. Line-based format, `#` comments:
+/// A parsed drift scenario file. Line-based format, `#` comments (full-line
+/// or trailing); extra tokens after a directive's arguments are an error:
 ///   workload rubis
 ///   scale 0.05
 ///   seed 42
+///   mode planned            # or reactive (default)
+///   migration-weight 1.0    # multiplier on build costs in planned mode
 ///   window 32
 ///   alpha 0.3
 ///   threshold 0.08
@@ -35,11 +38,20 @@ struct DriftScenario {
   std::string workload = "rubis";
   double scale = 0.05;
   uint64_t seed = 42;
+  /// Planned mode solves the multi-period horizon BIP up front (one window
+  /// per phase) and migrates at the planned phase boundaries; reactive mode
+  /// (the default) re-advises on drift triggers.
+  bool planned = false;
+  /// Multiplier on column-family build costs in the horizon objective.
+  double migration_cost_weight = 1.0;
   EvolveOptions options;
   std::vector<DriftPhase> phases;
 };
 
-StatusOr<DriftScenario> ParseScenario(const std::string& text);
+/// Parses a scenario. Errors carry `source`:line: prefixes in the same
+/// "file:12: message" convention as analysis diagnostics.
+StatusOr<DriftScenario> ParseScenario(const std::string& text,
+                                      const std::string& source = "scenario");
 StatusOr<DriftScenario> LoadScenarioFile(const std::string& path);
 
 }  // namespace nose::evolve

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -29,6 +30,34 @@ std::string RowKey(const LpRow& row) {
   key.append(reinterpret_cast<const char*>(row.values.data()),
              row.values.size() * sizeof(double));
   return key;
+}
+
+/// Structure-only fingerprint (sense + index pattern): rows that are
+/// positive scalings of each other necessarily collide here, so the scaled
+/// dedup only cross-multiplies within these buckets.
+std::string RowShapeKey(const LpRow& row) {
+  std::string key;
+  key.reserve(1 + row.indices.size() * sizeof(int));
+  key.push_back(static_cast<char>(row.type));
+  key.append(reinterpret_cast<const char*>(row.indices.data()),
+             row.indices.size() * sizeof(int));
+  return key;
+}
+
+/// True when row `b` equals `s · a` (coefficients AND rhs) for some s > 0.
+/// Both rows are known to share sense and index pattern. The comparison is
+/// exact cross-multiplication — no tolerance — so a positive verdict means
+/// the two half-spaces are literally the same set.
+bool IsPositiveScaling(const LpRow& a, const LpRow& b) {
+  if (a.values.empty()) return false;
+  const double a0 = a.values[0];
+  const double b0 = b.values[0];
+  if (a0 == 0.0 || b0 == 0.0) return false;
+  if ((a0 > 0.0) != (b0 > 0.0)) return false;  // s must be positive
+  for (size_t k = 1; k < a.values.size(); ++k) {
+    if (b.values[k] * a0 != a.values[k] * b0) return false;
+  }
+  return b.rhs * a0 == a.rhs * b0;
 }
 
 }  // namespace
@@ -116,6 +145,30 @@ LpProblem PresolveForBip(const LpProblem& problem,
     }
   }
 
+  // Pass 3: drop inequality rows that are positive scalings of an earlier
+  // survivor. Bucketing by (sense, index pattern) keeps the pairwise
+  // cross-multiplication within candidate groups.
+  std::unordered_map<std::string, std::vector<int>> shape_groups;
+  for (int i = 0; i < m; ++i) {
+    if (drop[static_cast<size_t>(i)]) continue;
+    const LpRow& row = problem.row(i);
+    if (row.type == RowType::kEq || row.indices.size() < 2) continue;
+    std::vector<int>& group = shape_groups[RowShapeKey(row)];
+    bool scaled = false;
+    for (int rep : group) {
+      if (IsPositiveScaling(problem.row(rep), row)) {
+        scaled = true;
+        break;
+      }
+    }
+    if (scaled) {
+      drop[static_cast<size_t>(i)] = 1;
+      ++summary->scaled_duplicate_rows_dropped;
+    } else {
+      group.push_back(i);
+    }
+  }
+
   LpProblem reduced;
   for (int v = 0; v < n; ++v) {
     reduced.AddVariable(lb[static_cast<size_t>(v)], ub[static_cast<size_t>(v)],
@@ -136,8 +189,11 @@ LpProblem PresolveForBip(const LpProblem& problem,
       "solver.presolve_singleton_rows");
   static obs::Counter& duplicate = obs::MetricsRegistry::Global().GetCounter(
       "solver.presolve_duplicate_rows");
+  static obs::Counter& scaled = obs::MetricsRegistry::Global().GetCounter(
+      "solver.presolve_scaled_duplicate_rows");
   singleton.Add(static_cast<uint64_t>(summary->singleton_rows_dropped));
   duplicate.Add(static_cast<uint64_t>(summary->duplicate_rows_dropped));
+  scaled.Add(static_cast<uint64_t>(summary->scaled_duplicate_rows_dropped));
   return reduced;
 }
 

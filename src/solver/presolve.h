@@ -11,6 +11,7 @@ namespace nose {
 struct PresolveSummary {
   int singleton_rows_dropped = 0;
   int duplicate_rows_dropped = 0;
+  int scaled_duplicate_rows_dropped = 0;
   int bounds_tightened = 0;
   bool infeasible = false;  ///< a tightening emptied some variable's range
 };
@@ -25,6 +26,13 @@ struct PresolveSummary {
 ///  2. Exact-duplicate inequality rows (same sense, indices, coefficients,
 ///     and rhs — common across per-query subtrees sharing a candidate) keep
 ///     only their first occurrence.
+///  3. Inequality rows equal to an earlier survivor up to a POSITIVE scale
+///     (b = s·a, β = s·α, s > 0 — e.g. the same cover row assembled under
+///     different statement weights, or a horizon row repeated with a
+///     duration scale) are dropped. The test is exact cross-multiplication
+///     (b_k·a_0 == a_k·b_0 for every k, and β·a_0 == α·b_0, with matching
+///     leading signs), never a tolerance, so the two rows bound the
+///     identical half-space and dropping one cannot perturb the relaxation.
 ///
 /// The reduced problem has the SAME variables at the same indices (warm
 /// starts and branch decisions carry over unchanged) and the surviving rows

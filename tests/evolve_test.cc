@@ -88,6 +88,60 @@ TEST(EvolveTrackerTest, CooldownSuppressesRetrigger) {
   EXPECT_TRUE(tracker.ShouldReadvise());
 }
 
+TEST(EvolveTrackerTest, ForecastRecoversTwoMixAlternation) {
+  // Windows alternate between an all-"a" mix and an all-"b" mix. The
+  // period detector must report 2, and the phase-average forecast must
+  // predict the NEXT window's mix — not the EWMA blend of both.
+  TrackerOptions opts;
+  opts.window = 8;
+  opts.cooldown_windows = 0;
+  WorkloadTracker tracker(opts);
+  tracker.SetAdvised({{"a", 0.5}, {"b", 0.5}});
+  for (int w = 0; w < 8; ++w) {
+    const char* stmt = (w % 2 == 0) ? "a" : "b";
+    for (size_t i = 0; i < opts.window; ++i) tracker.Record(stmt);
+  }
+  ASSERT_EQ(tracker.history_size(), 8u);
+  EXPECT_EQ(tracker.DetectPeriod(), 2u);
+
+  // Last closed window was "b" (w = 7), so the next window (k = 0) is "a"
+  // and the one after (k = 1) is "b".
+  std::map<std::string, double> next = tracker.ForecastWindow(0);
+  EXPECT_DOUBLE_EQ(next.at("a"), 1.0);
+  std::map<std::string, double> after = tracker.ForecastWindow(1);
+  EXPECT_DOUBLE_EQ(after.at("b"), 1.0);
+
+  std::vector<std::map<std::string, double>> horizon =
+      tracker.ForecastHorizon(4);
+  ASSERT_EQ(horizon.size(), 4u);
+  EXPECT_DOUBLE_EQ(horizon[0].at("a"), 1.0);
+  EXPECT_DOUBLE_EQ(horizon[1].at("b"), 1.0);
+  EXPECT_DOUBLE_EQ(horizon[2].at("a"), 1.0);
+  EXPECT_DOUBLE_EQ(horizon[3].at("b"), 1.0);
+
+  // Once the period locks in, the one-step forecast nails each window:
+  // zero residual between forecast and observation.
+  const char* stmt = "a";  // continues the alternation (w = 8)
+  for (size_t i = 0; i < opts.window; ++i) tracker.Record(stmt);
+  EXPECT_DOUBLE_EQ(tracker.forecast_residual(), 0.0);
+}
+
+TEST(EvolveTrackerTest, ForecastResidualReportsSurprise) {
+  // A stationary history forecasts more of the same; an abrupt flip to a
+  // disjoint mix maximizes the total-variation residual.
+  TrackerOptions opts;
+  opts.window = 4;
+  opts.cooldown_windows = 0;
+  WorkloadTracker tracker(opts);
+  tracker.SetAdvised({{"a", 0.5}, {"b", 0.5}});
+  for (int w = 0; w < 4; ++w) {
+    for (size_t i = 0; i < opts.window; ++i) tracker.Record("a");
+  }
+  EXPECT_DOUBLE_EQ(tracker.forecast_residual(), 0.0);
+  for (size_t i = 0; i < opts.window; ++i) tracker.Record("b");
+  EXPECT_DOUBLE_EQ(tracker.forecast_residual(), 1.0);
+}
+
 // ===========================================================================
 // Scenario parsing
 // ===========================================================================
@@ -136,6 +190,49 @@ TEST(EvolveScenarioTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseScenario("phase default\n").ok());
   // No phases: nothing to run.
   EXPECT_FALSE(ParseScenario("workload rubis\n").ok());
+}
+
+TEST(EvolveScenarioTest, ParsesModeAndMigrationWeight) {
+  auto planned = ParseScenario(
+      "mode planned\n"
+      "migration-weight 2.5\n"
+      "phase default 10\n");
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  EXPECT_TRUE(planned->planned);
+  EXPECT_DOUBLE_EQ(planned->migration_cost_weight, 2.5);
+
+  auto reactive = ParseScenario("mode reactive\nphase default 10\n");
+  ASSERT_TRUE(reactive.ok()) << reactive.status();
+  EXPECT_FALSE(reactive->planned);
+
+  EXPECT_FALSE(ParseScenario("mode sideways\nphase default 10\n").ok());
+  EXPECT_FALSE(
+      ParseScenario("migration-weight -1\nphase default 10\n").ok());
+}
+
+TEST(EvolveScenarioTest, ErrorsCarrySourceLinePrefix) {
+  // Errors use the diagnostics "file:line: message" convention, with the
+  // source name (the file path when loaded from disk) as the file.
+  auto bad = ParseScenario("scale 0.1\nscale nope\n", "drift.scenario");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("drift.scenario:2: "),
+            std::string::npos)
+      << bad.status();
+
+  // The default source name keeps errors readable for inline text.
+  auto inline_bad = ParseScenario("seed -1\n");
+  ASSERT_FALSE(inline_bad.ok());
+  EXPECT_NE(inline_bad.status().message().find("scenario:1: "),
+            std::string::npos)
+      << inline_bad.status();
+}
+
+TEST(EvolveScenarioTest, RejectsTrailingTokens) {
+  EXPECT_FALSE(ParseScenario("scale 0.1 oops\nphase default 10\n").ok());
+  EXPECT_FALSE(ParseScenario("phase default 10 extra\n").ok());
+  EXPECT_FALSE(ParseScenario("mode planned now\nphase default 10\n").ok());
+  // Trailing comments are fine — they are stripped before tokenizing.
+  EXPECT_TRUE(ParseScenario("scale 0.1 # tiny\nphase default 10\n").ok());
 }
 
 // ===========================================================================
@@ -377,6 +474,90 @@ TEST(EvolveE2ETest, RubisDriftMigratesLiveAndStaysConsistent) {
     ++compared;
   }
   EXPECT_GT(compared, 0u);
+}
+
+// ===========================================================================
+// Planned (horizon) mode: the schedule solved up front migrates at the
+// boundary the optimizer chose, and the planned objective undercuts the
+// reactive baseline's realized cost.
+// ===========================================================================
+
+TEST(EvolveE2ETest, PlannedHorizonMigratesAtBoundaryAndBeatsReactive) {
+  const char* base =
+      "workload rubis\n"
+      "scale 0.05\n"
+      "seed 42\n"
+      "window 32\n"
+      "alpha 0.3\n"
+      "threshold 0.08\n"
+      "trigger-windows 2\n"
+      "cooldown-windows 2\n"
+      "chunk-rows 256\n"
+      "catchup-batch 64\n"
+      "verify-samples 8\n"
+      "query-log 128\n"
+      "phase default 150\n"
+      "phase browsing 250\n";
+
+  auto planned_scenario = ParseScenario(std::string("mode planned\n") + base);
+  ASSERT_TRUE(planned_scenario.ok()) << planned_scenario.status();
+  ASSERT_TRUE(planned_scenario->planned);
+  auto planned = DriftRunner::Create(*planned_scenario);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  ASSERT_TRUE((*planned)->Run().ok());
+
+  const HorizonPlan* plan = (*planned)->horizon_plan();
+  ASSERT_NE(plan, nullptr);
+  ASSERT_EQ(plan->windows.size(), 2u);
+  EXPECT_FALSE(plan->collapsed);
+
+  const EvolveReport& report = (*planned)->report();
+  EXPECT_EQ(report.transactions, 400u);
+  EXPECT_EQ(report.invariant_violations, 0u);
+  // Planned mode never re-advises: the whole schedule was solved up front.
+  EXPECT_EQ(report.re_advises_incremental, 0u);
+  EXPECT_EQ(report.re_advises_cold, 0u);
+  for (const MigrationRecord& m : report.migrations) {
+    EXPECT_TRUE(m.planned);
+    EXPECT_FALSE(m.aborted);
+    EXPECT_EQ(m.verify_mismatches, 0u);
+    EXPECT_EQ(m.to_window, 1u);
+    // The migration starts at the planned phase boundary, not on a drift
+    // trigger somewhere inside the phase.
+    EXPECT_EQ(m.started_at_transaction, 150u);
+  }
+  if (!plan->transitions.empty()) {
+    EXPECT_EQ(plan->transitions[0].at_window, 1u);
+    ASSERT_GE(report.migrations.size() + report.no_op_readvises, 1u);
+    // The report names the boundary the optimizer migrated at.
+    EXPECT_NE(report.ToString().find("planned -> window 1"),
+              std::string::npos);
+    EXPECT_NE(plan->ToString().find("migrate at start of window 1"),
+              std::string::npos);
+  }
+  EvolveController& controller = (*planned)->controller();
+  ASSERT_FALSE(controller.migration_in_progress());
+  EXPECT_EQ(controller.current_window(), plan->windows.size() - 1);
+
+  // Reactive baseline on the byte-identical scenario (drift triggers, same
+  // seed and phases).
+  auto reactive_scenario = ParseScenario(base);
+  ASSERT_TRUE(reactive_scenario.ok()) << reactive_scenario.status();
+  ASSERT_FALSE(reactive_scenario->planned);
+  auto reactive = DriftRunner::Create(*reactive_scenario);
+  ASSERT_TRUE(reactive.ok()) << reactive.status();
+  ASSERT_TRUE((*reactive)->Run().ok());
+
+  const double planned_realized =
+      (*planned)->controller().store()->stats().simulated_ms;
+  const double reactive_realized =
+      (*reactive)->controller().store()->stats().simulated_ms;
+  // The acceptance bar: the planned schedule's total objective (execution
+  // + migration, in cost-model ms) does not exceed what the reactive
+  // baseline actually paid, and neither does the planned run's own
+  // realized cost.
+  EXPECT_LE(plan->total_objective, reactive_realized);
+  EXPECT_LE(planned_realized, reactive_realized);
 }
 
 }  // namespace

@@ -56,6 +56,65 @@ TEST(PresolveTest, DuplicateInequalityRowsDeduped) {
   EXPECT_EQ(reduced.num_rows(), 4);
 }
 
+TEST(PresolveTest, PositiveScaledDuplicateRowsDeduped) {
+  // 2·(x0 + x1 ≥ 1) bounds the same half-space as x0 + x1 ≥ 1: dropped
+  // under the scaled counter, not the byte-exact one.
+  LpProblem lp;
+  int x0 = lp.AddVariable(0.0, 1.0, 1.0);
+  int x1 = lp.AddVariable(0.0, 1.0, 2.0);
+  lp.AddRow(RowType::kGe, 1.0, {{x0, 1.0}, {x1, 1.0}});
+  lp.AddRow(RowType::kGe, 2.0, {{x0, 2.0}, {x1, 2.0}});    // 2x scaling
+  lp.AddRow(RowType::kGe, 0.25, {{x0, 0.25}, {x1, 0.25}});  // 1/4 scaling
+
+  PresolveSummary summary;
+  LpProblem reduced = PresolveForBip(lp, {}, &summary);
+  EXPECT_EQ(summary.duplicate_rows_dropped, 0);
+  EXPECT_EQ(summary.scaled_duplicate_rows_dropped, 2);
+  EXPECT_EQ(reduced.num_rows(), 1);
+}
+
+TEST(PresolveTest, NegativeScalingIsNotADuplicate) {
+  // -1·(x0 + x1 ≥ 1) flips the half-space; with the sense unchanged the
+  // rows constrain different sets and both must survive.
+  LpProblem lp;
+  int x0 = lp.AddVariable(0.0, 1.0, 1.0);
+  int x1 = lp.AddVariable(0.0, 1.0, 2.0);
+  lp.AddRow(RowType::kGe, 1.0, {{x0, 1.0}, {x1, 1.0}});
+  lp.AddRow(RowType::kGe, -1.0, {{x0, -1.0}, {x1, -1.0}});
+
+  PresolveSummary summary;
+  LpProblem reduced = PresolveForBip(lp, {}, &summary);
+  EXPECT_EQ(summary.scaled_duplicate_rows_dropped, 0);
+  EXPECT_EQ(reduced.num_rows(), 2);
+}
+
+TEST(PresolveTest, ScaledCoefficientsWithMismatchedRhsKept) {
+  // Coefficients scale by 2 but the rhs does not: different half-spaces.
+  LpProblem lp;
+  int x0 = lp.AddVariable(0.0, 1.0, 1.0);
+  int x1 = lp.AddVariable(0.0, 1.0, 2.0);
+  lp.AddRow(RowType::kGe, 1.0, {{x0, 1.0}, {x1, 1.0}});
+  lp.AddRow(RowType::kGe, 3.0, {{x0, 2.0}, {x1, 2.0}});
+
+  PresolveSummary summary;
+  LpProblem reduced = PresolveForBip(lp, {}, &summary);
+  EXPECT_EQ(summary.scaled_duplicate_rows_dropped, 0);
+  EXPECT_EQ(reduced.num_rows(), 2);
+}
+
+TEST(PresolveTest, ScaledEqualityRowsNeverDeduped) {
+  LpProblem lp;
+  int x0 = lp.AddVariable(0.0, 1.0, 1.0);
+  int x1 = lp.AddVariable(0.0, 1.0, 2.0);
+  lp.AddRow(RowType::kEq, 1.0, {{x0, 1.0}, {x1, 1.0}});
+  lp.AddRow(RowType::kEq, 2.0, {{x0, 2.0}, {x1, 2.0}});
+
+  PresolveSummary summary;
+  LpProblem reduced = PresolveForBip(lp, {}, &summary);
+  EXPECT_EQ(summary.scaled_duplicate_rows_dropped, 0);
+  EXPECT_EQ(reduced.num_rows(), 2);
+}
+
 TEST(PresolveTest, ConflictingSingletonsFlagInfeasible) {
   LpProblem lp;
   int x0 = lp.AddVariable(0.0, 1.0, 1.0);
@@ -100,6 +159,13 @@ LpProblem MakeRandomCover(Rng* rng, std::vector<int>* binaries) {
     if (coeffs.empty()) coeffs.emplace_back(static_cast<int>(rng->Uniform(num_sets)), 1.0);
     lp.AddRow(RowType::kGe, 1.0, coeffs);
     if (rng->Chance(0.3)) lp.AddRow(RowType::kGe, 1.0, coeffs);  // duplicate
+    if (rng->Chance(0.3)) {
+      // Positive scaling of the same cover row: pass 3's target.
+      const double s = 0.5 + static_cast<double>(rng->Uniform(8));
+      std::vector<std::pair<int, double>> scaled = coeffs;
+      for (auto& [v, c] : scaled) c *= s;
+      lp.AddRow(RowType::kGe, s, scaled);
+    }
   }
   // A few singleton rows: force some sets in, forbid others.
   for (int s = 0; s < num_sets; ++s) {
