@@ -9,9 +9,17 @@
 // base data is ~99% of the unconstrained schema, so there is no slack to
 // trade; this bench reports that floor too.)
 
+//   ablation_space [--json FILE]
+//
+// --json appends one nose-bench-v1 record per budget point (instance
+// "unconstrained", "budget90", ...) to FILE.
+
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "advisor/advisor.h"
+#include "bench/bench_json.h"
 #include "parser/model_parser.h"
 #include "parser/workload_parser.h"
 #include "rubis/model.h"
@@ -50,7 +58,21 @@ statement reprice 20 :
 // (the data itself must be stored at least once: ~52% here) and the fully
 // denormalized unconstrained schema.
 
-int Main() {
+int Main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: ablation_space [--json FILE]\n");
+      return 2;
+    }
+  }
+  BenchJsonWriter json;
+  if (!json_path.empty() && !json.Open(json_path, "ablation_space")) {
+    return 1;
+  }
+
   auto graph = ParseModel(kHotelModel);
   if (!graph.ok()) return 1;
   auto workload = ParseWorkload(**graph, kHotelWorkload);
@@ -74,6 +96,10 @@ int Main() {
               "schema");
   std::printf("%8s %10.2f %10.4f %8zu\n", "none", full_size / 1e6,
               base->objective, base->schema.size());
+  json.Instance("unconstrained")
+      .Metric("size_bytes", full_size)
+      .Metric("objective", base->objective)
+      .Metric("schema_size", static_cast<double>(base->schema.size()));
 
   double last_cost = base->objective;
   for (double frac : {0.9, 0.75, 0.65, 0.58, 0.52, 0.45}) {
@@ -81,17 +107,29 @@ int Main() {
     options.optimizer.space_limit_bytes = full_size * frac;
     Advisor constrained(options);
     auto rec = constrained.Recommend(**workload);
+    const std::string instance =
+        "budget" + std::to_string(static_cast<int>(frac * 100));
     if (!rec.ok()) {
       std::printf("%7.0f%% infeasible — below the workload's storage floor\n",
                   frac * 100);
+      json.Instance(instance)
+          .Metric("budget_fraction", frac)
+          .Label("feasible", false);
       continue;
     }
     std::printf("%7.0f%% %10.2f %10.4f %8zu%s\n", frac * 100,
                 rec->schema.TotalSizeBytes() / 1e6, rec->objective,
                 rec->schema.size(),
                 rec->objective >= last_cost - 1e-9 ? "" : "  (!! cost fell)");
+    json.Instance(instance)
+        .Metric("budget_fraction", frac)
+        .Metric("size_bytes", rec->schema.TotalSizeBytes())
+        .Metric("objective", rec->objective)
+        .Metric("schema_size", static_cast<double>(rec->schema.size()))
+        .Label("feasible", true);
     last_cost = rec->objective;
   }
+  json.Close();
 
   // Report the RUBiS storage floor for context.
   auto rubis_graph = rubis::MakeGraph();
@@ -111,4 +149,4 @@ int Main() {
 }  // namespace
 }  // namespace nose::bench
 
-int main() { return nose::bench::Main(); }
+int main(int argc, char** argv) { return nose::bench::Main(argc, argv); }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "advisor/advisor.h"
+#include "bench/bench_json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rubis/model.h"
@@ -55,22 +56,14 @@ int Main(int argc, char** argv) {
   auto workload = rubis::MakeWorkload(**graph);
   if (!workload.ok()) return 1;
 
-  std::FILE* json = nullptr;
-  if (!json_path.empty()) {
-    json = std::fopen(json_path.c_str(), "a");
-    if (json == nullptr) {
-      std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
-      return 1;
-    }
-    std::fprintf(json,
-                 "{\"bench\":\"advisor_runtime\",\"threads\":%zu,\"mixes\":[",
-                 threads);
+  BenchJsonWriter json;
+  if (!json_path.empty() && !json.Open(json_path, "advisor_runtime")) {
+    return 1;
   }
 
   std::printf("Advisor runtime on the RUBiS workload (paper: < 10 s), "
               "threads=%zu\n\n",
               threads);
-  bool first_mix = true;
   for (const char* mix :
        {rubis::kBiddingMix, rubis::kBrowsingMix, rubis::kWrite100xMix}) {
     AdvisorOptions options;
@@ -89,25 +82,19 @@ int Main(int argc, char** argv) {
         rec->timing.bip_construction_seconds, rec->timing.bip_solve_seconds,
         rec->timing.other_seconds, rec->num_candidates, rec->schema.size(),
         rec->bip_variables, rec->bip_constraints, rec->bb_nodes);
-    if (json != nullptr) {
-      std::fprintf(
-          json,
-          "%s{\"mix\":\"%s\",\"candidates\":%zu,\"schema_size\":%zu,"
-          "\"objective\":%.17g,\"enum_seconds\":%.6f,\"cost_seconds\":%.6f,"
-          "\"build_seconds\":%.6f,\"solve_seconds\":%.6f,"
-          "\"other_seconds\":%.6f,\"total_seconds\":%.6f}",
-          first_mix ? "" : ",", mix, rec->num_candidates, rec->schema.size(),
-          rec->objective, rec->timing.enumeration_seconds,
-          rec->timing.cost_calculation_seconds,
-          rec->timing.bip_construction_seconds, rec->timing.bip_solve_seconds,
-          rec->timing.other_seconds, rec->timing.total_seconds);
-      first_mix = false;
-    }
+    json.Instance(mix)
+        .Metric("threads", static_cast<double>(threads))
+        .Metric("candidates", static_cast<double>(rec->num_candidates))
+        .Metric("schema_size", static_cast<double>(rec->schema.size()))
+        .Metric("objective", rec->objective)
+        .Metric("enum_seconds", rec->timing.enumeration_seconds)
+        .Metric("cost_seconds", rec->timing.cost_calculation_seconds)
+        .Metric("build_seconds", rec->timing.bip_construction_seconds)
+        .Metric("solve_seconds", rec->timing.bip_solve_seconds)
+        .Metric("other_seconds", rec->timing.other_seconds)
+        .Metric("total_seconds", rec->timing.total_seconds);
   }
-  if (json != nullptr) {
-    std::fprintf(json, "]}\n");
-    std::fclose(json);
-  }
+  json.Close();
   if (!trace_path.empty()) {
     obs::TraceRecorder::Global().Disable();
     std::string error;

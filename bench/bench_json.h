@@ -1,0 +1,132 @@
+// nose-bench-v1: the one JSON schema every bench/* binary emits under
+// --json FILE. One line is appended per measured instance:
+//
+//   {"schema":"nose-bench-v1","bench":"<binary>","instance":"<case>",
+//    "metrics":{"<name>":<number>,...},"labels":{"<name>":"<string>"|bool,...}}
+//
+// ci/bench_compare keys records by (bench, instance): metrics named
+// *_ms/*_seconds/*_ns are compared against the committed baseline under a
+// multiplicative tolerance band (timings jitter), every other metric under
+// a tight relative tolerance (counts and objectives must not move), and
+// labels must match exactly.
+
+#ifndef NOSE_BENCH_BENCH_JSON_H_
+#define NOSE_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace nose::bench {
+
+/// Appends nose-bench-v1 records to a JSONL file. Not thread-safe; bench
+/// binaries emit from their main thread.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter() = default;
+  ~BenchJsonWriter() { Close(); }
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  /// Opens `path` for append. Returns false (with a message on stderr) on
+  /// failure; records are then silently dropped so callers need no guards.
+  bool Open(const std::string& path, std::string bench) {
+    Close();
+    bench_ = std::move(bench);
+    file_ = std::fopen(path.c_str(), "a");
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  bool is_open() const { return file_ != nullptr; }
+
+  void Close() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+  /// One record under construction; the line is written when the record is
+  /// destroyed (or Finish()ed). Metric/Label order is preserved.
+  class Record {
+   public:
+    Record(BenchJsonWriter* writer, const std::string& instance)
+        : writer_(writer) {
+      if (writer_ == nullptr || !writer_->is_open()) {
+        writer_ = nullptr;
+        return;
+      }
+      line_ = "{\"schema\":\"nose-bench-v1\",\"bench\":\"" + writer_->bench_ +
+              "\",\"instance\":\"" + instance + "\",\"metrics\":{";
+    }
+    ~Record() { Finish(); }
+    Record(Record&& other) noexcept
+        : writer_(other.writer_), line_(std::move(other.line_)),
+          metrics_(other.metrics_), labels_(std::move(other.labels_)) {
+      other.writer_ = nullptr;
+    }
+    Record(const Record&) = delete;
+    Record& operator=(const Record&) = delete;
+    Record& operator=(Record&&) = delete;
+
+    Record& Metric(const char* name, double value) {
+      if (writer_ == nullptr) return *this;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s\"%s\":%.17g",
+                    metrics_ ? "," : "", name, value);
+      line_ += buf;
+      metrics_ = true;
+      return *this;
+    }
+
+    Record& Label(const char* name, const std::string& value) {
+      return AppendLabel(name, "\"" + value + "\"");
+    }
+    Record& Label(const char* name, const char* value) {
+      return Label(name, std::string(value));
+    }
+    Record& Label(const char* name, bool value) {
+      return AppendLabel(name, value ? "true" : "false");
+    }
+
+    void Finish() {
+      if (writer_ == nullptr) return;
+      line_ += "},\"labels\":{" + labels_ + "}}\n";
+      std::fputs(line_.c_str(), writer_->file_);
+      writer_ = nullptr;
+    }
+
+   private:
+    Record& AppendLabel(const char* name, const std::string& rendered) {
+      if (writer_ == nullptr) return *this;
+      if (!labels_.empty()) labels_.push_back(',');
+      labels_ += "\"";
+      labels_ += name;
+      labels_ += "\":";
+      labels_ += rendered;
+      return *this;
+    }
+
+    BenchJsonWriter* writer_ = nullptr;
+    std::string line_;
+    bool metrics_ = false;
+    std::string labels_;
+  };
+
+  Record Instance(const std::string& instance) {
+    return Record(this, instance);
+  }
+
+ private:
+  friend class Record;
+  std::string bench_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace nose::bench
+
+#endif  // NOSE_BENCH_BENCH_JSON_H_

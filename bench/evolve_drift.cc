@@ -12,12 +12,18 @@
 // (backfilled rows, catch-up updates, simulated milliseconds) per
 // migration.
 //
-//   evolve_drift [scenario-file]
+//   evolve_drift [--json FILE] [scenario-file]
+//
+// --json appends nose-bench-v1 records — a "readvise" record with the
+// warm/cold latencies and a "scenario" record with the controller replay —
+// to FILE.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "bench/rubis_driver.h"
 #include "evolve/driver.h"
 #include "evolve/incremental_advisor.h"
@@ -28,6 +34,24 @@ namespace nose {
 namespace {
 
 int Main(int argc, char** argv) {
+  std::string json_path;
+  std::string scenario_arg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (argv[i][0] != '-' && scenario_arg.empty()) {
+      scenario_arg = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: evolve_drift [--json FILE] [scenario-file]\n");
+      return 2;
+    }
+  }
+  bench::BenchJsonWriter json;
+  if (!json_path.empty() && !json.Open(json_path, "evolve_drift")) {
+    return 1;
+  }
+
   // ---- Part 1: incremental vs. cold re-advise at equal recommendations.
   bench::RubisBench env;
   Workload& workload = const_cast<Workload&>(env.workload());
@@ -71,10 +95,16 @@ int Main(int argc, char** argv) {
               warm_ms);
   std::printf("  cold:        %8.1f ms\n", cold_ms);
   std::printf("  speedup:     %8.2fx\n", warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+  json.Instance("readvise")
+      .Metric("warm_ms", warm_ms)
+      .Metric("cold_ms", cold_ms)
+      .Metric("speedup", warm_ms > 0.0 ? cold_ms / warm_ms : 0.0)
+      .Metric("schema_size", static_cast<double>(warm->rec.schema.size()))
+      .Label("incremental", warm->incremental);
 
   // ---- Part 2: the bundled drift scenario through the controller.
   const std::string scenario_path =
-      argc > 1 ? argv[1] : "workloads/rubis_drift.scenario";
+      !scenario_arg.empty() ? scenario_arg : "workloads/rubis_drift.scenario";
   auto scenario = evolve::LoadScenarioFile(scenario_path);
   if (!scenario.ok()) bench::RubisBench::Die("scenario", scenario.status());
   auto runner = evolve::DriftRunner::Create(*scenario);
@@ -97,6 +127,17 @@ int Main(int argc, char** argv) {
       return 1;
     }
   }
+  json.Instance("scenario")
+      .Metric("run_ms", run_ms)
+      .Metric("transactions", static_cast<double>(report.transactions))
+      .Metric("statements", static_cast<double>(report.statements))
+      .Metric("re_advises_incremental",
+              static_cast<double>(report.re_advises_incremental))
+      .Metric("re_advises_cold", static_cast<double>(report.re_advises_cold))
+      .Metric("migrations", static_cast<double>(report.migrations.size()))
+      .Metric("invariant_violations",
+              static_cast<double>(report.invariant_violations));
+  json.Close();
   return 0;
 }
 

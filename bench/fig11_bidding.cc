@@ -7,6 +7,11 @@
 // testbed, the *shape* (NoSE <= Expert << Normalized on reads; NoSE pays a
 // bit more on rare writes) is the reproduced result.
 //
+//   fig11_bidding [--json FILE]
+//
+// --json appends nose-bench-v1 records (one per transaction type plus a
+// weighted_avg record) to FILE.
+//
 // Environment: NOSE_RUBIS_SCALE (default 0.25) scales entity counts;
 // NOSE_FIG11_EXECUTIONS (default 200) sets executions per transaction;
 // NOSE_METRICS (a path) dumps the executor/store counter snapshot —
@@ -14,15 +19,31 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "bench/rubis_driver.h"
 #include "obs/metrics.h"
 
 namespace nose::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: fig11_bidding [--json FILE]\n");
+      return 2;
+    }
+  }
+  BenchJsonWriter json;
+  if (!json_path.empty() && !json.Open(json_path, "fig11_bidding")) {
+    return 1;
+  }
+
   const char* env = std::getenv("NOSE_FIG11_EXECUTIONS");
   const int executions = env != nullptr ? std::atoi(env) : 200;
 
@@ -57,6 +78,12 @@ int Main() {
     std::printf("%-22s %12.3f %12.3f %12.3f\n", tx.name.c_str(),
                 totals[0] / executions, totals[1] / executions,
                 totals[2] / executions);
+    json.Instance(tx.name)
+        .Metric("executions", static_cast<double>(executions))
+        .Metric("nose_ms", totals[0] / executions)
+        .Metric("normalized_ms", totals[1] / executions)
+        .Metric("expert_ms", totals[2] / executions)
+        .Label("is_write", tx.is_write);
     for (int s = 0; s < 3; ++s) wsum[s] += tx.bidding_weight * totals[s] / executions;
     wtotal += tx.bidding_weight;
   }
@@ -66,6 +93,13 @@ int Main() {
       "\npaper shape check: NoSE weighted-avg beats Expert by ~%.2fx "
       "(paper: 1.8x) and Normalized by ~%.2fx\n",
       wsum[2] / wsum[0], wsum[1] / wsum[0]);
+  json.Instance("weighted_avg")
+      .Metric("nose_ms", wsum[0] / wtotal)
+      .Metric("normalized_ms", wsum[1] / wtotal)
+      .Metric("expert_ms", wsum[2] / wtotal)
+      .Metric("expert_over_nose", wsum[2] / wsum[0])
+      .Metric("normalized_over_nose", wsum[1] / wsum[0]);
+  json.Close();
   if (const char* metrics_path = std::getenv("NOSE_METRICS")) {
     std::string error;
     if (!obs::MetricsRegistry::Global().WriteJson(metrics_path, &error)) {
@@ -79,4 +113,4 @@ int Main() {
 }  // namespace
 }  // namespace nose::bench
 
-int main() { return nose::bench::Main(); }
+int main(int argc, char** argv) { return nose::bench::Main(argc, argv); }

@@ -10,8 +10,8 @@
 //
 // --compare additionally re-advises each mix with the per-mix path
 // (Advisor::Recommend), checks the recommendations are identical, and
-// reports both advising wall times; --json appends the timings as one
-// JSON object line to FILE (bench_results/ convention).
+// reports both advising wall times; --json appends nose-bench-v1 records
+// (one "advising" record plus one per mix) to FILE.
 //
 // Environment: NOSE_RUBIS_SCALE (default 0.25), NOSE_FIG12_TRANSACTIONS
 // (default 1500 sampled transactions per mix).
@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/rubis_driver.h"
 #include "util/rng.h"
 
@@ -52,6 +53,11 @@ int Main(int argc, char** argv) {
   }
   const char* env = std::getenv("NOSE_FIG12_TRANSACTIONS");
   const int samples = env != nullptr ? std::atoi(env) : 1500;
+
+  BenchJsonWriter json;
+  if (!json_path.empty() && !json.Open(json_path, "fig12_mixes")) {
+    return 1;
+  }
 
   RubisBench bench;
   std::printf("Fig. 12 — weighted average response time per workload mix "
@@ -141,29 +147,27 @@ int Main(int argc, char** argv) {
     }
     std::printf("%-10s %12.3f %12.3f %12.3f\n", label.c_str(), avg[0], avg[1],
                 avg[2]);
+    json.Instance(mix)
+        .Metric("samples", static_cast<double>(samples))
+        .Metric("nose_ms", avg[0])
+        .Metric("normalized_ms", avg[1])
+        .Metric("expert_ms", avg[2]);
   }
   std::printf(
       "\npaper shape check: NoSE wins Browsing/Bidding/10x; under 100x the "
       "Expert schema closes in (it shares support work NoSE re-fetches).\n");
 
-  if (!json_path.empty()) {
-    std::FILE* json = std::fopen(json_path.c_str(), "a");
-    if (json == nullptr) {
-      std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
-      return 1;
-    }
-    std::fprintf(json,
-                 "{\"bench\":\"fig12_mixes\",\"mixes\":%zu,"
-                 "\"shared_pool_advise_seconds\":%.3f",
-                 mixes.size(), shared_seconds);
+  {
+    auto record = json.Instance("advising");
+    record.Metric("mixes", static_cast<double>(mixes.size()))
+        .Metric("shared_pool_advise_seconds", shared_seconds);
     if (compare) {
-      std::fprintf(json,
-                   ",\"per_mix_advise_seconds\":%.3f,\"speedup\":%.3f",
-                   per_mix_seconds, per_mix_seconds / shared_seconds);
+      record.Metric("per_mix_advise_seconds", per_mix_seconds)
+          .Metric("speedup", per_mix_seconds / shared_seconds);
     }
-    std::fprintf(json, "}\n");
-    std::fclose(json);
+    record.Label("compare", compare);
   }
+  json.Close();
   return 0;
 }
 

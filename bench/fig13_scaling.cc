@@ -9,8 +9,8 @@
 //
 // --threads sets the advisor's worker-thread count (the recommendation is
 // identical at any value; only the wall clock changes). --json appends the
-// per-scale phase breakdown as one JSON object to FILE (bench_results/
-// convention) so baseline-vs-threaded runs can be diffed. Environment
+// per-scale phase breakdown as nose-bench-v1 records to FILE so
+// baseline-vs-threaded runs can be diffed. Environment
 // fallbacks NOSE_FIG13_MAX_SCALE and NOSE_FIG13_SOLVE_BUDGET still work.
 
 #include <cstdio>
@@ -19,6 +19,7 @@
 #include <string>
 
 #include "advisor/advisor.h"
+#include "bench/bench_json.h"
 #include "obs/metrics.h"
 #include "randwl/random_workload.h"
 
@@ -79,16 +80,9 @@ int Main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   if (!args.ok) return 2;
 
-  std::FILE* json = nullptr;
-  if (!args.json_path.empty()) {
-    json = std::fopen(args.json_path.c_str(), "a");
-    if (json == nullptr) {
-      std::fprintf(stderr, "error: cannot open %s\n", args.json_path.c_str());
-      return 1;
-    }
-    std::fprintf(json, "{\"bench\":\"fig13_scaling\",\"threads\":%zu,"
-                       "\"scales\":[",
-                 args.threads);
+  BenchJsonWriter json;
+  if (!args.json_path.empty() && !json.Open(args.json_path, "fig13_scaling")) {
+    return 1;
   }
 
   std::printf("Fig. 13 — advisor runtime vs workload scale factor\n");
@@ -99,7 +93,6 @@ int Main(int argc, char** argv) {
               "stmts", "cands", "cost(s)", "build(s)", "solve(s)", "other(s)",
               "total(s)");
 
-  bool first_scale = true;
   for (int scale = 1; scale <= args.max_scale; ++scale) {
     randwl::GeneratorOptions gen;
     gen.num_entities = 6 * static_cast<size_t>(scale);
@@ -109,7 +102,6 @@ int Main(int argc, char** argv) {
     if (!rw.ok()) {
       std::fprintf(stderr, "generate failed: %s\n",
                    rw.status().ToString().c_str());
-      if (json != nullptr) std::fclose(json);
       return 1;
     }
 
@@ -134,27 +126,21 @@ int Main(int argc, char** argv) {
                 rec->timing.other_seconds + rec->timing.enumeration_seconds,
                 rec->timing.total_seconds);
     std::fflush(stdout);
-    if (json != nullptr) {
-      std::fprintf(
-          json,
-          "%s{\"scale\":%d,\"entities\":%zu,\"statements\":%zu,"
-          "\"candidates\":%zu,\"schema_size\":%zu,\"objective\":%.17g,"
-          "\"cost_seconds\":%.6f,\"build_seconds\":%.6f,"
-          "\"solve_seconds\":%.6f,\"other_seconds\":%.6f,"
-          "\"total_seconds\":%.6f}",
-          first_scale ? "" : ",", scale, gen.num_entities, gen.num_statements,
-          rec->num_candidates, rec->schema.size(), rec->objective,
-          rec->timing.cost_calculation_seconds,
-          rec->timing.bip_construction_seconds, rec->timing.bip_solve_seconds,
-          rec->timing.other_seconds + rec->timing.enumeration_seconds,
-          rec->timing.total_seconds);
-      first_scale = false;
-    }
+    json.Instance("scale" + std::to_string(scale))
+        .Metric("threads", static_cast<double>(args.threads))
+        .Metric("entities", static_cast<double>(gen.num_entities))
+        .Metric("statements", static_cast<double>(gen.num_statements))
+        .Metric("candidates", static_cast<double>(rec->num_candidates))
+        .Metric("schema_size", static_cast<double>(rec->schema.size()))
+        .Metric("objective", rec->objective)
+        .Metric("cost_seconds", rec->timing.cost_calculation_seconds)
+        .Metric("build_seconds", rec->timing.bip_construction_seconds)
+        .Metric("solve_seconds", rec->timing.bip_solve_seconds)
+        .Metric("other_seconds",
+                rec->timing.other_seconds + rec->timing.enumeration_seconds)
+        .Metric("total_seconds", rec->timing.total_seconds);
   }
-  if (json != nullptr) {
-    std::fprintf(json, "]}\n");
-    std::fclose(json);
-  }
+  json.Close();
   if (!args.metrics_path.empty()) {
     std::string error;
     if (!obs::MetricsRegistry::Global().WriteJson(args.metrics_path, &error)) {

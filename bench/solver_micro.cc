@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "advisor/advisor.h"
+#include "bench/bench_json.h"
 #include "rubis/model.h"
 #include "rubis/workload.h"
 #include "solver/bip.h"
@@ -284,11 +285,8 @@ int CompareMain(const std::string& json_path) {
   // The multi-period instance: joint two-window horizon BIP.
   instances.push_back(CaptureHorizonBip(**workload));
 
-  std::FILE* json = std::fopen(json_path.c_str(), "a");
-  if (json == nullptr) {
-    std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
-    return 1;
-  }
+  bench::BenchJsonWriter json;
+  if (!json.Open(json_path, "solver_micro")) return 1;
 
   std::printf("%-18s %7s %7s %9s | %10s %10s %8s | %s\n", "instance", "vars",
               "rows", "nnz", "sparse", "dense", "speedup", "objectives");
@@ -361,31 +359,28 @@ int CompareMain(const std::string& json_path) {
                 is_bip ? dense_bip.objective : dense_lp.objective,
                 diverged ? "  DIVERGED" : "");
 
-    std::fprintf(
-        json,
-        "{\"bench\":\"solver_micro\",\"instance\":\"%s\",\"kind\":\"%s\","
-        "\"vars\":%d,\"rows\":%d,\"nnz\":%zu,"
-        "\"sparse_lp_ms\":%.3f,\"dense_lp_ms\":%.3f,"
-        "\"sparse_lp_objective\":%.17g,\"dense_lp_objective\":%.17g",
-        inst.name.c_str(), is_bip ? "bip" : "lp", inst.lp.num_variables(),
-        inst.lp.num_rows(), inst.lp.num_nonzeros(), sparse_lp_ms, dense_lp_ms,
-        sparse_lp.objective, dense_lp.objective);
+    bench::BenchJsonWriter::Record record = json.Instance(inst.name);
+    record.Metric("vars", inst.lp.num_variables())
+        .Metric("rows", inst.lp.num_rows())
+        .Metric("nnz", static_cast<double>(inst.lp.num_nonzeros()))
+        .Metric("sparse_lp_ms", sparse_lp_ms)
+        .Metric("dense_lp_ms", dense_lp_ms)
+        .Metric("sparse_lp_objective", sparse_lp.objective)
+        .Metric("dense_lp_objective", dense_lp.objective);
     if (is_bip) {
-      std::fprintf(
-          json,
-          ",\"sparse_bip_ms\":%.3f,\"dense_bip_ms\":%.3f,"
-          "\"sparse_bip_objective\":%.17g,\"dense_bip_objective\":%.17g,"
-          "\"sparse_bip_status\":\"%s\",\"dense_bip_status\":\"%s\"",
-          sparse_bip_ms, dense_bip_ms, sparse_bip.objective,
-          dense_bip.objective, BipStatusName(sparse_bip.status),
-          BipStatusName(dense_bip.status));
-      std::fprintf(json, ",\"presolve_diverged\":%s",
-                   presolve_diverged ? "true" : "false");
+      record.Metric("sparse_bip_ms", sparse_bip_ms)
+          .Metric("dense_bip_ms", dense_bip_ms)
+          .Metric("sparse_bip_objective", sparse_bip.objective)
+          .Metric("dense_bip_objective", dense_bip.objective)
+          .Label("sparse_bip_status", BipStatusName(sparse_bip.status))
+          .Label("dense_bip_status", BipStatusName(dense_bip.status))
+          .Label("presolve_diverged", presolve_diverged);
     }
-    std::fprintf(json, ",\"speedup\":%.3f,\"diverged\":%s}\n", speedup,
-                 diverged ? "true" : "false");
+    record.Metric("speedup", speedup)
+        .Label("kind", is_bip ? "bip" : "lp")
+        .Label("diverged", diverged);
   }
-  std::fclose(json);
+  json.Close();
   if (diverged_any) {
     std::fprintf(stderr,
                  "error: sparse and dense optima diverged on at least one "

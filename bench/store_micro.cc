@@ -2,9 +2,20 @@
 // and get throughput over varying partition layouts. Wall-clock here, not
 // simulated time — this bounds how fast the executor-driven experiments
 // can run, independent of the latency model they report.
+//
+//   store_micro [--json FILE] [google-benchmark flags]
+//
+// --json appends one nose-bench-v1 record per benchmark run (instance
+// "BM_StoreGetPartition/100" etc., metrics real_time_ns / cpu_time_ns /
+// iterations and items_per_second when reported) to FILE.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
 #include "store/record_store.h"
 #include "util/rng.h"
 
@@ -77,7 +88,56 @@ void BM_StoreClusteringPrefix(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreClusteringPrefix);
 
+/// Console output as usual, plus one nose-bench-v1 record per run.
+class BenchJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit BenchJsonReporter(bench::BenchJsonWriter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      // Adjusted times are per-iteration in the run's time unit; every
+      // benchmark here uses the default (nanoseconds).
+      auto record = json_->Instance(run.benchmark_name());
+      record.Metric("real_time_ns", run.GetAdjustedRealTime())
+          .Metric("cpu_time_ns", run.GetAdjustedCPUTime())
+          .Metric("iterations", static_cast<double>(run.iterations));
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        record.Metric("items_per_second", items->second.value);
+      }
+    }
+  }
+
+ private:
+  bench::BenchJsonWriter* json_;
+};
+
 }  // namespace
 }  // namespace nose
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  nose::bench::BenchJsonWriter json;
+  if (!json_path.empty() && !json.Open(json_path, "store_micro")) return 1;
+  nose::BenchJsonReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

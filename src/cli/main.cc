@@ -35,9 +35,11 @@
 #include "evolve/scenario.h"
 #include "export/cql.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "parser/model_parser.h"
 #include "parser/workload_parser.h"
+#include "solver/solve_log.h"
 
 namespace {
 
@@ -49,6 +51,18 @@ int Usage() {
                "  nose check  --verify-certificate FILE\n"
                "  nose lint   --model FILE --workload FILE\n"
                "  nose evolve --scenario FILE [--horizon] [--report FILE]\n"
+               "  nose explain SOLVE_LOG\n"
+               "common options (advise, check, evolve):\n"
+               "  --solve-log FILE      record per-LP and branch-and-bound\n"
+               "                        telemetry and write it as JSONL "
+               "(inspect\n"
+               "                        with 'nose explain FILE')\n"
+               "  --report-json FILE    write a machine-readable run report\n"
+               "                        (phase timings, solver stats, metrics\n"
+               "                        snapshot, recommendation digest)\n"
+               "  --metrics-format FMT  json (default) or prom (OpenMetrics "
+               "text)\n"
+               "                        for the --metrics snapshot\n"
                "options (check):\n"
                "  --mix NAME            workload mix to check "
                "(default: 'default')\n"
@@ -156,6 +170,47 @@ bool ParsePositiveDouble(const std::string& flag, const std::string& text,
   return true;
 }
 
+/// Validates --metrics-format (defaulting to "json" when absent).
+bool MetricsFormat(std::map<std::string, std::string>& args,
+                   std::string* format) {
+  *format = args.count("--metrics-format") > 0 ? args["--metrics-format"]
+                                               : "json";
+  if (*format != "json" && *format != "prom") {
+    std::fprintf(stderr, "error: unknown metrics format '%s' (json|prom)\n",
+                 format->c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Writes the metrics snapshot in the requested format.
+bool WriteMetricsSnapshot(const std::string& path, const std::string& format) {
+  std::string error;
+  const bool ok =
+      format == "prom"
+          ? nose::obs::MetricsRegistry::Global().WriteOpenMetrics(path, &error)
+          : nose::obs::MetricsRegistry::Global().WriteJson(path, &error);
+  if (!ok) {
+    std::fprintf(stderr, "error: cannot write metrics: %s\n", error.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote metrics to %s\n", path.c_str());
+  return true;
+}
+
+/// Exports the solver telemetry JSONL when --solve-log was given (the log
+/// itself was enabled before the run).
+bool WriteSolveLogIfRequested(std::map<std::string, std::string>& args) {
+  if (args.count("--solve-log") == 0) return true;
+  std::string error;
+  if (!nose::SolveLog::Global().WriteJsonl(args["--solve-log"], &error)) {
+    std::fprintf(stderr, "error: cannot write solve log: %s\n", error.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote solve log to %s\n", args["--solve-log"].c_str());
+  return true;
+}
+
 /// Writes the evolve report as JSON (hand-rolled like the metrics export;
 /// all fields are counts or finite doubles). In planned mode the report
 /// carries the horizon schedule's objectives next to the realized store
@@ -178,7 +233,9 @@ bool WriteEvolveReport(const std::string& path,
       << "  \"last_drift\": " << report.last_drift << ",\n"
       << "  \"invariant_violations\": " << report.invariant_violations << ",\n"
       << "  \"realized_store_ms\": "
-      << runner.controller().store()->stats().simulated_ms << ",\n";
+      << runner.controller().store()->stats().simulated_ms << ",\n"
+      << "  \"forecast_residual\": "
+      << runner.controller().tracker().forecast_residual() << ",\n";
   if (plan != nullptr) {
     out << "  \"planned_execution_objective\": " << plan->execution_objective
         << ",\n"
@@ -225,6 +282,8 @@ bool WriteEvolveReport(const std::string& path,
 
 int RunEvolve(std::map<std::string, std::string>& args) {
   if (args.count("--scenario") == 0) return Usage();
+  std::string metrics_format;
+  if (!MetricsFormat(args, &metrics_format)) return Usage();
   std::string trace_path;
   if (args.count("--trace") > 0) {
     trace_path = args["--trace"];
@@ -233,8 +292,10 @@ int RunEvolve(std::map<std::string, std::string>& args) {
   }
   if (!trace_path.empty()) {
     nose::obs::TraceRecorder::Global().Enable();
+    nose::obs::TraceRecorder::EnableCrashFlush(trace_path);
     nose::obs::SetCurrentThreadName("main");
   }
+  if (args.count("--solve-log") > 0) nose::SolveLog::Global().Enable();
 
   auto scenario = nose::evolve::LoadScenarioFile(args["--scenario"]);
   if (!scenario.ok()) {
@@ -269,15 +330,11 @@ int RunEvolve(std::map<std::string, std::string>& args) {
     }
     std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
   }
-  if (args.count("--metrics") > 0) {
-    std::string error;
-    if (!nose::obs::MetricsRegistry::Global().WriteJson(args["--metrics"],
-                                                        &error)) {
-      std::fprintf(stderr, "error: cannot write metrics: %s\n", error.c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "wrote metrics to %s\n", args["--metrics"].c_str());
+  if (args.count("--metrics") > 0 &&
+      !WriteMetricsSnapshot(args["--metrics"], metrics_format)) {
+    return 1;
   }
+  if (!WriteSolveLogIfRequested(args)) return 1;
   if (args.count("--report") > 0) {
     if (!WriteEvolveReport(args["--report"], **runner)) {
       std::fprintf(stderr, "error: cannot write report to %s\n",
@@ -285,6 +342,44 @@ int RunEvolve(std::map<std::string, std::string>& args) {
       return 1;
     }
     std::fprintf(stderr, "wrote report to %s\n", args["--report"].c_str());
+  }
+  if (args.count("--report-json") > 0) {
+    nose::obs::RunReport run_report("evolve");
+    run_report.AddString("scenario", args["--scenario"]);
+    run_report.AddString("mode",
+                         (*runner)->horizon_plan() != nullptr ? "planned"
+                                                              : "reactive");
+    run_report.AddNumber("transactions",
+                         static_cast<double>(report.transactions));
+    run_report.AddNumber("statements", static_cast<double>(report.statements));
+    run_report.AddNumber(
+        "re_advises_incremental",
+        static_cast<double>(report.re_advises_incremental));
+    run_report.AddNumber("re_advises_cold",
+                         static_cast<double>(report.re_advises_cold));
+    run_report.AddNumber("migrations",
+                         static_cast<double>(report.migrations.size()));
+    run_report.AddNumber("invariant_violations",
+                         static_cast<double>(report.invariant_violations));
+    // The tracker's one-step-ahead forecast error: the re-planning trigger
+    // signal, surfaced here so planned-mode runs can be judged on it.
+    run_report.AddNumber(
+        "forecast_residual",
+        (*runner)->controller().tracker().forecast_residual());
+    run_report.AddNumber(
+        "realized_store_ms",
+        (*runner)->controller().store()->stats().simulated_ms);
+    double advise_seconds = 0.0;
+    for (const auto& m : report.migrations) advise_seconds += m.advise_seconds;
+    run_report.AddPhase("advise", advise_seconds);
+    run_report.SetSolverSummary(nose::SolveLog::Global().SummaryJson());
+    run_report.SetMetrics(nose::obs::MetricsRegistry::Global().ToJson());
+    std::string error;
+    if (!run_report.WriteJson(args["--report-json"], &error)) {
+      std::fprintf(stderr, "error: cannot write report: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote report to %s\n", args["--report-json"].c_str());
   }
 
   size_t mismatches = 0, aborted = 0;
@@ -419,6 +514,38 @@ int RunCheck(std::map<std::string, std::string>& args,
       nose::CountSeverity(diags, nose::Severity::kWarning),
       nose::CountSeverity(diags, nose::Severity::kNote), rec->schema.size(),
       rec->objective);
+  if (args.count("--report-json") > 0) {
+    nose::obs::RunReport run_report("check");
+    run_report.AddString("instance", cert.instance);
+    run_report.AddNumber("errors", static_cast<double>(errors));
+    run_report.AddNumber(
+        "warnings",
+        static_cast<double>(
+            nose::CountSeverity(diags, nose::Severity::kWarning)));
+    run_report.AddPhase("enumeration", rec->timing.enumeration_seconds);
+    run_report.AddPhase("cost_calculation",
+                        rec->timing.cost_calculation_seconds);
+    run_report.AddPhase("bip_construction",
+                        rec->timing.bip_construction_seconds);
+    run_report.AddPhase("bip_solve", rec->timing.bip_solve_seconds);
+    run_report.AddPhase("total", rec->timing.total_seconds);
+    char digest[256];
+    std::snprintf(digest, sizeof(digest),
+                  "{\"objective\":%.9g,\"column_families\":%zu,"
+                  "\"certificate_verified\":%s,\"certified_gap\":%.9g}",
+                  rec->objective, rec->schema.size(),
+                  report.verified ? "true" : "false",
+                  report.bound_available ? report.certified_gap : 0.0);
+    run_report.SetDigest(digest);
+    run_report.SetSolverSummary(nose::SolveLog::Global().SummaryJson());
+    run_report.SetMetrics(nose::obs::MetricsRegistry::Global().ToJson());
+    std::string error;
+    if (!run_report.WriteJson(args["--report-json"], &error)) {
+      std::fprintf(stderr, "error: cannot write report: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote report to %s\n", args["--report-json"].c_str());
+  }
   return (errors > 0 || !report.verified) ? 1 : 0;
 }
 
@@ -428,14 +555,28 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command != "advise" && command != "check" && command != "lint" &&
-      command != "evolve") {
+      command != "evolve" && command != "explain") {
     return Usage();
+  }
+
+  // `nose explain SOLVE_LOG`: offline diagnosis of a --solve-log capture.
+  if (command == "explain") {
+    if (argc != 3 || argv[2][0] == '-') return Usage();
+    nose::SolveLogData data;
+    std::string error;
+    if (!nose::ReadSolveLog(argv[2], &data, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::cout << nose::ExplainSolveLog(data);
+    return 0;
   }
 
   if (command == "evolve") {
     std::map<std::string, std::string> args;
     if (!ParseArgs(argc, argv, 2,
-                   {"--scenario", "--report", "--trace", "--metrics"},
+                   {"--scenario", "--report", "--trace", "--metrics",
+                    "--metrics-format", "--solve-log", "--report-json"},
                    {"--horizon"}, &args)) {
       return Usage();
     }
@@ -446,12 +587,14 @@ int main(int argc, char** argv) {
   std::set<std::string> bool_flags;
   if (command == "advise") {
     value_flags.insert({"--mix", "--space-limit-mb", "--format", "--strategy",
-                        "--solve-budget", "--threads", "--trace", "--metrics"});
+                        "--solve-budget", "--threads", "--trace", "--metrics",
+                        "--metrics-format", "--solve-log", "--report-json"});
     bool_flags.insert({"--verify", "--all-mixes"});
   }
   if (command == "check") {
     value_flags.insert({"--mix", "--certificate", "--verify-certificate",
-                        "--solve-budget", "--threads"});
+                        "--solve-budget", "--threads", "--solve-log",
+                        "--report-json"});
   }
   std::map<std::string, std::string> args;
   if (!ParseArgs(argc, argv, 2, value_flags, bool_flags, &args)) {
@@ -517,8 +660,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (args.count("--solve-log") > 0) nose::SolveLog::Global().Enable();
+
   if (command == "check") {
-    return RunCheck(args, **workload, std::move(diags));
+    const int rc = RunCheck(args, **workload, std::move(diags));
+    if (!WriteSolveLogIfRequested(args)) return 1;
+    return rc;
   }
 
   nose::AdvisorOptions options;
@@ -591,8 +738,11 @@ int main(int argc, char** argv) {
   }
   const std::string metrics_path =
       args.count("--metrics") > 0 ? args["--metrics"] : "";
+  std::string metrics_format;
+  if (!MetricsFormat(args, &metrics_format)) return Usage();
   if (!trace_path.empty()) {
     nose::obs::TraceRecorder::Global().Enable();
+    nose::obs::TraceRecorder::EnableCrashFlush(trace_path);
     nose::obs::SetCurrentThreadName("main");
   }
 
@@ -625,13 +775,51 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
   }
-  if (!metrics_path.empty()) {
+  if (!metrics_path.empty() &&
+      !WriteMetricsSnapshot(metrics_path, metrics_format)) {
+    return 1;
+  }
+  if (!WriteSolveLogIfRequested(args)) return 1;
+  if (args.count("--report-json") > 0) {
+    nose::obs::RunReport run_report("advise");
+    run_report.AddString("model", args["--model"]);
+    run_report.AddString("workload", args["--workload"]);
+    nose::AdvisorTiming timing;
+    std::string digest = "[";
+    char buf[256];
+    for (size_t i = 0; i < results.size(); ++i) {
+      const auto& [rec_mix, rec] = results[i];
+      timing.enumeration_seconds += rec.timing.enumeration_seconds;
+      timing.cost_calculation_seconds += rec.timing.cost_calculation_seconds;
+      timing.bip_construction_seconds += rec.timing.bip_construction_seconds;
+      timing.bip_solve_seconds += rec.timing.bip_solve_seconds;
+      timing.other_seconds += rec.timing.other_seconds;
+      timing.total_seconds += rec.timing.total_seconds;
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"mix\":\"%s\",\"column_families\":%zu,"
+                    "\"objective\":%.9g,\"candidates\":%zu,"
+                    "\"solve_proven\":%s}",
+                    i > 0 ? "," : "", rec_mix.c_str(), rec.schema.size(),
+                    rec.objective, rec.num_candidates,
+                    rec.solve_proven ? "true" : "false");
+      digest += buf;
+    }
+    digest.push_back(']');
+    run_report.AddPhase("enumeration", timing.enumeration_seconds);
+    run_report.AddPhase("cost_calculation", timing.cost_calculation_seconds);
+    run_report.AddPhase("bip_construction", timing.bip_construction_seconds);
+    run_report.AddPhase("bip_solve", timing.bip_solve_seconds);
+    run_report.AddPhase("other", timing.other_seconds);
+    run_report.AddPhase("total", timing.total_seconds);
+    run_report.SetDigest(digest);
+    run_report.SetSolverSummary(nose::SolveLog::Global().SummaryJson());
+    run_report.SetMetrics(nose::obs::MetricsRegistry::Global().ToJson());
     std::string error;
-    if (!nose::obs::MetricsRegistry::Global().WriteJson(metrics_path, &error)) {
-      std::fprintf(stderr, "error: cannot write metrics: %s\n", error.c_str());
+    if (!run_report.WriteJson(args["--report-json"], &error)) {
+      std::fprintf(stderr, "error: cannot write report: %s\n", error.c_str());
       return 1;
     }
-    std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+    std::fprintf(stderr, "wrote report to %s\n", args["--report-json"].c_str());
   }
 
   for (const auto& [rec_mix, rec] : results) {

@@ -40,6 +40,20 @@ void AppendDouble(std::string* out, double v) {
   *out += buf;
 }
 
+/// OpenMetrics names admit only [a-zA-Z0-9_:]; the registry's dotted
+/// convention maps '.' (and anything else) to '_'.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
 }  // namespace
 
 void Gauge::SetMax(double v) { AtomicMax(&value_, v); }
@@ -71,6 +85,34 @@ double Histogram::min() const {
 
 double Histogram::BucketBound(size_t i) {
   return std::ldexp(1.0, static_cast<int>(i) - 30 + 1);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(n);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t b = bucket(i);
+    if (b == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(b) >= rank) {
+      // Interpolate linearly within the landing bucket, then clamp to the
+      // exact observed envelope (the bucket bounds can overshoot it).
+      const double lower = i == 0 ? 0.0 : BucketBound(i - 1);
+      const double upper = BucketBound(i);
+      double frac = (rank - static_cast<double>(cum)) / static_cast<double>(b);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      double v = lower + (upper - lower) * frac;
+      if (v > max()) v = max();
+      if (v < min()) v = min();
+      return v;
+    }
+    cum += b;
+  }
+  return max();
 }
 
 void Histogram::Reset() {
@@ -152,6 +194,12 @@ std::string MetricsRegistry::ToJson() const {
     AppendDouble(&out, h->max());
     out += ",\"mean\":";
     AppendDouble(&out, n == 0 ? 0.0 : h->sum() / static_cast<double>(n));
+    out += ",\"p50\":";
+    AppendDouble(&out, h->Quantile(0.50));
+    out += ",\"p95\":";
+    AppendDouble(&out, h->Quantile(0.95));
+    out += ",\"p99\":";
+    AppendDouble(&out, h->Quantile(0.99));
     out += ",\"buckets\":{";
     bool first_bucket = true;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
@@ -171,6 +219,43 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+std::string MetricsRegistry::ToOpenMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string m = SanitizeMetricName(name);
+    out += "# TYPE " + m + " counter\n";
+    out += m + "_total " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string m = SanitizeMetricName(name);
+    out += "# TYPE " + m + " gauge\n";
+    out += m + " ";
+    AppendDouble(&out, g->value());
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string m = SanitizeMetricName(name);
+    out += "# TYPE " + m + " histogram\n";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t b = h->bucket(i);
+      if (b == 0) continue;
+      cum += b;
+      char bound[64];
+      std::snprintf(bound, sizeof(bound), "%.6g", Histogram::BucketBound(i));
+      out += m + "_bucket{le=\"" + bound + "\"} " + std::to_string(cum) + "\n";
+    }
+    out += m + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
+    out += m + "_sum ";
+    AppendDouble(&out, h->sum());
+    out.push_back('\n');
+    out += m + "_count " + std::to_string(h->count()) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
 bool MetricsRegistry::WriteJson(const std::string& path, std::string* error) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
@@ -178,6 +263,22 @@ bool MetricsRegistry::WriteJson(const std::string& path, std::string* error) {
     return false;
   }
   out << ToJson() << "\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+bool MetricsRegistry::WriteOpenMetrics(const std::string& path,
+                                       std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << ToOpenMetrics();
   out.flush();
   if (!out) {
     if (error != nullptr) *error = "write to " + path + " failed";

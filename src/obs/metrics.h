@@ -64,6 +64,12 @@ class Histogram {
   /// Upper bound of bucket `i` (2^(i-30)); the last bucket is unbounded.
   static double BucketBound(size_t i);
 
+  /// Approximate quantile (q in [0,1]) from the bucket sketch: walks the
+  /// cumulative counts to the target rank and interpolates linearly inside
+  /// the landing bucket, clamped to the exact [min, max] envelope. 0 when
+  /// empty.
+  double Quantile(double q) const;
+
   void Reset();
 
  private:
@@ -98,12 +104,23 @@ class MetricsRegistry {
 
   /// JSON snapshot:
   ///   {"counters":{...},"gauges":{...},"histograms":{name:
-  ///    {"count":n,"sum":s,"min":m,"max":M,"mean":u,"buckets":{"<=B":c}}}}
+  ///    {"count":n,"sum":s,"min":m,"max":M,"mean":u,
+  ///     "p50":v,"p95":v,"p99":v,"buckets":{"<=B":c}}}}
   std::string ToJson() const;
+
+  /// OpenMetrics / Prometheus text exposition of the same snapshot
+  /// (`--metrics-format=prom`): counters as `<name>_total`, gauges as
+  /// gauges, histograms as cumulative `_bucket{le="..."}` series plus
+  /// `_sum`/`_count`, metric names sanitized to [a-zA-Z0-9_:]. Ends with
+  /// the mandatory `# EOF` terminator.
+  std::string ToOpenMetrics() const;
 
   /// Writes ToJson() to `path`. Returns false (and fills *error when
   /// non-null) on I/O failure.
   bool WriteJson(const std::string& path, std::string* error = nullptr);
+
+  /// Writes ToOpenMetrics() to `path`.
+  bool WriteOpenMetrics(const std::string& path, std::string* error = nullptr);
 
  private:
   MetricsRegistry() = default;

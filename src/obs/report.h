@@ -1,0 +1,56 @@
+#ifndef NOSE_OBS_REPORT_H_
+#define NOSE_OBS_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nose {
+namespace obs {
+
+/// Builder for the unified machine-readable run report emitted by
+/// `nose advise/evolve/check --report-json`:
+///
+///   {"report_version":1,"command":"advise",
+///    <scalar fields in insertion order>,
+///    "phases":{"<name>_seconds":t,...},
+///    "digest":{...},"solver":{...},"metrics":{...}}
+///
+/// The obs layer sits below the solver and optimizer in the link order, so
+/// the structured sections (digest, solver summary, metrics snapshot) are
+/// passed in as pre-rendered JSON strings by the CLI; this class only
+/// assembles and validates nothing.
+class RunReport {
+ public:
+  explicit RunReport(std::string command) : command_(std::move(command)) {}
+
+  /// Adds "<name>_seconds": seconds under "phases" (insertion order).
+  void AddPhase(const std::string& name, double seconds);
+
+  /// Top-level scalar fields, emitted in insertion order after "command".
+  void AddString(const std::string& key, const std::string& value);
+  void AddNumber(const std::string& key, double value);
+
+  /// Pre-rendered JSON values for the structured sections. Empty sections
+  /// are omitted from the output.
+  void SetDigest(std::string json) { digest_json_ = std::move(json); }
+  void SetSolverSummary(std::string json) { solver_json_ = std::move(json); }
+  void SetMetrics(std::string json) { metrics_json_ = std::move(json); }
+
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  std::string command_;
+  std::vector<std::pair<std::string, double>> phases_;
+  /// (key, rendered JSON value) — strings arrive pre-escaped by AddString.
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::string digest_json_;
+  std::string solver_json_;
+  std::string metrics_json_;
+};
+
+}  // namespace obs
+}  // namespace nose
+
+#endif  // NOSE_OBS_REPORT_H_

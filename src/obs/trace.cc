@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -54,6 +55,21 @@ void AppendJsonString(std::string* out, const std::string& s) {
 /// not).
 thread_local std::shared_ptr<void> tls_buffer;
 
+/// Crash-flush state. The path is leaked (a destructor racing a signal
+/// handler would be worse); the flag doubles as a reentrancy guard so a
+/// fault inside the flush itself falls through to the default disposition.
+std::string* crash_flush_path = nullptr;
+std::atomic<bool> crash_flush_armed{false};
+
+void CrashFlushHandler(int sig) {
+  if (crash_flush_armed.exchange(false, std::memory_order_acq_rel) &&
+      crash_flush_path != nullptr) {
+    TraceRecorder::Global().FlushPartial(*crash_flush_path);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
 }  // namespace
 
 TraceRecorder& TraceRecorder::Global() {
@@ -99,6 +115,10 @@ void TraceRecorder::SetCurrentThreadName(std::string name) {
 
 std::string TraceRecorder::ToChromeJson() {
   std::lock_guard<std::mutex> lock(mu_);
+  return RenderChromeJson();
+}
+
+std::string TraceRecorder::RenderChromeJson() {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto comma = [&] {
@@ -156,6 +176,35 @@ bool TraceRecorder::WriteChromeJson(const std::string& path,
     return false;
   }
   return true;
+}
+
+bool TraceRecorder::FlushPartial(const std::string& path, std::string* error) {
+  // try_to_lock, and proceed even on failure: on the crash path the owner
+  // may never release mu_, and a torn read beats a deadlock or an empty
+  // trace. In normal (non-signal) use the lock is simply acquired.
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  const std::string json = RenderChromeJson();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << json << "\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+void TraceRecorder::EnableCrashFlush(std::string path) {
+  if (crash_flush_path == nullptr) crash_flush_path = new std::string();
+  *crash_flush_path = std::move(path);
+  crash_flush_armed.store(true, std::memory_order_release);
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGINT, SIGTERM}) {
+    std::signal(sig, CrashFlushHandler);
+  }
 }
 
 size_t TraceRecorder::EventCount() {

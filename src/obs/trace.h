@@ -61,6 +61,18 @@ class TraceRecorder {
   /// non-null) on I/O failure.
   bool WriteChromeJson(const std::string& path, std::string* error = nullptr);
 
+  /// Best-effort export that never blocks: tries the registry lock and, on
+  /// the crash path where the owner may never release it, proceeds anyway —
+  /// a torn read of a still-recording buffer beats losing the whole trace.
+  /// Always emits a complete, well-formed Chrome-trace document.
+  bool FlushPartial(const std::string& path, std::string* error = nullptr);
+
+  /// Arms an abnormal-exit flush: installs handlers for SIGSEGV, SIGABRT,
+  /// SIGBUS, SIGFPE, SIGINT, and SIGTERM that FlushPartial() the per-thread
+  /// buffers to `path`, then restore the default disposition and re-raise.
+  /// This keeps `--trace` output valid JSON even when the run dies mid-span.
+  static void EnableCrashFlush(std::string path);
+
   /// Total events captured across all thread buffers.
   size_t EventCount();
   /// Distinct span categories captured so far (sorted).
@@ -75,6 +87,8 @@ class TraceRecorder {
 
   TraceRecorder() = default;
   ThreadBuffer* CurrentBuffer();
+  /// ToChromeJson() body; caller holds mu_ (or is the crash path).
+  std::string RenderChromeJson();
 
   std::atomic<bool> enabled_{false};
   std::atomic<int64_t> epoch_ns_{0};

@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "solver/certificate.h"
 #include "solver/presolve.h"
+#include "solver/solve_log.h"
 #include "util/stopwatch.h"
 
 namespace nose {
@@ -67,6 +68,38 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
                    const BipOptions& options) {
   obs::Span span("solver.bip", "solver");
   BipResult result;
+  // Solver telemetry (--solve-log). BeginBip stamps this thread's context so
+  // every LP solved below (including the certificate root solve) is
+  // attributed to this search; the guard clears it on every return path.
+  SolveLog& slog = SolveLog::Global();
+  const bool logging = slog.enabled();
+  const uint64_t bip_id = logging ? slog.BeginBip() : 0;
+  struct ContextGuard {
+    bool active;
+    ~ContextGuard() {
+      if (active) SolveLog::ClearContext();
+    }
+  } context_guard{logging};
+  BipSolveStats bstats;
+  Stopwatch bip_watch;
+  if (logging) {
+    bstats.id = bip_id;
+    bstats.vars = problem.num_variables();
+    bstats.rows = problem.num_rows();
+    bstats.nonzeros = problem.num_nonzeros();
+    bstats.binaries = static_cast<int>(binary_vars.size());
+    bstats.root_hot_start_attempted =
+        options.root_basis != nullptr && !options.root_basis->empty();
+  }
+  auto record_bip = [&]() {
+    if (!logging) return;
+    bstats.status = BipStatusName(result.status);
+    bstats.objective = result.objective;
+    bstats.nodes_explored = result.nodes_explored;
+    bstats.lp_iterations = static_cast<uint64_t>(result.lp_iterations);
+    bstats.solve_ms = bip_watch.ElapsedMillis();
+    slog.RecordBip(bstats);
+  };
   if (options.capture_root_basis != nullptr) {
     options.capture_root_basis->clear();
   }
@@ -101,8 +134,16 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
   const LpProblem* relax = &problem;
   if (options.presolve) {
     reduced = PresolveForBip(problem, binary_vars, &presolve_summary);
+    if (logging) {
+      bstats.presolved = true;
+      bstats.presolve_rows_dropped = presolve_summary.singleton_rows_dropped +
+                                     presolve_summary.duplicate_rows_dropped +
+                                     presolve_summary.scaled_duplicate_rows_dropped;
+      bstats.presolve_bounds_tightened = presolve_summary.bounds_tightened;
+    }
     if (presolve_summary.infeasible) {
       result.status = BipStatus::kInfeasible;
+      record_bip();
       return result;
     }
     relax = &reduced;
@@ -123,7 +164,27 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
     result.x = *options.warm_start;
     result.objective = incumbent;
     result.status = BipStatus::kOptimal;  // provisional
+    if (logging) bstats.warm_started = true;
   }
+
+  auto record_node = [&, bip_id](int node_id, int depth, const char* action,
+                                 double parent_bound, const LpResult* lp,
+                                 int branch_var, double incumbent_now) {
+    BbNodeEvent event;
+    event.bip_id = bip_id;
+    event.node_id = node_id;
+    event.depth = depth;
+    event.action = action;
+    event.parent_bound = parent_bound;
+    if (lp != nullptr) {
+      event.has_lp = true;
+      event.lp_objective = lp->objective;
+      event.lp_iterations = lp->iterations;
+    }
+    event.branch_var = branch_var;
+    event.incumbent = incumbent_now;
+    slog.RecordNode(std::move(event));
+  };
 
   std::vector<Node> stack;
   stack.push_back(Node{{}, -LpProblem::kInfinity});
@@ -144,12 +205,20 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
     }
     Node node = std::move(stack.back());
     stack.pop_back();
+    const int depth = static_cast<int>(node.fixings.size());
     if (node.parent_bound >= prune_threshold()) {
       ++pruned;
+      if (logging) {
+        ++bstats.pruned_parent;
+        record_node(/*node_id=*/-1, depth, "pruned_parent", node.parent_bound,
+                    /*lp=*/nullptr, /*branch_var=*/-1, incumbent);
+      }
       continue;
     }
 
+    const int node_id = result.nodes_explored;
     ++result.nodes_explored;
+    if (logging) bstats.max_depth = std::max(bstats.max_depth, depth);
     double lp_deadline = 0.0;
     if (options.time_limit_seconds > 0.0) {
       lp_deadline = std::max(
@@ -162,22 +231,38 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
     // primal infeasible anyway.
     const bool is_root = root_pending && node.fixings.empty();
     if (is_root) root_pending = false;
+    if (logging) SolveLog::SetContext(bip_id, node_id);
     LpResult lp = relax->Solve(node.fixings, /*max_iterations=*/0,
                                lp_deadline, options.lp_engine,
                                is_root ? options.root_basis : nullptr,
                                is_root ? options.capture_root_basis : nullptr);
+    if (logging && is_root) bstats.root_hot_started = lp.hot_started;
     result.lp_iterations += lp.iterations;
     if (lp.status == LpStatus::kInfeasible) {
       ++infeasible;
+      if (logging) {
+        ++bstats.infeasible;
+        record_node(node_id, depth, "infeasible", node.parent_bound, &lp,
+                    /*branch_var=*/-1, incumbent);
+      }
       continue;
     }
     if (lp.status != LpStatus::kOptimal) {
       // Unbounded or iteration-limited relaxations abort the search; the
       // schema optimizer's models are always bounded, so this is defensive.
+      if (logging) {
+        record_node(node_id, depth, "abandoned", node.parent_bound, &lp,
+                    /*branch_var=*/-1, incumbent);
+      }
       continue;
     }
     if (lp.objective >= prune_threshold()) {
       ++pruned;
+      if (logging) {
+        ++bstats.pruned_bound;
+        record_node(node_id, depth, "pruned_bound", node.parent_bound, &lp,
+                    /*branch_var=*/-1, incumbent);
+      }
       continue;
     }
 
@@ -201,11 +286,20 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
       result.objective = incumbent;
       result.status = BipStatus::kOptimal;  // provisional; confirmed below
       ++incumbents;
+      if (logging) {
+        ++bstats.incumbents;
+        record_node(node_id, depth, "incumbent", node.parent_bound, &lp,
+                    /*branch_var=*/-1, incumbent);
+      }
       continue;
     }
 
     // Depth-first: explore the branch suggested by the fractional value
     // first (rounding), pushing the other branch for later.
+    if (logging) {
+      record_node(node_id, depth, "branched", node.parent_bound, &lp,
+                  branch_var, incumbent);
+    }
     const double frac = lp.x[static_cast<size_t>(branch_var)];
     const double preferred = frac >= 0.5 ? 1.0 : 0.0;
     Node other = node;
@@ -244,6 +338,7 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
   pruned_counter.Add(pruned);
   infeasible_counter.Add(infeasible);
   incumbent_counter.Add(incumbents);
+  record_bip();
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "obs/metrics.h"
+#include "solver/solve_log.h"
 #include "util/stopwatch.h"
 
 namespace nose {
@@ -260,6 +261,23 @@ class SparseSimplex {
                const LpBasis* start_basis, LpBasis* final_basis,
                bool want_duals);
 
+  /// Telemetry sink for this solve, or null (the default) for none. With a
+  /// null sink the per-iteration cost is a handful of predictable branches.
+  void set_stats(LpSolveStats* stats) { stats_ = stats; }
+  int NumTableauCols() const { return NumCols(); }
+  /// Stored tableau entries across all rows (CSR nonzeros; full width for
+  /// densified rows) — the fill measure the telemetry samples.
+  uint64_t StoredEntries() const {
+    uint64_t total = 0;
+    for (const TabRow& row : rows_) total += row.NumStored();
+    return total;
+  }
+  int NumDenseRows() const {
+    int n = 0;
+    for (const TabRow& row : rows_) n += row.is_dense ? 1 : 0;
+    return n;
+  }
+
  private:
   int NumCols() const { return static_cast<int>(cost_.size()); }
   int NumRows() const { return static_cast<int>(rows_.size()); }
@@ -322,14 +340,17 @@ class SparseSimplex {
   std::vector<double> d_;     // reduced costs for the active phase
   std::vector<double> devex_;  // devex reference weights (pricing)
   int degenerate_streak_ = 0;
+  LpSolveStats* stats_ = nullptr;  // telemetry sink; null = disabled
 };
 
 LpStatus SparseSimplex::Iterate(int max_iterations, int* iterations_used) {
   const int m = NumRows();
   const int ncols = NumCols();
+  const int base_iter = *iterations_used;  // cumulative across phases
   int iter = 0;
   degenerate_streak_ = 0;
   devex_.assign(static_cast<size_t>(ncols), 1.0);
+  if (stats_ != nullptr) ++stats_->devex_resets;
   // Entering-column scratch: (row, coefficient) pairs gathered per
   // iteration from the row-wise storage.
   std::vector<int> col_rows;
@@ -341,7 +362,12 @@ LpStatus SparseSimplex::Iterate(int max_iterations, int* iterations_used) {
       *iterations_used += iter;
       return LpStatus::kIterationLimit;
     }
+    if (stats_ != nullptr &&
+        iter % SolveLog::kFillSampleStride == 0) {
+      stats_->fill_curve.emplace_back(base_iter + iter, StoredEntries());
+    }
     const bool bland = degenerate_streak_ >= kBlandTrigger;
+    if (stats_ != nullptr && bland) ++stats_->bland_iterations;
     // --- Pricing: devex (d_j^2 / w_j) cuts iteration counts on the highly
     // degenerate flow-structured LPs the schema optimizer emits; Bland's
     // rule takes over under prolonged stalling to guarantee termination.
@@ -430,6 +456,10 @@ LpStatus SparseSimplex::Iterate(int max_iterations, int* iterations_used) {
     }
     degenerate_streak_ =
         (t_best <= kDegenerateStep) ? degenerate_streak_ + 1 : 0;
+    if (stats_ != nullptr &&
+        degenerate_streak_ > stats_->max_degenerate_streak) {
+      stats_->max_degenerate_streak = degenerate_streak_;
+    }
 
     // --- Apply the step to the affected basic values. ---
     if (t_best != 0.0) {
@@ -439,6 +469,7 @@ LpStatus SparseSimplex::Iterate(int max_iterations, int* iterations_used) {
     }
 
     if (leave_pos == -1) {
+      if (stats_ != nullptr) ++stats_->bound_flips;
       // Bound flip: the entering variable runs to its opposite bound.
       status_[static_cast<size_t>(enter)] =
           status_[static_cast<size_t>(enter)] == VarStatus::kAtLower
@@ -667,6 +698,7 @@ LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds,
   const bool hot = start_basis != nullptr && !start_basis->empty() &&
                    TryLoadBasis(*start_basis);
   result.hot_started = hot;
+  if (stats_ != nullptr && hot) stats_->fill_start = StoredEntries();
 
   if (!hot) {
     // Initial point: every column rests at a finite bound.
@@ -744,8 +776,10 @@ LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds,
     for (int j = first_artificial; j < NumCols(); ++j) {
       phase1_cost[static_cast<size_t>(j)] = 1.0;
     }
+    if (stats_ != nullptr) stats_->fill_start = StoredEntries();
     ComputeReducedCosts(phase1_cost);
     LpStatus phase1 = Iterate(max_iterations, &result.iterations);
+    if (stats_ != nullptr) stats_->phase1_iterations = result.iterations;
     if (phase1 == LpStatus::kIterationLimit) {
       result.status = LpStatus::kIterationLimit;
       return result;
@@ -884,6 +918,16 @@ class DenseTableau {
   LpResult Run(int max_iterations, double deadline_seconds,
                bool want_duals = false);
 
+  /// Telemetry sink for this solve, or null for none (see SparseSimplex).
+  void set_stats(LpSolveStats* stats) { stats_ = stats; }
+  int NumTableauCols() const { return NumCols(); }
+  /// A dense tableau stores every cell, so fill is constant m·ncols.
+  uint64_t StoredEntries() const {
+    return static_cast<uint64_t>(NumRows()) *
+           static_cast<uint64_t>(NumCols());
+  }
+  int NumDenseRows() const { return NumRows(); }
+
  private:
   int NumCols() const { return static_cast<int>(cost_.size()); }
   int NumRows() const { return static_cast<int>(matrix_.size()); }
@@ -930,6 +974,7 @@ class DenseTableau {
   std::vector<double> d_;     // reduced costs for the active phase
   std::vector<double> devex_;  // devex reference weights (pricing)
   int degenerate_streak_ = 0;
+  LpSolveStats* stats_ = nullptr;  // telemetry sink; null = disabled
 };
 
 LpStatus DenseTableau::Iterate(int max_iterations, int* iterations_used) {
@@ -938,6 +983,7 @@ LpStatus DenseTableau::Iterate(int max_iterations, int* iterations_used) {
   int iter = 0;
   degenerate_streak_ = 0;
   devex_.assign(static_cast<size_t>(ncols), 1.0);
+  if (stats_ != nullptr) ++stats_->devex_resets;
   for (; iter < max_iterations; ++iter) {
     if (deadline_seconds_ > 0.0 && (iter & 31) == 0 &&
         watch_.ElapsedSeconds() > deadline_seconds_) {
@@ -945,6 +991,7 @@ LpStatus DenseTableau::Iterate(int max_iterations, int* iterations_used) {
       return LpStatus::kIterationLimit;
     }
     const bool bland = degenerate_streak_ >= kBlandTrigger;
+    if (stats_ != nullptr && bland) ++stats_->bland_iterations;
     // --- Pricing: devex (d_j^2 / w_j); Bland's rule under stalling. ---
     int enter = -1;
     double best_score = 0.0;
@@ -1018,6 +1065,10 @@ LpStatus DenseTableau::Iterate(int max_iterations, int* iterations_used) {
     }
     degenerate_streak_ =
         (t_best <= kDegenerateStep) ? degenerate_streak_ + 1 : 0;
+    if (stats_ != nullptr &&
+        degenerate_streak_ > stats_->max_degenerate_streak) {
+      stats_->max_degenerate_streak = degenerate_streak_;
+    }
 
     // --- Apply the step to all basic values. ---
     if (t_best != 0.0) {
@@ -1029,6 +1080,7 @@ LpStatus DenseTableau::Iterate(int max_iterations, int* iterations_used) {
     }
 
     if (leave_row == -1) {
+      if (stats_ != nullptr) ++stats_->bound_flips;
       // Bound flip: the entering variable runs to its opposite bound.
       status_[static_cast<size_t>(enter)] =
           status_[static_cast<size_t>(enter)] == VarStatus::kAtLower
@@ -1147,9 +1199,11 @@ LpResult DenseTableau::Run(int max_iterations, double deadline_seconds,
   for (int j = first_artificial; j < NumCols(); ++j) {
     phase1_cost[static_cast<size_t>(j)] = 1.0;
   }
+  if (stats_ != nullptr) stats_->fill_start = StoredEntries();
   ComputeReducedCosts(phase1_cost);
   result.iterations = 0;
   LpStatus phase1 = Iterate(max_iterations, &result.iterations);
+  if (stats_ != nullptr) stats_->phase1_iterations = result.iterations;
   if (phase1 == LpStatus::kIterationLimit) {
     result.status = LpStatus::kIterationLimit;
     return result;
@@ -1244,6 +1298,17 @@ LpResult LpProblem::Solve(
     max_iterations = 20000 + 50 * (num_rows() + num_variables());
   }
 
+  // Solver telemetry (--solve-log): one relaxed load when disabled; when
+  // enabled the engines fill `stats` and the record is appended at the end.
+  SolveLog& solve_log = SolveLog::Global();
+  const bool logging = solve_log.enabled();
+  LpSolveStats stats;
+  Stopwatch solve_watch;
+  // Equilibration conditioning estimate: spread of the per-row magnitudes
+  // the scaling divides out (max/min over nontrivial rows).
+  double equil_min = kInfinity;
+  double equil_max = 0.0;
+
   // Slack columns: one per inequality row, so every row becomes equality.
   // Row equilibration: scale each row to unit magnitude so rows mixing
   // byte-scale and unit-scale coefficients (e.g. storage constraints)
@@ -1254,6 +1319,7 @@ LpResult LpProblem::Solve(
   const bool want_duals = duals != nullptr;
   if (engine == LpEngine::kSparse) {
     SparseSimplex simplex(n, std::move(lb), std::move(ub), cost_);
+    simplex.set_stats(logging ? &stats : nullptr);
     for (size_t i = 0; i < rows_.size(); ++i) {
       if (rows_[i].type != RowType::kEq) {
         slack_col[i] = simplex.AddColumn(0.0, kInfinity, 0.0);
@@ -1265,6 +1331,10 @@ LpResult LpProblem::Solve(
       for (double v : src.values) max_mag = std::max(max_mag, std::abs(v));
       const double scale = max_mag > 1e-12 ? 1.0 / max_mag : 1.0;
       row_scale[i] = scale;
+      if (logging && max_mag > 1e-12) {
+        equil_min = std::min(equil_min, max_mag);
+        equil_max = std::max(equil_max, max_mag);
+      }
       TabRow row;
       row.idx = src.indices;
       row.val = src.values;
@@ -1283,9 +1353,15 @@ LpResult LpProblem::Solve(
     }
     result = simplex.Run(max_iterations, deadline_seconds, start_basis,
                          final_basis, want_duals);
+    if (logging) {
+      stats.fill_end = simplex.StoredEntries();
+      stats.dense_rows = simplex.NumDenseRows();
+      stats.tableau_cols = simplex.NumTableauCols();
+    }
   } else {
     if (final_basis != nullptr) final_basis->clear();
     DenseTableau tableau(n, std::move(lb), std::move(ub), cost_);
+    tableau.set_stats(logging ? &stats : nullptr);
     for (size_t i = 0; i < rows_.size(); ++i) {
       if (rows_[i].type != RowType::kEq) {
         slack_col[i] = tableau.AddColumn(0.0, kInfinity, 0.0);
@@ -1307,6 +1383,10 @@ LpResult LpProblem::Solve(
       }
       const double scale = max_mag > 1e-12 ? 1.0 / max_mag : 1.0;
       row_scale[i] = scale;
+      if (logging && max_mag > 1e-12) {
+        equil_min = std::min(equil_min, max_mag);
+        equil_max = std::max(equil_max, max_mag);
+      }
       if (scale != 1.0) {
         for (double& v : dense) v *= scale;
       }
@@ -1318,6 +1398,11 @@ LpResult LpProblem::Solve(
       tableau.AddEqualityRow(std::move(dense), src.rhs * scale);
     }
     result = tableau.Run(max_iterations, deadline_seconds, want_duals);
+    if (logging) {
+      stats.fill_end = tableau.StoredEntries();
+      stats.dense_rows = tableau.NumDenseRows();
+      stats.tableau_cols = tableau.NumTableauCols();
+    }
   }
 
   // Undo row equilibration on the duals: the engine solved
@@ -1355,6 +1440,24 @@ LpResult LpProblem::Solve(
           obs::MetricsRegistry::Global().GetCounter("solver.lp_hot_starts");
       hot_starts.Increment();
     }
+  }
+  if (logging) {
+    stats.engine = LpEngineName(engine);
+    stats.status = LpStatusName(result.status);
+    stats.rows = num_rows();
+    stats.cols = n;
+    stats.nonzeros = num_nonzeros_;
+    stats.iterations = result.iterations;
+    stats.hot_start_attempted = start_basis != nullptr &&
+                                !start_basis->empty() &&
+                                engine == LpEngine::kSparse;
+    stats.hot_started = result.hot_started;
+    stats.equilibration_cond =
+        (equil_max > 0.0 && equil_min > 0.0) ? equil_max / equil_min : 1.0;
+    stats.bip_id = SolveLog::ContextBipId();
+    stats.node_id = SolveLog::ContextNodeId();
+    stats.solve_ms = solve_watch.ElapsedMillis();
+    solve_log.RecordLp(std::move(stats));
   }
   return result;
 }

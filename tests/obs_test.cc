@@ -193,5 +193,107 @@ TEST(MetricsTest, JsonSnapshotIsWellFormedAndFinite) {
   std::remove(path.c_str());
 }
 
+TEST(MetricsTest, HistogramQuantiles) {
+  obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("obs_test.quantiles");
+  h.Reset();
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty histogram
+
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  const double p50 = h.Quantile(0.50);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  // Exponential buckets bound the resolution, so pin ordering and range
+  // rather than exact values.
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  EXPECT_GT(p50, 100.0);   // far from the minimum
+  EXPECT_LT(p50, 900.0);   // and from the maximum
+  EXPECT_GT(p99, 500.0);
+
+  // A constant stream collapses every quantile onto the one value.
+  h.Reset();
+  for (int i = 0; i < 100; ++i) h.Observe(42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 42.0);
+}
+
+TEST(MetricsTest, JsonSnapshotCarriesQuantiles) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Histogram& h = reg.GetHistogram("obs_test.json_quantiles");
+  h.Reset();
+  h.Observe(5.0);
+  const std::string json = reg.ToJson();
+  const size_t at = json.find("\"obs_test.json_quantiles\"");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(json.find("\"p50\"", at), std::string::npos);
+  EXPECT_NE(json.find("\"p95\"", at), std::string::npos);
+  EXPECT_NE(json.find("\"p99\"", at), std::string::npos);
+}
+
+TEST(MetricsTest, OpenMetricsExposition) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("obs_test.om_counter").Add(3);
+  reg.GetGauge("obs_test.om_gauge").Set(2.5);
+  obs::Histogram& h = reg.GetHistogram("obs_test.om_histogram");
+  h.Reset();
+  h.Observe(1.0);
+  h.Observe(10.0);
+
+  const std::string text = reg.ToOpenMetrics();
+  // Names are sanitized (dots are not legal in OpenMetrics names),
+  // counters get the _total suffix, histograms expose cumulative buckets.
+  EXPECT_NE(text.find("obs_test_om_counter_total 3"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_om_gauge 2.5"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_om_histogram_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_om_histogram_count 2"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_om_histogram_sum 11"), std::string::npos);
+  EXPECT_EQ(text.find("obs_test.om"), std::string::npos);  // dots sanitized
+  // The exposition must terminate with the EOF marker, final newline
+  // included.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  const std::string path = ::testing::TempDir() + "obs_test_metrics.prom";
+  std::string error;
+  ASSERT_TRUE(reg.WriteOpenMetrics(path, &error)) << error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, FlushPartialWritesValidJsonMidRecording) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Enable();
+  { obs::Span done_span("trace_test.partial_done", "test"); }
+  obs::Span open_span("trace_test.partial_open", "test");
+  const std::string path = ::testing::TempDir() + "obs_test_partial.json";
+  std::string error;
+  // Flushed while recording is still live (a span is open): the file must
+  // be a complete, parseable Chrome-trace document of everything recorded
+  // so far — this is what the crash handler relies on.
+  ASSERT_TRUE(rec.FlushPartial(path, &error)) << error;
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  ASSERT_FALSE(content.empty());
+  EXPECT_EQ(content.front(), '{');
+  while (!content.empty() && content.back() == '\n') content.pop_back();
+  EXPECT_EQ(content.back(), '}');
+  EXPECT_NE(content.find("trace_test.partial_done"), std::string::npos);
+
+  // The recorder keeps working after a partial flush.
+  open_span.End();
+  rec.Disable();
+}
+
 }  // namespace
 }  // namespace nose

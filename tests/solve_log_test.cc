@@ -1,0 +1,232 @@
+// Solver telemetry (SolveLog): the determinism contract — the timing-free
+// fingerprint of an advise is bitwise-identical at any thread count — plus
+// disabled-by-default behaviour, JSONL round-tripping, ring-buffer
+// semantics, and a golden test of the `nose explain` renderer against the
+// bundled solve log under tests/data/.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "parser/model_parser.h"
+#include "parser/workload_parser.h"
+#include "solver/bip.h"
+#include "solver/lp.h"
+#include "solver/solve_log.h"
+
+namespace nose {
+namespace {
+
+constexpr const char* kHotelModel = R"(
+entity Hotel 100 {
+  HotelCity string card 20
+}
+entity Room 10000 {
+  RoomRate float card 100
+}
+entity Reservation 100000 { id ResID }
+entity Guest 50000 {
+  GuestName string
+  GuestEmail string
+}
+relationship Hotel one_to_many Room as Rooms / Hotel
+relationship Room one_to_many Reservation as Reservations / Room
+relationship Guest one_to_many Reservation as Reservations / Guest
+)";
+
+constexpr const char* kHotelWorkload = R"(
+statement guests_by_city 1 :
+  SELECT Guest.GuestName, Guest.GuestEmail
+  FROM Guest.Reservations.Room.Hotel
+  WHERE Hotel.HotelCity = ?city AND Room.RoomRate > ?rate ;
+statement reprice 20 :
+  UPDATE Room SET RoomRate = ?rate WHERE Room.RoomID = ?room ;
+)";
+
+/// Advises the hotel workload at `threads` workers and returns the
+/// recommendation (the BIP solves feed the enabled SolveLog as a side
+/// effect).
+Recommendation AdviseHotel(size_t threads) {
+  auto graph = ParseModel(kHotelModel);
+  EXPECT_TRUE(graph.ok());
+  auto workload = ParseWorkload(**graph, kHotelWorkload);
+  EXPECT_TRUE(workload.ok());
+  AdvisorOptions options;
+  options.num_threads = threads;
+  Advisor advisor(options);
+  auto rec = advisor.Recommend(**workload);
+  EXPECT_TRUE(rec.ok());
+  return std::move(rec).value();
+}
+
+/// Restores the global log to its default (disabled, empty) state however
+/// the test exits.
+struct SolveLogGuard {
+  ~SolveLogGuard() {
+    SolveLog::Global().Disable();
+    SolveLog::Global().Clear();
+  }
+};
+
+TEST(SolveLogTest, DisabledByDefaultRecordsNothing) {
+  SolveLogGuard guard;
+  SolveLog& log = SolveLog::Global();
+  log.Disable();
+  log.Clear();
+  AdviseHotel(1);
+  EXPECT_EQ(log.lp_record_count(), 0u);
+  EXPECT_EQ(log.node_event_count(), 0u);
+  EXPECT_EQ(log.bip_record_count(), 0u);
+}
+
+TEST(SolveLogTest, EnablingDoesNotPerturbResults) {
+  SolveLogGuard guard;
+  SolveLog& log = SolveLog::Global();
+  log.Disable();
+  log.Clear();
+  const Recommendation plain = AdviseHotel(1);
+
+  log.Enable();
+  const Recommendation logged = AdviseHotel(1);
+  EXPECT_GT(log.lp_record_count(), 0u);
+  EXPECT_GT(log.bip_record_count(), 0u);
+
+  // Bitwise equality: telemetry must be observation-only.
+  EXPECT_EQ(plain.objective, logged.objective);
+  EXPECT_EQ(plain.schema.ToString(), logged.schema.ToString());
+  EXPECT_EQ(plain.bb_nodes, logged.bb_nodes);
+}
+
+TEST(SolveLogTest, FingerprintIdenticalAcrossThreadCounts) {
+  SolveLogGuard guard;
+  SolveLog& log = SolveLog::Global();
+  std::string reference;
+  size_t reference_lps = 0;
+  for (size_t threads : {1u, 2u, 8u}) {
+    log.Enable();  // clears previous records and id counters
+    AdviseHotel(threads);
+    const std::string fp = log.Fingerprint();
+    ASSERT_FALSE(fp.empty());
+    if (reference.empty()) {
+      reference = fp;
+      reference_lps = log.lp_record_count();
+    } else {
+      EXPECT_EQ(fp, reference) << "threads=" << threads;
+      EXPECT_EQ(log.lp_record_count(), reference_lps)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SolveLogTest, JsonlRoundTrip) {
+  SolveLogGuard guard;
+  SolveLog& log = SolveLog::Global();
+  log.Enable();
+  AdviseHotel(1);
+
+  const std::vector<LpSolveStats> lps = log.LpRecords();
+  const std::vector<BipSolveStats> bips = log.BipRecords();
+  ASSERT_FALSE(lps.empty());
+  ASSERT_FALSE(bips.empty());
+
+  SolveLogData parsed;
+  std::string error;
+  ASSERT_TRUE(ParseSolveLogJsonl(log.ToJsonl(), &parsed, &error)) << error;
+  ASSERT_EQ(parsed.lp.size(), lps.size());
+  ASSERT_EQ(parsed.nodes.size(), log.node_event_count());
+  ASSERT_EQ(parsed.bips.size(), bips.size());
+
+  for (size_t i = 0; i < lps.size(); ++i) {
+    EXPECT_EQ(parsed.lp[i].id, lps[i].id);
+    EXPECT_EQ(parsed.lp[i].engine, lps[i].engine);
+    EXPECT_EQ(parsed.lp[i].status, lps[i].status);
+    EXPECT_EQ(parsed.lp[i].rows, lps[i].rows);
+    EXPECT_EQ(parsed.lp[i].iterations, lps[i].iterations);
+    EXPECT_EQ(parsed.lp[i].fill_end, lps[i].fill_end);
+    EXPECT_EQ(parsed.lp[i].bip_id, lps[i].bip_id);
+    EXPECT_EQ(parsed.lp[i].node_id, lps[i].node_id);
+    EXPECT_EQ(parsed.lp[i].fill_curve, lps[i].fill_curve);
+  }
+  for (size_t i = 0; i < bips.size(); ++i) {
+    EXPECT_EQ(parsed.bips[i].status, bips[i].status);
+    EXPECT_EQ(parsed.bips[i].objective, bips[i].objective);
+    EXPECT_EQ(parsed.bips[i].nodes_explored, bips[i].nodes_explored);
+    EXPECT_EQ(parsed.bips[i].incumbents, bips[i].incumbents);
+  }
+}
+
+TEST(SolveLogTest, RingBufferDropsOldestAndCounts) {
+  SolveLogGuard guard;
+  SolveLog& log = SolveLog::Global();
+  log.Enable(/*max_lp_records=*/4, /*max_node_events=*/3,
+             /*max_bip_records=*/2);
+  for (int i = 0; i < 10; ++i) {
+    LpSolveStats stats;
+    stats.rows = i;
+    log.RecordLp(std::move(stats));
+  }
+  EXPECT_EQ(log.lp_record_count(), 4u);
+  EXPECT_EQ(log.dropped_lp_records(), 6u);
+  const std::vector<LpSolveStats> kept = log.LpRecords();
+  ASSERT_EQ(kept.size(), 4u);
+  // The oldest records fell off: ids 7..10 (1-based) survive.
+  EXPECT_EQ(kept.front().id, 7u);
+  EXPECT_EQ(kept.front().rows, 6);
+  EXPECT_EQ(kept.back().id, 10u);
+
+  for (int i = 0; i < 5; ++i) {
+    BbNodeEvent event;
+    event.depth = i;
+    log.RecordNode(std::move(event));
+  }
+  EXPECT_EQ(log.node_event_count(), 3u);
+  EXPECT_EQ(log.dropped_node_events(), 2u);
+}
+
+TEST(SolveLogTest, LpRecordsCarryBipContext) {
+  SolveLogGuard guard;
+  SolveLog& log = SolveLog::Global();
+  log.Enable();
+  AdviseHotel(1);
+  // Advisor LP solves all happen inside B&B searches: every record must be
+  // stamped with its enclosing solve so explain can attribute time.
+  for (const LpSolveStats& lp : log.LpRecords()) {
+    EXPECT_GT(lp.bip_id, 0u);
+  }
+  for (const BipSolveStats& bip : log.BipRecords()) {
+    EXPECT_GT(bip.nodes_explored, 0);
+  }
+}
+
+// The golden pair under tests/data/ was produced by:
+//   nose advise --model workloads/hotel.model
+//     --workload workloads/hotel.workload
+//     --solve-log tests/data/explain_golden.slog
+//   nose explain tests/data/explain_golden.slog > tests/data/explain_golden.txt
+// ExplainSolveLog is a pure function of the log contents, so the rendered
+// report must reproduce the golden text byte for byte.
+TEST(SolveLogTest, ExplainGolden) {
+  const std::string dir = NOSE_TEST_DATA_DIR;
+  SolveLogData data;
+  std::string error;
+  ASSERT_TRUE(ReadSolveLog(dir + "/explain_golden.slog", &data, &error))
+      << error;
+  std::ifstream golden_file(dir + "/explain_golden.txt");
+  ASSERT_TRUE(golden_file.is_open());
+  std::ostringstream golden;
+  golden << golden_file.rdbuf();
+
+  const std::string rendered = ExplainSolveLog(data);
+  EXPECT_EQ(rendered, golden.str());
+  // The diagnosis the log exists for: fill growth and time attribution.
+  EXPECT_NE(rendered.find("fill growth"), std::string::npos);
+  EXPECT_NE(rendered.find("time attribution"), std::string::npos);
+  EXPECT_NE(rendered.find("top lp time sinks"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nose
