@@ -3,7 +3,7 @@
 // Part 1 measures re-advise latency, incremental vs. cold, on the RUBiS
 // workload: after a first advise on the bidding mix, re-advising a drifted
 // mix over the same statement set reuses the interned candidate pool, the
-// cached plan spaces, the previous incumbent, and the root-LP basis —
+// cached plan spaces and the root-LP basis —
 // against a cold Advisor::Recommend on the same mix. Both paths must
 // produce byte-identical recommendations; the benchmark aborts otherwise.
 //
@@ -91,7 +91,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf("re-advise drift50 (equal recommendations):\n");
-  std::printf("  incremental: %8.1f ms (pool+spaces+incumbent+basis reused)\n",
+  std::printf("  incremental: %8.1f ms (pool+spaces+basis reused)\n",
               warm_ms);
   std::printf("  cold:        %8.1f ms\n", cold_ms);
   std::printf("  speedup:     %8.2fx\n", warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);

@@ -8,11 +8,13 @@
 //
 // Comparison mode: replays synthetic cover instances and the real
 // RUBiS-derived BIPs (captured from the schema optimizer via
-// OptimizerOptions::capture_bip) against both simplex engines, appending
-// one JSON object per instance to FILE (bench_results/ convention):
-// rows, nnz, per-engine solve time and objective, and speedup. Exits
-// non-zero if any sparse optimum diverges from the dense baseline — CI
-// runs this as a correctness gate.
+// OptimizerOptions::capture_bip) against all three simplex engines
+// (factorized, sparse tableau, dense tableau), appending one JSON object
+// per instance to FILE (bench_results/ convention): rows, nnz, per-engine
+// solve time and objective, end-of-solve fill, and speedups. Exits
+// non-zero if any optimum diverges across the engine matrix, if presolve
+// changes a BIP answer, or if a thread-pooled branch-and-bound run is not
+// byte-identical to the serial one — CI runs this as a correctness gate.
 //
 //   solver_micro --json FILE
 
@@ -32,8 +34,10 @@
 #include "rubis/workload.h"
 #include "solver/bip.h"
 #include "solver/lp.h"
+#include "solver/solve_log.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace nose {
 namespace {
@@ -139,13 +143,27 @@ double TimeLpMs(const LpProblem& lp, LpEngine engine, LpResult* out) {
 }
 
 double TimeBipMs(const LpProblem& lp, const std::vector<int>& binaries,
-                 LpEngine engine, double time_limit_seconds, BipResult* out) {
+                 LpEngine engine, double time_limit_seconds, BipResult* out,
+                 util::ThreadPool* threads = nullptr) {
   BipOptions options;
   options.lp_engine = engine;
   options.time_limit_seconds = time_limit_seconds;
+  options.threads = threads;
   Stopwatch watch;
   *out = SolveBip(lp, binaries, options);
   return watch.ElapsedSeconds() * 1000.0;
+}
+
+/// End-of-solve stored-entry count (tableau nonzeros, or LU+eta factor
+/// entries for the factorized engine) as SolveLog reports it — the fill
+/// measure behind the tentpole's cover_lp800 acceptance gate.
+uint64_t FillEndOf(const LpProblem& lp, LpEngine engine) {
+  SolveLog& log = SolveLog::Global();
+  log.Enable();
+  lp.Solve({}, 0, 0.0, engine);
+  const std::vector<LpSolveStats> records = log.LpRecords();
+  log.Disable();
+  return records.empty() ? 0 : records.back().fill_end;
 }
 
 /// RUBiS workload with every statement cloned `k` times under distinct
@@ -200,22 +218,24 @@ Instance CaptureRubisBip(const Workload& workload, const std::string& mix) {
   return inst;
 }
 
-/// Captures the joint multi-period BIP (optimizer/horizon.h): a two-window
-/// bidding→browsing horizon whose per-window activation binaries are
-/// coupled by transition variables, giving the comparison table an
-/// instance with the multi-period block structure (W diagonal window
-/// blocks plus inter-window coupling rows) that no single-window capture
-/// exercises.
-Instance CaptureHorizonBip(const Workload& workload) {
+/// Captures the joint multi-period BIP (optimizer/horizon.h): a horizon of
+/// `num_windows` windows alternating bidding→browsing, whose per-window
+/// activation binaries are coupled by transition variables — the
+/// comparison table's instances with multi-period block structure (W
+/// diagonal window blocks plus inter-window coupling rows) that no
+/// single-window capture exercises. Adjacent windows always differ in mix,
+/// so the horizon optimizer keeps every window as its own group.
+Instance CaptureHorizonBip(const Workload& workload, int num_windows) {
   BipCapture capture;
   AdvisorOptions options;
   options.optimizer.strategy = SolveStrategy::kBip;
   Advisor advisor(options);
+  const char* mixes[] = {rubis::kBiddingMix, rubis::kBrowsingMix};
   WorkloadHorizon horizon;
-  for (const char* mix : {rubis::kBiddingMix, rubis::kBrowsingMix}) {
+  for (int w = 0; w < num_windows; ++w) {
     HorizonWindow window;
-    window.label = mix;
-    window.mix = mix;
+    window.label = std::string(mixes[w % 2]) + "_w" + std::to_string(w);
+    window.mix = mixes[w % 2];
     window.duration = 5.0;
     horizon.windows.push_back(std::move(window));
   }
@@ -232,7 +252,7 @@ Instance CaptureHorizonBip(const Workload& workload) {
     std::exit(1);
   }
   Instance inst;
-  inst.name = "rubis_horizon2";
+  inst.name = "rubis_horizon" + std::to_string(num_windows);
   inst.lp = std::move(capture.lp);
   inst.binaries = std::move(capture.binary_vars);
   return inst;
@@ -282,33 +302,51 @@ int CompareMain(const std::string& json_path) {
     inst.name = "rubis_x3";
     instances.push_back(std::move(inst));
   }
-  // The multi-period instance: joint two-window horizon BIP.
-  instances.push_back(CaptureHorizonBip(**workload));
+  // The multi-period instances: joint two- and four-window horizon BIPs.
+  instances.push_back(CaptureHorizonBip(**workload, 2));
+  instances.push_back(CaptureHorizonBip(**workload, 4));
 
   bench::BenchJsonWriter json;
   if (!json.Open(json_path, "solver_micro")) return 1;
 
-  std::printf("%-18s %7s %7s %9s | %10s %10s %8s | %s\n", "instance", "vars",
-              "rows", "nnz", "sparse", "dense", "speedup", "objectives");
+  std::printf("%-18s %7s %7s %9s | %10s %10s %10s %8s | %s\n", "instance",
+              "vars", "rows", "nnz", "fact", "sparse", "dense", "speedup",
+              "objectives");
   bool diverged_any = false;
   for (Instance& inst : instances) {
     const bool is_bip = !inst.binaries.empty();
-    LpResult sparse_lp, dense_lp;
+    LpResult fact_lp, sparse_lp, dense_lp;
+    const double fact_lp_ms =
+        TimeLpMs(inst.lp, LpEngine::kFactorized, &fact_lp);
     const double sparse_lp_ms = TimeLpMs(inst.lp, LpEngine::kSparse, &sparse_lp);
     const double dense_lp_ms = TimeLpMs(inst.lp, LpEngine::kDense, &dense_lp);
-    // The relaxation has one optimal value; both engines must agree on it
-    // to tight tolerance. This is the CI divergence gate.
+    // The relaxation has one optimal value; the engine matrix must agree on
+    // it. The tableau pair shares a pivot path, so 1e-6 guards against
+    // logic divergence; the factorized engine follows its own
+    // floating-point path and is held to solver-tolerance agreement. This
+    // is the CI divergence gate.
     const double lp_scale =
         std::max({1.0, std::abs(sparse_lp.objective),
                   std::abs(dense_lp.objective)});
     bool diverged =
         sparse_lp.status != dense_lp.status ||
-        std::abs(sparse_lp.objective - dense_lp.objective) > 1e-6 * lp_scale;
+        fact_lp.status != sparse_lp.status ||
+        std::abs(sparse_lp.objective - dense_lp.objective) > 1e-6 * lp_scale ||
+        std::abs(fact_lp.objective - sparse_lp.objective) > 1e-7 * lp_scale;
 
-    double sparse_bip_ms = 0.0, dense_bip_ms = 0.0;
+    // End-of-solve fill per SolveLog: stored tableau entries vs stored
+    // factor entries. The tentpole's acceptance asks for >=5x less on
+    // cover_lp800.
+    const uint64_t sparse_fill = FillEndOf(inst.lp, LpEngine::kSparse);
+    const uint64_t fact_fill = FillEndOf(inst.lp, LpEngine::kFactorized);
+
+    double fact_bip_ms = 0.0, sparse_bip_ms = 0.0, dense_bip_ms = 0.0;
     bool presolve_diverged = false;
-    BipResult sparse_bip, dense_bip;
+    bool thread_diverged = false;
+    BipResult fact_bip, sparse_bip, dense_bip;
     if (is_bip) {
+      fact_bip_ms = TimeBipMs(inst.lp, inst.binaries, LpEngine::kFactorized,
+                              kBipTimeLimitSeconds, &fact_bip);
       sparse_bip_ms = TimeBipMs(inst.lp, inst.binaries, LpEngine::kSparse,
                                 kBipTimeLimitSeconds, &sparse_bip);
       dense_bip_ms = TimeBipMs(inst.lp, inst.binaries, LpEngine::kDense,
@@ -316,17 +354,18 @@ int CompareMain(const std::string& json_path) {
       // Branch-and-bound stops inside its MIP gap, so two engines may
       // legitimately return different incumbents within twice the gap;
       // only a larger disagreement (with both solves proven) is real.
-      if (sparse_bip.status == BipStatus::kOptimal &&
-          dense_bip.status == BipStatus::kOptimal) {
+      auto bip_pair_diverged = [](const BipResult& a, const BipResult& b) {
+        if (a.status != BipStatus::kOptimal || b.status != BipStatus::kOptimal) {
+          return false;
+        }
         const double gap_tol =
             2.0 * BipOptions().relative_gap *
-                std::max(std::abs(sparse_bip.objective),
-                         std::abs(dense_bip.objective)) +
+                std::max(std::abs(a.objective), std::abs(b.objective)) +
             1e-9;
-        if (std::abs(sparse_bip.objective - dense_bip.objective) > gap_tol) {
-          diverged = true;
-        }
-      }
+        return std::abs(a.objective - b.objective) > gap_tol;
+      };
+      diverged = diverged || bip_pair_diverged(sparse_bip, dense_bip) ||
+                 bip_pair_diverged(fact_bip, sparse_bip);
       // Presolve gate: the reductions are exact and cost-independent, so
       // branch-and-bound must select the same binary assignment with
       // presolve disabled — not merely the same objective.
@@ -345,46 +384,75 @@ int CompareMain(const std::string& json_path) {
           }
         }
       }
-      diverged = diverged || presolve_diverged;
+      // Thread-count invariance gate: pooled branch-and-bound must return
+      // byte-for-byte the serial result — same objective bits, same
+      // solution vector, same trajectory statistics.
+      for (const size_t nthreads : {size_t{2}, size_t{8}}) {
+        util::ThreadPool pool(nthreads);
+        BipResult pooled;
+        TimeBipMs(inst.lp, inst.binaries, LpEngine::kFactorized,
+                  kBipTimeLimitSeconds, &pooled, &pool);
+        if (pooled.status != fact_bip.status ||
+            pooled.objective != fact_bip.objective || pooled.x != fact_bip.x ||
+            pooled.nodes_explored != fact_bip.nodes_explored ||
+            pooled.lp_iterations != fact_bip.lp_iterations) {
+          thread_diverged = true;
+        }
+      }
+      diverged = diverged || presolve_diverged || thread_diverged;
     }
     diverged_any = diverged_any || diverged;
 
+    const double fact_ms = is_bip ? fact_bip_ms : fact_lp_ms;
     const double sparse_ms = is_bip ? sparse_bip_ms : sparse_lp_ms;
     const double dense_ms = is_bip ? dense_bip_ms : dense_lp_ms;
     const double speedup = sparse_ms > 0.0 ? dense_ms / sparse_ms : 0.0;
-    std::printf("%-18s %7d %7d %9zu | %8.2fms %8.2fms %7.2fx | %.6g vs %.6g%s\n",
-                inst.name.c_str(), inst.lp.num_variables(), inst.lp.num_rows(),
-                inst.lp.num_nonzeros(), sparse_ms, dense_ms, speedup,
-                is_bip ? sparse_bip.objective : sparse_lp.objective,
-                is_bip ? dense_bip.objective : dense_lp.objective,
-                diverged ? "  DIVERGED" : "");
+    // The headline gain: factorized over the previous (sparse tableau)
+    // default.
+    const double fact_speedup = fact_ms > 0.0 ? sparse_ms / fact_ms : 0.0;
+    std::printf(
+        "%-18s %7d %7d %9zu | %8.2fms %8.2fms %8.2fms %7.2fx | %.6g vs %.6g%s\n",
+        inst.name.c_str(), inst.lp.num_variables(), inst.lp.num_rows(),
+        inst.lp.num_nonzeros(), fact_ms, sparse_ms, dense_ms, fact_speedup,
+        is_bip ? fact_bip.objective : fact_lp.objective,
+        is_bip ? sparse_bip.objective : sparse_lp.objective,
+        diverged ? "  DIVERGED" : "");
 
     bench::BenchJsonWriter::Record record = json.Instance(inst.name);
     record.Metric("vars", inst.lp.num_variables())
         .Metric("rows", inst.lp.num_rows())
         .Metric("nnz", static_cast<double>(inst.lp.num_nonzeros()))
+        .Metric("fact_lp_ms", fact_lp_ms)
         .Metric("sparse_lp_ms", sparse_lp_ms)
         .Metric("dense_lp_ms", dense_lp_ms)
+        .Metric("fact_lp_objective", fact_lp.objective)
         .Metric("sparse_lp_objective", sparse_lp.objective)
-        .Metric("dense_lp_objective", dense_lp.objective);
+        .Metric("dense_lp_objective", dense_lp.objective)
+        .Metric("sparse_fill_end", static_cast<double>(sparse_fill))
+        .Metric("fact_fill_end", static_cast<double>(fact_fill));
     if (is_bip) {
-      record.Metric("sparse_bip_ms", sparse_bip_ms)
+      record.Metric("fact_bip_ms", fact_bip_ms)
+          .Metric("sparse_bip_ms", sparse_bip_ms)
           .Metric("dense_bip_ms", dense_bip_ms)
+          .Metric("fact_bip_objective", fact_bip.objective)
           .Metric("sparse_bip_objective", sparse_bip.objective)
           .Metric("dense_bip_objective", dense_bip.objective)
+          .Label("fact_bip_status", BipStatusName(fact_bip.status))
           .Label("sparse_bip_status", BipStatusName(sparse_bip.status))
           .Label("dense_bip_status", BipStatusName(dense_bip.status))
-          .Label("presolve_diverged", presolve_diverged);
+          .Label("presolve_diverged", presolve_diverged)
+          .Label("thread_diverged", thread_diverged);
     }
     record.Metric("speedup", speedup)
+        .Metric("fact_speedup", fact_speedup)
         .Label("kind", is_bip ? "bip" : "lp")
         .Label("diverged", diverged);
   }
   json.Close();
   if (diverged_any) {
     std::fprintf(stderr,
-                 "error: sparse and dense optima diverged on at least one "
-                 "instance\n");
+                 "error: engine optima diverged (or a presolve/thread gate "
+                 "failed) on at least one instance\n");
     return 1;
   }
   return 0;

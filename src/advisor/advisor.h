@@ -150,8 +150,10 @@ class Advisor {
   /// shared PlanSpaceCache — the incremental-advising entry point
   /// (src/evolve). Produces exactly what Recommend(workload, mix) would
   /// whenever `pool` matches what enumeration of that mix yields; the
-  /// cache supplies reusable plan spaces plus the previous optimum
-  /// (incumbent warm start and root-LP basis hot start).
+  /// cache supplies reusable plan spaces plus the previous solve's
+  /// root-LP basis (hot start). The previous incumbent is deliberately
+  /// not seeded: under gap-based pruning it could steer branch and bound
+  /// to a different within-gap optimum than a cold solve returns.
   StatusOr<Recommendation> RecommendWithPool(const Workload& workload,
                                              const std::string& mix,
                                              const CandidatePool& pool,

@@ -23,8 +23,10 @@ struct ReadviseResult {
 
 /// Stateful advisor for the online loop: successive Advise calls against
 /// evolving weights reuse the interned candidate pool, the cached
-/// per-statement plan spaces, and the previous optimum (incumbent warm
-/// start plus root-LP basis hot start via PlanSpaceCache). Every result is
+/// per-statement plan spaces, and the previous solve's root-LP basis
+/// (hot start via PlanSpaceCache; the previous incumbent is deliberately
+/// not seeded — see SchemaOptimizer — so gap-based pruning cannot steer
+/// the search to a different within-gap optimum). Every result is
 /// byte-identical to a cold Advisor::Recommend on the same workload/mix.
 class IncrementalAdvisor {
  public:

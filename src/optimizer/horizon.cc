@@ -245,6 +245,7 @@ StatusOr<HorizonResult> HorizonOptimizer::Optimize(
     }
   }
   BipOptions bip_options = options_.optimizer.bip;
+  bip_options.threads = threads;
   if (warm_ok) bip_options.warm_start = &warm;
 
   if (options_.capture_bip != nullptr) {

@@ -134,6 +134,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     // branch and bound an incumbent immediately (anytime behavior).
     std::vector<double> warm;
     BipOptions first_options = options_.bip;
+    first_options.threads = threads;
     if (!options_.space_limit_bytes.has_value()) {
       warm.assign(static_cast<size_t>(lp.num_variables()), 0.0);
       if (RouteWindowPoint(form, delta_vars, form.allowed,
@@ -141,7 +142,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
         first_options.warm_start = &warm;
       }
     }
-    // Shared-pool advising: the previous mix's optimum is feasible here
+    // Shared-pool advising: the previous mix's root basis is reusable here
     // only when the assembled BIP has the exact same structure (same
     // variables AND rows — weights alone may differ). The fingerprint
     // check discards stale state when the workload or pool changed under
@@ -154,21 +155,14 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
         cache->last_bip_solution.size() ==
             static_cast<size_t>(lp.num_variables());
     if (cache_matches) {
-      auto objective_of = [&lp](const std::vector<double>& x) {
-        double obj = 0.0;
-        for (int v = 0; v < lp.num_variables(); ++v) {
-          obj += lp.cost(v) * x[static_cast<size_t>(v)];
-        }
-        return obj;
-      };
-      if (first_options.warm_start == nullptr ||
-          objective_of(cache->last_bip_solution) <
-              objective_of(*first_options.warm_start)) {
-        first_options.warm_start = &cache->last_bip_solution;
-      }
       // Hot-start the root LP from the previous optimal basis: identical
       // rows keep that basis primal feasible under the new costs, so the
-      // root solve skips phase 1.
+      // root solve skips phase 1. The previous mix's incumbent is NOT
+      // seeded, even though it is feasible here: with gap-based pruning the
+      // returned optimum depends on the incumbent chain, so a foreign
+      // incumbent could prune the (within-gap, slightly better) solution
+      // the cold per-mix solve returns — breaking the byte-equality
+      // contract between AdviseAllMixes and Recommend.
       if (!cache->last_root_basis.empty()) {
         first_options.root_basis = &cache->last_root_basis;
       }
@@ -272,6 +266,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
       // budget); use it as the incumbent, and exploit the integral
       // objective (a count) for near-unit gap pruning.
       BipOptions second_options = options_.bip;
+      second_options.threads = threads;
       second_options.warm_start = &chosen.x;
       second_options.absolute_gap = 1.0 - 1e-6;
       second_options.max_nodes = std::min(options_.bip.max_nodes, 500);
@@ -301,7 +296,6 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
 
   // ==== Phase: extraction ("other"). ====
   obs::Span extraction_span("optimizer.extraction", "optimizer");
-  CardinalityEstimator est_copy = *est_;
   NOSE_RETURN_IF_ERROR(ExtractWindowPlans(form, workload, mix, pool, *est_,
                                           /*prune=*/true, &selected, &result));
   // Clamped at the source: when a shared cache satisfies whole phases the

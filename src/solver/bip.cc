@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <tuple>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -10,6 +12,7 @@
 #include "solver/presolve.h"
 #include "solver/solve_log.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace nose {
 
@@ -34,7 +37,19 @@ struct Node {
   /// (var, lb, ub) with lb == ub ∈ {0, 1}.
   std::vector<std::tuple<int, double, double>> fixings;
   double parent_bound;  // LP bound of the parent (for pruning before solve)
+  /// Parent's optimal basis, shared by both children — the per-node hot
+  /// start (factorized engine only; null = cold start).
+  std::shared_ptr<const LpBasis> start;
 };
+
+/// Nodes are explored in fixed-size batches: up to this many survivors of
+/// the parent-bound prune are popped together, their relaxations solved
+/// (concurrently when a pool is available), and the results processed in
+/// pop order. The batch size — not the thread count — defines the
+/// trajectory, so recommendations are byte-identical at any parallelism.
+/// Same fixed-batch determinism rule as the combinatorial solver's
+/// kEvalBatch.
+constexpr int kNodeBatch = 16;
 
 /// Picks the branching variable: among fractional binaries, the one with
 /// the largest fractionality weighted by its objective coefficient.
@@ -138,8 +153,12 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
       bstats.presolved = true;
       bstats.presolve_rows_dropped = presolve_summary.singleton_rows_dropped +
                                      presolve_summary.duplicate_rows_dropped +
-                                     presolve_summary.scaled_duplicate_rows_dropped;
-      bstats.presolve_bounds_tightened = presolve_summary.bounds_tightened;
+                                     presolve_summary.scaled_duplicate_rows_dropped +
+                                     presolve_summary.dominated_rows_dropped +
+                                     presolve_summary.redundant_rows_dropped;
+      bstats.presolve_bounds_tightened =
+          presolve_summary.bounds_tightened +
+          presolve_summary.activity_bounds_tightened;
     }
     if (presolve_summary.infeasible) {
       result.status = BipStatus::kInfeasible;
@@ -187,7 +206,7 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
   };
 
   std::vector<Node> stack;
-  stack.push_back(Node{{}, -LpProblem::kInfinity});
+  stack.push_back(Node{{}, -LpProblem::kInfinity, nullptr});
   bool root_pending = true;
 
   auto prune_threshold = [&]() {
@@ -197,119 +216,210 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
     return incumbent - std::max(options.absolute_gap, rel);
   };
 
+  // Per-node hot starts ride on the factorized engine's dual-simplex
+  // repair of the parent basis; the tableau engines would reject the
+  // (primal-infeasible under the branch fixing) basis anyway, so they
+  // stay cold and keep their baseline trajectories untouched.
+  const bool child_hot_starts = options.lp_engine == LpEngine::kFactorized;
+
+  // One selected-and-evaluated node. `solved` distinguishes the batch
+  // evaluation path from the lazy serial path below.
+  struct Evaluated {
+    Node node;
+    LpResult lp;
+    LpBasis final_basis;
+    bool solved = false;
+  };
+  std::vector<Evaluated> batch;
+
   Stopwatch watch;
   while (!stack.empty() && result.nodes_explored < options.max_nodes) {
     if (options.time_limit_seconds > 0.0 &&
         watch.ElapsedSeconds() > options.time_limit_seconds) {
       break;
     }
-    Node node = std::move(stack.back());
-    stack.pop_back();
-    const int depth = static_cast<int>(node.fixings.size());
-    if (node.parent_bound >= prune_threshold()) {
-      ++pruned;
-      if (logging) {
-        ++bstats.pruned_parent;
-        record_node(/*node_id=*/-1, depth, "pruned_parent", node.parent_bound,
-                    /*lp=*/nullptr, /*branch_var=*/-1, incumbent);
+
+    // --- Select a batch: pop until kNodeBatch survivors of the
+    // parent-bound prune. The prune is decided against the incumbent as of
+    // selection (no LPs run during selection), so the surviving set — and
+    // therefore which relaxations get solved — is a pure function of the
+    // search state, independent of pool presence and thread count. ---
+    batch.clear();
+    while (static_cast<int>(batch.size()) < kNodeBatch && !stack.empty()) {
+      Node node = std::move(stack.back());
+      stack.pop_back();
+      if (node.parent_bound >= prune_threshold()) {
+        ++pruned;
+        if (logging) {
+          ++bstats.pruned_parent;
+          record_node(/*node_id=*/-1, static_cast<int>(node.fixings.size()),
+                      "pruned_parent", node.parent_bound,
+                      /*lp=*/nullptr, /*branch_var=*/-1, incumbent);
+        }
+        continue;
       }
-      continue;
+      batch.emplace_back();
+      batch.back().node = std::move(node);
     }
 
-    const int node_id = result.nodes_explored;
-    ++result.nodes_explored;
-    if (logging) bstats.max_depth = std::max(bstats.max_depth, depth);
     double lp_deadline = 0.0;
     if (options.time_limit_seconds > 0.0) {
       lp_deadline = std::max(
           1.0, options.time_limit_seconds - watch.ElapsedSeconds());
     }
-    // The first node popped with no fixings is the root (it is seeded that
-    // way and never pruned: its parent bound is -inf). Only the root uses
-    // the caller's starting basis and exports its optimal one — child
-    // relaxations differ by branch fixings, where the root basis is often
-    // primal infeasible anyway.
-    const bool is_root = root_pending && node.fixings.empty();
-    if (is_root) root_pending = false;
-    if (logging) SolveLog::SetContext(bip_id, node_id);
-    LpResult lp = relax->Solve(node.fixings, /*max_iterations=*/0,
-                               lp_deadline, options.lp_engine,
-                               is_root ? options.root_basis : nullptr,
-                               is_root ? options.capture_root_basis : nullptr);
-    if (logging && is_root) bstats.root_hot_started = lp.hot_started;
-    result.lp_iterations += lp.iterations;
-    if (lp.status == LpStatus::kInfeasible) {
-      ++infeasible;
-      if (logging) {
-        ++bstats.infeasible;
-        record_node(node_id, depth, "infeasible", node.parent_bound, &lp,
-                    /*branch_var=*/-1, incumbent);
-      }
-      continue;
-    }
-    if (lp.status != LpStatus::kOptimal) {
-      // Unbounded or iteration-limited relaxations abort the search; the
-      // schema optimizer's models are always bounded, so this is defensive.
-      if (logging) {
-        record_node(node_id, depth, "abandoned", node.parent_bound, &lp,
-                    /*branch_var=*/-1, incumbent);
-      }
-      continue;
-    }
-    if (lp.objective >= prune_threshold()) {
-      ++pruned;
-      if (logging) {
-        ++bstats.pruned_bound;
-        record_node(node_id, depth, "pruned_bound", node.parent_bound, &lp,
-                    /*branch_var=*/-1, incumbent);
-      }
-      continue;
+
+    // The first node reaching here with no fixings is the root (it is
+    // seeded that way and never pruned: its parent bound is -inf). Only
+    // the root uses the caller's starting basis and exports into
+    // capture_root_basis; children hot-start from their parent instead.
+    auto solve_node = [&](Evaluated& ev, bool is_root) {
+      LpBasis* fb = (child_hot_starts || is_root) ? &ev.final_basis : nullptr;
+      const LpBasis* sb = is_root ? options.root_basis : ev.node.start.get();
+      ev.lp = relax->Solve(ev.node.fixings, /*max_iterations=*/0, lp_deadline,
+                           options.lp_engine, sb, fb);
+      ev.solved = true;
+    };
+
+    // --- Evaluate the whole batch, concurrently when a pool is available
+    // (each relaxation is a pure function of its node). Skipped while
+    // logging: LP telemetry carries per-node context and record order, so
+    // logging runs solve lazily below, on the serial spine. ---
+    if (!logging && batch.size() > 1) {
+      util::ParallelFor(options.threads, batch.size(), [&](size_t i) {
+        solve_node(batch[i],
+                   /*is_root=*/root_pending && batch[i].node.fixings.empty());
+      });
     }
 
-    const int branch_var = PickBranchVariable(problem, lp.x, binary_vars,
-                                              options.integrality_tolerance);
-    if (branch_var == -1) {
-      // Integral: new incumbent. Snap binaries exactly, then recompute the
-      // objective from the snapped point in index order — this makes the
-      // reported optimum independent of the simplex engine's floating-point
-      // path (sparse and dense agree bitwise on instances whose costs and
-      // solution values are exactly representable).
-      result.x = std::move(lp.x);
-      for (int var : binary_vars) {
-        result.x[static_cast<size_t>(var)] =
-            std::round(result.x[static_cast<size_t>(var)]);
+    // --- Process in pop order (always serial): prune, bound, incumbent,
+    // branch. Byte-for-byte the serial algorithm — the evaluation above
+    // only precomputed LP results it consumes. ---
+    for (size_t bi = 0; bi < batch.size(); ++bi) {
+      if (result.nodes_explored >= options.max_nodes ||
+          (options.time_limit_seconds > 0.0 &&
+           watch.ElapsedSeconds() > options.time_limit_seconds)) {
+        // Return the unprocessed tail to the stack (reverse order restores
+        // the pop order) so the node-limit status sees them pending.
+        for (size_t r = batch.size(); r-- > bi;) {
+          stack.push_back(std::move(batch[r].node));
+        }
+        break;
       }
-      incumbent = 0.0;
-      for (int v = 0; v < problem.num_variables(); ++v) {
-        incumbent += problem.cost(v) * result.x[static_cast<size_t>(v)];
+      Evaluated& ev = batch[bi];
+      Node& node = ev.node;
+      const int depth = static_cast<int>(node.fixings.size());
+      if (node.parent_bound >= prune_threshold()) {
+        // An incumbent found earlier in this batch retroactively prunes
+        // the node; its speculative LP result (if any) is discarded
+        // uncounted, matching the lazy path exactly.
+        ++pruned;
+        if (logging) {
+          ++bstats.pruned_parent;
+          record_node(/*node_id=*/-1, depth, "pruned_parent",
+                      node.parent_bound, /*lp=*/nullptr, /*branch_var=*/-1,
+                      incumbent);
+        }
+        continue;
       }
-      result.objective = incumbent;
-      result.status = BipStatus::kOptimal;  // provisional; confirmed below
-      ++incumbents;
-      if (logging) {
-        ++bstats.incumbents;
-        record_node(node_id, depth, "incumbent", node.parent_bound, &lp,
-                    /*branch_var=*/-1, incumbent);
-      }
-      continue;
-    }
 
-    // Depth-first: explore the branch suggested by the fractional value
-    // first (rounding), pushing the other branch for later.
-    if (logging) {
-      record_node(node_id, depth, "branched", node.parent_bound, &lp,
-                  branch_var, incumbent);
+      const int node_id = result.nodes_explored;
+      ++result.nodes_explored;
+      if (logging) bstats.max_depth = std::max(bstats.max_depth, depth);
+      const bool is_root = root_pending && node.fixings.empty();
+      if (is_root) root_pending = false;
+      if (!ev.solved) {
+        if (logging) SolveLog::SetContext(bip_id, node_id);
+        solve_node(ev, is_root);
+      }
+      LpResult& lp = ev.lp;
+      if (is_root) {
+        if (logging) bstats.root_hot_started = lp.hot_started;
+        if (options.capture_root_basis != nullptr) {
+          *options.capture_root_basis = ev.final_basis;
+        }
+      }
+      result.lp_iterations += lp.iterations;
+      if (lp.status == LpStatus::kInfeasible) {
+        ++infeasible;
+        if (logging) {
+          ++bstats.infeasible;
+          record_node(node_id, depth, "infeasible", node.parent_bound, &lp,
+                      /*branch_var=*/-1, incumbent);
+        }
+        continue;
+      }
+      if (lp.status != LpStatus::kOptimal) {
+        // Unbounded or iteration-limited relaxations abort the search; the
+        // schema optimizer's models are always bounded, so this is
+        // defensive.
+        if (logging) {
+          record_node(node_id, depth, "abandoned", node.parent_bound, &lp,
+                      /*branch_var=*/-1, incumbent);
+        }
+        continue;
+      }
+      if (lp.objective >= prune_threshold()) {
+        ++pruned;
+        if (logging) {
+          ++bstats.pruned_bound;
+          record_node(node_id, depth, "pruned_bound", node.parent_bound, &lp,
+                      /*branch_var=*/-1, incumbent);
+        }
+        continue;
+      }
+
+      const int branch_var = PickBranchVariable(problem, lp.x, binary_vars,
+                                                options.integrality_tolerance);
+      if (branch_var == -1) {
+        // Integral: new incumbent. Snap binaries exactly, then recompute
+        // the objective from the snapped point in index order — this makes
+        // the reported optimum independent of the simplex engine's
+        // floating-point path (the engines agree bitwise on instances
+        // whose costs and solution values are exactly representable).
+        result.x = std::move(lp.x);
+        for (int var : binary_vars) {
+          result.x[static_cast<size_t>(var)] =
+              std::round(result.x[static_cast<size_t>(var)]);
+        }
+        incumbent = 0.0;
+        for (int v = 0; v < problem.num_variables(); ++v) {
+          incumbent += problem.cost(v) * result.x[static_cast<size_t>(v)];
+        }
+        result.objective = incumbent;
+        result.status = BipStatus::kOptimal;  // provisional; confirmed below
+        ++incumbents;
+        if (logging) {
+          ++bstats.incumbents;
+          record_node(node_id, depth, "incumbent", node.parent_bound, &lp,
+                      /*branch_var=*/-1, incumbent);
+        }
+        continue;
+      }
+
+      // Depth-first within the batch: push the branch suggested by the
+      // fractional value last so it pops first. Both children share the
+      // parent's optimal basis as their hot start.
+      if (logging) {
+        record_node(node_id, depth, "branched", node.parent_bound, &lp,
+                    branch_var, incumbent);
+      }
+      const double frac = lp.x[static_cast<size_t>(branch_var)];
+      const double preferred = frac >= 0.5 ? 1.0 : 0.0;
+      std::shared_ptr<const LpBasis> child_start;
+      if (child_hot_starts && !ev.final_basis.empty()) {
+        child_start = std::make_shared<LpBasis>(std::move(ev.final_basis));
+      }
+      Node other = node;
+      other.parent_bound = lp.objective;
+      other.start = child_start;
+      other.fixings.emplace_back(branch_var, 1.0 - preferred, 1.0 - preferred);
+      stack.push_back(std::move(other));
+      Node first = std::move(node);
+      first.parent_bound = lp.objective;
+      first.start = std::move(child_start);
+      first.fixings.emplace_back(branch_var, preferred, preferred);
+      stack.push_back(std::move(first));
     }
-    const double frac = lp.x[static_cast<size_t>(branch_var)];
-    const double preferred = frac >= 0.5 ? 1.0 : 0.0;
-    Node other = node;
-    other.parent_bound = lp.objective;
-    other.fixings.emplace_back(branch_var, 1.0 - preferred, 1.0 - preferred);
-    stack.push_back(std::move(other));
-    Node first = std::move(node);
-    first.parent_bound = lp.objective;
-    first.fixings.emplace_back(branch_var, preferred, preferred);
-    stack.push_back(std::move(first));
   }
 
   if (!stack.empty()) {

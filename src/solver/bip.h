@@ -7,6 +7,10 @@
 
 namespace nose {
 
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 struct SolveCertificate;
 
 /// Termination status of a branch-and-bound solve.
@@ -39,7 +43,16 @@ struct BipOptions {
   /// Feasibility is the caller's responsibility.
   const std::vector<double>* warm_start = nullptr;
   /// Simplex core used for every node relaxation.
-  LpEngine lp_engine = LpEngine::kSparse;
+  LpEngine lp_engine = LpEngine::kFactorized;
+  /// Optional worker pool for tree-parallel node evaluation. Nodes are
+  /// selected in fixed-size batches (a deterministic rule that does not
+  /// depend on the pool), their relaxations solved concurrently, and the
+  /// results processed in batch order — so the explored trajectory, the
+  /// recommendation, and every statistic in BipResult are identical at any
+  /// thread count (and with no pool at all); only the wall clock differs.
+  /// Ignored while the solve log is enabled: telemetry record order is part
+  /// of the determinism contract, so logging runs solve nodes serially.
+  util::ThreadPool* threads = nullptr;
   /// Apply exact presolve reductions (singleton rows → bounds, duplicate
   /// inequality dedup) once, before the search; every node then solves the
   /// reduced relaxation. The reductions are cost-independent, so captured
@@ -47,8 +60,10 @@ struct BipOptions {
   bool presolve = true;
   /// Optional starting basis for the ROOT relaxation, captured from a
   /// previous solve of the same (presolved) instance — the incremental
-  /// advisor's hot start. Sparse engine only; an unusable basis falls back
-  /// to a cold start.
+  /// advisor's hot start. Sparse and factorized engines; an unusable basis
+  /// falls back to a cold start. (Child nodes additionally hot-start from
+  /// their parent's optimal basis under the factorized engine, which
+  /// repairs the bound-change infeasibility with dual simplex pivots.)
   const LpBasis* root_basis = nullptr;
   /// If set, receives the root relaxation's optimal basis (cleared when the
   /// root solve is not cleanly optimal).
@@ -70,7 +85,9 @@ struct BipResult {
 };
 
 /// Exact 0/1 integer programming by LP-based branch and bound: depth-first
-/// search, most-fractional branching, bound pruning against the incumbent.
+/// search in fixed-size node batches (evaluated in parallel when
+/// BipOptions::threads is set, with identical results either way),
+/// most-fractional branching, bound pruning against the incumbent.
 /// `binary_vars` lists the variables required to be integral; they must
 /// have bounds within [0, 1] in `problem`. Remaining variables stay
 /// continuous. This is the solver NoSE's schema optimizer uses in place of

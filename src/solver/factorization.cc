@@ -1,0 +1,301 @@
+#include "solver/factorization.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nose {
+namespace {
+
+/// Relative stability threshold for Markowitz pivots: an entry is
+/// admissible only within this factor of its column's largest magnitude,
+/// bounding element growth while leaving the fill heuristic room to pick.
+constexpr double kMarkowitzTau = 0.1;
+/// Absolute floor below which an entry never pivots (treated as noise).
+constexpr double kAbsPivotTol = 1e-11;
+/// Eta pivots smaller than this (relative to the eta column's magnitude)
+/// refuse to append — the caller refactorizes instead.
+constexpr double kEtaRelTol = 1e-6;
+constexpr double kEtaAbsTol = 1e-9;
+/// Refactorization triggers: eta count, and eta fill relative to the base
+/// factorization (a long eta file makes every FTRAN/BTRAN pay for it).
+constexpr int kMaxEtas = 64;
+
+}  // namespace
+
+bool BasisFactorization::Factorize(
+    int m, const std::vector<const SparseColumn*>& cols) {
+  assert(static_cast<int>(cols.size()) == m);
+  m_ = -1;
+  etas_.clear();
+  eta_nnz_ = 0;
+  lu_nnz_ = 0;
+  prow_.assign(static_cast<size_t>(m), -1);
+  pcol_.assign(static_cast<size_t>(m), -1);
+  col_step_.assign(static_cast<size_t>(m), -1);
+  lcols_.assign(static_cast<size_t>(m), {});
+  urows_.assign(static_cast<size_t>(m), {});
+  udiag_.assign(static_cast<size_t>(m), 0.0);
+
+  // Working matrix: one unsorted (row, value) vector per column, plus the
+  // active-row nonzero counts the Markowitz heuristic needs.
+  std::vector<std::vector<std::pair<int, double>>> w(static_cast<size_t>(m));
+  std::vector<int> row_count(static_cast<size_t>(m), 0);
+  std::vector<char> row_active(static_cast<size_t>(m), 1);
+  std::vector<char> col_active(static_cast<size_t>(m), 1);
+  for (int j = 0; j < m; ++j) {
+    const SparseColumn& src = *cols[static_cast<size_t>(j)];
+    auto& col = w[static_cast<size_t>(j)];
+    col.reserve(src.rows.size());
+    for (size_t k = 0; k < src.rows.size(); ++k) {
+      if (src.vals[k] == 0.0) continue;
+      assert(src.rows[k] >= 0 && src.rows[k] < m);
+      col.emplace_back(src.rows[k], src.vals[k]);
+      ++row_count[static_cast<size_t>(src.rows[k])];
+    }
+  }
+
+  // Dense scatter buffer for the column updates.
+  std::vector<double> buf(static_cast<size_t>(m), 0.0);
+  std::vector<char> mark(static_cast<size_t>(m), 0);
+  std::vector<int> touched;
+  touched.reserve(static_cast<size_t>(m));
+
+  for (int step = 0; step < m; ++step) {
+    // --- Markowitz pivot selection: scan every active entry once. ---
+    int best_row = -1;
+    int best_col = -1;
+    double best_val = 0.0;
+    int64_t best_cost = -1;
+    double best_mag = 0.0;
+    for (int j = 0; j < m && best_cost != 0; ++j) {
+      if (!col_active[static_cast<size_t>(j)]) continue;
+      const auto& col = w[static_cast<size_t>(j)];
+      double colmax = 0.0;
+      for (const auto& [i, v] : col) colmax = std::max(colmax, std::abs(v));
+      if (colmax <= kAbsPivotTol) continue;
+      const int64_t cn = static_cast<int64_t>(col.size()) - 1;
+      for (const auto& [i, v] : col) {
+        const double mag = std::abs(v);
+        if (mag < kMarkowitzTau * colmax || mag <= kAbsPivotTol) continue;
+        const int64_t cost =
+            (static_cast<int64_t>(row_count[static_cast<size_t>(i)]) - 1) * cn;
+        // Deterministic preference: lowest Markowitz cost, then largest
+        // magnitude, then lowest row id (columns already scan ascending).
+        const bool better =
+            best_cost < 0 || cost < best_cost ||
+            (cost == best_cost && best_col == j &&
+             (mag > best_mag || (mag == best_mag && i < best_row)));
+        if (better) {
+          best_cost = cost;
+          best_mag = mag;
+          best_row = i;
+          best_col = j;
+          best_val = v;
+          if (cost == 0 && mag == colmax) break;
+        }
+      }
+    }
+    if (best_col < 0) return false;  // singular within tolerance
+
+    const int pr = best_row;
+    const int pc = best_col;
+    const double pivot = best_val;
+    prow_[static_cast<size_t>(step)] = pr;
+    pcol_[static_cast<size_t>(step)] = pc;
+    col_step_[static_cast<size_t>(pc)] = step;
+    udiag_[static_cast<size_t>(step)] = pivot;
+    row_active[static_cast<size_t>(pr)] = 0;
+    col_active[static_cast<size_t>(pc)] = 0;
+
+    // L multipliers from the pivot column's remaining active rows.
+    auto& lcol = lcols_[static_cast<size_t>(step)];
+    const double inv = 1.0 / pivot;
+    for (const auto& [i, v] : w[static_cast<size_t>(pc)]) {
+      if (i == pr) continue;
+      lcol.emplace_back(i, v * inv);
+      --row_count[static_cast<size_t>(i)];
+    }
+    w[static_cast<size_t>(pc)].clear();
+    w[static_cast<size_t>(pc)].shrink_to_fit();
+
+    // Eliminate the pivot row from every remaining column that carries it;
+    // the removed entries form U's row for this step.
+    auto& urow = urows_[static_cast<size_t>(step)];
+    for (int j = 0; j < m; ++j) {
+      if (!col_active[static_cast<size_t>(j)]) continue;
+      auto& col = w[static_cast<size_t>(j)];
+      double u = 0.0;
+      bool has = false;
+      for (const auto& [i, v] : col) {
+        if (i == pr) {
+          u = v;
+          has = true;
+          break;
+        }
+      }
+      if (!has || u == 0.0) {
+        if (has) {  // exact-zero entry: drop it from the active matrix
+          col.erase(std::remove_if(col.begin(), col.end(),
+                                   [pr](const auto& e) {
+                                     return e.first == pr;
+                                   }),
+                    col.end());
+        }
+        continue;
+      }
+      urow.emplace_back(j, u);
+      // Scatter, update, gather: col := col − u · lcol, minus the pivot row.
+      touched.clear();
+      for (const auto& [i, v] : col) {
+        if (i == pr) continue;
+        buf[static_cast<size_t>(i)] = v;
+        mark[static_cast<size_t>(i)] = 1;
+        touched.push_back(i);
+      }
+      for (const auto& [i, mult] : lcol) {
+        if (!mark[static_cast<size_t>(i)]) {
+          buf[static_cast<size_t>(i)] = 0.0;
+          mark[static_cast<size_t>(i)] = 1;
+          touched.push_back(i);
+          ++row_count[static_cast<size_t>(i)];  // fill-in (may cancel below)
+        }
+        buf[static_cast<size_t>(i)] -= mult * u;
+      }
+      col.clear();
+      for (const int i : touched) {
+        mark[static_cast<size_t>(i)] = 0;
+        const double v = buf[static_cast<size_t>(i)];
+        if (v == 0.0) {  // exact cancellation only — no drop tolerance
+          --row_count[static_cast<size_t>(i)];
+          continue;
+        }
+        col.emplace_back(i, v);
+      }
+      --row_count[static_cast<size_t>(pr)];
+    }
+  }
+
+  lu_nnz_ = static_cast<uint64_t>(m);  // U diagonal
+  for (const auto& lcol : lcols_) lu_nnz_ += lcol.size();
+  for (const auto& urow : urows_) lu_nnz_ += urow.size();
+  m_ = m;
+  scratch_.assign(static_cast<size_t>(m), 0.0);
+  return true;
+}
+
+void BasisFactorization::Ftran(std::vector<double>* v) const {
+  assert(m_ >= 0 && static_cast<int>(v->size()) == m_);
+  std::vector<double>& work = *v;
+  // L solve (forward, unit diagonal): y_k lives at work[prow_[k]] once step
+  // k has run; later steps never touch already-pivoted rows.
+  for (int k = 0; k < m_; ++k) {
+    const double yk = work[static_cast<size_t>(prow_[static_cast<size_t>(k)])];
+    if (yk == 0.0) continue;
+    for (const auto& [i, mult] : lcols_[static_cast<size_t>(k)]) {
+      work[static_cast<size_t>(i)] -= mult * yk;
+    }
+  }
+  // U solve (backward) into slot space.
+  std::vector<double>& x = scratch_;
+  for (int k = m_ - 1; k >= 0; --k) {
+    double acc = work[static_cast<size_t>(prow_[static_cast<size_t>(k)])];
+    for (const auto& [slot, u] : urows_[static_cast<size_t>(k)]) {
+      const double xs = x[static_cast<size_t>(slot)];
+      if (xs != 0.0) acc -= u * xs;
+    }
+    x[static_cast<size_t>(pcol_[static_cast<size_t>(k)])] =
+        acc / udiag_[static_cast<size_t>(k)];
+  }
+  work.swap(x);
+  // Product-form etas, oldest first.
+  for (const Eta& eta : etas_) {
+    const double t = work[static_cast<size_t>(eta.slot)] / eta.pivot;
+    work[static_cast<size_t>(eta.slot)] = t;
+    if (t == 0.0) continue;
+    for (const auto& [slot, val] : eta.other) {
+      work[static_cast<size_t>(slot)] -= val * t;
+    }
+  }
+}
+
+void BasisFactorization::Btran(std::vector<double>* v) const {
+  assert(m_ >= 0 && static_cast<int>(v->size()) == m_);
+  std::vector<double>& work = *v;
+  // Eta transposes, newest first: z = E⁻ᵀ y touches only the pivot slot.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = work[static_cast<size_t>(it->slot)];
+    for (const auto& [slot, val] : it->other) {
+      const double y = work[static_cast<size_t>(slot)];
+      if (y != 0.0) acc -= val * y;
+    }
+    work[static_cast<size_t>(it->slot)] = acc / it->pivot;
+  }
+  // Uᵀ solve (forward in step order, saxpy form over U's rows).
+  std::vector<double>& acc = scratch_;
+  for (int k = 0; k < m_; ++k) {
+    acc[static_cast<size_t>(k)] =
+        work[static_cast<size_t>(pcol_[static_cast<size_t>(k)])];
+  }
+  for (int k = 0; k < m_; ++k) {
+    const double vk =
+        acc[static_cast<size_t>(k)] / udiag_[static_cast<size_t>(k)];
+    acc[static_cast<size_t>(k)] = vk;
+    if (vk == 0.0) continue;
+    for (const auto& [slot, u] : urows_[static_cast<size_t>(k)]) {
+      acc[static_cast<size_t>(col_step_[static_cast<size_t>(slot)])] -=
+          u * vk;
+    }
+  }
+  // Lᵀ solve (backward): w[prow_[k]] = v_k − l_kᵀ·w.
+  for (int k = m_ - 1; k >= 0; --k) {
+    double wk = acc[static_cast<size_t>(k)];
+    for (const auto& [i, mult] : lcols_[static_cast<size_t>(k)]) {
+      const double wi = work[static_cast<size_t>(i)];
+      if (wi != 0.0) wk -= mult * wi;
+    }
+    work[static_cast<size_t>(prow_[static_cast<size_t>(k)])] = wk;
+  }
+}
+
+void BasisFactorization::AppendEta(int slot,
+                                   const std::vector<double>& ftran_column) {
+  Eta eta;
+  eta.slot = slot;
+  eta.pivot = ftran_column[static_cast<size_t>(slot)];
+  for (int i = 0; i < m_; ++i) {
+    if (i == slot) continue;
+    const double v = ftran_column[static_cast<size_t>(i)];
+    if (v != 0.0) eta.other.emplace_back(i, v);
+  }
+  eta_nnz_ += eta.other.size() + 1;
+  etas_.push_back(std::move(eta));
+}
+
+bool BasisFactorization::Update(int slot,
+                                const std::vector<double>& ftran_column) {
+  assert(m_ >= 0 && static_cast<int>(ftran_column.size()) == m_);
+  const double pivot = ftran_column[static_cast<size_t>(slot)];
+  double maxabs = 0.0;
+  for (const double v : ftran_column) maxabs = std::max(maxabs, std::abs(v));
+  if (std::abs(pivot) <= kEtaAbsTol ||
+      std::abs(pivot) < kEtaRelTol * maxabs) {
+    return false;
+  }
+  AppendEta(slot, ftran_column);
+  return true;
+}
+
+void BasisFactorization::ForceUpdate(int slot,
+                                     const std::vector<double>& ftran_column) {
+  assert(m_ >= 0 &&
+         ftran_column[static_cast<size_t>(slot)] != 0.0);
+  AppendEta(slot, ftran_column);
+}
+
+bool BasisFactorization::NeedsRefactorization() const {
+  if (static_cast<int>(etas_.size()) >= kMaxEtas) return true;
+  return eta_nnz_ > 1024 && eta_nnz_ > 2 * lu_nnz_;
+}
+
+}  // namespace nose

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "obs/metrics.h"
+#include "solver/factorization.h"
 #include "solver/solve_log.h"
 #include "util/stopwatch.h"
 
@@ -33,6 +34,8 @@ const char* LpEngineName(LpEngine engine) {
       return "sparse";
     case LpEngine::kDense:
       return "dense";
+    case LpEngine::kFactorized:
+      return "factorized";
   }
   return "?";
 }
@@ -886,6 +889,816 @@ LpResult SparseSimplex::Run(int max_iterations, double deadline_seconds,
 }
 
 // ===========================================================================
+// Factorized revised simplex (the default engine).
+// ===========================================================================
+
+/// LU-factorized bounded-variable two-phase revised primal simplex
+/// (LpEngine::kFactorized). Same crash basis, phase structure, pricing
+/// rule (devex with Bland fallback), and ratio test as the tableau
+/// engines, but the basis inverse is a Markowitz sparse LU plus
+/// product-form etas (solver/factorization.h) instead of an explicit B⁻¹A
+/// tableau: the entering column arrives by FTRAN, the pivot row by BTRAN
+/// plus one pass over the original columns, and fill stays near
+/// nnz(basis) instead of growing toward m·n. The eta file collapses into
+/// a fresh factorization on an update-count/fill trigger or whenever an
+/// eta pivot is too small to apply stably. Hot starts additionally run a
+/// bounded-variable dual simplex to repair the primal infeasibility a
+/// branch-and-bound bound change leaves behind (the parent basis stays
+/// dual feasible because only bounds changed), so a child node re-solves
+/// in a handful of pivots. Duals come from one BTRAN at the optimum and
+/// are available for hot-started solves too. One instance per Solve()
+/// call; not reused.
+class FactorizedSimplex {
+ public:
+  FactorizedSimplex(int num_structural, std::vector<double> lb,
+                    std::vector<double> ub, std::vector<double> cost)
+      : n_(num_structural),
+        lb_(std::move(lb)),
+        ub_(std::move(ub)),
+        cost_(std::move(cost)) {}
+
+  /// Appends an equality row a·x = rhs over all currently known columns
+  /// (slack columns must have been added as variables by the caller).
+  /// Same contract as SparseSimplex::AddEqualityRow.
+  void AddEqualityRow(TabRow row, double rhs, int slack_col) {
+    rows_.push_back(std::move(row));
+    rhs_.push_back(rhs);
+    slack_col_.push_back(slack_col);
+  }
+
+  int AddColumn(double lb, double ub, double cost) {
+    lb_.push_back(lb);
+    ub_.push_back(ub);
+    cost_.push_back(cost);
+    return static_cast<int>(cost_.size()) - 1;
+  }
+
+  LpResult Run(int max_iterations, double deadline_seconds,
+               const LpBasis* start_basis, LpBasis* final_basis,
+               bool want_duals);
+
+  /// Telemetry sink for this solve, or null (the default) for none.
+  void set_stats(LpSolveStats* stats) { stats_ = stats; }
+  int NumTableauCols() const { return NumCols(); }
+  /// Stored factor entries (LU + eta file) — the fill measure the
+  /// telemetry samples in place of tableau nonzeros.
+  uint64_t StoredEntries() const { return fact_.stored_entries(); }
+  int NumDenseRows() const { return 0; }
+  int refactorizations() const { return refactorizations_; }
+  int ft_updates() const { return ft_updates_; }
+  /// L+U nonzeros of the most recent base factorization.
+  uint64_t FactorFill() const { return fact_.lu_entries(); }
+
+ private:
+  int NumCols() const { return static_cast<int>(cost_.size()); }
+  int NumRows() const { return static_cast<int>(rows_.size()); }
+
+  double BoundValue(int j) const {
+    return status_[static_cast<size_t>(j)] == VarStatus::kAtUpper
+               ? ub_[static_cast<size_t>(j)]
+               : lb_[static_cast<size_t>(j)];
+  }
+
+  bool IsFixed(int j) const {
+    return ub_[static_cast<size_t>(j)] - lb_[static_cast<size_t>(j)] < 1e-12;
+  }
+
+  /// Scatters the CSR rows (including any appended artificial entries)
+  /// into column-major storage sized to the current column count.
+  void BuildColumns() {
+    cols_.assign(static_cast<size_t>(NumCols()), SparseColumn{});
+    for (int i = 0; i < NumRows(); ++i) {
+      const TabRow& row = rows_[static_cast<size_t>(i)];
+      for (size_t k = 0; k < row.idx.size(); ++k) {
+        SparseColumn& col = cols_[static_cast<size_t>(row.idx[k])];
+        col.rows.push_back(i);
+        col.vals.push_back(row.val[k]);
+      }
+    }
+  }
+
+  /// Factorizes the current basis into a fresh object, swapping it in only
+  /// on success so the previous factors stay usable as a fallback.
+  bool FactorizeBasis() {
+    const int m = NumRows();
+    std::vector<const SparseColumn*> ptrs;
+    ptrs.reserve(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      ptrs.push_back(&cols_[static_cast<size_t>(basis_[static_cast<size_t>(i)])]);
+    }
+    BasisFactorization fresh;
+    if (!fresh.Factorize(m, ptrs)) return false;
+    fact_ = std::move(fresh);
+    ++refactorizations_;
+    return true;
+  }
+
+  /// xb := B⁻¹(b − N·x_N), recomputed from scratch (used after every
+  /// refactorization to shed incremental drift).
+  void ComputeXb() {
+    std::vector<double> r = rhs_;
+    for (int j = 0; j < NumCols(); ++j) {
+      if (status_[static_cast<size_t>(j)] == VarStatus::kBasic) continue;
+      const double bv = BoundValue(j);
+      if (bv == 0.0) continue;
+      const SparseColumn& col = cols_[static_cast<size_t>(j)];
+      for (size_t k = 0; k < col.rows.size(); ++k) {
+        r[static_cast<size_t>(col.rows[k])] -= col.vals[k] * bv;
+      }
+    }
+    fact_.Ftran(&r);
+    xb_ = std::move(r);
+  }
+
+  /// d := c − AᵀB⁻ᵀc_B, recomputed from scratch via one BTRAN.
+  void ComputeReducedCosts(const std::vector<double>& phase_cost) {
+    const int m = NumRows();
+    std::vector<double> y(static_cast<size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      y[static_cast<size_t>(i)] =
+          phase_cost[static_cast<size_t>(basis_[static_cast<size_t>(i)])];
+    }
+    fact_.Btran(&y);
+    d_.assign(phase_cost.begin(), phase_cost.end());
+    for (int j = 0; j < NumCols(); ++j) {
+      const SparseColumn& col = cols_[static_cast<size_t>(j)];
+      double acc = 0.0;
+      for (size_t k = 0; k < col.rows.size(); ++k) {
+        const double yi = y[static_cast<size_t>(col.rows[k])];
+        if (yi != 0.0) acc += col.vals[k] * yi;
+      }
+      d_[static_cast<size_t>(j)] -= acc;
+    }
+    y_ = std::move(y);
+  }
+
+  /// Fills rowvals_ with row `slot` of B⁻¹A (BTRAN of a unit vector, then
+  /// one dot product per original column). O(nnz(A)).
+  void ComputePivotRow(int slot) {
+    const int m = NumRows();
+    rho_.assign(static_cast<size_t>(m), 0.0);
+    rho_[static_cast<size_t>(slot)] = 1.0;
+    fact_.Btran(&rho_);
+    rowvals_.assign(static_cast<size_t>(NumCols()), 0.0);
+    for (int j = 0; j < NumCols(); ++j) {
+      const SparseColumn& col = cols_[static_cast<size_t>(j)];
+      double acc = 0.0;
+      for (size_t k = 0; k < col.rows.size(); ++k) {
+        const double ri = rho_[static_cast<size_t>(col.rows[k])];
+        if (ri != 0.0) acc += col.vals[k] * ri;
+      }
+      rowvals_[static_cast<size_t>(j)] = acc;
+    }
+  }
+
+  /// Replaces the basis column in `slot` with `enter` in the factorization:
+  /// product-form eta when stable, otherwise a refactorization (which also
+  /// re-syncs xb_ and d_ against `phase_cost` to shed drift). basis_ /
+  /// status_ must already reflect the new basis. `ftran_column` is the
+  /// entering column's FTRAN image under the OLD basis.
+  void UpdateFactors(int slot, const std::vector<double>& ftran_column,
+                     const std::vector<double>& phase_cost) {
+    const bool appended = fact_.Update(slot, ftran_column);
+    if (appended) ++ft_updates_;
+    if (!appended || fact_.NeedsRefactorization()) {
+      if (FactorizeBasis()) {
+        ComputeXb();
+        ComputeReducedCosts(phase_cost);
+      } else if (!appended) {
+        // Refactorization failed numerically; the old factors plus a
+        // forced eta still represent the new basis exactly.
+        fact_.ForceUpdate(slot, ftran_column);
+        ++ft_updates_;
+      }
+    }
+  }
+
+  /// Loads a caller-provided basis: factorize, compute xb, and — when a
+  /// bound change left basic variables outside their bounds — run the
+  /// dual-simplex repair. Returns false when the basis cannot be used
+  /// (wrong shape, singular, or repair gave up); the cold path then
+  /// rebuilds every piece of state from scratch.
+  bool TryLoadBasis(const LpBasis& basis, int* iterations_used);
+
+  /// Bounded-variable dual simplex on the loaded basis: picks the most
+  /// violated basic, prices its BTRAN row, and pivots by the dual ratio
+  /// test until primal feasible. Returns false to fall back to a cold
+  /// start (no eligible entering column — the cold phase 1 then delivers
+  /// the trusted infeasibility verdict — or an iteration/numerics cap).
+  bool DualRepair(int* iterations_used);
+
+  /// Primal simplex iterations for the current phase (see
+  /// SparseSimplex::Iterate — same pricing, ratio test, and telemetry).
+  LpStatus Iterate(int max_iterations, int* iterations_used,
+                   const std::vector<double>& phase_cost);
+
+  double deadline_seconds_ = 0.0;
+  Stopwatch watch_;
+
+  int n_;  // structural variable count (prefix of the columns)
+  std::vector<double> lb_, ub_, cost_;
+  std::vector<TabRow> rows_;  // CSR input rows (residuals, sign flips)
+  std::vector<double> rhs_;
+  std::vector<int> slack_col_;
+  std::vector<double> row_sign_;
+  std::vector<int> artificial_of_row_;
+  std::vector<SparseColumn> cols_;  // CSC incl. slack/artificial columns
+  std::vector<VarStatus> status_;
+  std::vector<int> basis_;  // slot -> basic column
+  std::vector<double> xb_;  // slot -> value of the basic variable
+  std::vector<double> d_;
+  std::vector<double> y_;  // row duals from the last ComputeReducedCosts
+  std::vector<double> devex_;
+  std::vector<double> alpha_;    // FTRAN scratch (entering column)
+  std::vector<double> rho_;      // BTRAN scratch (pivot row)
+  std::vector<double> rowvals_;  // pivot row over all columns
+  BasisFactorization fact_;
+  int first_artificial_ = 0;
+  int degenerate_streak_ = 0;
+  int refactorizations_ = 0;
+  int ft_updates_ = 0;
+  LpSolveStats* stats_ = nullptr;
+};
+
+LpStatus FactorizedSimplex::Iterate(int max_iterations, int* iterations_used,
+                                    const std::vector<double>& phase_cost) {
+  const int m = NumRows();
+  const int ncols = NumCols();
+  const int base_iter = *iterations_used;  // cumulative across phases
+  int iter = 0;
+  degenerate_streak_ = 0;
+  devex_.assign(static_cast<size_t>(ncols), 1.0);
+  if (stats_ != nullptr) ++stats_->devex_resets;
+  std::vector<int> col_rows;
+  std::vector<double> col_vals;
+  bool resynced_at_optimum = false;
+  for (; iter < max_iterations; ++iter) {
+    if (deadline_seconds_ > 0.0 && (iter & 31) == 0 &&
+        watch_.ElapsedSeconds() > deadline_seconds_) {
+      *iterations_used += iter;
+      return LpStatus::kIterationLimit;
+    }
+    if (stats_ != nullptr && iter % SolveLog::kFillSampleStride == 0) {
+      stats_->fill_curve.emplace_back(base_iter + iter,
+                                      fact_.stored_entries());
+    }
+    const bool bland = degenerate_streak_ >= kBlandTrigger;
+    if (stats_ != nullptr && bland) ++stats_->bland_iterations;
+    // --- Pricing: devex (d_j^2 / w_j); Bland's rule under stalling. ---
+    // `fallback` records the eligible column with the largest |d_j|
+    // independent of the devex score: a long run of near-zero pivots can
+    // inflate weights until every score underflows past best_score's 0
+    // starting point, and an eligible column must never be invisible to
+    // pricing — that is how false optima (and false phase-1
+    // infeasibilities) happen.
+    int enter = -1;
+    int fallback = -1;
+    double best_score = 0.0;
+    double best_fallback = 0.0;
+    for (int j = 0; j < ncols; ++j) {
+      const VarStatus st = status_[static_cast<size_t>(j)];
+      if (st == VarStatus::kBasic || IsFixed(j)) continue;
+      const double dj = d_[static_cast<size_t>(j)];
+      const bool eligible = (st == VarStatus::kAtLower && dj < -kDualTol) ||
+                            (st == VarStatus::kAtUpper && dj > kDualTol);
+      if (!eligible) continue;
+      if (bland) {  // first eligible column
+        enter = j;
+        break;
+      }
+      if (std::abs(dj) > best_fallback) {
+        best_fallback = std::abs(dj);
+        fallback = j;
+      }
+      const double score = dj * dj / devex_[static_cast<size_t>(j)];
+      if (score > best_score) {
+        best_score = score;
+        enter = j;
+      }
+    }
+    if (enter == -1 && fallback >= 0) enter = fallback;
+    if (enter == -1) {
+      // The incrementally updated d_ (and xb_) accumulate rounding drift
+      // between refactorizations — unlike the tableau engines, whose
+      // reduced costs stay consistent with the tableau they came from. An
+      // apparent optimum is only trusted after a resync: refactorize,
+      // recompute both from scratch, and re-price. If pricing still finds
+      // nothing against exact reduced costs, the optimum is real.
+      if (!resynced_at_optimum) {
+        resynced_at_optimum = true;
+        if (FactorizeBasis()) {
+          ComputeXb();
+          ComputeReducedCosts(phase_cost);
+          continue;
+        }
+      }
+      *iterations_used += iter;
+      return LpStatus::kOptimal;
+    }
+    resynced_at_optimum = false;
+
+    const double dir =
+        status_[static_cast<size_t>(enter)] == VarStatus::kAtLower ? 1.0 : -1.0;
+
+    // --- Entering column: FTRAN of the original column. ---
+    alpha_.assign(static_cast<size_t>(m), 0.0);
+    {
+      const SparseColumn& col = cols_[static_cast<size_t>(enter)];
+      for (size_t k = 0; k < col.rows.size(); ++k) {
+        alpha_[static_cast<size_t>(col.rows[k])] = col.vals[k];
+      }
+    }
+    fact_.Ftran(&alpha_);
+    col_rows.clear();
+    col_vals.clear();
+    for (int i = 0; i < m; ++i) {
+      const double a = alpha_[static_cast<size_t>(i)];
+      if (a != 0.0) {
+        col_rows.push_back(i);
+        col_vals.push_back(a);
+      }
+    }
+
+    // --- Ratio test over the column's nonzeros only. ---
+    double t_best = ub_[static_cast<size_t>(enter)] - lb_[static_cast<size_t>(enter)];
+    int leave_pos = -1;   // position in col_rows; -1 => bound flip
+    bool leave_at_upper = false;
+    double best_pivot_mag = 0.0;
+    for (size_t p = 0; p < col_rows.size(); ++p) {
+      const int i = col_rows[p];
+      const double alpha = col_vals[p];
+      const double rate = dir * alpha;  // xb_i decreases at this rate
+      if (std::abs(rate) <= kPivotTol) continue;
+      const int k = basis_[static_cast<size_t>(i)];
+      double limit;
+      bool at_upper;
+      if (rate > 0.0) {
+        const double lbk = lb_[static_cast<size_t>(k)];
+        if (lbk == -LpProblem::kInfinity) continue;
+        limit = (xb_[static_cast<size_t>(i)] - lbk) / rate;
+        at_upper = false;
+      } else {
+        const double ubk = ub_[static_cast<size_t>(k)];
+        if (ubk == LpProblem::kInfinity) continue;
+        limit = (xb_[static_cast<size_t>(i)] - ubk) / rate;
+        at_upper = true;
+      }
+      if (limit < 0.0) limit = 0.0;  // guard tiny negative residuals
+      const double mag = std::abs(alpha);
+      const bool better =
+          limit < t_best - 1e-10 ||
+          (limit < t_best + 1e-10 && leave_pos >= 0 &&
+           (bland ? basis_[static_cast<size_t>(i)] <
+                        basis_[static_cast<size_t>(col_rows[static_cast<size_t>(
+                            leave_pos)])]
+                  : mag > best_pivot_mag));
+      if (better) {
+        t_best = limit;
+        leave_pos = static_cast<int>(p);
+        leave_at_upper = at_upper;
+        best_pivot_mag = mag;
+      }
+    }
+
+    if (t_best == LpProblem::kInfinity) {
+      *iterations_used += iter;
+      return LpStatus::kUnbounded;
+    }
+    degenerate_streak_ =
+        (t_best <= kDegenerateStep) ? degenerate_streak_ + 1 : 0;
+    if (stats_ != nullptr &&
+        degenerate_streak_ > stats_->max_degenerate_streak) {
+      stats_->max_degenerate_streak = degenerate_streak_;
+    }
+
+    // --- Apply the step to the affected basic values. ---
+    if (t_best != 0.0) {
+      for (size_t p = 0; p < col_rows.size(); ++p) {
+        xb_[static_cast<size_t>(col_rows[p])] -= dir * col_vals[p] * t_best;
+      }
+    }
+
+    if (leave_pos == -1) {
+      if (stats_ != nullptr) ++stats_->bound_flips;
+      // Bound flip: the entering variable runs to its opposite bound.
+      status_[static_cast<size_t>(enter)] =
+          status_[static_cast<size_t>(enter)] == VarStatus::kAtLower
+              ? VarStatus::kAtUpper
+              : VarStatus::kAtLower;
+      continue;
+    }
+
+    // --- Pivot: entering becomes basic in leave_row. ---
+    const int leave_row = col_rows[static_cast<size_t>(leave_pos)];
+    const int leave_col = basis_[static_cast<size_t>(leave_row)];
+    const double pivot = col_vals[static_cast<size_t>(leave_pos)];
+    assert(std::abs(pivot) > kPivotTol);
+
+    // Pivot row of B⁻¹A under the OUTGOING basis, for the reduced-cost and
+    // devex updates (the tableau engines read it off the stored row).
+    ComputePivotRow(leave_row);
+
+    status_[static_cast<size_t>(leave_col)] =
+        leave_at_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+    const double enter_from =
+        dir > 0 ? lb_[static_cast<size_t>(enter)] : ub_[static_cast<size_t>(enter)];
+    basis_[static_cast<size_t>(leave_row)] = enter;
+    status_[static_cast<size_t>(enter)] = VarStatus::kBasic;
+    xb_[static_cast<size_t>(leave_row)] = enter_from + dir * t_best;
+
+    const double inv = 1.0 / pivot;
+    const double dfactor = d_[static_cast<size_t>(enter)];
+    if (dfactor != 0.0) {
+      for (int j = 0; j < ncols; ++j) {
+        const double a = rowvals_[static_cast<size_t>(j)];
+        if (a != 0.0) d_[static_cast<size_t>(j)] -= dfactor * (a * inv);
+      }
+      d_[static_cast<size_t>(enter)] = 0.0;
+    }
+    // Devex weight update against the (normalized) pivot row. Weights are
+    // clamped: long runs of tiny pivots otherwise inflate them geometrically
+    // until d_j^2 / w_j underflows to zero for every column and pricing goes
+    // blind (the tableau engines never accumulate enough degenerate pivots
+    // for this, but the factorized engine can).
+    constexpr double kDevexMax = 1e12;
+    const double w_enter = devex_[static_cast<size_t>(enter)];
+    for (int j = 0; j < ncols; ++j) {
+      const double a = rowvals_[static_cast<size_t>(j)];
+      if (a == 0.0) continue;
+      const double an = a * inv;
+      double& w = devex_[static_cast<size_t>(j)];
+      const double candidate = std::min(kDevexMax, an * an * w_enter);
+      if (candidate > w) w = candidate;
+    }
+    devex_[static_cast<size_t>(leave_col)] = std::min(
+        kDevexMax, std::max(1.0, w_enter / std::max(pivot * pivot, 1e-12)));
+
+    UpdateFactors(leave_row, alpha_, phase_cost);
+  }
+  *iterations_used += iter;
+  return LpStatus::kIterationLimit;
+}
+
+bool FactorizedSimplex::DualRepair(int* iterations_used) {
+  const int m = NumRows();
+  const int ncols = NumCols();
+  // The repair runs before any artificials exist, so the phase-2 cost is
+  // just cost_ — and because only bounds changed since the basis was
+  // optimal, d_ starts dual feasible (within tolerances).
+  ComputeReducedCosts(cost_);
+  const int limit = 2 * m + 100;
+  for (int iter = 0; iter < limit; ++iter) {
+    if (deadline_seconds_ > 0.0 && (iter & 31) == 0 &&
+        watch_.ElapsedSeconds() > deadline_seconds_) {
+      return false;
+    }
+    // --- Leaving variable: the most violated basic (lowest slot on tie).
+    int leave_row = -1;
+    bool to_upper = false;
+    double worst = kPhase1Tol;
+    for (int i = 0; i < m; ++i) {
+      const int k = basis_[static_cast<size_t>(i)];
+      const double v = xb_[static_cast<size_t>(i)];
+      const double above = v - ub_[static_cast<size_t>(k)];
+      const double below = lb_[static_cast<size_t>(k)] - v;
+      if (above > worst) {
+        worst = above;
+        leave_row = i;
+        to_upper = true;
+      }
+      if (below > worst) {
+        worst = below;
+        leave_row = i;
+        to_upper = false;
+      }
+    }
+    if (leave_row < 0) return true;  // primal feasible
+
+    const int leave_col = basis_[static_cast<size_t>(leave_row)];
+    ComputePivotRow(leave_row);
+
+    // --- Dual ratio test: entering column whose sign moves the leaving
+    // basic toward its violated bound, minimizing |d_j| / |a_rj| so the
+    // remaining reduced costs keep their optimality signs.
+    int enter = -1;
+    double best_ratio = 0.0;
+    double best_mag = 0.0;
+    for (int j = 0; j < ncols; ++j) {
+      const VarStatus st = status_[static_cast<size_t>(j)];
+      if (st == VarStatus::kBasic || IsFixed(j)) continue;
+      const double a = rowvals_[static_cast<size_t>(j)];
+      if (std::abs(a) <= kPivotTol) continue;
+      const bool at_lower = st == VarStatus::kAtLower;
+      // Δx_j = (xb_r − bound) / a_rj must respect j's movable direction.
+      const bool eligible = to_upper ? (at_lower ? a > 0.0 : a < 0.0)
+                                     : (at_lower ? a < 0.0 : a > 0.0);
+      if (!eligible) continue;
+      const double dj = d_[static_cast<size_t>(j)];
+      // Clamp tolerance-level dual infeasibility to zero.
+      const double feas = std::max(at_lower ? dj : -dj, 0.0);
+      const double mag = std::abs(a);
+      const double ratio = feas / mag;
+      if (enter < 0 || ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 && mag > best_mag)) {
+        enter = j;
+        best_ratio = ratio;
+        best_mag = mag;
+      }
+    }
+    if (enter < 0) {
+      // Dual unbounded — the subproblem is primal infeasible. Fall back to
+      // the cold start for the trusted phase-1 verdict rather than
+      // declaring infeasibility off fresh repair code.
+      return false;
+    }
+
+    // --- Pivot. ---
+    alpha_.assign(static_cast<size_t>(m), 0.0);
+    {
+      const SparseColumn& col = cols_[static_cast<size_t>(enter)];
+      for (size_t k = 0; k < col.rows.size(); ++k) {
+        alpha_[static_cast<size_t>(col.rows[k])] = col.vals[k];
+      }
+    }
+    fact_.Ftran(&alpha_);
+    const double pivot = alpha_[static_cast<size_t>(leave_row)];
+    if (std::abs(pivot) <= kPivotTol) return false;  // numerics disagree
+
+    const double bound_k = to_upper ? ub_[static_cast<size_t>(leave_col)]
+                                    : lb_[static_cast<size_t>(leave_col)];
+    const double dx = (xb_[static_cast<size_t>(leave_row)] - bound_k) / pivot;
+    for (int i = 0; i < m; ++i) {
+      const double a = alpha_[static_cast<size_t>(i)];
+      if (a != 0.0) xb_[static_cast<size_t>(i)] -= a * dx;
+    }
+    const double enter_from = BoundValue(enter);
+    status_[static_cast<size_t>(leave_col)] =
+        to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+    basis_[static_cast<size_t>(leave_row)] = enter;
+    status_[static_cast<size_t>(enter)] = VarStatus::kBasic;
+    xb_[static_cast<size_t>(leave_row)] = enter_from + dx;
+
+    const double theta = d_[static_cast<size_t>(enter)] /
+                         rowvals_[static_cast<size_t>(enter)];
+    if (theta != 0.0) {
+      for (int j = 0; j < ncols; ++j) {
+        const double a = rowvals_[static_cast<size_t>(j)];
+        if (a != 0.0) d_[static_cast<size_t>(j)] -= theta * a;
+      }
+    }
+    d_[static_cast<size_t>(leave_col)] = -theta;
+    d_[static_cast<size_t>(enter)] = 0.0;
+
+    UpdateFactors(leave_row, alpha_, cost_);
+    ++(*iterations_used);
+  }
+  return false;  // repair did not converge; cold start decides
+}
+
+bool FactorizedSimplex::TryLoadBasis(const LpBasis& basis,
+                                     int* iterations_used) {
+  const int m = NumRows();
+  const int ncols = NumCols();
+  if (static_cast<int>(basis.status.size()) != ncols) return false;
+  std::vector<int> basic_cols;
+  basic_cols.reserve(static_cast<size_t>(m));
+  for (int j = 0; j < ncols; ++j) {
+    const uint8_t st = basis.status[static_cast<size_t>(j)];
+    if (st == static_cast<uint8_t>(VarStatus::kBasic)) {
+      basic_cols.push_back(j);
+    } else if (st == static_cast<uint8_t>(VarStatus::kAtLower)) {
+      if (lb_[static_cast<size_t>(j)] == -LpProblem::kInfinity) return false;
+    } else if (st == static_cast<uint8_t>(VarStatus::kAtUpper)) {
+      if (ub_[static_cast<size_t>(j)] == LpProblem::kInfinity) return false;
+    } else {
+      return false;
+    }
+  }
+  if (static_cast<int>(basic_cols.size()) != m) return false;
+
+  status_.assign(static_cast<size_t>(ncols), VarStatus::kAtLower);
+  for (int j = 0; j < ncols; ++j) {
+    status_[static_cast<size_t>(j)] =
+        static_cast<VarStatus>(basis.status[static_cast<size_t>(j)]);
+  }
+  basis_ = std::move(basic_cols);
+  if (!FactorizeBasis()) return false;  // singular under this basis
+  ComputeXb();
+
+  bool feasible = true;
+  for (int i = 0; i < m; ++i) {
+    const size_t k = static_cast<size_t>(basis_[static_cast<size_t>(i)]);
+    const double v = xb_[static_cast<size_t>(i)];
+    if (v < lb_[k] - kPhase1Tol || v > ub_[k] + kPhase1Tol) {
+      feasible = false;
+      break;
+    }
+  }
+  if (!feasible) feasible = DualRepair(iterations_used);
+  if (!feasible) return false;
+
+  for (int i = 0; i < m; ++i) {
+    const size_t k = static_cast<size_t>(basis_[static_cast<size_t>(i)]);
+    xb_[static_cast<size_t>(i)] =
+        std::min(std::max(xb_[static_cast<size_t>(i)], lb_[k]), ub_[k]);
+  }
+  return true;
+}
+
+LpResult FactorizedSimplex::Run(int max_iterations, double deadline_seconds,
+                                const LpBasis* start_basis,
+                                LpBasis* final_basis, bool want_duals) {
+  deadline_seconds_ = deadline_seconds;
+  watch_.Reset();
+  const int m = NumRows();
+  LpResult result;
+  if (final_basis != nullptr) final_basis->clear();
+  result.iterations = 0;
+
+  first_artificial_ = NumCols();
+  row_sign_.assign(static_cast<size_t>(m), 1.0);
+  artificial_of_row_.assign(static_cast<size_t>(m), -1);
+  bool hot = false;
+  if (start_basis != nullptr && !start_basis->empty()) {
+    BuildColumns();
+    hot = TryLoadBasis(*start_basis, &result.iterations);
+  }
+  result.hot_started = hot;
+  if (stats_ != nullptr && hot) stats_->fill_start = fact_.stored_entries();
+
+  if (!hot) {
+    // Initial point: every column rests at a finite bound.
+    status_.assign(static_cast<size_t>(NumCols()), VarStatus::kAtLower);
+    for (int j = 0; j < NumCols(); ++j) {
+      if (lb_[static_cast<size_t>(j)] == -LpProblem::kInfinity) {
+        assert(ub_[static_cast<size_t>(j)] != LpProblem::kInfinity &&
+               "free variables are not supported");
+        status_[static_cast<size_t>(j)] = VarStatus::kAtUpper;
+      }
+    }
+
+    // Residual per row given the initial nonbasic values.
+    std::vector<double> residual(static_cast<size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      double r = rhs_[static_cast<size_t>(i)];
+      const TabRow& row = rows_[static_cast<size_t>(i)];
+      for (size_t k = 0; k < row.idx.size(); ++k) {
+        const double v = BoundValue(row.idx[k]);
+        if (v != 0.0) r -= row.val[k] * v;
+      }
+      residual[static_cast<size_t>(i)] = r;
+    }
+
+    // Negate rows with negative residual so every artificial can enter
+    // with coefficient +1 (same normalization as the tableau engines).
+    for (int i = 0; i < m; ++i) {
+      if (residual[static_cast<size_t>(i)] < 0.0) {
+        for (double& v : rows_[static_cast<size_t>(i)].val) v = -v;
+        rhs_[static_cast<size_t>(i)] = -rhs_[static_cast<size_t>(i)];
+        residual[static_cast<size_t>(i)] = -residual[static_cast<size_t>(i)];
+        row_sign_[static_cast<size_t>(i)] = -1.0;
+      }
+    }
+
+    // Crash basis: slacks with coefficient +1 after normalization start
+    // basic at the residual; artificials cover the remaining rows.
+    first_artificial_ = NumCols();
+    basis_.assign(static_cast<size_t>(m), -1);
+    xb_.assign(static_cast<size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      const int slack = slack_col_[static_cast<size_t>(i)];
+      if (slack >= 0 && rows_[static_cast<size_t>(i)].Coeff(slack) == 1.0) {
+        status_[static_cast<size_t>(slack)] = VarStatus::kBasic;
+        basis_[static_cast<size_t>(i)] = slack;
+        xb_[static_cast<size_t>(i)] = residual[static_cast<size_t>(i)];
+      }
+    }
+    for (int i = 0; i < m; ++i) {
+      if (basis_[static_cast<size_t>(i)] != -1) continue;
+      const int art = AddColumn(0.0, LpProblem::kInfinity, 0.0);
+      status_.push_back(VarStatus::kBasic);
+      rows_[static_cast<size_t>(i)].idx.push_back(art);
+      rows_[static_cast<size_t>(i)].val.push_back(1.0);
+      basis_[static_cast<size_t>(i)] = art;
+      xb_[static_cast<size_t>(i)] = residual[static_cast<size_t>(i)];
+      artificial_of_row_[static_cast<size_t>(i)] = art;
+    }
+    BuildColumns();
+    // The crash basis is all unit columns (slacks at +1, artificials at
+    // +1), so this factorization is trivially nonsingular.
+    const bool factored = FactorizeBasis();
+    assert(factored);
+    (void)factored;
+    if (stats_ != nullptr) stats_->fill_start = fact_.stored_entries();
+
+    // --- Phase 1: minimize the sum of artificials. ---
+    std::vector<double> phase1_cost(static_cast<size_t>(NumCols()), 0.0);
+    for (int j = first_artificial_; j < NumCols(); ++j) {
+      phase1_cost[static_cast<size_t>(j)] = 1.0;
+    }
+    ComputeReducedCosts(phase1_cost);
+    LpStatus phase1 = Iterate(max_iterations, &result.iterations, phase1_cost);
+    if (stats_ != nullptr) stats_->phase1_iterations = result.iterations;
+    if (phase1 == LpStatus::kIterationLimit) {
+      result.status = LpStatus::kIterationLimit;
+      return result;
+    }
+    double infeasibility = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (basis_[static_cast<size_t>(i)] >= first_artificial_) {
+        infeasibility += xb_[static_cast<size_t>(i)];
+      }
+    }
+    for (int j = first_artificial_; j < NumCols(); ++j) {
+      if (status_[static_cast<size_t>(j)] == VarStatus::kAtUpper) {
+        infeasibility += std::abs(ub_[static_cast<size_t>(j)]);
+      }
+    }
+    if (infeasibility > kPhase1Tol) {
+      if (std::getenv("NOSE_LP_DEBUG") != nullptr) {
+        std::fprintf(stderr, "[lp] phase-1 infeasibility %.3e (rows=%d)\n",
+                     infeasibility, m);
+      }
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+
+    // Freeze artificials at zero for phase 2.
+    for (int j = first_artificial_; j < NumCols(); ++j) {
+      ub_[static_cast<size_t>(j)] = 0.0;
+      if (status_[static_cast<size_t>(j)] == VarStatus::kAtUpper) {
+        status_[static_cast<size_t>(j)] = VarStatus::kAtLower;
+      }
+    }
+  }
+
+  // --- Phase 2: original objective. ---
+  std::vector<double> phase2_cost = cost_;
+  phase2_cost.resize(static_cast<size_t>(NumCols()), 0.0);
+  ComputeReducedCosts(phase2_cost);
+  LpStatus phase2 = Iterate(max_iterations, &result.iterations, phase2_cost);
+  if (phase2 == LpStatus::kIterationLimit || phase2 == LpStatus::kUnbounded) {
+    result.status = phase2;
+    return result;
+  }
+
+  // Extract structural values and the objective.
+  result.x.assign(static_cast<size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    if (status_[static_cast<size_t>(j)] != VarStatus::kBasic) {
+      result.x[static_cast<size_t>(j)] = BoundValue(j);
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    const int k = basis_[static_cast<size_t>(i)];
+    if (k < n_) result.x[static_cast<size_t>(k)] = xb_[static_cast<size_t>(i)];
+  }
+  result.objective = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    result.objective += cost_[static_cast<size_t>(j)] * result.x[static_cast<size_t>(j)];
+  }
+  result.status = LpStatus::kOptimal;
+
+  // Dual extraction: one BTRAN of the basic costs gives the row
+  // multipliers directly — no identity columns needed, so hot-started
+  // solves get duals too. Undo the phase-1 row negation via row_sign_
+  // (all +1 on the hot path, which never normalizes).
+  if (want_duals) {
+    std::vector<double> y(static_cast<size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      y[static_cast<size_t>(i)] =
+          phase2_cost[static_cast<size_t>(basis_[static_cast<size_t>(i)])];
+    }
+    fact_.Btran(&y);
+    result.duals.assign(static_cast<size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      result.duals[static_cast<size_t>(i)] =
+          row_sign_[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+    }
+  }
+
+  // Export the optimal basis over structural + slack columns only (same
+  // contract as the sparse engine: never with an artificial still basic).
+  if (final_basis != nullptr) {
+    bool exportable = true;
+    for (int i = 0; i < m; ++i) {
+      if (basis_[static_cast<size_t>(i)] >= first_artificial_) {
+        exportable = false;
+        break;
+      }
+    }
+    if (exportable) {
+      final_basis->status.resize(static_cast<size_t>(first_artificial_));
+      for (int j = 0; j < first_artificial_; ++j) {
+        final_basis->status[static_cast<size_t>(j)] =
+            static_cast<uint8_t>(status_[static_cast<size_t>(j)]);
+      }
+    }
+  }
+  return result;
+}
+
+// ===========================================================================
 // Dense baseline engine (the original full-tableau implementation), kept
 // for benchmark comparisons and CI divergence checks.
 // ===========================================================================
@@ -1317,8 +2130,10 @@ LpResult LpProblem::Solve(
   std::vector<double> row_scale(rows_.size(), 1.0);
   LpResult result;
   const bool want_duals = duals != nullptr;
-  if (engine == LpEngine::kSparse) {
-    SparseSimplex simplex(n, std::move(lb), std::move(ub), cost_);
+  // The sparse-tableau and factorized engines share the same row/slack/
+  // scaling preparation; only the simplex core behind the interface
+  // differs.
+  auto run_row_engine = [&](auto& simplex) {
     simplex.set_stats(logging ? &stats : nullptr);
     for (size_t i = 0; i < rows_.size(); ++i) {
       if (rows_[i].type != RowType::kEq) {
@@ -1358,6 +2173,18 @@ LpResult LpProblem::Solve(
       stats.dense_rows = simplex.NumDenseRows();
       stats.tableau_cols = simplex.NumTableauCols();
     }
+  };
+  if (engine == LpEngine::kFactorized) {
+    FactorizedSimplex simplex(n, std::move(lb), std::move(ub), cost_);
+    run_row_engine(simplex);
+    if (logging) {
+      stats.refactorizations = simplex.refactorizations();
+      stats.ft_updates = simplex.ft_updates();
+      stats.factor_fill = simplex.FactorFill();
+    }
+  } else if (engine == LpEngine::kSparse) {
+    SparseSimplex simplex(n, std::move(lb), std::move(ub), cost_);
+    run_row_engine(simplex);
   } else {
     if (final_basis != nullptr) final_basis->clear();
     DenseTableau tableau(n, std::move(lb), std::move(ub), cost_);
@@ -1431,7 +2258,7 @@ LpResult LpProblem::Solve(
   iterations.Add(static_cast<uint64_t>(result.iterations));
   nonzeros.Add(num_nonzeros_);
   if (start_basis != nullptr && !start_basis->empty() &&
-      engine == LpEngine::kSparse) {
+      engine != LpEngine::kDense) {
     static obs::Counter& hot_attempts = obs::MetricsRegistry::Global()
         .GetCounter("solver.lp_hot_start_attempts");
     hot_attempts.Increment();
@@ -1450,7 +2277,7 @@ LpResult LpProblem::Solve(
     stats.iterations = result.iterations;
     stats.hot_start_attempted = start_basis != nullptr &&
                                 !start_basis->empty() &&
-                                engine == LpEngine::kSparse;
+                                engine != LpEngine::kDense;
     stats.hot_started = result.hot_started;
     stats.equilibration_cond =
         (equil_max > 0.0 && equil_min > 0.0) ? equil_max / equil_min : 1.0;

@@ -17,11 +17,16 @@ enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
 const char* LpStatusName(LpStatus status);
 
-/// Which simplex core executes a solve. kSparse is the production engine;
-/// kDense keeps the original full-tableau implementation as a correctness
-/// and benchmark baseline (solver_micro --json compares the two, and CI
-/// fails if their optima diverge).
-enum class LpEngine { kSparse, kDense };
+/// Which simplex core executes a solve. kFactorized is the production
+/// engine: an LU-factorized revised simplex (Markowitz-pivoted sparse LU
+/// of the basis with product-form updates and periodic refactorization —
+/// see solver/factorization.h) that prices directly from the original
+/// columns, so its fill tracks nnz(basis) instead of the tableau's B⁻¹A.
+/// kSparse keeps the explicit-tableau sparse core and kDense the original
+/// full-tableau implementation as correctness and benchmark baselines
+/// (solver_micro --json compares all three, and CI fails if their optima
+/// diverge).
+enum class LpEngine { kSparse, kDense, kFactorized };
 
 const char* LpEngineName(LpEngine engine);
 
@@ -32,11 +37,13 @@ struct LpResult {
   int iterations = 0;
   bool hot_started = false;  ///< true if a starting basis was loaded
   /// Dual value per original constraint row, filled only when the caller
-  /// asked for duals (Solve's `duals` out-parameter), the solve ended
-  /// kOptimal, and the engine started cold (a hot-started tableau carries
-  /// no identity columns for equality rows, so their multipliers are not
-  /// recoverable from reduced costs). Sign convention: y_i ≥ 0 certifies a
-  /// binding ≥ row, y_i ≤ 0 a binding ≤ row, free for =. The values are
+  /// asked for duals (Solve's `duals` out-parameter) and the solve ended
+  /// kOptimal. The factorized engine recovers duals with one BTRAN against
+  /// the optimal basis, hot-started or not; the tableau engines read them
+  /// off reduced costs of identity columns and therefore only fill duals
+  /// for cold starts (a hot-started tableau carries no identity columns
+  /// for equality rows). Sign convention: y_i ≥ 0 certifies a binding ≥
+  /// row, y_i ≤ 0 a binding ≤ row, free for =. The values are
   /// floating-point candidates — the certificate checker (analysis/
   /// certify.h) re-derives an exact safe bound from them rather than
   /// trusting their feasibility.
@@ -51,6 +58,11 @@ struct LpResult {
 /// fit — wrong size, wrong basic count, singular, or primal infeasible
 /// under the new bounds — is rejected and the solve falls back to the cold
 /// crash start, so stale bases cost a failed load, never a wrong answer.
+/// The factorized engine goes one step further before giving up on a
+/// primal-infeasible load: branch-and-bound children differ from their
+/// parent only in bounds, which keeps the parent basis dual feasible, so a
+/// short bounded-variable dual-simplex run drives the violated basics back
+/// inside their bounds in a handful of pivots.
 struct LpBasis {
   std::vector<uint8_t> status;
 
@@ -97,15 +109,15 @@ class LpRowBuffer {
 
 /// A linear program: minimize cᵀx subject to row constraints and variable
 /// bounds l ≤ x ≤ u. Build incrementally, then Solve(). The default solver
-/// is a sparse-row two-phase primal simplex with bounded variables
-/// (nonbasic variables rest at either bound; bound flips are handled
-/// without pivots): tableau rows start in CSR form and upgrade to dense
-/// storage only past a fill threshold, pivots touch only the rows with a
-/// nonzero in the entering column, pricing runs on incrementally
-/// maintained dense reduced costs, and a slack crash basis skips phase-1
-/// work for every inequality row that starts feasible. Designed for the
-/// sparse flow-structured instances NoSE's schema optimizer emits;
-/// replaces the paper's use of Gurobi.
+/// is an LU-factorized two-phase revised primal simplex with bounded
+/// variables (nonbasic variables rest at either bound; bound flips are
+/// handled without pivots): the basis inverse is held as a Markowitz
+/// sparse LU plus product-form updates, the entering column and pivot row
+/// come from FTRAN/BTRAN against the factors, pricing runs on
+/// incrementally maintained dense reduced costs, and a slack crash basis
+/// skips phase-1 work for every inequality row that starts feasible.
+/// Designed for the sparse flow-structured instances NoSE's schema
+/// optimizer emits; replaces the paper's use of Gurobi.
 class LpProblem {
  public:
   static constexpr double kInfinity = std::numeric_limits<double>::infinity();
@@ -142,25 +154,29 @@ class LpProblem {
   /// bounds for this solve only (used by branch-and-bound nodes);
   /// entries are (var, lb, ub). `deadline_seconds` (0 = none) aborts an
   /// overlong solve with kIterationLimit so callers stay responsive.
-  /// `engine` selects the simplex core; both return the same optima
-  /// (within tolerances). kSparse is several-fold faster on the
-  /// optimizer's instances, widening with workload size (solver_micro
-  /// --json measures the gap and gates CI on agreement).
+  /// `engine` selects the simplex core; all three return the same optima
+  /// (within tolerances — kSparse and kDense are bitwise-identical by
+  /// construction; kFactorized follows its own floating-point path and
+  /// agrees to the solver tolerances). kFactorized is the default and the
+  /// fastest on the optimizer's instances, widening with workload size
+  /// (solver_micro --json measures the gaps and gates CI on agreement).
   ///
-  /// `start_basis` (sparse engine only) hot-starts the solve from a basis
-  /// captured by an earlier solve of the same constraint rows; on a
-  /// successful load phase 1 is skipped. `final_basis` (sparse engine
-  /// only) receives the optimal basis of this solve, or is cleared when
-  /// none is available (non-optimal exit, artificial still basic, or the
-  /// dense engine).
+  /// `start_basis` (sparse and factorized engines) hot-starts the solve
+  /// from a basis captured by an earlier solve of the same constraint
+  /// rows; on a successful load phase 1 is skipped, and the factorized
+  /// engine additionally repairs bound-change infeasibility with dual
+  /// simplex pivots. `final_basis` (sparse and factorized engines)
+  /// receives the optimal basis of this solve, or is cleared when none is
+  /// available (non-optimal exit, artificial still basic, or the dense
+  /// engine).
   ///
   /// `duals`, when non-null, receives one multiplier per constraint row at
   /// the optimum (see LpResult::duals); cleared when the solve was not
-  /// cleanly optimal or was hot-started.
+  /// cleanly optimal, or — tableau engines only — was hot-started.
   LpResult Solve(
       const std::vector<std::tuple<int, double, double>>& bound_overrides = {},
       int max_iterations = 0, double deadline_seconds = 0.0,
-      LpEngine engine = LpEngine::kSparse,
+      LpEngine engine = LpEngine::kFactorized,
       const LpBasis* start_basis = nullptr,
       LpBasis* final_basis = nullptr,
       std::vector<double>* duals = nullptr) const;

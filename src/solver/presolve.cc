@@ -44,11 +44,11 @@ std::string RowShapeKey(const LpRow& row) {
   return key;
 }
 
-/// True when row `b` equals `s · a` (coefficients AND rhs) for some s > 0.
-/// Both rows are known to share sense and index pattern. The comparison is
-/// exact cross-multiplication — no tolerance — so a positive verdict means
-/// the two half-spaces are literally the same set.
-bool IsPositiveScaling(const LpRow& a, const LpRow& b) {
+/// True when row `b`'s coefficient vector equals `s · a`'s for some s > 0
+/// (rhs not considered). Both rows are known to share sense and index
+/// pattern. The comparison is exact cross-multiplication — no tolerance —
+/// so a positive verdict means the two rows bound parallel half-spaces.
+bool CoefficientsPositivelyProportional(const LpRow& a, const LpRow& b) {
   if (a.values.empty()) return false;
   const double a0 = a.values[0];
   const double b0 = b.values[0];
@@ -57,7 +57,26 @@ bool IsPositiveScaling(const LpRow& a, const LpRow& b) {
   for (size_t k = 1; k < a.values.size(); ++k) {
     if (b.values[k] * a0 != a.values[k] * b0) return false;
   }
-  return b.rhs * a0 == a.rhs * b0;
+  return true;
+}
+
+/// For two rows with positively proportional coefficients (b = s·a, s > 0)
+/// and the same inequality sense, decides which half-space is contained in
+/// the other. Returns +1 when `b` is strictly tighter, -1 when `a` is
+/// strictly tighter or they are equal. Exact cross-multiplication again:
+/// b is a·x ≤ β/s, tighter than a·x ≤ α iff β/s < α (mirrored for ≥).
+int TighterRow(const LpRow& a, const LpRow& b) {
+  const double a0 = a.values[0];
+  const double b0 = b.values[0];
+  // Compare β/s against α with s = b0/a0 > 0: multiply through by b0·a0
+  // (> 0 — both share sign), giving β·a0·|..| vs α·b0·|..|; equivalently
+  // compare β·a0 to α·b0, flipping when b0 < 0.
+  const double lhs = b.rhs * a0;
+  const double rhs = a.rhs * b0;
+  const bool b_smaller = b0 > 0.0 ? lhs < rhs : lhs > rhs;
+  const bool b_tighter = a.type == RowType::kLe ? b_smaller
+                                                : !b_smaller && lhs != rhs;
+  return b_tighter ? 1 : -1;
 }
 
 }  // namespace
@@ -114,6 +133,62 @@ LpProblem PresolveForBip(const LpProblem& problem,
     ++summary->singleton_rows_dropped;
   }
 
+  // Pass 1b: strengthen binary bounds from row activity. For a row
+  // Σ a_j x_j ≤ rhs, each term is bounded below by its box minimum, so
+  // a_k x_k ≤ rhs − Σ_{j≠k} min(a_j x_j); dividing by a_k tightens x_k's
+  // bound. Restricted to branchable binaries: the integrality rounding
+  // below absorbs any floating-point noise in the derived bound, so the
+  // set of feasible INTEGRAL points is provably unchanged (≥ rows are the
+  // mirror image; = rows yield both directions). Derived bounds stay valid
+  // at every branch-and-bound node because branching only shrinks the box
+  // the activity minima came from.
+  std::vector<char> is_binary(static_cast<size_t>(n), 0);
+  for (int v : binary_vars) is_binary[static_cast<size_t>(v)] = 1;
+  for (int i = 0; i < m; ++i) {
+    if (drop[static_cast<size_t>(i)]) continue;
+    const LpRow& row = problem.row(i);
+    if (row.indices.size() < 2) continue;
+    // Express the row as one or two ≤ constraints: (sign, bound) pairs with
+    // sign·(a·x) ≤ sign·rhs.
+    const bool has_le = row.type != RowType::kGe;
+    const bool has_ge = row.type != RowType::kLe;
+    for (int pass = 0; pass < 2; ++pass) {
+      const double sign = pass == 0 ? 1.0 : -1.0;
+      if ((pass == 0 && !has_le) || (pass == 1 && !has_ge)) continue;
+      double total_min = 0.0;
+      bool unbounded = false;
+      for (size_t k = 0; k < row.indices.size(); ++k) {
+        const size_t v = static_cast<size_t>(row.indices[k]);
+        const double a = sign * row.values[k];
+        const double contrib = a > 0.0 ? a * lb[v] : a * ub[v];
+        if (std::isinf(contrib)) {
+          unbounded = true;
+          break;
+        }
+        total_min += contrib;
+      }
+      if (unbounded) continue;
+      for (size_t k = 0; k < row.indices.size(); ++k) {
+        const size_t v = static_cast<size_t>(row.indices[k]);
+        if (!is_binary[v]) continue;
+        const double a = sign * row.values[k];
+        if (a == 0.0) continue;
+        const double own_min = a > 0.0 ? a * lb[v] : a * ub[v];
+        const double residual = sign * row.rhs - (total_min - own_min);
+        const double implied = residual / a;
+        if (a > 0.0) {
+          if (implied < ub[v] - kBoundTol) {
+            ub[v] = implied;
+            ++summary->activity_bounds_tightened;
+          }
+        } else if (implied > lb[v] + kBoundTol) {
+          lb[v] = implied;
+          ++summary->activity_bounds_tightened;
+        }
+      }
+    }
+  }
+
   // Integrality: tightened bounds on branchable variables must stay
   // integral (branch fixings replace bounds wholesale).
   for (int v : binary_vars) {
@@ -145,27 +220,72 @@ LpProblem PresolveForBip(const LpProblem& problem,
     }
   }
 
-  // Pass 3: drop inequality rows that are positive scalings of an earlier
-  // survivor. Bucketing by (sense, index pattern) keeps the pairwise
-  // cross-multiplication within candidate groups.
+  // Pass 3: among inequality rows whose coefficient vectors are positive
+  // scalings of each other, only the tightest half-space matters — the rest
+  // are dominated. Bucketing by (sense, index pattern) keeps the pairwise
+  // cross-multiplication within candidate groups. Exact-rhs scalings count
+  // as scaled duplicates; mismatched-rhs scalings as dominated rows.
   std::unordered_map<std::string, std::vector<int>> shape_groups;
   for (int i = 0; i < m; ++i) {
     if (drop[static_cast<size_t>(i)]) continue;
     const LpRow& row = problem.row(i);
     if (row.type == RowType::kEq || row.indices.size() < 2) continue;
     std::vector<int>& group = shape_groups[RowShapeKey(row)];
-    bool scaled = false;
-    for (int rep : group) {
-      if (IsPositiveScaling(problem.row(rep), row)) {
-        scaled = true;
+    bool matched = false;
+    for (int& rep : group) {
+      const LpRow& rep_row = problem.row(rep);
+      if (!CoefficientsPositivelyProportional(rep_row, row)) continue;
+      const double a0 = rep_row.values[0];
+      const double b0 = row.values[0];
+      if (row.rhs * a0 == rep_row.rhs * b0) {
+        // Same half-space exactly: classic scaled duplicate.
+        drop[static_cast<size_t>(i)] = 1;
+        ++summary->scaled_duplicate_rows_dropped;
+      } else if (TighterRow(rep_row, row) > 0) {
+        // Row i is strictly tighter: the earlier representative is
+        // dominated — drop it and let i represent the bucket.
+        drop[static_cast<size_t>(rep)] = 1;
+        ++summary->dominated_rows_dropped;
+        rep = i;
+      } else {
+        drop[static_cast<size_t>(i)] = 1;
+        ++summary->dominated_rows_dropped;
+      }
+      matched = true;
+      break;
+    }
+    if (!matched) group.push_back(i);
+  }
+
+  // Pass 4: drop inequality rows that the (tightened) variable box already
+  // implies. A ≤ row whose maximum activity over the box is at most its rhs
+  // can never bind — for the root LP or for any branch-and-bound node,
+  // since branch fixings only shrink the box the extreme activity came
+  // from. The ≥ mirror uses the minimum activity.
+  for (int i = 0; i < m; ++i) {
+    if (drop[static_cast<size_t>(i)]) continue;
+    const LpRow& row = problem.row(i);
+    if (row.type == RowType::kEq || row.indices.size() < 2) continue;
+    const bool want_max = row.type == RowType::kLe;
+    double extreme = 0.0;
+    bool unbounded = false;
+    for (size_t k = 0; k < row.indices.size(); ++k) {
+      const size_t v = static_cast<size_t>(row.indices[k]);
+      const double a = row.values[k];
+      const double contrib =
+          (a > 0.0) == want_max ? a * ub[v] : a * lb[v];
+      if (std::isinf(contrib)) {
+        unbounded = true;
         break;
       }
+      extreme += contrib;
     }
-    if (scaled) {
+    if (unbounded) continue;
+    const bool redundant =
+        want_max ? extreme <= row.rhs : extreme >= row.rhs;
+    if (redundant) {
       drop[static_cast<size_t>(i)] = 1;
-      ++summary->scaled_duplicate_rows_dropped;
-    } else {
-      group.push_back(i);
+      ++summary->redundant_rows_dropped;
     }
   }
 
@@ -191,9 +311,18 @@ LpProblem PresolveForBip(const LpProblem& problem,
       "solver.presolve_duplicate_rows");
   static obs::Counter& scaled = obs::MetricsRegistry::Global().GetCounter(
       "solver.presolve_scaled_duplicate_rows");
+  static obs::Counter& dominated = obs::MetricsRegistry::Global().GetCounter(
+      "solver.presolve_dominated_rows");
+  static obs::Counter& redundant = obs::MetricsRegistry::Global().GetCounter(
+      "solver.presolve_redundant_rows");
+  static obs::Counter& strengthened = obs::MetricsRegistry::Global().GetCounter(
+      "solver.presolve_activity_bounds");
   singleton.Add(static_cast<uint64_t>(summary->singleton_rows_dropped));
   duplicate.Add(static_cast<uint64_t>(summary->duplicate_rows_dropped));
   scaled.Add(static_cast<uint64_t>(summary->scaled_duplicate_rows_dropped));
+  dominated.Add(static_cast<uint64_t>(summary->dominated_rows_dropped));
+  redundant.Add(static_cast<uint64_t>(summary->redundant_rows_dropped));
+  strengthened.Add(static_cast<uint64_t>(summary->activity_bounds_tightened));
   return reduced;
 }
 

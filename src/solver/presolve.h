@@ -12,7 +12,10 @@ struct PresolveSummary {
   int singleton_rows_dropped = 0;
   int duplicate_rows_dropped = 0;
   int scaled_duplicate_rows_dropped = 0;
-  int bounds_tightened = 0;
+  int dominated_rows_dropped = 0;   ///< proportional rows, weaker rhs
+  int redundant_rows_dropped = 0;   ///< implied by the variable box
+  int bounds_tightened = 0;         ///< from singleton rows
+  int activity_bounds_tightened = 0;  ///< from multi-term row activity
   bool infeasible = false;  ///< a tightening emptied some variable's range
 };
 
@@ -26,19 +29,30 @@ struct PresolveSummary {
 ///  2. Exact-duplicate inequality rows (same sense, indices, coefficients,
 ///     and rhs — common across per-query subtrees sharing a candidate) keep
 ///     only their first occurrence.
-///  3. Inequality rows equal to an earlier survivor up to a POSITIVE scale
-///     (b = s·a, β = s·α, s > 0 — e.g. the same cover row assembled under
-///     different statement weights, or a horizon row repeated with a
-///     duration scale) are dropped. The test is exact cross-multiplication
-///     (b_k·a_0 == a_k·b_0 for every k, and β·a_0 == α·b_0, with matching
-///     leading signs), never a tolerance, so the two rows bound the
-///     identical half-space and dropping one cannot perturb the relaxation.
+///  3. Inequality rows whose coefficient vectors are POSITIVE scalings of
+///     an earlier survivor (b = s·a, s > 0 — e.g. the same cover row
+///     assembled under different statement weights, or a horizon row
+///     repeated with a duration scale) keep only the TIGHTEST half-space:
+///     an exact-rhs match (β·a_0 == α·b_0) is a scaled duplicate, a
+///     mismatched rhs makes the weaker row dominated. Every comparison is
+///     exact cross-multiplication (b_k·a_0 == a_k·b_0 for every k, with
+///     matching leading signs), never a tolerance, so dropping the weaker
+///     row cannot perturb the relaxation.
+///  4. Binary bounds are strengthened from row activity: in Σ a_j x_j ≤ rhs
+///     each term is at least its box minimum, so the residual bounds each
+///     branchable binary; the derived bound is rounded to an integer, which
+///     both absorbs floating-point noise and often fixes the variable
+///     outright. Inequality rows the tightened box already implies (maximum
+///     activity ≤ rhs for ≤ rows, minimum ≥ rhs for ≥) are then dropped as
+///     redundant.
 ///
 /// The reduced problem has the SAME variables at the same indices (warm
 /// starts and branch decisions carry over unchanged) and the surviving rows
-/// in their original order. Both reductions are exact: the feasible set
+/// in their original order. All reductions are exact: the feasible set
 /// restricted to integral `binary_vars` is unchanged, so the optimal BIP
-/// objective is identical. The reductions depend only on the constraint
+/// objective is identical. They also remain valid at every branch-and-bound
+/// node, because branch fixings only SHRINK the box the activity arguments
+/// quantified over. The reductions depend only on the constraint
 /// rows, never on the objective — re-advising with new costs yields the
 /// same reduced geometry, which keeps captured root bases replayable.
 LpProblem PresolveForBip(const LpProblem& problem,

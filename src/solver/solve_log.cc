@@ -80,6 +80,10 @@ std::string RenderLp(const LpSolveStats& r, bool canonical) {
   out += ",\"fill_end\":";
   AppendU64(&out, r.fill_end);
   out += ",\"dense_rows\":" + std::to_string(r.dense_rows);
+  out += ",\"refactorizations\":" + std::to_string(r.refactorizations);
+  out += ",\"ft_updates\":" + std::to_string(r.ft_updates);
+  out += ",\"factor_fill\":";
+  AppendU64(&out, r.factor_fill);
   out += ",\"equil_cond\":";
   AppendNum(&out, r.equilibration_cond);
   out += ",\"hot_attempted\":";
@@ -706,6 +710,9 @@ bool ParseSolveLogJsonl(const std::string& text, SolveLogData* out,
       r.fill_start = value.U64("fill_start", 0);
       r.fill_end = value.U64("fill_end", 0);
       r.dense_rows = value.Int("dense_rows", 0);
+      r.refactorizations = value.Int("refactorizations", 0);
+      r.ft_updates = value.Int("ft_updates", 0);
+      r.factor_fill = value.U64("factor_fill", 0);
       r.equilibration_cond = value.Num("equil_cond", 1.0);
       r.hot_start_attempted = value.Bool("hot_attempted", false);
       r.hot_started = value.Bool("hot_started", false);
@@ -824,6 +831,9 @@ std::string ExplainSolveLog(const SolveLogData& data) {
   uint64_t bound_flips = 0;
   uint64_t hot_attempts = 0;
   uint64_t hot_hits = 0;
+  uint64_t refactorizations = 0;
+  uint64_t ft_updates = 0;
+  uint64_t peak_factor_fill = 0;
   double total_ms = 0.0;
   double root_ms = 0.0;
   double tree_ms = 0.0;
@@ -833,6 +843,9 @@ std::string ExplainSolveLog(const SolveLogData& data) {
     phase1_iters += static_cast<uint64_t>(r.phase1_iterations);
     bland_iters += static_cast<uint64_t>(r.bland_iterations);
     bound_flips += static_cast<uint64_t>(r.bound_flips);
+    refactorizations += static_cast<uint64_t>(r.refactorizations);
+    ft_updates += static_cast<uint64_t>(r.ft_updates);
+    peak_factor_fill = std::max(peak_factor_fill, r.factor_fill);
     if (r.hot_start_attempted) ++hot_attempts;
     if (r.hot_started) ++hot_hits;
     total_ms += r.solve_ms;
@@ -956,6 +969,20 @@ std::string ExplainSolveLog(const SolveLogData& data) {
           static_cast<unsigned long long>(bland_iters),
           100.0 * static_cast<double>(bland_iters) / iter_denom,
           static_cast<unsigned long long>(bound_flips));
+  // Only the factorized engine reports basis telemetry; logs recorded
+  // before it existed (or with the tableau engines) render unchanged.
+  if (refactorizations + ft_updates > 0) {
+    Appendf(&out,
+            "basis: %llu refactorizations, %llu forrest-tomlin updates "
+            "(%.1f updates per factorization); peak factor fill %llu "
+            "entries\n",
+            static_cast<unsigned long long>(refactorizations),
+            static_cast<unsigned long long>(ft_updates),
+            static_cast<double>(ft_updates) /
+                static_cast<double>(
+                    refactorizations > 0 ? refactorizations : 1),
+            static_cast<unsigned long long>(peak_factor_fill));
+  }
 
   // --- Fill growth of the slowest solve with a curve. ---
   const LpSolveStats* focus = nullptr;

@@ -20,7 +20,7 @@ struct LpSolveStats {
   uint64_t bip_id = 0;  ///< enclosing B&B solve, 0 = standalone LP
   int node_id = -1;     ///< explored-node ordinal within bip_id, -1 = none
 
-  std::string engine;  ///< "sparse" | "dense"
+  std::string engine;  ///< "factorized" | "sparse" | "dense"
   std::string status;  ///< LpStatusName of the result
   int rows = 0;        ///< constraint rows of the original problem
   int cols = 0;        ///< structural variables
@@ -36,10 +36,21 @@ struct LpSolveStats {
 
   /// Stored tableau entries (CSR nonzeros, or the full width for densified
   /// rows) before phase 1 and at termination — the fill-accumulation
-  /// signal behind the cover_lp800 slowdown.
+  /// signal behind the cover_lp800 slowdown. The factorized engine reports
+  /// its stored factor entries (LU + eta file) here instead, so the same
+  /// field compares fill across engines.
   uint64_t fill_start = 0;
   uint64_t fill_end = 0;
   int dense_rows = 0;  ///< rows that upgraded from CSR to dense storage
+
+  /// Basis-maintenance telemetry — factorized engine only (zero elsewhere).
+  /// `refactorizations` counts basis factorizations from scratch (the
+  /// initial crash/hot-load one included), `ft_updates` the product-form
+  /// updates appended between them, and `factor_fill` the L+U nonzeros of
+  /// the final base factorization.
+  int refactorizations = 0;
+  int ft_updates = 0;
+  uint64_t factor_fill = 0;
 
   /// max/min over rows of the pre-equilibration row magnitude — a cheap
   /// conditioning estimate (1 = already equilibrated).
@@ -50,8 +61,8 @@ struct LpSolveStats {
 
   double solve_ms = 0.0;  ///< wall clock; excluded from Fingerprint()
 
-  /// (cumulative iteration, stored tableau entries) sampled every
-  /// kFillSampleStride iterations — sparse engine only.
+  /// (cumulative iteration, stored entries — tableau or factor) sampled
+  /// every kFillSampleStride iterations; sparse and factorized engines.
   std::vector<std::pair<int, uint64_t>> fill_curve;
 
   /// Stored entries as a fraction of the full tableau (rows·tableau_cols).

@@ -46,14 +46,16 @@ TEST(PresolveTest, DuplicateInequalityRowsDeduped) {
   int x1 = lp.AddVariable(0.0, 1.0, 2.0);
   lp.AddRow(RowType::kGe, 1.0, {{x0, 1.0}, {x1, 1.0}});
   lp.AddRow(RowType::kGe, 1.0, {{x0, 1.0}, {x1, 1.0}});  // exact duplicate
-  lp.AddRow(RowType::kGe, 2.0, {{x0, 1.0}, {x1, 1.0}});  // different rhs: kept
+  // Same coefficients, larger rhs: strictly tighter, dominates the first.
+  lp.AddRow(RowType::kGe, 2.0, {{x0, 1.0}, {x1, 1.0}});
   lp.AddRow(RowType::kEq, 1.0, {{x0, 1.0}, {x1, 1.0}});  // eq rows never deduped
   lp.AddRow(RowType::kEq, 1.0, {{x0, 1.0}, {x1, 1.0}});
 
   PresolveSummary summary;
   LpProblem reduced = PresolveForBip(lp, {}, &summary);
   EXPECT_EQ(summary.duplicate_rows_dropped, 1);
-  EXPECT_EQ(reduced.num_rows(), 4);
+  EXPECT_EQ(summary.dominated_rows_dropped, 1);
+  EXPECT_EQ(reduced.num_rows(), 3);
 }
 
 TEST(PresolveTest, PositiveScaledDuplicateRowsDeduped) {
@@ -88,8 +90,11 @@ TEST(PresolveTest, NegativeScalingIsNotADuplicate) {
   EXPECT_EQ(reduced.num_rows(), 2);
 }
 
-TEST(PresolveTest, ScaledCoefficientsWithMismatchedRhsKept) {
-  // Coefficients scale by 2 but the rhs does not: different half-spaces.
+TEST(PresolveTest, ScaledCoefficientsWithMismatchedRhsKeepTighter) {
+  // Coefficients scale by 2 but the rhs does not: parallel half-spaces with
+  // different offsets. 2x0 + 2x1 ≥ 3 means x0 + x1 ≥ 1.5, which contains
+  // the ≥ 1 row's half-space — the weaker row is dominated, not a scaled
+  // duplicate.
   LpProblem lp;
   int x0 = lp.AddVariable(0.0, 1.0, 1.0);
   int x1 = lp.AddVariable(0.0, 1.0, 2.0);
@@ -99,7 +104,60 @@ TEST(PresolveTest, ScaledCoefficientsWithMismatchedRhsKept) {
   PresolveSummary summary;
   LpProblem reduced = PresolveForBip(lp, {}, &summary);
   EXPECT_EQ(summary.scaled_duplicate_rows_dropped, 0);
-  EXPECT_EQ(reduced.num_rows(), 2);
+  EXPECT_EQ(summary.dominated_rows_dropped, 1);
+  ASSERT_EQ(reduced.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(reduced.row(0).rhs, 3.0);  // the tighter row survives
+
+  // The mirror ≤ pair: the SMALLER normalized rhs is the tighter one.
+  LpProblem le;
+  int y0 = le.AddVariable(0.0, 4.0, 1.0);
+  int y1 = le.AddVariable(0.0, 4.0, 2.0);
+  le.AddRow(RowType::kLe, 3.0, {{y0, 1.0}, {y1, 1.0}});
+  le.AddRow(RowType::kLe, 4.0, {{y0, 2.0}, {y1, 2.0}});  // y0 + y1 <= 2
+
+  PresolveSummary le_summary;
+  LpProblem le_reduced = PresolveForBip(le, {}, &le_summary);
+  EXPECT_EQ(le_summary.dominated_rows_dropped, 1);
+  ASSERT_EQ(le_reduced.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(le_reduced.row(0).rhs, 4.0);
+}
+
+TEST(PresolveTest, BoxRedundantRowsDropped) {
+  // x0 + x1 ≤ 5 can never bind over [0,1]²; the ≥ 1 cover row can.
+  LpProblem lp;
+  int x0 = lp.AddVariable(0.0, 1.0, 1.0);
+  int x1 = lp.AddVariable(0.0, 1.0, 2.0);
+  lp.AddRow(RowType::kLe, 5.0, {{x0, 1.0}, {x1, 1.0}});
+  lp.AddRow(RowType::kGe, 1.0, {{x0, 1.0}, {x1, 1.0}});
+  lp.AddRow(RowType::kGe, -7.0, {{x0, 1.0}, {x1, 2.0}});  // min activity 0
+
+  PresolveSummary summary;
+  LpProblem reduced = PresolveForBip(lp, {}, &summary);
+  EXPECT_EQ(summary.redundant_rows_dropped, 2);
+  ASSERT_EQ(reduced.num_rows(), 1);
+  EXPECT_EQ(reduced.row(0).type, RowType::kGe);
+  EXPECT_DOUBLE_EQ(reduced.row(0).rhs, 1.0);
+}
+
+TEST(PresolveTest, ActivityStrengtheningFixesBinaries) {
+  // x0 + x1 + x2 ≤ 1 with x2 forced up by a singleton: the residual
+  // activity argument fixes x0 and x1 to zero and the row goes redundant.
+  LpProblem lp;
+  int x0 = lp.AddVariable(0.0, 1.0, -1.0);
+  int x1 = lp.AddVariable(0.0, 1.0, -1.0);
+  int x2 = lp.AddVariable(0.0, 1.0, -1.0);
+  lp.AddRow(RowType::kGe, 1.0, {{x2, 1.0}});  // singleton: x2 >= 1
+  lp.AddRow(RowType::kLe, 1.0, {{x0, 1.0}, {x1, 1.0}, {x2, 1.0}});
+
+  PresolveSummary summary;
+  LpProblem reduced = PresolveForBip(lp, {x0, x1, x2}, &summary);
+  EXPECT_FALSE(summary.infeasible);
+  EXPECT_EQ(summary.activity_bounds_tightened, 2);
+  EXPECT_DOUBLE_EQ(reduced.upper_bound(x0), 0.0);
+  EXPECT_DOUBLE_EQ(reduced.upper_bound(x1), 0.0);
+  EXPECT_DOUBLE_EQ(reduced.lower_bound(x2), 1.0);
+  EXPECT_EQ(summary.redundant_rows_dropped, 1);
+  EXPECT_EQ(reduced.num_rows(), 0);
 }
 
 TEST(PresolveTest, ScaledEqualityRowsNeverDeduped) {
