@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/plan_space.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace nose {
@@ -48,6 +49,36 @@ StatusOr<Recommendation> Advisor::Recommend(const Workload& workload,
 
   return RecommendImpl(workload, mix, std::move(pool), enumeration_seconds,
                        pool_threads.get(), /*cache=*/nullptr);
+}
+
+StatusOr<Recommendation> Advisor::Recommend(const Workload& workload,
+                                            const std::string& mix,
+                                            double deadline_seconds) const {
+  if (deadline_seconds <= 0.0) return Recommend(workload, mix);
+  Stopwatch watch;
+  std::unique_ptr<util::ThreadPool> pool_threads =
+      MakeWorkerPool(options_.num_threads);
+
+  obs::PhaseSpan enumeration_phase("advisor.enumeration", "advisor");
+  Enumerator enumerator(options_.enumerator);
+  CandidatePool pool =
+      enumerator.EnumerateWorkload(workload, mix, pool_threads.get());
+  const double enumeration_seconds = enumeration_phase.StopSeconds();
+
+  // Hand the optimizer what enumeration left of the budget. The optimizer
+  // in turn charges planning and assembly against it and bounds only the
+  // solve — see OptimizerOptions::deadline_seconds. A non-positive
+  // remainder still runs the pipeline (the solve floor guarantees an
+  // incumbent); the overrun is reported through deadline_hit.
+  const double remaining =
+      std::max(1e-3, deadline_seconds - watch.ElapsedSeconds());
+  NOSE_ASSIGN_OR_RETURN(
+      Recommendation rec,
+      RecommendImpl(workload, mix, std::move(pool), enumeration_seconds,
+                    pool_threads.get(), /*cache=*/nullptr, remaining));
+  rec.deadline_seconds = deadline_seconds;
+  rec.deadline_hit = watch.ElapsedSeconds() <= deadline_seconds;
+  return rec;
 }
 
 StatusOr<std::vector<std::pair<std::string, Recommendation>>>
@@ -175,6 +206,7 @@ StatusOr<HorizonPlan> Advisor::PlanHorizon(
   hopts.migration_cost_weight = horizon_options.migration_cost_weight;
   hopts.initial_schema = horizon_options.initial_schema;
   hopts.capture_bip = horizon_options.capture_bip;
+  hopts.backfill_chunk_rows = horizon_options.backfill_chunk_rows;
   HorizonOptimizer optimizer(&cost_model_, &estimator, hopts);
   PlanSpaceCache cache;
   NOSE_ASSIGN_OR_RETURN(HorizonResult solved,
@@ -201,6 +233,8 @@ StatusOr<HorizonPlan> Advisor::PlanHorizon(
     rec.update_plans = std::move(opt.update_plans);
     rec.objective = opt.objective;
     rec.solve_proven = opt.solve_proven;
+    rec.best_bound = opt.best_bound;
+    rec.anytime_gap = opt.anytime_gap;
     rec.bip_variables = opt.bip_variables;
     rec.bip_constraints = opt.bip_constraints;
     rec.bb_nodes = opt.bb_nodes;
@@ -331,12 +365,10 @@ bool SeedCacheFromSuperset(
   return true;
 }
 
-StatusOr<Recommendation> Advisor::RecommendImpl(const Workload& workload,
-                                                const std::string& mix,
-                                                CandidatePool pool,
-                                                double enumeration_seconds,
-                                                util::ThreadPool* pool_threads,
-                                                PlanSpaceCache* cache) const {
+StatusOr<Recommendation> Advisor::RecommendImpl(
+    const Workload& workload, const std::string& mix, CandidatePool pool,
+    double enumeration_seconds, util::ThreadPool* pool_threads,
+    PlanSpaceCache* cache, double optimizer_deadline_seconds) const {
   obs::PhaseSpan total("advisor.recommend", "advisor");
   Recommendation rec;
   rec.pool = std::move(pool);
@@ -345,7 +377,11 @@ StatusOr<Recommendation> Advisor::RecommendImpl(const Workload& workload,
 
   // 2-4. Query planning, schema optimization, plan recommendation.
   CardinalityEstimator estimator(workload.graph(), &cost_model_.params());
-  SchemaOptimizer optimizer(&cost_model_, &estimator, options_.optimizer);
+  OptimizerOptions opt_options = options_.optimizer;
+  if (optimizer_deadline_seconds > 0.0) {
+    opt_options.deadline_seconds = optimizer_deadline_seconds;
+  }
+  SchemaOptimizer optimizer(&cost_model_, &estimator, opt_options);
   NOSE_ASSIGN_OR_RETURN(
       OptimizationResult opt,
       optimizer.Optimize(workload, mix, rec.pool, pool_threads, cache));
@@ -355,6 +391,8 @@ StatusOr<Recommendation> Advisor::RecommendImpl(const Workload& workload,
   rec.update_plans = std::move(opt.update_plans);
   rec.objective = opt.objective;
   rec.solve_proven = opt.solve_proven;
+  rec.best_bound = opt.best_bound;
+  rec.anytime_gap = opt.anytime_gap;
   rec.bip_variables = opt.bip_variables;
   rec.bip_constraints = opt.bip_constraints;
   rec.bb_nodes = opt.bb_nodes;

@@ -64,6 +64,21 @@ struct Recommendation {
   /// False when the solver returned a budget-bound incumbent rather than a
   /// proven (within-gap) optimum.
   bool solve_proven = false;
+  /// Global lower bound on the optimal objective at solver termination
+  /// (equals `objective` when solve_proven).
+  double best_bound = 0.0;
+  /// Relative optimality gap of the returned schema, in [0, 1]: 0 when
+  /// proven, 1 when the deadline left no useful bound. The anytime-advising
+  /// quality signal — "this schema is within anytime_gap of optimal".
+  double anytime_gap = 0.0;
+  /// The budget passed to Recommend(workload, mix, deadline_seconds);
+  /// 0 when the call was unbudgeted.
+  double deadline_seconds = 0.0;
+  /// True when the call returned within deadline_seconds (trivially true
+  /// for unbudgeted calls). A miss means the uninterruptible stages alone
+  /// (enumeration, planning, extraction) exceeded the budget — the solve
+  /// stage is cut off at the deadline to within one LP solve.
+  bool deadline_hit = true;
 
   CandidatePool pool;
   size_t num_candidates = 0;
@@ -93,6 +108,10 @@ struct HorizonPlanOptions {
   /// Receives the joint multi-period BIP when one is assembled
   /// (solver_micro's multi-period instance class).
   BipCapture* capture_bip = nullptr;
+  /// Rows per backfill batch assumed when pricing dual-write overhead of
+  /// scheduled migrations; keep equal to the executing
+  /// evolve::MigrationOptions::chunk_rows (see HorizonOptions).
+  double backfill_chunk_rows = 256.0;
 };
 
 /// PlanHorizon's output: one Recommendation per window plus the migration
@@ -134,6 +153,21 @@ class Advisor {
   StatusOr<Recommendation> Recommend(
       const Workload& workload,
       const std::string& mix = Workload::kDefaultMix) const;
+
+  /// Anytime advising: like Recommend, but bounded by a wall-clock budget.
+  /// Always returns the best incumbent found by the deadline — never an
+  /// error merely because time ran out. The budget is distributed across
+  /// the pipeline implicitly: enumeration, planning, and BIP assembly run
+  /// to completion (nothing can be recommended without them), and the
+  /// branch-and-bound solve receives whatever they left, stopping at the
+  /// deadline to within one LP solve. The result's anytime_gap reports how
+  /// far from proven-optimal the returned schema can be; deadline_hit
+  /// records whether the call made the budget. A deadline generous enough
+  /// that the solver finishes on its own yields a result byte-identical to
+  /// the unbudgeted Recommend. deadline_seconds <= 0 means no budget.
+  StatusOr<Recommendation> Recommend(const Workload& workload,
+                                     const std::string& mix,
+                                     double deadline_seconds) const;
 
   /// Recommends a schema for every mix (all of the workload's mixes when
   /// `mixes` is empty), paying for candidate enumeration and plan-space
@@ -178,12 +212,12 @@ class Advisor {
   /// Optimization + diagnostics + invariant audit for one mix against an
   /// already-enumerated pool (moved into the Recommendation first, so plans
   /// can point into it). Shared by Recommend and AdviseAllMixes.
-  StatusOr<Recommendation> RecommendImpl(const Workload& workload,
-                                         const std::string& mix,
-                                         CandidatePool pool,
-                                         double enumeration_seconds,
-                                         util::ThreadPool* threads,
-                                         PlanSpaceCache* cache) const;
+  /// `optimizer_deadline_seconds` > 0 bounds the optimizer stage
+  /// (anytime advising); 0 means unbudgeted.
+  StatusOr<Recommendation> RecommendImpl(
+      const Workload& workload, const std::string& mix, CandidatePool pool,
+      double enumeration_seconds, util::ThreadPool* threads,
+      PlanSpaceCache* cache, double optimizer_deadline_seconds = 0.0) const;
 
   AdvisorOptions options_;
   CostModel cost_model_;

@@ -39,6 +39,7 @@
 #include "obs/trace.h"
 #include "parser/model_parser.h"
 #include "parser/workload_parser.h"
+#include "serve/serve.h"
 #include "solver/solve_log.h"
 
 namespace {
@@ -51,6 +52,7 @@ int Usage() {
                "  nose check  --verify-certificate FILE\n"
                "  nose lint   --model FILE --workload FILE\n"
                "  nose evolve --scenario FILE [--horizon] [--report FILE]\n"
+               "  nose serve  --scenario FILE [--threads N] [--rate TPS]\n"
                "  nose explain SOLVE_LOG\n"
                "common options (advise, check, evolve):\n"
                "  --solve-log FILE      record per-LP and branch-and-bound\n"
@@ -84,6 +86,21 @@ int Usage() {
                "                        of on drift triggers; same as "
                "'mode planned')\n"
                "  --report FILE         write a JSON migration report\n"
+               "options (serve):\n"
+               "  --scenario FILE       drift scenario to replay concurrently\n"
+               "  --threads N           driver worker threads (default 4)\n"
+               "  --streams N           fixed logical client streams "
+               "(default 8;\n"
+               "                        final store content is identical at "
+               "any\n"
+               "                        thread count for a given stream "
+               "count)\n"
+               "  --rate TPS            target aggregate transactions/second\n"
+               "                        (default: unpaced)\n"
+               "  --stripes N           store hash stripes per column family\n"
+               "  --migration-threads N backfill workers for live migrations\n"
+               "  --advise-deadline SECS  anytime budget for each boundary\n"
+               "                        re-advise (0 = unbudgeted)\n"
                "options (advise):\n"
                "  --mix NAME            workload mix to advise for "
                "(default: 'default')\n"
@@ -406,6 +423,129 @@ int RunEvolve(std::map<std::string, std::string>& args) {
   return 0;
 }
 
+int RunServe(std::map<std::string, std::string>& args) {
+  if (args.count("--scenario") == 0) return Usage();
+  std::string metrics_format;
+  if (!MetricsFormat(args, &metrics_format)) return Usage();
+  std::string trace_path;
+  if (args.count("--trace") > 0) {
+    trace_path = args["--trace"];
+  } else if (const char* env = std::getenv("NOSE_TRACE")) {
+    trace_path = env;
+  }
+  if (!trace_path.empty()) {
+    nose::obs::TraceRecorder::Global().Enable();
+    nose::obs::TraceRecorder::EnableCrashFlush(trace_path);
+    nose::obs::SetCurrentThreadName("main");
+  }
+  if (args.count("--solve-log") > 0) nose::SolveLog::Global().Enable();
+
+  auto scenario = nose::evolve::LoadScenarioFile(args["--scenario"]);
+  if (!scenario.ok()) {
+    std::cerr << "scenario error: " << scenario.status() << "\n";
+    return 1;
+  }
+  nose::serve::ServeOptions options;
+  if (args.count("--threads") > 0) {
+    options.threads = static_cast<size_t>(std::stoul(args["--threads"]));
+  }
+  if (args.count("--streams") > 0) {
+    options.streams = static_cast<size_t>(std::stoul(args["--streams"]));
+  }
+  if (args.count("--stripes") > 0) {
+    options.store_stripes = static_cast<size_t>(std::stoul(args["--stripes"]));
+  }
+  if (args.count("--migration-threads") > 0) {
+    options.migration_threads =
+        static_cast<size_t>(std::stoul(args["--migration-threads"]));
+  }
+  if (args.count("--rate") > 0) {
+    options.target_rate = std::stod(args["--rate"]);
+  }
+  if (args.count("--advise-deadline") > 0) {
+    options.advise_deadline_seconds = std::stod(args["--advise-deadline"]);
+  }
+
+  auto harness = nose::serve::ServeHarness::Create(*scenario, options);
+  if (!harness.ok()) {
+    std::cerr << "serve error: " << harness.status() << "\n";
+    return 1;
+  }
+  nose::Status run = (*harness)->Run();
+  const nose::serve::ServeReport& report = (*harness)->report();
+  std::cout << report.ToString();
+  if (!run.ok()) {
+    std::cerr << "serve error: " << run << "\n";
+  }
+
+  if (!trace_path.empty()) {
+    nose::obs::TraceRecorder::Global().Disable();
+    std::string error;
+    if (!nose::obs::TraceRecorder::Global().WriteChromeJson(trace_path,
+                                                            &error)) {
+      std::fprintf(stderr, "error: cannot write trace: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+  }
+  if (args.count("--metrics") > 0 &&
+      !WriteMetricsSnapshot(args["--metrics"], metrics_format)) {
+    return 1;
+  }
+  if (!WriteSolveLogIfRequested(args)) return 1;
+  if (args.count("--report-json") > 0) {
+    nose::obs::RunReport run_report("serve");
+    run_report.AddString("scenario", args["--scenario"]);
+    run_report.AddNumber("threads", static_cast<double>(report.threads));
+    run_report.AddNumber("streams", static_cast<double>(report.streams));
+    run_report.AddNumber("transactions",
+                         static_cast<double>(report.transactions));
+    run_report.AddNumber("statements", static_cast<double>(report.statements));
+    run_report.AddNumber("migrations",
+                         static_cast<double>(report.migrations.size()));
+    run_report.AddNumber("p50_before_ms", report.before.p50_ms);
+    run_report.AddNumber("p95_before_ms", report.before.p95_ms);
+    run_report.AddNumber("p99_before_ms", report.before.p99_ms);
+    run_report.AddNumber("p50_during_ms", report.during.p50_ms);
+    run_report.AddNumber("p95_during_ms", report.during.p95_ms);
+    run_report.AddNumber("p99_during_ms", report.during.p99_ms);
+    run_report.AddNumber("p50_after_ms", report.after.p50_ms);
+    run_report.AddNumber("p95_after_ms", report.after.p95_ms);
+    run_report.AddNumber("p99_after_ms", report.after.p99_ms);
+    size_t deadline_misses = 0;
+    for (const auto& a : report.advises) {
+      if (!a.deadline_hit) ++deadline_misses;
+    }
+    run_report.AddNumber("advises", static_cast<double>(report.advises.size()));
+    run_report.AddNumber("advise_deadline_misses",
+                         static_cast<double>(deadline_misses));
+    uint64_t rows_dropped = 0, retries = 0;
+    double wall = 0.0;
+    for (const auto& m : report.migrations) {
+      rows_dropped += m.rows_dropped;
+      retries += m.verify_retries;
+      wall += m.wall_seconds;
+    }
+    run_report.AddNumber("migration_rows_dropped",
+                         static_cast<double>(rows_dropped));
+    run_report.AddNumber("migration_verify_retries",
+                         static_cast<double>(retries));
+    run_report.AddPhase("migrate", wall);
+    run_report.AddNumber("realized_store_ms", report.store.simulated_ms);
+    run_report.SetDigest("{\"store_digest\":\"" +
+                         std::to_string(report.store_digest) + "\"}");
+    run_report.SetSolverSummary(nose::SolveLog::Global().SummaryJson());
+    run_report.SetMetrics(nose::obs::MetricsRegistry::Global().ToJson());
+    std::string error;
+    if (!run_report.WriteJson(args["--report-json"], &error)) {
+      std::fprintf(stderr, "error: cannot write report: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote report to %s\n", args["--report-json"].c_str());
+  }
+  return run.ok() ? 0 : 1;
+}
+
 /// Prints the checker's verdict on one certificate.
 void PrintCertificateReport(const std::string& label,
                             const nose::CertificateReport& report) {
@@ -563,7 +703,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command != "advise" && command != "check" && command != "lint" &&
-      command != "evolve" && command != "explain") {
+      command != "evolve" && command != "serve" && command != "explain") {
     return Usage();
   }
 
@@ -589,6 +729,19 @@ int main(int argc, char** argv) {
       return Usage();
     }
     return RunEvolve(args);
+  }
+
+  if (command == "serve") {
+    std::map<std::string, std::string> args;
+    if (!ParseArgs(argc, argv, 2,
+                   {"--scenario", "--threads", "--streams", "--stripes",
+                    "--migration-threads", "--rate", "--advise-deadline",
+                    "--trace", "--metrics", "--metrics-format", "--solve-log",
+                    "--report-json"},
+                   {}, &args)) {
+      return Usage();
+    }
+    return RunServe(args);
   }
 
   std::set<std::string> value_flags = {"--model", "--workload"};

@@ -9,19 +9,6 @@ namespace nose::evolve {
 
 namespace {
 
-rubis::ModelScale ScaleFor(double factor) {
-  rubis::ModelScale scale;
-  scale.regions = std::max<size_t>(2, static_cast<size_t>(10 * factor));
-  scale.categories = std::max<size_t>(2, static_cast<size_t>(20 * factor));
-  scale.users = std::max<size_t>(20, static_cast<size_t>(2000 * factor));
-  scale.items = std::max<size_t>(40, static_cast<size_t>(4000 * factor));
-  scale.old_items = std::max<size_t>(20, static_cast<size_t>(2000 * factor));
-  scale.bids = std::max<size_t>(200, static_cast<size_t>(20000 * factor));
-  scale.buynows = std::max<size_t>(20, static_cast<size_t>(1000 * factor));
-  scale.comments = std::max<size_t>(40, static_cast<size_t>(4000 * factor));
-  return scale;
-}
-
 double MixWeight(const rubis::Transaction& tx, const std::string& mix) {
   if (mix == rubis::kBrowsingMix) return tx.browsing_weight;
   return tx.bidding_weight;
@@ -36,11 +23,11 @@ StatusOr<std::unique_ptr<DriftRunner>> DriftRunner::Create(
                                  scenario.workload);
   }
   std::unique_ptr<DriftRunner> runner(new DriftRunner(scenario));
-  auto graph = rubis::MakeGraph(ScaleFor(scenario.scale));
+  auto graph = rubis::MakeGraph(rubis::ScaleFor(scenario.scale));
   if (!graph.ok()) return graph.status();
   runner->graph_ = std::move(graph).value();
   runner->data_ = std::make_unique<Dataset>(rubis::GenerateData(
-      runner->graph_.get(), ScaleFor(scenario.scale), scenario.seed));
+      runner->graph_.get(), rubis::ScaleFor(scenario.scale), scenario.seed));
   auto workload = rubis::MakeWorkload(*runner->graph_);
   if (!workload.ok()) return workload.status();
   runner->workload_ = std::move(workload).value();
@@ -124,6 +111,9 @@ Status DriftRunner::PlanAndInit() {
   Advisor advisor(scenario_.options.advisor);
   HorizonPlanOptions horizon_options;
   horizon_options.migration_cost_weight = scenario_.migration_cost_weight;
+  // Price scheduled migrations with the chunking the executor will use.
+  horizon_options.backfill_chunk_rows =
+      static_cast<double>(scenario_.options.migration.chunk_rows);
   auto plan = advisor.PlanHorizon(*workload_, horizon, horizon_options);
   if (!plan.ok()) return plan.status();
   horizon_plan_ = std::make_unique<HorizonPlan>(std::move(*plan));

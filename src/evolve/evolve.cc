@@ -89,10 +89,10 @@ StatusOr<std::vector<ValueTuple>> EvolveController::ExecuteQuery(
     ++report_.invariant_violations;
     return Status::NotFound("no active plan for query " + statement);
   }
-  const double before = store_.stats().simulated_ms;
+  const double before = RecordStore::ThreadChargeMs();
   auto rows = active_->executor->ExecuteQuery(it->second, params);
   if (!rows.ok()) return rows.status();
-  tracker_.Record(statement, store_.stats().simulated_ms - before);
+  tracker_.Record(statement, RecordStore::ThreadChargeMs() - before);
   ++report_.statements;
   query_log_.push_back({statement, params});
   if (query_log_.size() > options_.query_log_capacity) {
@@ -108,9 +108,9 @@ Status EvolveController::ExecuteUpdate(const std::string& statement,
     ++report_.invariant_violations;
     return Status::NotFound("no active plan for update " + statement);
   }
-  const double before = store_.stats().simulated_ms;
+  const double before = RecordStore::ThreadChargeMs();
   NOSE_RETURN_IF_ERROR(active_->executor->ExecuteUpdate(it->second, params));
-  tracker_.Record(statement, store_.stats().simulated_ms - before);
+  tracker_.Record(statement, RecordStore::ThreadChargeMs() - before);
   ++report_.statements;
   update_log_.push_back({statement, params});
   if (migration_ != nullptr) {
@@ -147,8 +147,16 @@ Status EvolveController::StartPlannedMigration(size_t target) {
 
   auto next = MakeGeneration(planned_[target].rec, active_->named.get());
   CostModel cost(options_.advisor.cost_params);
+  // Price the dual-write overhead under the mix the migration enters —
+  // the same traffic profile the horizon planner charged its transition
+  // variables with, so planned estimates and execution-time estimates
+  // agree.
+  MigrationTraffic traffic;
+  traffic.update_weight_share =
+      UpdateWeightShare(*workload_, planned_[target].mix);
+  traffic.chunk_rows = static_cast<double>(options_.migration.chunk_rows);
   auto plan = std::make_unique<MigrationPlan>(
-      PlanMigration(*active_->named, *next->named, cost));
+      PlanMigration(*active_->named, *next->named, cost, traffic));
 
   if (plan->empty()) {
     // The horizon planner kept the schema across this boundary; adopt the
@@ -165,6 +173,8 @@ Status EvolveController::StartPlannedMigration(size_t target) {
   pending_record_.keeps = plan->keep_names.size();
   pending_record_.drops = plan->drop_names.size();
   pending_record_.est_build_cost_ms = plan->est_build_cost_ms;
+  pending_record_.est_drop_cost_ms = plan->est_drop_cost_ms;
+  pending_record_.est_dual_write_cost_ms = plan->est_dual_write_cost_ms;
   pending_ = std::move(next);
   mig_plan_ = std::move(plan);
   migration_ = std::make_unique<MigrationExecutor>(
@@ -204,8 +214,14 @@ Status EvolveController::StartReadvise() {
 
   auto next = MakeGeneration(std::move(result.rec), active_->named.get());
   CostModel cost(options_.advisor.cost_params);
+  // Reactive migrations run under the drift-estimated mix just written
+  // into observed_mix — price dual writes with its update share.
+  MigrationTraffic traffic;
+  traffic.update_weight_share =
+      UpdateWeightShare(*workload_, options_.observed_mix);
+  traffic.chunk_rows = static_cast<double>(options_.migration.chunk_rows);
   auto plan = std::make_unique<MigrationPlan>(
-      PlanMigration(*active_->named, *next->named, cost));
+      PlanMigration(*active_->named, *next->named, cost, traffic));
 
   if (plan->empty()) {
     // Identical schema: the fresh plans only re-rank equal-cost paths, so
@@ -221,6 +237,8 @@ Status EvolveController::StartReadvise() {
   pending_record_.keeps = plan->keep_names.size();
   pending_record_.drops = plan->drop_names.size();
   pending_record_.est_build_cost_ms = plan->est_build_cost_ms;
+  pending_record_.est_drop_cost_ms = plan->est_drop_cost_ms;
+  pending_record_.est_dual_write_cost_ms = plan->est_dual_write_cost_ms;
   pending_ = std::move(next);
   mig_plan_ = std::move(plan);
   migration_ = std::make_unique<MigrationExecutor>(
@@ -392,7 +410,8 @@ std::string EvolveReport::ToString() const {
         << m.catchup_updates << " updates, " << m.dual_writes
         << " dual writes, verified " << m.verify_queries << " queries ("
         << m.verify_mismatches << " mismatches), est "
-        << m.est_build_cost_ms << " ms, actual " << m.actual_ms << " ms, ";
+        << m.est_build_cost_ms + m.est_drop_cost_ms + m.est_dual_write_cost_ms
+        << " ms, actual " << m.actual_ms << " ms, ";
     if (m.planned) {
       out << "planned -> window " << m.to_window;
     } else {

@@ -41,6 +41,10 @@ struct MigrationRecord {
   uint64_t verify_queries = 0;
   uint64_t verify_mismatches = 0;
   double est_build_cost_ms = 0.0;
+  /// Estimated drop + dual-write charges (shared horizon pricing), so the
+  /// estimate is commensurable with actual_ms — which includes both.
+  double est_drop_cost_ms = 0.0;
+  double est_dual_write_cost_ms = 0.0;
   double actual_ms = 0.0;  ///< simulated store ms charged by the migration
   bool advise_incremental = false;
   double advise_seconds = 0.0;

@@ -1,8 +1,10 @@
 #ifndef NOSE_EVOLVE_MIGRATION_EXECUTOR_H_
 #define NOSE_EVOLVE_MIGRATION_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "executor/dataset.h"
 #include "executor/plan_executor.h"
 #include "store/record_store.h"
+#include "util/thread_pool.h"
 
 namespace nose::evolve {
 
@@ -46,10 +49,22 @@ struct MigrationProgress {
 };
 
 /// Executes one migration plan against the live store in bounded steps.
-/// The controller calls Step() between transactions (one backfill chunk /
-/// catch-up batch / verify pass per call) and OnUpdate() after every
-/// executed update so the new generation stays in sync once dual-writing
-/// starts. Safety: backfill and catch-up write only new-generation column
+///
+/// Single-threaded (evolve loop) use: the controller calls Step() between
+/// transactions (one backfill chunk / catch-up batch / verify pass per
+/// call) and OnUpdate() after every executed update so the new generation
+/// stays in sync once dual-writing starts.
+///
+/// Concurrent (serve loop) use: a migration worker drives
+/// BackfillAll/ReplayRange/BeginDualWrite/TryVerify/MarkReadyForCutover
+/// while driver threads execute foreground statements and call OnUpdate
+/// concurrently. phase() is atomic and progress() snapshots under a lock,
+/// so both are safe from any thread; the caller is responsible for the
+/// replay-vs-dual-write handoff (every update either lands in the replayed
+/// log prefix or is OnUpdate'd after BeginDualWrite, never both — see
+/// serve/ServeHarness).
+///
+/// Safety: backfill and catch-up write only new-generation column
 /// families, so queries served from the old generation are untouched until
 /// the controller cuts over — and cutover is only offered after every
 /// sampled query returned identical rows from both generations.
@@ -73,8 +88,10 @@ class MigrationExecutor {
                     const std::map<std::string, UpdatePlan>* new_update_plans,
                     const MigrationPlan* plan, Options options);
 
-  /// Creates the build-set column families. Must be called once before
-  /// Step; separate from the constructor so creation errors surface.
+  /// Creates the build-set column families and derives the replay plans
+  /// (new-generation update plans filtered to build-set parts). Must be
+  /// called once before Step; separate from the constructor so creation
+  /// errors surface.
   Status Prepare();
 
   /// Advances one bounded unit of work. `update_log` is the controller's
@@ -88,20 +105,53 @@ class MigrationExecutor {
   /// migration has passed catch-up (phases kDualWrite and later). Earlier
   /// phases rely on the update log instead, so nothing is double-applied:
   /// catch-up replays exactly the entries executed before dual-writing
-  /// began.
+  /// began. Safe to call from multiple driver threads concurrently.
   Status OnUpdate(const LoggedStatement& entry);
 
-  /// Marks the cutover done (controller has swapped generations).
-  void FinishCutover() { phase_ = MigrationPhase::kDone; }
+  /// Backfills every build-set column family in one call, fanning the
+  /// chunks out over `pool` (serial when null). Disjoint root-row ranges
+  /// write disjoint rows, so chunks are independent; the call returns only
+  /// once every chunk landed. Transitions kBackfill -> kCatchUp.
+  Status BackfillAll(util::ThreadPool* pool);
 
-  MigrationPhase phase() const { return phase_; }
-  const MigrationProgress& progress() const { return progress_; }
+  /// Replays update-log entries [begin, end) into the new generation
+  /// without any phase transition: the serve loop's catch-up primitive,
+  /// driven from the migration worker while drivers keep appending.
+  Status ReplayRange(const std::vector<LoggedStatement>& update_log,
+                     size_t begin, size_t end);
+
+  /// Transitions to kDualWrite. The caller must guarantee (e.g. by holding
+  /// its update-log mutex across the final ReplayRange and this call) that
+  /// every update before the transition was replayed and every one after
+  /// it reaches OnUpdate.
+  void BeginDualWrite() { phase_.store(MigrationPhase::kDualWrite); }
+
+  /// One verification pass over the sampled query log: true when every
+  /// compared query matched, false on a mismatch (no phase change — under
+  /// concurrent foreground writes a mismatch can be a transient between
+  /// the old-generation write and its dual write, so the caller retries).
+  /// Hard store errors fail the migration as usual.
+  StatusOr<bool> TryVerify(const std::vector<LoggedStatement>& query_log);
+
+  /// Marks verification complete; cutover may proceed.
+  void MarkReadyForCutover() {
+    phase_.store(MigrationPhase::kReadyForCutover);
+  }
+
+  /// Marks the cutover done (controller has swapped generations).
+  void FinishCutover() { phase_.store(MigrationPhase::kDone); }
+
+  MigrationPhase phase() const { return phase_.load(); }
+  MigrationProgress progress() const;
 
  private:
   Status BackfillStep();
   Status CatchUpStep(const std::vector<LoggedStatement>& update_log);
   Status VerifyStep(const std::vector<LoggedStatement>& query_log);
   Status ReplayUpdate(const LoggedStatement& entry);
+  /// Loads root rows [begin, end) of build CF `cf_index`, accounting rows
+  /// and simulated charge into progress. Any thread.
+  Status BackfillChunk(size_t cf_index, size_t begin, size_t end);
 
   const Dataset* data_;
   RecordStore* store_;
@@ -114,8 +164,19 @@ class MigrationExecutor {
   const MigrationPlan* plan_;
   Options options_;
 
-  MigrationPhase phase_ = MigrationPhase::kBackfill;
-  MigrationProgress progress_;
+  /// New-generation update plans restricted to parts that write build-set
+  /// column families, keyed by statement; statements with no build-set
+  /// part are absent. Replay and dual writes maintain ONLY the build set:
+  /// kept column families are live in both generations and the foreground
+  /// old-generation plans already maintain them — re-applying older log
+  /// entries to a kept family would race (and could lose) newer foreground
+  /// writes to the same record under concurrent serving.
+  std::map<std::string, UpdatePlan> replay_plans_;
+
+  std::atomic<MigrationPhase> phase_{MigrationPhase::kBackfill};
+  mutable std::mutex progress_mu_;
+  MigrationProgress progress_;     ///< guarded by progress_mu_
+  int64_t progress_sim_ns_ = 0;    ///< guarded by progress_mu_
   size_t build_pos_ = 0;    ///< index into plan_->build_indices
   size_t root_cursor_ = 0;  ///< next root row of the current build CF
   size_t replay_pos_ = 0;   ///< next update-log entry to replay

@@ -8,7 +8,8 @@
 namespace nose::evolve {
 
 MigrationPlan PlanMigration(const Schema& old_schema, const Schema& new_schema,
-                            const CostModel& cost) {
+                            const CostModel& cost,
+                            const MigrationTraffic& traffic) {
   MigrationPlan plan;
 
   for (size_t i = 0; i < new_schema.size(); ++i) {
@@ -51,15 +52,19 @@ MigrationPlan PlanMigration(const Schema& old_schema, const Schema& new_schema,
     plan.est_build_rows += step.est_rows;
     plan.est_build_bytes += step.est_bytes;
     plan.est_build_cost_ms += step.est_cost_ms;
+    plan.est_dual_write_cost_ms += DualWriteCostMs(cf, cost, traffic);
     plan.steps.push_back(std::move(step));
   }
   if (!plan.empty()) {
     plan.steps.push_back({MigrationStepKind::kCatchUp, "", 0, 0, 0, 0});
-    plan.steps.push_back({MigrationStepKind::kDualWrite, "", 0, 0, 0, 0});
+    plan.steps.push_back({MigrationStepKind::kDualWrite, "", 0, 0, 0,
+                          plan.est_dual_write_cost_ms});
     plan.steps.push_back({MigrationStepKind::kVerify, "", 0, 0, 0, 0});
     plan.steps.push_back({MigrationStepKind::kCutover, "", 0, 0, 0, 0});
     for (const std::string& name : plan.drop_names) {
-      plan.steps.push_back({MigrationStepKind::kDrop, name, 0, 0, 0, 0});
+      const double drop_ms = DropCostMs(cost);
+      plan.est_drop_cost_ms += drop_ms;
+      plan.steps.push_back({MigrationStepKind::kDrop, name, 0, 0, 0, drop_ms});
     }
   }
   return plan;
@@ -70,7 +75,8 @@ std::string MigrationPlan::ToString() const {
   out << "migration: " << build_indices.size() << " build, "
       << keep_names.size() << " keep, " << drop_names.size() << " drop; est "
       << est_build_rows << " rows / " << est_build_bytes << " bytes / "
-      << est_build_cost_ms << " ms\n";
+      << est_build_cost_ms << " build + " << est_drop_cost_ms << " drop + "
+      << est_dual_write_cost_ms << " dual-write ms\n";
   for (const MigrationStep& step : steps) {
     switch (step.kind) {
       case MigrationStepKind::kBuild:

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cost/cost_model.h"
+#include "optimizer/horizon.h"
 #include "schema/schema.h"
 
 namespace nose::evolve {
@@ -50,16 +51,33 @@ struct MigrationPlan {
   double est_build_rows = 0.0;
   double est_build_bytes = 0.0;
   double est_build_cost_ms = 0.0;
+  /// Σ DropCostMs over drop_names (the post-cutover drop steps).
+  double est_drop_cost_ms = 0.0;
+  /// Σ DualWriteCostMs over the builds under the traffic profile given to
+  /// PlanMigration; 0 when the caller passed no traffic.
+  double est_dual_write_cost_ms = 0.0;
 
   bool empty() const { return build_indices.empty() && drop_names.empty(); }
   std::string ToString() const;
+  /// Everything a migration is expected to charge the store: builds,
+  /// drops, and dual-write overhead. The quantity commensurable with the
+  /// horizon BIP's transition pricing.
+  double est_total_cost_ms() const {
+    return est_build_cost_ms + est_drop_cost_ms + est_dual_write_cost_ms;
+  }
 };
 
 /// Diffs `old_schema` against `new_schema` (both carrying store names) by
 /// canonical column-family key and prices the data movement with the
-/// store's latency model (one write request per materialized row).
+/// store's latency model, using the SAME pricing functions as the horizon
+/// optimizer's transition variables (BuildCostMs / DropCostMs /
+/// DualWriteCostMs) — so a reactive migration and a planned one charge
+/// identically for identical diffs. `traffic` describes the foreground
+/// load expected while the migration runs; the default prices no
+/// dual-write overhead.
 MigrationPlan PlanMigration(const Schema& old_schema, const Schema& new_schema,
-                            const CostModel& cost);
+                            const CostModel& cost,
+                            const MigrationTraffic& traffic = MigrationTraffic());
 
 }  // namespace nose::evolve
 

@@ -87,15 +87,10 @@ Status LoadSchema(const Dataset& data, const Schema& schema,
     }
 
     // Loading is a bulk operation; do not charge it to the simulation.
-    const double before_ms = store->stats().simulated_ms;
-    const uint64_t before_puts = store->stats().puts;
-    const uint64_t before_rows = store->stats().rows_written;
+    RecordStore::UnchargedLoadScope uncharged(store);
     StatusOr<size_t> loaded = LoadColumnFamilyChunk(
         data, cf, name, store, 0, data.RowCount(cf.path().EntityAt(0)));
     if (!loaded.ok()) return loaded.status();
-    store->stats().simulated_ms = before_ms;
-    store->stats().puts = before_puts;
-    store->stats().rows_written = before_rows;
   }
   return Status::Ok();
 }

@@ -73,6 +73,7 @@ class Solver {
         batch.push_back(std::move(stack.back()));
         stack.pop_back();
       }
+      batch_done_ = 0;
       evals.assign(batch.size(), Evaluation{});
       evaluations += batch.size();
       util::ParallelFor(opt_.threads, batch.size(), [&](size_t i) {
@@ -81,10 +82,16 @@ class Solver {
       });
 
       for (size_t i = 0; i < batch.size(); ++i) {
-        if (result.nodes_explored >= opt_.max_nodes) {
+        // Deadline granularity: re-check the budget per node, not just per
+        // batch, so an expiry stops within one evaluation; the unprocessed
+        // tail [batch_done_, batch.size()) stays open for best_bound.
+        if (result.nodes_explored >= opt_.max_nodes ||
+            (opt_.time_limit_seconds > 0.0 &&
+             watch.ElapsedSeconds() > opt_.time_limit_seconds)) {
           budget_hit = true;
           break;
         }
+        batch_done_ = i + 1;
         Node& node = batch[i];
         const double threshold =
             incumbent -
@@ -124,6 +131,25 @@ class Solver {
       }
     }
     result.proven = result.feasible && !budget_hit;
+    if (result.proven) {
+      result.best_bound = result.objective;
+    } else {
+      // Every open node's subtree costs at least its parent bound; every
+      // pruned subtree at least the final (smallest) prune threshold.
+      // Nodes of the last batch that were never processed are still open.
+      double open_min =
+          std::isfinite(incumbent)
+              ? incumbent -
+                    std::max(1e-9, opt_.relative_gap * std::abs(incumbent))
+              : kInf;
+      for (const Node& n : stack) {
+        open_min = std::min(open_min, n.parent_bound);
+      }
+      for (size_t i = batch_done_; i < batch.size(); ++i) {
+        open_min = std::min(open_min, batch[i].parent_bound);
+      }
+      result.best_bound = open_min;
+    }
     static obs::Counter& nodes_counter =
         obs::MetricsRegistry::Global().GetCounter("solver.comb_nodes");
     static obs::Counter& evals_counter =
@@ -254,6 +280,10 @@ class Solver {
 
   const CombinatorialInput& in_;
   const CombinatorialOptions& opt_;
+  /// Nodes of the current batch already processed (or pruned) by the
+  /// sequential pass; the tail [batch_done_, batch.size()) is still open
+  /// when a budget stops the search mid-batch.
+  size_t batch_done_ = 0;
 };
 
 }  // namespace

@@ -56,6 +56,11 @@ struct CombinatorialResult {
   /// false when a node/time budget stopped it with the best incumbent.
   bool proven = false;
   double objective = 0.0;
+  /// Valid global lower bound on the optimum at termination: `objective`
+  /// when proven, otherwise min(open-node parent bounds, final prune
+  /// threshold) — -inf when the budget expired before the root was
+  /// evaluated. Computed at exit; does not perturb the trajectory.
+  double best_bound = 0.0;
   std::vector<bool> selected;
   int nodes_explored = 0;
 };

@@ -20,6 +20,32 @@ double BuildCostMs(const ColumnFamily& cf, const CostModel& cost) {
   return cost.PutCost(rows, rows, bytes_per_row);
 }
 
+double DropCostMs(const CostModel& cost) {
+  return cost.params().write_request;
+}
+
+double DualWriteCostMs(const ColumnFamily& cf, const CostModel& cost,
+                       const MigrationTraffic& traffic) {
+  if (traffic.update_weight_share <= 0.0) return 0.0;
+  const double rows = cf.EntryCount();
+  if (rows <= 0.0) return 0.0;
+  const double chunk = std::max(1.0, traffic.chunk_rows);
+  const double chunks = std::ceil(rows / chunk);
+  const double bytes_per_row = cf.SizeBytes() / rows;
+  return traffic.update_weight_share * chunks *
+         cost.PutCost(1.0, 1.0, bytes_per_row);
+}
+
+double UpdateWeightShare(const Workload& workload, const std::string& mix) {
+  double total = 0.0;
+  double updates = 0.0;
+  for (const auto& [entry, weight] : workload.EntriesIn(mix)) {
+    total += weight;
+    if (!entry->IsQuery()) updates += weight;
+  }
+  return total > 0.0 ? updates / total : 0.0;
+}
+
 namespace {
 
 /// A maximal run of adjacent windows with the same mix, solved as one
@@ -148,6 +174,21 @@ StatusOr<HorizonResult> HorizonOptimizer::Optimize(
   for (size_t c = 0; c < num_cands; ++c) {
     build_cost[c] = BuildCostMs(candidates[c], *cost_);
   }
+  const double drop_cost = DropCostMs(*cost_);
+  // Dual-write overhead depends on the mix active WHILE the migration
+  // runs — the window being entered — so it is priced per (group,
+  // candidate): dw_cost[g][c] is the extra foreground puts expected while
+  // backfilling c at the start of group g.
+  std::vector<std::vector<double>> dw_cost(groups.size(),
+                                           std::vector<double>(num_cands));
+  for (size_t g = 0; g < groups.size(); ++g) {
+    MigrationTraffic traffic;
+    traffic.update_weight_share = UpdateWeightShare(workload, groups[g].mix);
+    traffic.chunk_rows = options_.backfill_chunk_rows;
+    for (size_t c = 0; c < num_cands; ++c) {
+      dw_cost[g][c] = DualWriteCostMs(candidates[c], *cost_, traffic);
+    }
+  }
   std::vector<char> initially_present(num_cands, 0);
   if (options_.initial_schema != nullptr) {
     for (size_t c = 0; c < num_cands; ++c) {
@@ -167,28 +208,42 @@ StatusOr<HorizonResult> HorizonOptimizer::Optimize(
     delta_vars[g].resize(num_cands);
     for (size_t c = 0; c < num_cands; ++c) {
       double dcost = scale * form.delta_cost[c];
-      // Builds out of the prior schema are folded into window 0's δ costs
-      // instead of a transition block: there is no δ_{-1} variable.
-      if (g == 0 && options_.initial_schema != nullptr &&
-          !initially_present[c]) {
-        dcost += options_.migration_cost_weight * build_cost[c];
+      // Builds out of — and drops of — the prior schema are folded into
+      // window 0's δ costs instead of a transition block: there is no
+      // δ_{-1} variable. The drop charge enters as a keep DISCOUNT
+      // (−δ·w·drop ≡ (1−δ)·w·drop minus a constant, and constants never
+      // move the argmin).
+      if (g == 0 && options_.initial_schema != nullptr) {
+        if (!initially_present[c]) {
+          dcost +=
+              options_.migration_cost_weight * (build_cost[c] + dw_cost[0][c]);
+        } else {
+          dcost -= options_.migration_cost_weight * drop_cost;
+        }
       }
       delta_vars[g][c] =
           lp.AddVariable(0.0, form.allowed[c] ? 1.0 : 0.0, dcost);
     }
     AssignWindowVariables(&form, &lp, scale);
   }
-  // Transition variables t_{g,c} ≥ δ_{g,c} − δ_{g−1,c}: pay a build
-  // whenever a candidate appears that the previous window did not
-  // materialize. Drops are free. Positive cost pins every t to the max at
-  // any optimum, and with integral deltas the max is integral — so the t
-  // block stays continuous and only the W·C deltas branch.
+  // Transition variables t_{g,c} ≥ δ_{g,c} − δ_{g−1,c}: pay a build (plus
+  // its dual-write overhead under the entered mix) whenever a candidate
+  // appears that the previous window did not materialize. Drop variables
+  // d_{g,c} ≥ δ_{g−1,c} − δ_{g,c} symmetrically charge retiring one.
+  // Positive cost pins every t and d to the max at any optimum, and with
+  // integral deltas the max is integral — so both blocks stay continuous
+  // and only the W·C deltas branch.
   std::vector<std::vector<int>> trans_vars(groups.size());
+  std::vector<std::vector<int>> drop_vars(groups.size());
   for (size_t g = 1; g < groups.size(); ++g) {
     trans_vars[g].resize(num_cands);
+    drop_vars[g].resize(num_cands);
     for (size_t c = 0; c < num_cands; ++c) {
       trans_vars[g][c] = lp.AddVariable(
-          0.0, 1.0, options_.migration_cost_weight * build_cost[c]);
+          0.0, 1.0,
+          options_.migration_cost_weight * (build_cost[c] + dw_cost[g][c]));
+      drop_vars[g][c] =
+          lp.AddVariable(0.0, 1.0, options_.migration_cost_weight * drop_cost);
     }
   }
 
@@ -203,7 +258,11 @@ StatusOr<HorizonResult> HorizonOptimizer::Optimize(
                 {{delta_vars[g][c], 1.0},
                  {delta_vars[g - 1][c], -1.0},
                  {trans_vars[g][c], -1.0}});
-      ++num_rows;
+      lp.AddRow(RowType::kLe, 0.0,
+                {{delta_vars[g - 1][c], 1.0},
+                 {delta_vars[g][c], -1.0},
+                 {drop_vars[g][c], -1.0}});
+      num_rows += 2;
     }
   }
   if (options_.optimizer.space_limit_bytes.has_value()) {
@@ -240,6 +299,8 @@ StatusOr<HorizonResult> HorizonOptimizer::Optimize(
       for (size_t c = 0; c < num_cands; ++c) {
         if (myopic[g][c] && !myopic[g - 1][c]) {
           warm[static_cast<size_t>(trans_vars[g][c])] = 1.0;
+        } else if (!myopic[g][c] && myopic[g - 1][c]) {
+          warm[static_cast<size_t>(drop_vars[g][c])] = 1.0;
         }
       }
     }
@@ -356,13 +417,16 @@ StatusOr<HorizonResult> HorizonOptimizer::Optimize(
         if (sel[g][c] && !prev[c]) {
           t.builds.push_back(static_cast<CfId>(c));
           t.build_cost_ms += build_cost[c];
+          t.dual_write_cost_ms += dw_cost[g][c];
         } else if (!sel[g][c] && prev[c]) {
           t.drops.push_back(static_cast<CfId>(c));
+          t.drop_cost_ms += drop_cost;
         }
       }
       if (!t.builds.empty() || !t.drops.empty()) {
         result.migration_objective +=
-            options_.migration_cost_weight * t.build_cost_ms;
+            options_.migration_cost_weight *
+            (t.build_cost_ms + t.drop_cost_ms + t.dual_write_cost_ms);
         result.transitions.push_back(std::move(t));
       }
     }
@@ -386,7 +450,8 @@ std::string HorizonResult::ToString() const {
   for (const HorizonTransition& t : transitions) {
     out << "migrate at start of window " << t.at_window << ": build "
         << t.builds.size() << ", drop " << t.drops.size() << " (est "
-        << t.build_cost_ms << " ms)\n";
+        << t.build_cost_ms << " build + " << t.drop_cost_ms << " drop + "
+        << t.dual_write_cost_ms << " dual-write ms)\n";
   }
   out << "objective: execution " << execution_objective << " + migration "
       << migration_objective << " = " << total_objective << "\n";

@@ -42,6 +42,37 @@ struct WorkloadHorizon {
 /// charges match what the executor will actually pay.
 double BuildCostMs(const ColumnFamily& cf, const CostModel& cost);
 
+/// One-time cost of dropping a superseded column family after cutover:
+/// one deletion request against the store, independent of the data volume
+/// (the store reclaims rows in bulk). Shared by PlanMigration's drop steps
+/// and the horizon BIP's drop variables, so planned and reactive migration
+/// pricing agree.
+double DropCostMs(const CostModel& cost);
+
+/// Foreground-traffic profile while a migration runs, for pricing the
+/// dual-write overhead of a build. The default (share 0) prices no
+/// overhead — single-threaded replays with no concurrent foreground load.
+struct MigrationTraffic {
+  /// Fraction of the active mix's weight on update statements
+  /// (UpdateWeightShare): the expected dual writes per foreground
+  /// statement executed while the new generation is half-built.
+  double update_weight_share = 0.0;
+  /// Rows per backfill batch (evolve::MigrationOptions::chunk_rows): sets
+  /// how many foreground statements interleave with the backfill.
+  double chunk_rows = 256.0;
+};
+
+/// Expected dual-write overhead of building `cf` under foreground load:
+/// the backfill takes ceil(rows / chunk_rows) store batches, roughly one
+/// foreground statement interleaves per batch, and each interleaved update
+/// pays one extra single-row put into the half-built generation.
+double DualWriteCostMs(const ColumnFamily& cf, const CostModel& cost,
+                       const MigrationTraffic& traffic);
+
+/// Fraction of `mix`'s weight carried by update statements — the
+/// update_weight_share to price migrations scheduled under that mix.
+double UpdateWeightShare(const Workload& workload, const std::string& mix);
+
 struct HorizonOptions {
   /// Per-window formulation/solve options. The capture hooks inside are
   /// ignored (use HorizonOptions::capture_bip for the joint instance).
@@ -58,6 +89,12 @@ struct HorizonOptions {
   /// copy of it (solver_micro's multi-period instance class). Left
   /// untouched when the horizon collapses to a single-window solve.
   BipCapture* capture_bip = nullptr;
+  /// Rows per backfill batch assumed when pricing dual-write overhead;
+  /// keep equal to evolve::MigrationOptions::chunk_rows so a planned
+  /// schedule charges what the executor will actually pay. The
+  /// update-weight share is derived per window from the workload itself
+  /// (UpdateWeightShare of the mix the migration enters).
+  double backfill_chunk_rows = 256.0;
 };
 
 /// A migration the plan schedules at the START of window `at_window`:
@@ -70,8 +107,16 @@ struct HorizonTransition {
   std::vector<CfId> builds;
   std::vector<CfId> drops;
   /// Unweighted store cost of the builds (Σ BuildCostMs); the objective
-  /// charges migration_cost_weight times this. Drops are free.
+  /// charges migration_cost_weight times this plus the drop and dual-write
+  /// charges below.
   double build_cost_ms = 0.0;
+  /// Unweighted cost of the drops (Σ DropCostMs). Initial-schema column
+  /// families absent from the pool are dropped by the executor but carry
+  /// no id here and are not charged (a constant the optimum cannot avoid).
+  double drop_cost_ms = 0.0;
+  /// Expected dual-write overhead of the builds (Σ DualWriteCostMs under
+  /// the entered window's mix).
+  double dual_write_cost_ms = 0.0;
 };
 
 /// The multi-period optimum: one schema + plans per window, the migration
@@ -85,7 +130,8 @@ struct HorizonResult {
   std::vector<HorizonTransition> transitions;
   /// Σ_w duration_w × windows[w].objective.
   double execution_objective = 0.0;
-  /// migration_cost_weight × Σ transition build costs.
+  /// migration_cost_weight × Σ transition (build + drop + dual-write)
+  /// costs.
   double migration_objective = 0.0;
   double total_objective = 0.0;
   /// True when every window shared one mix and no initial schema was
@@ -104,8 +150,10 @@ struct HorizonResult {
 /// per-window BIP formulation (optimizer/formulation.h) once per run of
 /// identical adjacent windows over ONE shared candidate pool, couples the
 /// per-window CF-activation binaries δ_{w,c} with continuous transition
-/// variables t_{w,c} ≥ δ_{w,c} − δ_{w−1,c} priced at
-/// migration_cost_weight × BuildCostMs(c), and solves the joint BIP. The
+/// variables t_{w,c} ≥ δ_{w,c} − δ_{w−1,c} priced at migration_cost_weight
+/// × (BuildCostMs(c) + DualWriteCostMs(c)) and drop variables
+/// d_{w,c} ≥ δ_{w−1,c} − δ_{w,c} priced at migration_cost_weight ×
+/// DropCostMs, and solves the joint BIP. The
 /// result decides WHEN a migration pays for itself: a schema change is
 /// scheduled only where the execution savings over the remaining windows
 /// exceed the build cost.

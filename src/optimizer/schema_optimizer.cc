@@ -17,6 +17,39 @@
 
 namespace nose {
 
+namespace {
+
+/// Relative optimality gap in [0, 1]: 0 when proven (including
+/// within-gap-proven, matching solve_proven's convention), 1 when the
+/// bound is useless (unbounded-below or non-positive against a positive
+/// cost objective).
+double AnytimeGap(double objective, double best_bound, bool proven) {
+  if (proven) return 0.0;
+  if (!std::isfinite(best_bound)) return 1.0;
+  const double denom = std::max(std::abs(objective), 1e-12);
+  return std::clamp((objective - best_bound) / denom, 0.0, 1.0);
+}
+
+/// Floor on the solve stage's time budget when a deadline left (almost)
+/// nothing: enough for the root relaxation + warm-start incumbent, so an
+/// anytime call always comes back with a schema.
+constexpr double kMinSolveSeconds = 0.01;
+
+/// Remaining solve budget under OptimizerOptions::deadline_seconds, merged
+/// with the explicit bip.time_limit_seconds (0 = unlimited for both).
+double SolveBudgetSeconds(const OptimizerOptions& options,
+                          const Stopwatch& total_watch) {
+  double limit = options.bip.time_limit_seconds;
+  if (options.deadline_seconds > 0.0) {
+    const double left = std::max(
+        kMinSolveSeconds, options.deadline_seconds - total_watch.ElapsedSeconds());
+    limit = limit > 0.0 ? std::min(limit, left) : left;
+  }
+  return limit;
+}
+
+}  // namespace
+
 StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     const Workload& workload, const std::string& mix,
     const CandidatePool& pool, util::ThreadPool* threads,
@@ -85,9 +118,8 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     copt.relative_gap = options_.bip.relative_gap;
     copt.max_nodes = options_.bip.max_nodes;
     copt.threads = threads;
-    copt.time_limit_seconds = options_.bip.time_limit_seconds > 0.0
-                                  ? options_.bip.time_limit_seconds
-                                  : 60.0;
+    const double budget = SolveBudgetSeconds(options_, total_watch);
+    copt.time_limit_seconds = budget > 0.0 ? budget : 60.0;
     CombinatorialResult comb = SolveCombinatorial(input, copt);
     result.timing.bip_solve_seconds = phase->StopSeconds();
     if (!comb.feasible) {
@@ -97,6 +129,9 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     result.bb_nodes = comb.nodes_explored;
     result.objective = comb.objective;
     result.solve_proven = comb.proven;
+    result.best_bound = comb.best_bound;
+    result.anytime_gap = AnytimeGap(result.objective, result.best_bound,
+                                    result.solve_proven);
     selected = comb.selected;
   } else {
     // ==== BIP construction (paper Figs. 7 and 10). ====
@@ -203,6 +238,7 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
 
     // ==== BIP solving (two-stage, paper §V). ====
     phase.emplace("optimizer.bip_solve", "optimizer");
+    first_options.time_limit_seconds = SolveBudgetSeconds(options_, total_watch);
     BipResult first = SolveBip(lp, binaries, first_options);
     if (first.status == BipStatus::kInfeasible) {
       return Status::Infeasible(
@@ -216,6 +252,11 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
     result.bb_nodes = first.nodes_explored;
     result.objective = first.objective;
     result.solve_proven = first.status == BipStatus::kOptimal;
+    // The anytime gap refers to the COST solve; the schema-size second
+    // stage below holds the cost fixed, so it cannot change the bound.
+    result.best_bound = first.best_bound;
+    result.anytime_gap = AnytimeGap(result.objective, result.best_bound,
+                                    result.solve_proven);
 
     // Replace the certificate's solution with an exactly-integral point:
     // deltas snapped from the solve, each support indicator the OR of its
@@ -270,6 +311,10 @@ StatusOr<OptimizationResult> SchemaOptimizer::Optimize(
       second_options.warm_start = &chosen.x;
       second_options.absolute_gap = 1.0 - 1e-6;
       second_options.max_nodes = std::min(options_.bip.max_nodes, 500);
+      // Under a deadline this stage gets only the time the cost solve
+      // left; its warm start keeps the minimum-cost schema either way.
+      second_options.time_limit_seconds =
+          SolveBudgetSeconds(options_, total_watch);
       BipResult second = SolveBip(second_lp, binaries, second_options);
       if (second.status == BipStatus::kOptimal ||
           second.status == BipStatus::kNodeLimit) {

@@ -55,6 +55,15 @@ struct OptimizerOptions {
   SolveStrategy strategy = SolveStrategy::kAuto;
   size_t auto_bip_threshold = 120;
   BipOptions bip;
+  /// Total wall-clock budget for Optimize() in seconds; 0 disables. The
+  /// budget is distributed implicitly: plan-space construction and BIP
+  /// assembly run to completion (they are what makes ANY incumbent
+  /// possible), and the solve stage receives whatever they left, floored
+  /// at a few milliseconds so the warm-started search always returns an
+  /// incumbent. Tightens bip.time_limit_seconds when both are set; a
+  /// deadline generous enough that no limit fires leaves the result
+  /// byte-identical to an unbudgeted run.
+  double deadline_seconds = 0.0;
   /// When non-null and the BIP strategy runs, receives a copy of the
   /// assembled problem before solving.
   BipCapture* capture_bip = nullptr;
@@ -131,6 +140,14 @@ struct OptimizationResult {
   /// True when the solver proved optimality (within its gap); false when a
   /// node/time budget stopped it with the best incumbent found.
   bool solve_proven = false;
+  /// Global lower bound on the optimum at solver termination (equals
+  /// `objective` when solve_proven).
+  double best_bound = 0.0;
+  /// Relative optimality gap of the returned schema, in [0, 1]:
+  /// (objective - best_bound) / max(|objective|, eps), clamped; 0 when
+  /// proven, 1 when the deadline left no useful bound. The anytime-advising
+  /// quality signal surfaced as Recommendation::anytime_gap.
+  double anytime_gap = 0.0;
 
   OptimizerTiming timing;
   int bip_variables = 0;

@@ -96,10 +96,33 @@ Dataset GenerateData(EntityGraph* graph, const ModelScale& scale,
 }
 
 ParamGenerator::ParamGenerator(const Dataset* data, uint64_t seed)
+    : ParamGenerator(data, seed, 0, 1) {}
+
+ParamGenerator::ParamGenerator(const Dataset* data, uint64_t seed,
+                               size_t shard_index, size_t shard_count)
     : data_(data),
-      rng_(seed),
+      rng_(seed + 0x9e3779b97f4a7c15ull * shard_index),
       item_zipf_(std::max<size_t>(1, data->RowCount("Item")), 1.0),
-      next_fresh_id_(1000000000) {}
+      // Disjoint fresh-id block per shard; no serve run draws anywhere near
+      // a block's worth of inserts, so blocks never collide.
+      next_fresh_id_(1000000000 +
+                     static_cast<int64_t>(shard_index) * 10000000),
+      shard_index_(shard_index),
+      shard_count_(shard_count == 0 ? 1 : shard_count) {}
+
+int64_t ParamGenerator::Snap(int64_t raw, size_t n) const {
+  if (shard_count_ <= 1 || n == 0) return raw;
+  const int64_t count = static_cast<int64_t>(shard_count_);
+  int64_t snapped =
+      (raw / count) * count + static_cast<int64_t>(shard_index_);
+  if (snapped >= static_cast<int64_t>(n)) snapped -= count;
+  if (snapped < 0 || snapped >= static_cast<int64_t>(n)) {
+    // Fewer rows than shards: fall back to a fixed (still shard-owned only
+    // when n >= shard_count, but always deterministic) representative.
+    snapped = static_cast<int64_t>(shard_index_ % n);
+  }
+  return snapped;
+}
 
 Value ParamGenerator::ValueForParam(const std::string& name) {
   auto uniform_id = [&](const char* entity) {
@@ -112,11 +135,15 @@ Value ParamGenerator::ValueForParam(const std::string& name) {
       StartsWith(name, "commentid")) {
     return Value(next_fresh_id_++);
   }
+  // ?item and ?user/?touser identify the rows RUBiS updates write — the
+  // ids that must stay shard-owned for cross-stream commutativity.
   if (StartsWith(name, "item")) {
-    return Value(static_cast<int64_t>(item_zipf_.Sample(rng_)));
+    return Value(Snap(static_cast<int64_t>(item_zipf_.Sample(rng_)),
+                      data_->RowCount("Item")));
   }
   if (StartsWith(name, "touser") || StartsWith(name, "user")) {
-    return uniform_id("User");
+    return Value(Snap(std::get<int64_t>(uniform_id("User")),
+                      data_->RowCount("User")));
   }
   if (StartsWith(name, "category")) return uniform_id("Category");
   if (StartsWith(name, "region")) return uniform_id("Region");

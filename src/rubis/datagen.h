@@ -25,6 +25,20 @@ class ParamGenerator {
  public:
   ParamGenerator(const Dataset* data, uint64_t seed);
 
+  /// Sharded generator for concurrent serving (stream `shard_index` of
+  /// `shard_count`): every sampled entity id that identifies the row a
+  /// statement WRITES (?item, ?user/?touser, and fresh INSERT keys) is
+  /// confined to the shard — existing ids are snapped into the residue
+  /// class {id : id % shard_count == shard_index} and fresh ids are drawn
+  /// from a disjoint per-shard block. Statements from different shards
+  /// therefore never write the same record, so their effects on the store
+  /// commute and a serve run's final state is byte-identical at any thread
+  /// count (streams are fixed; only their interleaving varies). The
+  /// distributions are otherwise unchanged, and (index 0, count 1) is the
+  /// unsharded generator.
+  ParamGenerator(const Dataset* data, uint64_t seed, size_t shard_index,
+                 size_t shard_count);
+
   /// Parameters for one workload statement (all its `?params` bound).
   PlanExecutor::Params ForStatement(const WorkloadEntry& entry);
 
@@ -36,11 +50,16 @@ class ParamGenerator {
 
  private:
   Value ValueForParam(const std::string& name);
+  /// Maps a sampled id into this shard's residue class of [0, n); identity
+  /// when unsharded.
+  int64_t Snap(int64_t raw, size_t n) const;
 
   const Dataset* data_;
   Rng rng_;
   ZipfDistribution item_zipf_;
   int64_t next_fresh_id_;
+  size_t shard_index_;
+  size_t shard_count_;
 };
 
 }  // namespace nose::rubis

@@ -1,8 +1,23 @@
 #include "rubis/model.h"
 
+#include <algorithm>
+
 #include "parser/model_parser.h"
 
 namespace nose::rubis {
+
+ModelScale ScaleFor(double factor) {
+  ModelScale scale;
+  scale.regions = std::max<size_t>(2, static_cast<size_t>(10 * factor));
+  scale.categories = std::max<size_t>(2, static_cast<size_t>(20 * factor));
+  scale.users = std::max<size_t>(20, static_cast<size_t>(2000 * factor));
+  scale.items = std::max<size_t>(40, static_cast<size_t>(4000 * factor));
+  scale.old_items = std::max<size_t>(20, static_cast<size_t>(2000 * factor));
+  scale.bids = std::max<size_t>(200, static_cast<size_t>(20000 * factor));
+  scale.buynows = std::max<size_t>(20, static_cast<size_t>(1000 * factor));
+  scale.comments = std::max<size_t>(40, static_cast<size_t>(4000 * factor));
+  return scale;
+}
 
 StatusOr<std::unique_ptr<EntityGraph>> MakeGraph(const ModelScale& scale) {
   auto n = [](size_t v) { return std::to_string(v); };

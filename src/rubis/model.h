@@ -22,6 +22,12 @@ struct ModelScale {
   size_t comments = 4000;
 };
 
+/// Scales the baseline entity counts by `factor` with the floors the drift
+/// scenarios rely on (at least a handful of rows per entity, so every
+/// statement has rows to touch). Shared by the evolve and serve drivers so
+/// their datasets agree for the same scenario scale.
+ModelScale ScaleFor(double factor);
+
 /// Builds the RUBiS conceptual model used in the paper's evaluation
 /// (§VII-A): eight entity sets — Region, Category, User, Item, OldItem,
 /// Bid, BuyNow, Comment — and eleven relationships. `Dummy` attributes on

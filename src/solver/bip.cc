@@ -286,6 +286,14 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
     // logging runs solve lazily below, on the serial spine. ---
     if (!logging && batch.size() > 1) {
       util::ParallelFor(options.threads, batch.size(), [&](size_t i) {
+        // Deadline granularity: once the budget expires, start no further
+        // LPs — the serial pass below returns unsolved nodes to the stack.
+        // In-flight relaxations still finish, so an expiry overshoots by at
+        // most one LP solve per worker.
+        if (options.time_limit_seconds > 0.0 &&
+            watch.ElapsedSeconds() > options.time_limit_seconds) {
+          return;
+        }
         solve_node(batch[i],
                    /*is_root=*/root_pending && batch[i].node.fixings.empty());
       });
@@ -423,13 +431,23 @@ BipResult SolveBip(const LpProblem& problem, const std::vector<int>& binary_vars
   }
 
   if (!stack.empty()) {
-    // Node limit reached with work remaining.
+    // Node limit reached with work remaining. The global lower bound at
+    // this point: every open subtree costs at least its parent's LP
+    // bound, and every pruned subtree at least the (final, smallest)
+    // prune threshold.
     result.status = std::isfinite(incumbent) ? BipStatus::kNodeLimit
                                              : BipStatus::kNoSolution;
+    double open_min = prune_threshold();
+    for (const Node& node : stack) {
+      open_min = std::min(open_min, node.parent_bound);
+    }
+    result.best_bound = open_min;
   } else if (!std::isfinite(incumbent)) {
     result.status = BipStatus::kInfeasible;
+    result.best_bound = incumbent;
   } else {
     result.status = BipStatus::kOptimal;
+    result.best_bound = result.objective;
   }
   if (cert != nullptr) {
     cert->status = BipStatusName(result.status);

@@ -80,6 +80,14 @@ struct BipResult {
   BipStatus status = BipStatus::kNoSolution;
   double objective = 0.0;
   std::vector<double> x;  ///< integral solution (if any)
+  /// Valid global lower bound on the optimum at termination. Equals
+  /// `objective` when optimality was proven; on an early stop (node/time
+  /// limit) it is min(open-node parent bounds, final prune threshold) —
+  /// every pruned subtree had an LP bound at or above the final threshold,
+  /// and the threshold only decreases as incumbents improve. -inf when the
+  /// root was never solved. Computed at exit; tracking it does not perturb
+  /// the search trajectory.
+  double best_bound = 0.0;
   int nodes_explored = 0;
   int lp_iterations = 0;
 };

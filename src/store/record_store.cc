@@ -1,5 +1,8 @@
 #include "store/record_store.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "obs/metrics.h"
 
 namespace nose {
@@ -33,6 +36,17 @@ struct StoreCounters {
   }
 };
 
+/// Monotone simulated-millisecond total charged by this thread, across
+/// store instances. Callers bracket an operation and subtract.
+thread_local double tls_charge_ms = 0.0;
+
+/// Stripes accumulate simulated time in integer nanoseconds so the merged
+/// total is independent of which thread charged what in which order
+/// (integer addition commutes exactly; double addition does not).
+int64_t MsToNanos(double ms) {
+  return static_cast<int64_t>(std::llround(ms * 1e6));
+}
+
 }  // namespace
 
 size_t TupleBytes(const ValueTuple& tuple) {
@@ -54,6 +68,14 @@ size_t TupleBytes(const ValueTuple& tuple) {
   return bytes;
 }
 
+double RecordStore::ThreadChargeMs() { return tls_charge_ms; }
+
+void RecordStore::Charge(Stripe& stripe, double ms) const {
+  if (!charging()) return;
+  stripe.stats.simulated_ns += MsToNanos(ms);
+  tls_charge_ms += ms;
+}
+
 Status RecordStore::CreateColumnFamily(const std::string& name,
                                        size_t partition_width,
                                        size_t clustering_width,
@@ -66,39 +88,72 @@ Status RecordStore::CreateColumnFamily(const std::string& name,
                                    "component: " +
                                    name);
   }
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   if (cfs_.count(name) > 0) {
     return Status::AlreadyExists("column family " + name + " already exists");
   }
-  ColumnFamilyData cf;
-  cf.partition_width = partition_width;
-  cf.clustering_width = clustering_width;
-  cf.value_width = value_width;
+  auto cf = std::make_unique<ColumnFamilyData>();
+  cf->partition_width = partition_width;
+  cf->clustering_width = clustering_width;
+  cf->value_width = value_width;
+  cf->stripes.reserve(stripes_per_cf_);
+  for (size_t i = 0; i < stripes_per_cf_; ++i) {
+    cf->stripes.push_back(std::make_unique<Stripe>());
+  }
   cfs_.emplace(name, std::move(cf));
   return Status::Ok();
 }
 
+bool RecordStore::HasColumnFamily(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return cfs_.count(name) > 0;
+}
+
 Status RecordStore::DropColumnFamily(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   auto it = cfs_.find(name);
   if (it == cfs_.end()) {
     return Status::NotFound("unknown column family " + name);
+  }
+  // Fold the family's operation counters into the retained aggregate (so
+  // stats() never goes backwards across a cutover) and account the space
+  // reclaimed. The exclusive catalog lock guarantees no operation is in
+  // flight on these stripes.
+  for (const std::unique_ptr<Stripe>& stripe : it->second->stripes) {
+    const StripeStats& s = stripe->stats;
+    retired_.ops.gets += s.gets;
+    retired_.ops.puts += s.puts;
+    retired_.ops.deletes += s.deletes;
+    retired_.ops.rows_read += s.rows_read;
+    retired_.ops.rows_written += s.rows_written;
+    retired_.ops.bytes_read += s.bytes_read;
+    retired_.ops.simulated_ns += s.simulated_ns;
+    retired_.rows_dropped += stripe->total_rows;
+    for (const auto& [partition, records] : stripe->partitions) {
+      for (const auto& [clustering, values] : records) {
+        retired_.bytes_dropped += TupleBytes(partition) +
+                                  TupleBytes(clustering) + TupleBytes(values);
+      }
+    }
   }
   cfs_.erase(it);
   return Status::Ok();
 }
 
 StatusOr<RecordStore::ColumnFamilyData*> RecordStore::FindCf(
-    const std::string& name) {
+    const std::string& name) const {
   auto it = cfs_.find(name);
   if (it == cfs_.end()) {
     return Status::NotFound("unknown column family " + name);
   }
-  return &it->second;
+  return it->second.get();
 }
 
 StatusOr<std::vector<RecordStore::Row>> RecordStore::Get(
     const std::string& name, const ValueTuple& partition,
     const ValueTuple& clustering_prefix,
     const std::optional<RangeBound>& range) {
+  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
   NOSE_ASSIGN_OR_RETURN(ColumnFamilyData * cf, FindCf(name));
   if (partition.size() != cf->partition_width) {
     return Status::InvalidArgument("partition key arity mismatch for " + name);
@@ -111,13 +166,15 @@ StatusOr<std::vector<RecordStore::Row>> RecordStore::Get(
         "range scan needs a clustering component after the prefix: " + name);
   }
 
-  ++stats_.gets;
-  stats_.simulated_ms += params_.read_request;
+  Stripe& stripe = cf->StripeFor(partition);
+  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  if (charging()) ++stripe.stats.gets;
+  Charge(stripe, params_.read_request);
   StoreCounters::Get().gets.Increment();
 
   std::vector<Row> rows;
-  auto pit = cf->partitions.find(partition);
-  if (pit == cf->partitions.end()) return rows;
+  auto pit = stripe.partitions.find(partition);
+  if (pit == stripe.partitions.end()) return rows;
   StoreCounters::Get().partitions_read.Increment();
 
   // Iterate the ordered records of this partition from the prefix onward.
@@ -155,11 +212,9 @@ StatusOr<std::vector<RecordStore::Row>> RecordStore::Get(
         default:
           return Status::InvalidArgument("invalid range operator");
       }
-      // The scanned component is not the immediate next sort key once the
-      // prefix is fixed... it is: prefix fixed => next component ordered, so
-      // for kLt/kLe we could stop early; for simplicity (and to charge scan
-      // costs faithfully) we skip non-matching rows and keep scanning only
-      // while a match is still possible.
+      // The prefix is fixed, so the scanned component is ordered: for
+      // kLt/kLe nothing further can match once a row misses; for kGt/kGe
+      // the miss is below the bound and later rows may still match.
       if (!keep) {
         if (range->op == PredicateOp::kLt || range->op == PredicateOp::kLe) {
           break;  // ordered: nothing further can match
@@ -170,74 +225,167 @@ StatusOr<std::vector<RecordStore::Row>> RecordStore::Get(
     rows.push_back(Row{ValueTuple(key.begin(), key.end()), it->second});
   }
 
-  stats_.rows_read += rows.size();
   size_t bytes = 0;
   for (const Row& r : rows) bytes += TupleBytes(r.clustering) + TupleBytes(r.values);
-  stats_.bytes_read += bytes;
+  if (charging()) {
+    stripe.stats.rows_read += rows.size();
+    stripe.stats.bytes_read += bytes;
+  }
   StoreCounters::Get().rows_read.Add(rows.size());
   StoreCounters::Get().bytes_read.Add(bytes);
-  stats_.simulated_ms += static_cast<double>(rows.size()) * params_.read_row +
-                         static_cast<double>(bytes) * params_.read_byte;
+  Charge(stripe, static_cast<double>(rows.size()) * params_.read_row +
+                     static_cast<double>(bytes) * params_.read_byte);
   return rows;
 }
 
 Status RecordStore::Put(const std::string& name, const ValueTuple& partition,
                         const ValueTuple& clustering,
                         const std::vector<std::optional<Value>>& values) {
+  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
   NOSE_ASSIGN_OR_RETURN(ColumnFamilyData * cf, FindCf(name));
   if (partition.size() != cf->partition_width ||
       clustering.size() != cf->clustering_width ||
       values.size() != cf->value_width) {
     return Status::InvalidArgument("tuple arity mismatch in Put for " + name);
   }
-  auto& records = cf->partitions[partition];
+  Stripe& stripe = cf->StripeFor(partition);
+  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  auto& records = stripe.partitions[partition];
   auto [it, inserted] = records.try_emplace(clustering);
   if (inserted) {
     it->second.resize(values.size(), Value(static_cast<int64_t>(0)));
-    ++cf->total_rows;
+    ++stripe.total_rows;
   }
   for (size_t i = 0; i < values.size(); ++i) {
     if (values[i].has_value()) it->second[i] = *values[i];
   }
-  ++stats_.puts;
-  ++stats_.rows_written;
+  if (charging()) {
+    ++stripe.stats.puts;
+    ++stripe.stats.rows_written;
+  }
   StoreCounters::Get().puts.Increment();
   StoreCounters::Get().rows_written.Increment();
-  stats_.simulated_ms +=
-      params_.write_request +
-      params_.write_row +
-      static_cast<double>(TupleBytes(it->second)) * params_.read_byte;
+  Charge(stripe,
+         params_.write_request + params_.write_row +
+             static_cast<double>(TupleBytes(it->second)) * params_.read_byte);
   return Status::Ok();
 }
 
 Status RecordStore::Delete(const std::string& name, const ValueTuple& partition,
                            const ValueTuple& clustering) {
+  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
   NOSE_ASSIGN_OR_RETURN(ColumnFamilyData * cf, FindCf(name));
   if (partition.size() != cf->partition_width ||
       clustering.size() != cf->clustering_width) {
     return Status::InvalidArgument("tuple arity mismatch in Delete for " +
                                    name);
   }
-  ++stats_.deletes;
-  stats_.simulated_ms += params_.write_request + params_.write_row;
+  Stripe& stripe = cf->StripeFor(partition);
+  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  if (charging()) ++stripe.stats.deletes;
+  Charge(stripe, params_.write_request + params_.write_row);
   StoreCounters::Get().deletes.Increment();
-  auto pit = cf->partitions.find(partition);
-  if (pit == cf->partitions.end()) return Status::Ok();
+  auto pit = stripe.partitions.find(partition);
+  if (pit == stripe.partitions.end()) return Status::Ok();
   if (pit->second.erase(clustering) > 0) {
-    --cf->total_rows;
-    ++stats_.rows_written;
+    --stripe.total_rows;
+    if (charging()) ++stripe.stats.rows_written;
     StoreCounters::Get().rows_written.Increment();
   }
-  if (pit->second.empty()) cf->partitions.erase(pit);
+  if (pit->second.empty()) stripe.partitions.erase(pit);
   return Status::Ok();
 }
 
 StatusOr<size_t> RecordStore::RowCount(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   auto it = cfs_.find(name);
   if (it == cfs_.end()) {
     return Status::NotFound("unknown column family " + name);
   }
-  return it->second.total_rows;
+  size_t total = 0;
+  for (const std::unique_ptr<Stripe>& stripe : it->second->stripes) {
+    std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+    total += stripe->total_rows;
+  }
+  return total;
+}
+
+StoreStats RecordStore::stats() const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  StripeStats sum = retired_.ops;
+  // Merge in sorted column-family name / stripe index order. All fields
+  // are integers, so the sum is interleaving-independent; the fixed order
+  // makes that easy to see (and keeps the walk deterministic).
+  std::vector<std::string> names;
+  names.reserve(cfs_.size());
+  for (const auto& [name, cf] : cfs_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const ColumnFamilyData& cf = *cfs_.at(name);
+    for (const std::unique_ptr<Stripe>& stripe : cf.stripes) {
+      std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+      const StripeStats& s = stripe->stats;
+      sum.gets += s.gets;
+      sum.puts += s.puts;
+      sum.deletes += s.deletes;
+      sum.rows_read += s.rows_read;
+      sum.rows_written += s.rows_written;
+      sum.bytes_read += s.bytes_read;
+      sum.simulated_ns += s.simulated_ns;
+    }
+  }
+  StoreStats out;
+  out.gets = sum.gets;
+  out.puts = sum.puts;
+  out.deletes = sum.deletes;
+  out.rows_read = sum.rows_read;
+  out.rows_written = sum.rows_written;
+  out.bytes_read = sum.bytes_read;
+  out.rows_dropped = retired_.rows_dropped;
+  out.bytes_dropped = retired_.bytes_dropped;
+  out.simulated_ms = static_cast<double>(sum.simulated_ns) / 1e6;
+  return out;
+}
+
+uint64_t RecordStore::ContentDigest() const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ValueTupleHash tuple_hash;
+  uint64_t digest = 0;
+  for (const auto& [name, cf] : cfs_) {
+    const uint64_t name_hash = std::hash<std::string>()(name);
+    for (const std::unique_ptr<Stripe>& stripe : cf->stripes) {
+      std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+      for (const auto& [partition, records] : stripe->partitions) {
+        const uint64_t ph = tuple_hash(partition);
+        for (const auto& [clustering, values] : records) {
+          // splitmix64-style mix of the record's component hashes; records
+          // are combined by wrapping addition, which commutes — the digest
+          // is independent of stripe count and iteration order.
+          uint64_t h = name_hash ^ (ph * 0x9e3779b97f4a7c15ull) ^
+                       (tuple_hash(clustering) * 0xbf58476d1ce4e5b9ull) ^
+                       (tuple_hash(values) * 0x94d049bb133111ebull);
+          h ^= h >> 30;
+          h *= 0xbf58476d1ce4e5b9ull;
+          h ^= h >> 27;
+          h *= 0x94d049bb133111ebull;
+          h ^= h >> 31;
+          digest += h;
+        }
+      }
+    }
+  }
+  return digest;
+}
+
+void RecordStore::ResetStats() {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  retired_ = RetiredStats();
+  for (auto& [name, cf] : cfs_) {
+    for (std::unique_ptr<Stripe>& stripe : cf->stripes) {
+      std::lock_guard<std::mutex> stripe_lock(stripe->mu);
+      stripe->stats = StripeStats();
+    }
+  }
 }
 
 }  // namespace nose

@@ -1,8 +1,13 @@
 #ifndef NOSE_STORE_RECORD_STORE_H_
 #define NOSE_STORE_RECORD_STORE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +31,11 @@ struct StoreStats {
   uint64_t rows_read = 0;
   uint64_t rows_written = 0;
   uint64_t bytes_read = 0;
+  /// Rows and payload bytes reclaimed by DropColumnFamily (live migration
+  /// drops the superseded generation at cutover; serve reports surface
+  /// the space reclaimed).
+  uint64_t rows_dropped = 0;
+  uint64_t bytes_dropped = 0;
   double simulated_ms = 0.0;
 
   void Reset() { *this = StoreStats(); }
@@ -41,23 +51,42 @@ struct RangeBound {
 /// family maps a partition key to clustering-key-sorted records,
 ///   K -> (C -> V),
 /// supporting only get (partition key + clustering prefix + optional range)
-/// and put/delete. In-memory; single-threaded.
+/// and put/delete. In-memory.
+///
+/// Concurrency: each column family's partition map is hash-sharded into
+/// `stripes_per_cf` stripes, each behind its own mutex, so driver threads
+/// and migration workers operate concurrently as long as they touch
+/// different stripes (a partition always lives in exactly one stripe).
+/// The catalog itself is guarded by a shared mutex: operations hold it
+/// shared, CreateColumnFamily/DropColumnFamily hold it exclusive, so a
+/// drop cannot race an in-flight access to the dropped family.
+///
+/// Stats determinism: simulated time is accumulated per stripe in integer
+/// nanoseconds (addition commutes exactly, unlike floating point), and
+/// stats() merges stripes in sorted column-family name / stripe index
+/// order — so the snapshot is byte-identical for a given set of executed
+/// operations regardless of thread count or interleaving.
 class RecordStore {
  public:
-  explicit RecordStore(CostParams params = CostParams())
-      : params_(params) {}
+  /// `stripes_per_cf` fixes the shard count of every column family created
+  /// on this store (minimum 1). Single-threaded callers keep the default.
+  explicit RecordStore(CostParams params = CostParams(),
+                       size_t stripes_per_cf = 1)
+      : params_(params),
+        stripes_per_cf_(stripes_per_cf == 0 ? 1 : stripes_per_cf) {}
 
   /// Registers a column family; widths fix the tuple arity of partition
   /// key, clustering key and values for all subsequent operations.
   Status CreateColumnFamily(const std::string& name, size_t partition_width,
                             size_t clustering_width, size_t value_width);
-  bool HasColumnFamily(const std::string& name) const {
-    return cfs_.count(name) > 0;
-  }
+  bool HasColumnFamily(const std::string& name) const;
 
   /// Removes a column family and all its records (live migration drops the
   /// superseded generation after cutover). Not charged to the simulation —
-  /// drops are metadata operations in the target stores.
+  /// drops are metadata operations in the target stores — but the rows and
+  /// bytes reclaimed are recorded in StoreStats::rows_dropped/bytes_dropped,
+  /// and the family's operation counters are folded into the retained
+  /// aggregate so stats() never goes backwards.
   Status DropColumnFamily(const std::string& name);
 
   struct Row {
@@ -90,26 +119,109 @@ class RecordStore {
   /// Total records stored in a column family.
   StatusOr<size_t> RowCount(const std::string& name) const;
 
-  StoreStats& stats() { return stats_; }
-  const StoreStats& stats() const { return stats_; }
+  /// Deterministic merged snapshot of per-stripe stats plus the retained
+  /// aggregate of dropped column families. Returned by value — the striped
+  /// stats have no single object to hand out a reference to.
+  StoreStats stats() const;
+
+  /// Zeroes every stripe's stats and the retained aggregate.
+  void ResetStats();
+
+  /// Order-independent hash of the store's full logical content (every
+  /// record of every live column family, including names). Two stores hold
+  /// byte-identical data iff their digests match (modulo hash collisions) —
+  /// regardless of stripe count, insertion order, or thread interleaving.
+  /// The serve tests use this to check that a concurrent run's final state
+  /// equals the single-threaded control's. Process-local only (hashes are
+  /// not stable across binaries); not charged to the simulation.
+  uint64_t ContentDigest() const;
+
   const CostParams& params() const { return params_; }
+  size_t stripes_per_cf() const { return stripes_per_cf_; }
+
+  /// Monotone total of simulated milliseconds charged to the calling
+  /// thread, across all RecordStore instances. The per-operation
+  /// attribution primitive for concurrent callers: bracket an operation
+  /// with two calls and subtract — `stats().simulated_ms` deltas race
+  /// under concurrency, this does not, and nested measurements compose.
+  static double ThreadChargeMs();
+
+  /// Suspends stats charging for bulk loads (initial dataset load is not
+  /// part of the simulated workload). Global per store and NOT safe to
+  /// hold while charged traffic runs concurrently — use only during
+  /// single-threaded setup. Process-wide obs counters still tick.
+  class UnchargedLoadScope {
+   public:
+    explicit UnchargedLoadScope(RecordStore* store) : store_(store) {
+      store_->charging_.store(false, std::memory_order_relaxed);
+    }
+    ~UnchargedLoadScope() {
+      store_->charging_.store(true, std::memory_order_relaxed);
+    }
+    UnchargedLoadScope(const UnchargedLoadScope&) = delete;
+    UnchargedLoadScope& operator=(const UnchargedLoadScope&) = delete;
+
+   private:
+    RecordStore* store_;
+  };
 
  private:
-  struct ColumnFamilyData {
-    size_t partition_width;
-    size_t clustering_width;
-    size_t value_width;
+  /// Integer-nanosecond stats of one stripe, guarded by the stripe mutex.
+  struct StripeStats {
+    uint64_t gets = 0;
+    uint64_t puts = 0;
+    uint64_t deletes = 0;
+    uint64_t rows_read = 0;
+    uint64_t rows_written = 0;
+    uint64_t bytes_read = 0;
+    int64_t simulated_ns = 0;
+  };
+
+  struct Stripe {
+    mutable std::mutex mu;
     std::unordered_map<ValueTuple, std::map<ValueTuple, ValueTuple>,
                        ValueTupleHash>
         partitions;
     size_t total_rows = 0;
+    StripeStats stats;
   };
 
-  StatusOr<ColumnFamilyData*> FindCf(const std::string& name);
+  struct ColumnFamilyData {
+    size_t partition_width;
+    size_t clustering_width;
+    size_t value_width;
+    std::vector<std::unique_ptr<Stripe>> stripes;
+
+    Stripe& StripeFor(const ValueTuple& partition) {
+      return *stripes[ValueTupleHash()(partition) % stripes.size()];
+    }
+  };
+
+  /// Caller must hold catalog_mu_ (shared suffices).
+  StatusOr<ColumnFamilyData*> FindCf(const std::string& name) const;
+
+  /// Adds `ms` of simulated latency to the stripe (as integer ns) and to
+  /// the calling thread's charge accumulator. Caller holds stripe.mu.
+  void Charge(Stripe& stripe, double ms) const;
+
+  bool charging() const { return charging_.load(std::memory_order_relaxed); }
 
   CostParams params_;
-  StoreStats stats_;
-  std::unordered_map<std::string, ColumnFamilyData> cfs_;
+  size_t stripes_per_cf_;
+  std::atomic<bool> charging_{true};
+
+  mutable std::shared_mutex catalog_mu_;
+  std::unordered_map<std::string, std::unique_ptr<ColumnFamilyData>> cfs_;
+
+  /// Stats of dropped column families plus drop accounting; stats() adds
+  /// this to the live stripes' totals. Guarded by catalog_mu_ exclusive
+  /// (mutated only by DropColumnFamily/ResetStats).
+  struct RetiredStats {
+    StripeStats ops;
+    uint64_t rows_dropped = 0;
+    uint64_t bytes_dropped = 0;
+  };
+  RetiredStats retired_;
 };
 
 /// Approximate wire size of a tuple in bytes (latency simulation).

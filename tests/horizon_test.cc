@@ -148,21 +148,32 @@ TEST(HorizonTest, TransitionPricingMatchesSharedBuildCost) {
       options);
   ASSERT_TRUE(plan.ok()) << plan.status();
 
-  // Every transition's build_cost_ms is exactly the sum of the shared
-  // BuildCostMs pricing over its builds — the same function
-  // MigrationPlanner charges, so planned and executed migrations agree.
-  double total_build_ms = 0.0;
+  // Every transition's charges are exactly the shared BuildCostMs /
+  // DropCostMs / DualWriteCostMs pricing over its builds and drops — the
+  // same functions MigrationPlanner charges, so planned and executed
+  // migrations agree.
+  double total_ms = 0.0;
   for (const HorizonTransition& t : plan->transitions) {
-    double expected = 0.0;
+    MigrationTraffic traffic;
+    traffic.update_weight_share =
+        UpdateWeightShare(*f.workload, plan->windows[t.at_window].mix);
+    traffic.chunk_rows = options.backfill_chunk_rows;
+    double expected_build = 0.0;
+    double expected_dw = 0.0;
     for (CfId id : t.builds) {
       ASSERT_LT(id, plan->pool.size());
-      expected += BuildCostMs(plan->pool[id], advisor.cost_model());
+      expected_build += BuildCostMs(plan->pool[id], advisor.cost_model());
+      expected_dw +=
+          DualWriteCostMs(plan->pool[id], advisor.cost_model(), traffic);
     }
-    EXPECT_EQ(t.build_cost_ms, expected);
-    total_build_ms += expected;
+    EXPECT_EQ(t.build_cost_ms, expected_build);
+    EXPECT_EQ(t.dual_write_cost_ms, expected_dw);
+    EXPECT_EQ(t.drop_cost_ms, static_cast<double>(t.drops.size()) *
+                                  DropCostMs(advisor.cost_model()));
+    total_ms += expected_build + t.drop_cost_ms + expected_dw;
   }
   EXPECT_EQ(plan->migration_objective,
-            options.migration_cost_weight * total_build_ms);
+            options.migration_cost_weight * total_ms);
   EXPECT_EQ(plan->total_objective,
             plan->execution_objective + plan->migration_objective);
 }

@@ -137,7 +137,7 @@ TEST_F(RecordStoreTest, StatsAccumulateSimulatedTime) {
   EXPECT_EQ(store_.stats().gets, 1u);
   EXPECT_EQ(store_.stats().puts, 1u);
   EXPECT_EQ(store_.stats().rows_read, 1u);
-  store_.stats().Reset();
+  store_.ResetStats();
   EXPECT_EQ(store_.stats().gets, 0u);
   EXPECT_EQ(store_.stats().simulated_ms, 0.0);
 }
